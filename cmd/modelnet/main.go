@@ -1,0 +1,153 @@
+// Command modelnet runs the five-phase pipeline over a GML target topology
+// and drives a synthetic workload through the emulation — the equivalent of
+// the paper's deploy scripts, in one binary.
+//
+//	modelnet -gml topo.gml [-distill hop|e2e|walkin|walkout] [-walkin N]
+//	         [-cores K] [-flows F] [-duration 10] [-ideal]
+//	         [-out distilled.gml]
+//
+// Without -gml it synthesizes the paper's §4.1 ring (20 routers × 20 VNs).
+// The workload is F random-pair bulk TCP flows; the tool reports phase
+// statistics, per-flow goodput, core utilization, and emulation accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"modelnet"
+	"modelnet/internal/netstack"
+	"modelnet/internal/traffic"
+)
+
+func main() {
+	gmlPath := flag.String("gml", "", "target topology in GML (default: the paper's ring)")
+	distillMode := flag.String("distill", "hop", "distillation: hop, e2e, walkin, walkout")
+	walkIn := flag.Int("walkin", 1, "walk-in frontier sets")
+	walkOut := flag.Int("walkout", 1, "walk-out frontier sets")
+	cores := flag.Int("cores", 1, "emulated core routers")
+	flows := flag.Int("flows", 50, "random-pair bulk TCP flows")
+	duration := flag.Float64("duration", 10, "virtual seconds to run")
+	ideal := flag.Bool("ideal", false, "ideal (event-exact, infinite-capacity) core")
+	seed := flag.Int64("seed", 1, "random seed")
+	outPath := flag.String("out", "", "write the distilled topology as GML")
+	flag.Parse()
+
+	g, err := loadTopology(*gmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec := modelnet.DistillSpec{}
+	switch *distillMode {
+	case "hop":
+		spec.Mode = modelnet.HopByHop
+	case "e2e":
+		spec.Mode = modelnet.EndToEnd
+	case "walkin":
+		spec.Mode = modelnet.WalkIn
+		spec.WalkIn = *walkIn
+	case "walkout":
+		spec.Mode = modelnet.WalkOut
+		spec.WalkIn = *walkIn
+		spec.WalkOut = *walkOut
+	default:
+		fatal(fmt.Errorf("unknown -distill %q", *distillMode))
+	}
+	opts := modelnet.Options{Distill: spec, Cores: *cores, Seed: *seed}
+	if *ideal {
+		p := modelnet.IdealProfile()
+		opts.Profile = &p
+	}
+	em, err := modelnet.Run(g, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("create : %d nodes, %d links, %d VNs\n", g.NumNodes(), g.NumLinks(), em.NumVNs())
+	fmt.Printf("distill: %s -> %d pipes (%d preserved, %d mesh)\n",
+		spec.Mode, em.Distilled.Graph.NumLinks(), em.Distilled.PreservedLinks, em.Distilled.MeshLinks)
+	lm := em.Assignment.LoadMetrics()
+	fmt.Printf("assign : %d cores, pipes/core %v (imbalance %.2f)\n", *cores, lm.LinksPerCore, lm.Imbalance)
+	fmt.Printf("bind   : routing over %d VNs\n", em.Binding.NumVNs())
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := modelnet.WriteGML(f, em.Distilled.Graph); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote distilled topology to %s\n", *outPath)
+	}
+
+	// Run phase: random-pair bulk flows.
+	rng := rand.New(rand.NewSource(*seed))
+	n := em.NumVNs()
+	if *flows > n/2 {
+		*flows = n / 2
+	}
+	perm := rng.Perm(n)
+	var sinks []*traffic.Sink
+	for i := 0; i < *flows; i++ {
+		src := em.NewHost(modelnet.VN(perm[2*i]))
+		dst := em.NewHost(modelnet.VN(perm[2*i+1]))
+		sink, err := traffic.NewSink(dst, 80)
+		if err != nil {
+			fatal(err)
+		}
+		sinks = append(sinks, sink)
+		start := modelnet.Time(int64(i) * int64(modelnet.Seconds(0.5)) / int64(*flows))
+		em.Sched.At(start, func() {
+			traffic.StartBulk(src, netstack.Endpoint{VN: dst.VN(), Port: 80}, traffic.Unbounded)
+		})
+	}
+	em.RunFor(modelnet.Seconds(*duration))
+
+	var rates []float64
+	for _, s := range sinks {
+		for _, f := range s.Flows {
+			rates = append(rates, f.Throughput()/1e6)
+		}
+	}
+	sort.Float64s(rates)
+	if len(rates) > 0 {
+		sum := 0.0
+		for _, r := range rates {
+			sum += r
+		}
+		fmt.Printf("run    : %d flows for %gs: aggregate %.1f Mb/s, per-flow min/median/max %.2f/%.2f/%.2f Mb/s\n",
+			len(rates), *duration, sum, rates[0], rates[len(rates)/2], rates[len(rates)-1])
+	}
+	tot := em.Emu.Totals()
+	fmt.Printf("core   : %d pkts delivered, %d physical drops, %d virtual drops\n",
+		tot.Delivered, tot.PhysDrops, tot.VirtualDrops)
+	for c := 0; c < em.Emu.Cores(); c++ {
+		fmt.Printf("core %d : cpu %.0f%%, %d tunnels out\n",
+			c, em.Emu.CPUUtilization(c, 0)*100, em.Emu.CoreStats(c).TunnelsOut)
+	}
+	fmt.Printf("accuracy: %v\n", &em.Emu.Accuracy)
+}
+
+func loadTopology(path string) (*modelnet.Graph, error) {
+	if path == "" {
+		ring := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(20), LatencySec: modelnet.Ms(5), QueuePkts: 30}
+		access := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(2), LatencySec: modelnet.Ms(1), QueuePkts: 20}
+		return modelnet.Ring(20, 20, ring, access), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return modelnet.ReadGML(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelnet:", err)
+	os.Exit(1)
+}

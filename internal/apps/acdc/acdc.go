@@ -1,0 +1,380 @@
+// Package acdc implements ACDC (Kostić, Rodriguez, Vahdat — "The Best of
+// Both Worlds: Adaptivity in Two-Metric Overlays"), the §5.3 case study: an
+// application-layer overlay that builds the lowest-cost distribution tree
+// subject to a target maximum end-to-end delay, adapting as network
+// conditions change.
+//
+// Cost and delay are independent metrics on the underlying IP links. Each
+// member probes a bounded set of peers (O(lg n) per round): probes measure
+// live round-trip delay directly, while path cost comes from a cost oracle
+// the experiment supplies (real ACDC consults a routing-metric service; the
+// oracle preserves that information flow without building one). A member
+// switches parent when a loop-free candidate offers lower cost while
+// keeping its tree delay within the target — or, when its delay exceeds
+// the target, to whichever candidate minimizes delay.
+package acdc
+
+import (
+	"math/rand"
+
+	"modelnet/internal/netstack"
+	"modelnet/internal/vtime"
+)
+
+// RPC bodies.
+type (
+	probeReq struct {
+		From    int
+		Confirm bool // sender intends to graft beneath us on this answer
+	}
+	probeResp struct {
+		TreeDelay float64 // responder's current root→node delay, seconds
+		RootPath  []int   // member ids from root to responder
+	}
+)
+
+const (
+	probeWire    = 64
+	probeRespMax = 256
+)
+
+// Config tunes a member.
+type Config struct {
+	Port        uint16         // RPC port (default 4500)
+	TargetDelay float64        // max acceptable root→member delay, seconds
+	EvalEvery   vtime.Duration // probe/adapt period (default 5 s)
+	ProbeFanout int            // peers probed per round (default 6 ≈ lg 120)
+	Seed        int64
+}
+
+func (c *Config) defaults() {
+	if c.Port == 0 {
+		c.Port = 4500
+	}
+	if c.TargetDelay <= 0 {
+		c.TargetDelay = 1.5
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 5 * vtime.Second
+	}
+	if c.ProbeFanout <= 0 {
+		c.ProbeFanout = 6
+	}
+}
+
+// Node is one overlay member. Member 0 is the root/source.
+type Node struct {
+	id      int
+	cfg     Config
+	host    *netstack.Host
+	rpc     *netstack.RPCNode
+	rng     *rand.Rand
+	members []netstack.Endpoint // member id -> RPC endpoint
+	cost    func(a, b int) float64
+
+	parent      int // member id; -1 for root
+	treeDelay   float64
+	rootPath    []int
+	ticker      *vtime.Ticker
+	cheapest    []int // peers sorted by path cost: the clustering bias
+	cooldown    int   // rounds to hold still after a switch (staleness guard)
+	loopStrikes int   // consecutive rounds our parent's path contained us
+	graftHold   int   // rounds to refuse our own grafts after answering a confirm
+
+	Switches    uint64
+	Probes      uint64
+	LoopRepairs uint64
+	ProbeFails  uint64
+}
+
+// NewNode creates member id (0 = root). members lists every member's RPC
+// endpoint (only ProbeFanout random ones are contacted per round); cost is
+// the path-cost oracle.
+func NewNode(h *netstack.Host, id int, members []netstack.Endpoint, cost func(a, b int) float64, cfg Config) (*Node, error) {
+	cfg.defaults()
+	n := &Node{
+		id: id, cfg: cfg, host: h, rng: rand.New(rand.NewSource(cfg.Seed ^ int64(id)*7919)),
+		members: members, cost: cost,
+		parent: -1,
+	}
+	rpc, err := netstack.NewRPCNode(h, cfg.Port, n.serve)
+	if err != nil {
+		return nil, err
+	}
+	n.rpc = rpc
+	if id == 0 {
+		n.rootPath = []int{0}
+	}
+	// ACDC biases its O(lg n) probes toward low-cost peers (its
+	// clustering mechanism); precompute the cost order once — costs are
+	// static link attributes.
+	n.cheapest = make([]int, 0, len(members))
+	for p := range members {
+		if p != id {
+			n.cheapest = append(n.cheapest, p)
+		}
+	}
+	sortByCost(n.cheapest, func(p int) float64 { return cost(p, id) })
+	n.ticker = vtime.NewTicker(h.Scheduler(), cfg.EvalEvery, n.evaluate)
+	return n, nil
+}
+
+// sortByCost is a small insertion sort (member counts are modest and this
+// runs once per node).
+func sortByCost(xs []int, key func(int) float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && key(xs[j]) < key(xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ID returns the member id.
+func (n *Node) ID() int { return n.id }
+
+// Parent returns the current parent member id (-1 for the root).
+func (n *Node) Parent() int { return n.parent }
+
+// TreeDelay returns the node's last-known root→self delay in seconds.
+func (n *Node) TreeDelay() float64 { return n.treeDelay }
+
+// SetParent installs an initial parent (the "join at a random point"
+// step); the overlay then self-organizes.
+func (n *Node) SetParent(parent int) {
+	if n.id != 0 {
+		n.parent = parent
+	}
+}
+
+// Start begins the periodic probe/adapt loop, offset by a random phase so
+// members' rounds don't synchronize (simultaneous cluster-wide probe
+// bursts would overload the emulation core — and real deployments never
+// phase-lock).
+func (n *Node) Start() {
+	phase := vtime.Duration(n.rng.Int63n(int64(n.cfg.EvalEvery)))
+	n.host.Scheduler().After(phase, n.ticker.Start)
+}
+
+// Stop halts adaptation.
+func (n *Node) Stop() { n.ticker.Stop() }
+
+func (n *Node) serve(from netstack.Endpoint, body any, size int) (any, int) {
+	req, ok := body.(*probeReq)
+	if !ok {
+		return nil, 0
+	}
+	if req.Confirm {
+		// Someone is about to graft beneath us: refuse to move ourselves
+		// until the dust settles, so two nodes cannot graft under each
+		// other simultaneously (the mutual race that creates 2-cycles).
+		n.graftHold = 2
+	}
+	return &probeResp{
+		TreeDelay: n.treeDelay,
+		RootPath:  append([]int(nil), n.rootPath...),
+	}, probeRespMax
+}
+
+// probeOutcome is one peer measurement.
+type probeOutcome struct {
+	peer     int
+	delay    float64 // measured one-way delay to the peer (RTT/2)
+	treeDel  float64 // peer's root delay + delay: candidate tree delay
+	rootPath []int
+}
+
+// evaluate runs one adaptation round: probe the parent plus a random peer
+// sample, refresh our tree delay, then switch parents if a better one
+// exists (lower cost within the delay target, or lower delay when over
+// target).
+func (n *Node) evaluate() {
+	if n.id == 0 {
+		return // root never moves
+	}
+	targets := n.sampleTargets()
+	results := make([]probeOutcome, 0, len(targets))
+	remaining := len(targets)
+	for _, peer := range targets {
+		peer := peer
+		sent := n.host.Scheduler().Now()
+		n.Probes++
+		n.rpc.Call(n.members[peer], &probeReq{From: n.id}, probeWire,
+			netstack.CallOpts{Timeout: 2 * vtime.Second, Retries: 1},
+			func(body any, err error) {
+				remaining--
+				if err != nil {
+					n.ProbeFails++
+				}
+				if err == nil {
+					if resp, ok := body.(*probeResp); ok {
+						rtt := n.host.Scheduler().Now().Sub(sent).Seconds()
+						results = append(results, probeOutcome{
+							peer:     peer,
+							delay:    rtt / 2,
+							treeDel:  resp.TreeDelay + rtt/2,
+							rootPath: resp.RootPath,
+						})
+					}
+				}
+				if remaining == 0 {
+					n.decide(results)
+				}
+			})
+	}
+	if len(targets) == 0 {
+		n.decide(nil)
+	}
+}
+
+// sampleTargets picks the parent, the root (so delay repair always has an
+// anchor), half the fanout from the cheapest peers (clustering bias), and
+// the rest uniformly at random (exploration).
+func (n *Node) sampleTargets() []int {
+	picked := map[int]bool{n.id: true}
+	var out []int
+	add := func(p int) {
+		if !picked[p] {
+			picked[p] = true
+			out = append(out, p)
+		}
+	}
+	if n.parent >= 0 {
+		add(n.parent)
+	}
+	add(0)
+	cheapN := n.cfg.ProbeFanout / 2
+	for i := 0; i < len(n.cheapest) && i < cheapN+2 && len(out) < cheapN+2; i++ {
+		add(n.cheapest[i])
+	}
+	for tries := 0; len(out) < n.cfg.ProbeFanout+2 && tries < 8*n.cfg.ProbeFanout; tries++ {
+		add(n.rng.Intn(len(n.members)))
+	}
+	return out
+}
+
+func (n *Node) decide(results []probeOutcome) {
+	var parentRes *probeOutcome
+	for i := range results {
+		if results[i].peer == n.parent {
+			parentRes = &results[i]
+			break
+		}
+	}
+	// Refresh our own tree state from the parent probe. If the parent's
+	// root path contains us, two simultaneous switches raced into a loop
+	// (the check at switch time uses one-round-stale paths): break it by
+	// reattaching directly at the root.
+	if parentRes != nil {
+		if contains(parentRes.rootPath, n.id) {
+			// Our parent's path claims us as an ancestor. Either a real
+			// loop, or a stale path from a parent that just moved away —
+			// repair only when it persists a second round.
+			n.loopStrikes++
+			if n.loopStrikes >= 2 {
+				n.parent = 0
+				n.rootPath = nil
+				n.loopStrikes = 0
+				n.LoopRepairs++
+				n.cooldown = 6
+			}
+			return
+		}
+		n.loopStrikes = 0
+		n.treeDelay = parentRes.treeDel
+		n.rootPath = append(append([]int(nil), parentRes.rootPath...), n.id)
+	}
+	if n.graftHold > 0 {
+		n.graftHold--
+	}
+	// Hold still after a recent switch: our subtree's delay claims are
+	// stale until probes propagate, and simultaneous moves on stale data
+	// are what create transient loops.
+	if n.cooldown > 0 {
+		n.cooldown--
+		return
+	}
+
+	// Two thresholds with a deliberate gap (hysteresis): repair delay when
+	// above repairAt; grow cheaper subtrees only while the candidate
+	// leaves costBudget of headroom. The gap keeps cost growth from
+	// immediately triggering repair — ACDC's "better cost, better delay,
+	// or both" without ping-ponging.
+	repairAt := n.cfg.TargetDelay * 0.95
+	costBudget := n.cfg.TargetDelay * 0.8
+
+	overTarget := parentRes == nil || n.treeDelay > repairAt
+	curCost := 1e18
+	if n.parent >= 0 {
+		curCost = n.cost(n.parent, n.id)
+	}
+
+	best := -1
+	bestCost := curCost
+	bestDelay := n.treeDelay
+	for i := range results {
+		r := &results[i]
+		if r.peer == n.parent || contains(r.rootPath, n.id) || len(r.rootPath) == 0 {
+			continue // loop or peer not attached to the tree yet
+		}
+		if overTarget {
+			// Delay repair: minimize candidate tree delay.
+			if r.treeDel < bestDelay {
+				bestDelay = r.treeDel
+				best = r.peer
+			}
+			continue
+		}
+		c := n.cost(r.peer, n.id)
+		switch {
+		case r.treeDel <= costBudget && c < bestCost*0.9-1e-9:
+			// Meaningfully cheaper parent with delay headroom. The 10%
+			// margin keeps measurement jitter from causing endless
+			// lateral swaps (churn is what creates transient loops).
+			bestCost = c
+			best = r.peer
+			bestDelay = r.treeDel
+		case c <= curCost+1e-9 && r.treeDel < bestDelay-0.05 && best < 0:
+			// No cheaper option: take a substantial delay improvement.
+			best = r.peer
+			bestDelay = r.treeDel
+			bestCost = c
+		}
+	}
+	if best >= 0 {
+		n.confirmSwitch(best)
+	}
+}
+
+// confirmSwitch grafts onto a new parent only after a fresh probe confirms
+// it is still loop-free — the decision data is up to a round old, and two
+// nodes switching simultaneously on stale paths is how overlay loops form.
+func (n *Node) confirmSwitch(cand int) {
+	sent := n.host.Scheduler().Now()
+	n.Probes++
+	n.rpc.Call(n.members[cand], &probeReq{From: n.id, Confirm: true}, probeWire,
+		netstack.CallOpts{Timeout: 2 * vtime.Second, Retries: 1},
+		func(body any, err error) {
+			if err != nil || n.graftHold > 0 {
+				return // aborted: someone grafted beneath us meanwhile
+			}
+			resp, ok := body.(*probeResp)
+			if !ok || len(resp.RootPath) == 0 || contains(resp.RootPath, n.id) {
+				return
+			}
+			rtt := n.host.Scheduler().Now().Sub(sent).Seconds()
+			n.parent = cand
+			n.treeDelay = resp.TreeDelay + rtt/2
+			n.rootPath = append(append([]int(nil), resp.RootPath...), n.id)
+			n.Switches++
+			n.cooldown = 3
+		})
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

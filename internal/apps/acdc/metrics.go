@@ -1,0 +1,116 @@
+package acdc
+
+import "math"
+
+// Offline reference computations for the §5.3 evaluation: the minimum-cost
+// spanning tree over the pairwise path-cost matrix (the paper's "cost
+// relative to MST" denominator), the shortest-path-tree delay (the paper's
+// SPT curve), and walkers that score a live overlay tree under the
+// network's *current* delays.
+
+// MSTCost returns the cost of a minimum spanning tree over the complete
+// member graph with edge costs cost(i,j), by Prim's algorithm.
+func MSTCost(n int, cost func(a, b int) float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = cost(0, j)
+	}
+	total := 0.0
+	for added := 1; added < n; added++ {
+		min, at := math.Inf(1), -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && best[j] < min {
+				min, at = best[j], j
+			}
+		}
+		if at < 0 {
+			return math.Inf(1)
+		}
+		inTree[at] = true
+		total += min
+		for j := 0; j < n; j++ {
+			if !inTree[j] {
+				if c := cost(at, j); c < best[j] {
+					best[j] = c
+				}
+			}
+		}
+	}
+	return total
+}
+
+// SPTMaxDelay returns the worst root→member delay when every member is
+// served directly over the IP shortest path (the offline SPT reference:
+// the closer it is to the target, the harder the goal).
+func SPTMaxDelay(n int, delay func(a, b int) float64) float64 {
+	max := 0.0
+	for j := 1; j < n; j++ {
+		if d := delay(0, j); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TreeCost sums cost(parent(m), m) over all non-root members of a live
+// overlay. Members without a parent contribute a direct root edge (they
+// are effectively served by the source).
+func TreeCost(nodes []*Node, cost func(a, b int) float64) float64 {
+	total := 0.0
+	for _, nd := range nodes {
+		if nd.ID() == 0 {
+			continue
+		}
+		p := nd.Parent()
+		if p < 0 {
+			p = 0
+		}
+		total += cost(p, nd.ID())
+	}
+	return total
+}
+
+// TreeMaxDelay walks parent pointers and returns the maximum root→member
+// delay under the current unicast delays (cycles, if momentarily present,
+// score as unreachable and fall back to the direct root edge).
+func TreeMaxDelay(nodes []*Node, delay func(a, b int) float64) float64 {
+	n := len(nodes)
+	parent := make([]int, n)
+	for _, nd := range nodes {
+		parent[nd.ID()] = nd.Parent()
+	}
+	memo := make([]float64, n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	memo[0] = 0
+	var resolve func(i int, depth int) float64
+	resolve = func(i, depth int) float64 {
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		if depth > n || parent[i] < 0 {
+			// Cycle or orphan: serve directly from the root.
+			memo[i] = delay(0, i)
+			return memo[i]
+		}
+		d := resolve(parent[i], depth+1) + delay(parent[i], i)
+		memo[i] = d
+		return d
+	}
+	max := 0.0
+	for i := 1; i < n; i++ {
+		if d := resolve(i, 0); d > max {
+			max = d
+		}
+	}
+	return max
+}

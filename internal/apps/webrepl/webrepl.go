@@ -1,0 +1,140 @@
+// Package webrepl implements the §5.2 replicated web service study: an
+// HTTP/1.0-style static content server and trace-playback clients that
+// measure whole-response latency, used to quantify how adding wide-area
+// replicas removes transit-link contention.
+package webrepl
+
+import (
+	"modelnet/internal/netstack"
+	"modelnet/internal/stats"
+	"modelnet/internal/traffic"
+	"modelnet/internal/vtime"
+)
+
+// request is the on-wire request body: the client names the response size
+// (standing in for a URL whose object has that size).
+type request struct {
+	Size int
+}
+
+const requestWire = 300 // typical HTTP GET + headers
+
+// Server is a static web server: one connection per request, respond, close.
+type Server struct {
+	host *netstack.Host
+	// PerRequestCPU delays each response by modeled server processing
+	// time; the paper measured ~10% CPU at full load, so default 0.
+	PerRequestCPU vtime.Duration
+
+	Requests uint64
+	BytesOut uint64
+}
+
+// NewServer starts serving on (h, port).
+func NewServer(h *netstack.Host, port uint16) (*Server, error) {
+	s := &Server{host: h}
+	_, err := h.Listen(port, func(c *netstack.Conn) netstack.Handlers {
+		return netstack.Handlers{
+			OnMsg: func(c *netstack.Conn, obj any) {
+				req, ok := obj.(*request)
+				if !ok {
+					c.Abort()
+					return
+				}
+				s.Requests++
+				s.BytesOut += uint64(req.Size)
+				respond := func() {
+					c.WriteCount(req.Size)
+					c.Close()
+				}
+				if s.PerRequestCPU > 0 {
+					h.Scheduler().After(s.PerRequestCPU, respond)
+				} else {
+					respond()
+				}
+			},
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Result is one completed (or failed) request.
+type Result struct {
+	Client  int
+	Size    int
+	Start   vtime.Time
+	Latency vtime.Duration
+	OK      bool
+}
+
+// Playback drives a trace against replicas and collects latencies.
+type Playback struct {
+	hosts  []*netstack.Host // client VN hosts, indexed by trace client id
+	target func(client int) netstack.Endpoint
+
+	Results []Result
+}
+
+// NewPlayback prepares a trace playback: hosts[i] serves trace client i
+// (modulo len), and target maps a client to its replica.
+func NewPlayback(hosts []*netstack.Host, target func(client int) netstack.Endpoint) *Playback {
+	return &Playback{hosts: hosts, target: target}
+}
+
+// Run schedules every request in the trace; call the scheduler afterwards.
+// Each request opens a fresh connection (HTTP/1.0 without keep-alive, as
+// era-appropriate), sends the request, and times arrival of the complete
+// response.
+func (pb *Playback) Run(reqs []traffic.TraceReq) {
+	for _, r := range reqs {
+		r := r
+		h := pb.hosts[r.Client%len(pb.hosts)]
+		h.Scheduler().At(r.At, func() { pb.issue(h, r) })
+	}
+}
+
+func (pb *Playback) issue(h *netstack.Host, tr traffic.TraceReq) {
+	start := h.Scheduler().Now()
+	res := Result{Client: tr.Client, Size: tr.Size, Start: start}
+	got := 0
+	finished := false
+	finish := func(ok bool) {
+		if finished {
+			return
+		}
+		finished = true
+		res.OK = ok
+		res.Latency = h.Scheduler().Now().Sub(start)
+		pb.Results = append(pb.Results, res)
+	}
+	c := h.Dial(pb.target(tr.Client), netstack.Handlers{
+		OnData: func(c *netstack.Conn, n int, data []byte) {
+			got += n
+			if got >= tr.Size {
+				finish(true)
+			}
+		},
+		OnClose: func(c *netstack.Conn, err error) {
+			finish(err == nil && got >= tr.Size)
+		},
+	})
+	c.WriteMsg(&request{Size: tr.Size}, requestWire)
+	c.Close() // half-close: request sent, await response
+}
+
+// LatencySample returns the latency distribution (seconds) of successful
+// requests; failures are reported separately.
+func (pb *Playback) LatencySample() (lat *stats.Sample, failed int) {
+	lat = &stats.Sample{}
+	for _, r := range pb.Results {
+		if r.OK {
+			lat.Add(r.Latency.Seconds())
+		} else {
+			failed++
+		}
+	}
+	return lat, failed
+}

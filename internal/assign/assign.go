@@ -1,0 +1,189 @@
+// Package assign implements ModelNet's Assignment phase (§2.1): mapping
+// pieces of the distilled topology onto core nodes, partitioning the pipe
+// graph to distribute emulation load. The ideal assignment depends on
+// routing, link properties, and offered traffic — an NP-complete problem —
+// so the paper (and this package) uses a simple greedy k-clusters heuristic:
+// pick k random seed nodes and greedily grow connected components
+// round-robin, claiming each frontier link for the growing cluster.
+package assign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+// Assignment maps each pipe (distilled link) to an owning core.
+type Assignment struct {
+	Owner []int // link ID -> core index
+	Cores int
+}
+
+// POD converts the assignment into a pipe ownership directory.
+func (a *Assignment) POD() *bind.POD { return bind.NewPOD(a.Owner, a.Cores) }
+
+// KClusters partitions the links of g across k cores with the paper's
+// greedy heuristic, seeded deterministically.
+func KClusters(g *topology.Graph, k int, seed int64) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("assign: need at least one core, got %d", k)
+	}
+	n := g.NumNodes()
+	a := &Assignment{Owner: make([]int, g.NumLinks()), Cores: k}
+	if k == 1 || n == 0 {
+		return a, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seed each cluster at a distinct random node.
+	nodeOwner := make([]int, n)
+	for i := range nodeOwner {
+		nodeOwner[i] = -1
+	}
+	perm := rng.Perm(n)
+	seeds := k
+	if seeds > n {
+		seeds = n
+	}
+	frontier := make([][]topology.LinkID, k)
+	for c := 0; c < seeds; c++ {
+		nodeOwner[perm[c]] = c
+		frontier[c] = append(frontier[c], g.Out(topology.NodeID(perm[c]))...)
+	}
+
+	linkOwner := a.Owner
+	for i := range linkOwner {
+		linkOwner[i] = -1
+	}
+	claimed := 0
+	total := g.NumLinks()
+	// Round-robin growth: each cluster claims one unclaimed link from its
+	// frontier per turn, annexing the link's far node when unowned.
+	for claimed < total {
+		progress := false
+		for c := 0; c < k && claimed < total; c++ {
+			for len(frontier[c]) > 0 {
+				lid := frontier[c][0]
+				frontier[c] = frontier[c][1:]
+				if linkOwner[lid] != -1 {
+					continue
+				}
+				linkOwner[lid] = c
+				claimed++
+				progress = true
+				l := g.Links[lid]
+				// Claim the reverse direction too so a duplex pair stays
+				// together (halves avoidable crossings).
+				if rev, ok := g.FindLink(l.Dst, l.Src); ok && linkOwner[rev.ID] == -1 {
+					linkOwner[rev.ID] = c
+					claimed++
+				}
+				if nodeOwner[l.Dst] == -1 {
+					nodeOwner[l.Dst] = c
+					frontier[c] = append(frontier[c], g.Out(l.Dst)...)
+				}
+				break
+			}
+		}
+		if !progress {
+			// Disconnected remainder: hand leftover links out round-robin
+			// and restart growth from their endpoints.
+			for i := range linkOwner {
+				if linkOwner[i] == -1 {
+					c := claimed % k
+					linkOwner[i] = c
+					claimed++
+					l := g.Links[i]
+					if nodeOwner[l.Dst] == -1 {
+						nodeOwner[l.Dst] = c
+						frontier[c] = append(frontier[c], g.Out(l.Dst)...)
+					}
+					break
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// Even assigns pipes to cores in contiguous equal-size blocks of link ID
+// space. It ignores topology structure; useful as a baseline to show how
+// much k-clusters reduces crossings.
+func Even(g *topology.Graph, k int) (*Assignment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("assign: need at least one core, got %d", k)
+	}
+	a := &Assignment{Owner: make([]int, g.NumLinks()), Cores: k}
+	if g.NumLinks() == 0 {
+		return a, nil
+	}
+	per := (g.NumLinks() + k - 1) / k
+	for i := range a.Owner {
+		a.Owner[i] = i / per
+	}
+	return a, nil
+}
+
+// Metrics quantify an assignment's quality.
+type Metrics struct {
+	// LinksPerCore is the emulation load (pipe count) per core.
+	LinksPerCore []int
+	// CutLinks counts pipe pairs (u→v, next hop) that change cores along
+	// sample routes; computed by CrossingStats.
+	Imbalance float64 // max/mean link load
+}
+
+// LoadMetrics summarizes per-core pipe counts.
+func (a *Assignment) LoadMetrics() Metrics {
+	m := Metrics{LinksPerCore: make([]int, a.Cores)}
+	for _, c := range a.Owner {
+		if c >= 0 && c < a.Cores {
+			m.LinksPerCore[c]++
+		}
+	}
+	maxv, sum := 0, 0
+	for _, v := range m.LinksPerCore {
+		sum += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sum > 0 {
+		m.Imbalance = float64(maxv) * float64(a.Cores) / float64(sum)
+	}
+	return m
+}
+
+// CrossingStats computes, over all VN-pair routes in the matrix, the total
+// and mean number of core crossings a packet incurs (§3.3: each crossing
+// negatively impacts scalability).
+func CrossingStats(m *bind.Matrix, pod *bind.POD, ingress func(src pipes.VN) int) (total int, mean float64) {
+	n := m.NumVNs()
+	count := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r, ok := m.Lookup(pipes.VN(i), pipes.VN(j))
+			if !ok {
+				continue
+			}
+			ing := 0
+			if ingress != nil {
+				ing = ingress(pipes.VN(i))
+			} else if len(r) > 0 {
+				ing = pod.Owner(r[0])
+			}
+			total += pod.Crossings(ing, r)
+			count++
+		}
+	}
+	if count > 0 {
+		mean = float64(total) / float64(count)
+	}
+	return total, mean
+}

@@ -1,0 +1,140 @@
+package bind
+
+import (
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+// Hier is the paper's §2.2 storage alternative to the O(n²) routing matrix:
+// "for common Internet-like topologies that cluster VNs on stub domains, we
+// could spread lookups among hierarchical but smaller tables, trading less
+// storage for a slight increase in lookup cost."
+//
+// VNs are clustered by their attachment router (the client node's first
+// neighbor — its stub gateway). Storage is one small matrix per cluster
+// (member-pair routes), one k×k matrix of gateway-to-gateway routes, and
+// per-member spurs to/from the gateway: O(Σ cᵢ² + k² + n) instead of
+// O(n²). A cross-cluster lookup splices spur + core + spur at O(path)
+// cost.
+//
+// On topologies where every cluster reaches the world through its gateway
+// (the stub pattern the paper names), spliced routes are exactly the
+// shortest paths; elsewhere they may be slightly longer — the accuracy/
+// storage tradeoff made explicit.
+type Hier struct {
+	vnHomes []topology.NodeID
+	cluster []int             // vn -> cluster index
+	gateway []topology.NodeID // cluster -> gateway node
+
+	// toGw[v] is the route home(v)→gateway(cluster(v)); fromGw[v] the
+	// reverse. Intra-cluster pair routes are exact.
+	toGw   []Route
+	fromGw []Route
+	intra  []map[[2]pipes.VN]Route // per cluster, exact member-pair routes
+	core   [][]Route               // gateway-pair routes
+
+	// Entries reports stored route count, for storage accounting.
+	Entries int
+}
+
+// BuildHier constructs the hierarchical table. Each VN's cluster is its
+// home node's first neighbor (its access router); VNs with the same access
+// router share a cluster.
+func BuildHier(g *topology.Graph, vnHomes []topology.NodeID) (*Hier, error) {
+	n := len(vnHomes)
+	h := &Hier{vnHomes: vnHomes, cluster: make([]int, n)}
+
+	gwIndex := map[topology.NodeID]int{}
+	for v, home := range vnHomes {
+		nbs := g.Neighbors(home)
+		gw := home
+		if len(nbs) > 0 {
+			gw = nbs[0]
+		}
+		ci, ok := gwIndex[gw]
+		if !ok {
+			ci = len(h.gateway)
+			gwIndex[gw] = ci
+			h.gateway = append(h.gateway, gw)
+		}
+		h.cluster[v] = ci
+	}
+	k := len(h.gateway)
+
+	// Spur routes and intra-cluster matrices from each member's tree.
+	h.toGw = make([]Route, n)
+	h.fromGw = make([]Route, n)
+	h.intra = make([]map[[2]pipes.VN]Route, k)
+	for i := range h.intra {
+		h.intra[i] = make(map[[2]pipes.VN]Route)
+	}
+	members := make([][]pipes.VN, k)
+	for v := 0; v < n; v++ {
+		members[h.cluster[v]] = append(members[h.cluster[v]], pipes.VN(v))
+	}
+	for v := 0; v < n; v++ {
+		prev, _ := ShortestPaths(g, vnHomes[v])
+		ci := h.cluster[v]
+		h.toGw[v] = routeFromTree(g, prev, vnHomes[v], h.gateway[ci])
+		h.Entries++
+		for _, w := range members[ci] {
+			if int(w) == v {
+				continue
+			}
+			r := routeFromTree(g, prev, vnHomes[v], vnHomes[w])
+			h.intra[ci][[2]pipes.VN{pipes.VN(v), w}] = r
+			h.Entries++
+		}
+	}
+	// Gateway trees give the core matrix and the from-gateway spurs.
+	h.core = make([][]Route, k)
+	for a := 0; a < k; a++ {
+		prev, _ := ShortestPaths(g, h.gateway[a])
+		h.core[a] = make([]Route, k)
+		for b := 0; b < k; b++ {
+			if a == b {
+				h.core[a][b] = Route{}
+				continue
+			}
+			h.core[a][b] = routeFromTree(g, prev, h.gateway[a], h.gateway[b])
+			h.Entries++
+		}
+		for _, w := range members[a] {
+			h.fromGw[w] = routeFromTree(g, prev, h.gateway[a], h.vnHomes[w])
+			h.Entries++
+		}
+	}
+	return h, nil
+}
+
+// Lookup implements Table by splicing spur + core + spur.
+func (h *Hier) Lookup(src, dst pipes.VN) (Route, bool) {
+	if int(src) >= len(h.cluster) || int(dst) >= len(h.cluster) || src < 0 || dst < 0 {
+		return nil, false
+	}
+	if src == dst {
+		return Route{}, true
+	}
+	cs, cd := h.cluster[src], h.cluster[dst]
+	if cs == cd {
+		r, ok := h.intra[cs][[2]pipes.VN{src, dst}]
+		return r, ok && r != nil
+	}
+	up := h.toGw[src]
+	core := h.core[cs][cd]
+	down := h.fromGw[dst]
+	if up == nil || core == nil || down == nil {
+		return nil, false
+	}
+	out := make(Route, 0, len(up)+len(core)+len(down))
+	out = append(out, up...)
+	out = append(out, core...)
+	out = append(out, down...)
+	return out, true
+}
+
+// NumVNs implements Table.
+func (h *Hier) NumVNs() int { return len(h.cluster) }
+
+// Clusters reports the number of clusters (gateways).
+func (h *Hier) Clusters() int { return len(h.gateway) }

@@ -1,0 +1,129 @@
+package bind
+
+import (
+	"testing"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+func ringTopo() *topology.Graph {
+	return topology.Ring(8, 5,
+		topology.LinkAttrs{BandwidthBps: 20e6, LatencySec: 0.005, QueuePkts: 30},
+		topology.LinkAttrs{BandwidthBps: 2e6, LatencySec: 0.001, QueuePkts: 20})
+}
+
+func TestHierClusters(t *testing.T) {
+	g := ringTopo()
+	h, err := BuildHier(g, g.Clients())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Clusters() != 8 {
+		t.Errorf("clusters = %d, want 8 (one per ring router)", h.Clusters())
+	}
+	if h.NumVNs() != 40 {
+		t.Errorf("VNs = %d", h.NumVNs())
+	}
+}
+
+func TestHierRoutesValid(t *testing.T) {
+	g := ringTopo()
+	homes := g.Clients()
+	h, err := BuildHier(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(homes); i++ {
+		for j := 0; j < len(homes); j++ {
+			r, ok := h.Lookup(pipes.VN(i), pipes.VN(j))
+			if i == j {
+				if !ok || len(r) != 0 {
+					t.Fatalf("self route (%d): %v %v", i, r, ok)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("no route %d->%d", i, j)
+			}
+			// Continuity from home(i) to home(j).
+			cur := homes[i]
+			for hop, pid := range r {
+				l := g.Links[pid]
+				if l.Src != cur {
+					t.Fatalf("route %d->%d discontinuous at hop %d", i, j, hop)
+				}
+				cur = l.Dst
+			}
+			if cur != homes[j] {
+				t.Fatalf("route %d->%d ends at node %d", i, j, cur)
+			}
+		}
+	}
+}
+
+func TestHierNearOptimalOnStubTopology(t *testing.T) {
+	// On stub-clustered topologies the spliced routes should match the
+	// exact matrix (every cluster exits through its gateway).
+	g := ringTopo()
+	homes := g.Clients()
+	h, _ := BuildHier(g, homes)
+	m, err := BuildMatrix(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(r Route) float64 {
+		total := 0.0
+		for _, pid := range r {
+			total += g.Links[pid].Attr.LatencySec
+		}
+		return total
+	}
+	worst := 1.0
+	for i := 0; i < len(homes); i++ {
+		for j := 0; j < len(homes); j++ {
+			if i == j {
+				continue
+			}
+			rh, _ := h.Lookup(pipes.VN(i), pipes.VN(j))
+			rm, _ := m.Lookup(pipes.VN(i), pipes.VN(j))
+			ratio := lat(rh) / lat(rm)
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	if worst > 1.0001 {
+		t.Errorf("hierarchical routes up to %.3fx optimal on a stub topology, want exact", worst)
+	}
+}
+
+func TestHierStorageSavings(t *testing.T) {
+	// The point of the scheme: far fewer stored routes than n².
+	g := topology.Ring(20, 20,
+		topology.LinkAttrs{BandwidthBps: 20e6, LatencySec: 0.005, QueuePkts: 30},
+		topology.LinkAttrs{BandwidthBps: 2e6, LatencySec: 0.001, QueuePkts: 20})
+	homes := g.Clients()
+	h, err := BuildHier(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(homes)
+	matrixEntries := n * (n - 1)
+	if h.Entries*4 > matrixEntries {
+		t.Errorf("hier stores %d entries vs matrix %d — savings too small", h.Entries, matrixEntries)
+	}
+	t.Logf("storage: hier %d entries vs matrix %d (%.1fx smaller)",
+		h.Entries, matrixEntries, float64(matrixEntries)/float64(h.Entries))
+}
+
+func TestHierOutOfRange(t *testing.T) {
+	g := ringTopo()
+	h, _ := BuildHier(g, g.Clients())
+	if _, ok := h.Lookup(0, 9999); ok {
+		t.Error("bogus VN accepted")
+	}
+	if _, ok := h.Lookup(-1, 0); ok {
+		t.Error("negative VN accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package bind implements ModelNet's Binding phase (§2.1–2.2): assigning
+// VNs to edge nodes, precomputing shortest-path routes between all pairs of
+// VNs into a routing matrix, and building the pipe ownership directory (POD)
+// that multi-core emulations use to tunnel packets between cores.
+package bind
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+// Route is an ordered list of pipes a packet traverses from source VN to
+// destination VN. Pipe IDs are the distilled topology's link IDs.
+type Route []pipes.ID
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+	seq  int // insertion tie-break for determinism
+}
+
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].dist != p[j].dist {
+		return p[i].dist < p[j].dist
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pq) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)   { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any     { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// linkWeight is the routing metric: propagation latency plus a small per-hop
+// epsilon so equal-latency paths prefer fewer hops ("shortest path" in the
+// paper). Deterministic across runs.
+func linkWeight(l topology.Link) float64 {
+	return l.Attr.LatencySec + 1e-6
+}
+
+// ShortestPaths runs Dijkstra from src over the directed graph and returns,
+// for every node, the link taken to reach it on the shortest path tree
+// (-1 for src/unreachable) and the distance.
+func ShortestPaths(g *topology.Graph, src topology.NodeID) (prevLink []topology.LinkID, dist []float64) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	prevLink = make([]topology.LinkID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	dist[src] = 0
+	var q pq
+	seq := 0
+	heap.Push(&q, pqItem{src, 0, seq})
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, lid := range g.Out(it.node) {
+			l := g.Links[lid]
+			nd := it.dist + linkWeight(l)
+			if nd < dist[l.Dst] {
+				dist[l.Dst] = nd
+				prevLink[l.Dst] = lid
+				seq++
+				heap.Push(&q, pqItem{l.Dst, nd, seq})
+			}
+		}
+	}
+	return prevLink, dist
+}
+
+// routeFromTree walks the shortest path tree backwards from dst to src,
+// producing the forward pipe list. Returns nil when dst is unreachable.
+func routeFromTree(g *topology.Graph, prevLink []topology.LinkID, src, dst topology.NodeID) Route {
+	if src == dst {
+		return Route{}
+	}
+	var rev []pipes.ID
+	cur := dst
+	for cur != src {
+		lid := prevLink[cur]
+		if lid < 0 {
+			return nil
+		}
+		rev = append(rev, pipes.ID(lid))
+		cur = g.Links[lid].Src
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Table resolves the pipe route between two VNs. The two implementations
+// are the paper's §2.2 design points: a precomputed O(n²) matrix with fast
+// indexing, and a hash cache of active-flow routes with on-demand Dijkstra.
+type Table interface {
+	// Lookup returns the route from src to dst VN; ok is false when no path
+	// exists or the VNs are unknown.
+	Lookup(src, dst pipes.VN) (Route, bool)
+	// NumVNs reports how many VNs the table serves.
+	NumVNs() int
+}
+
+// Matrix is the straightforward precomputed routing matrix: all-pairs
+// shortest paths among VNs, O(n²) space, O(1) lookup. Scales to ~10,000 VNs
+// (§2.2).
+type Matrix struct {
+	routes [][]Route // [src][dst]
+}
+
+// BuildMatrix computes the routing matrix for the given VN home nodes in g.
+// vnHomes[v] is the topology node hosting VN v.
+func BuildMatrix(g *topology.Graph, vnHomes []topology.NodeID) (*Matrix, error) {
+	n := len(vnHomes)
+	m := &Matrix{routes: make([][]Route, n)}
+	// One Dijkstra per distinct home node.
+	treeByHome := map[topology.NodeID][]topology.LinkID{}
+	for _, h := range vnHomes {
+		if _, ok := treeByHome[h]; !ok {
+			prev, _ := ShortestPaths(g, h)
+			treeByHome[h] = prev
+		}
+	}
+	for i := 0; i < n; i++ {
+		m.routes[i] = make([]Route, n)
+		prev := treeByHome[vnHomes[i]]
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r := routeFromTree(g, prev, vnHomes[i], vnHomes[j])
+			if r == nil && vnHomes[i] != vnHomes[j] {
+				return nil, fmt.Errorf("bind: VN %d cannot reach VN %d", i, j)
+			}
+			m.routes[i][j] = r
+		}
+	}
+	return m, nil
+}
+
+// Lookup implements Table.
+func (m *Matrix) Lookup(src, dst pipes.VN) (Route, bool) {
+	if int(src) >= len(m.routes) || int(dst) >= len(m.routes) || src < 0 || dst < 0 {
+		return nil, false
+	}
+	if src == dst {
+		return Route{}, true
+	}
+	r := m.routes[src][dst]
+	if r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// NumVNs implements Table.
+func (m *Matrix) NumVNs() int { return len(m.routes) }
+
+// Routes exposes the raw matrix for offline analysis (cross-traffic
+// propagation, assignment metrics).
+func (m *Matrix) Routes() [][]Route { return m.routes }
+
+// Cache is the O(n lg n)-space alternative: a bounded hash cache of routes
+// for active flows; misses run Dijkstra on demand (§2.2).
+type Cache struct {
+	g        *topology.Graph
+	vnHomes  []topology.NodeID
+	capacity int
+	entries  map[[2]pipes.VN]*cacheEntry
+	lruHead  *cacheEntry
+	lruTail  *cacheEntry
+
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheEntry struct {
+	key        [2]pipes.VN
+	route      Route
+	prev, next *cacheEntry
+}
+
+// NewCache builds a route cache over g with the given capacity (in routes).
+func NewCache(g *topology.Graph, vnHomes []topology.NodeID, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		g:        g,
+		vnHomes:  vnHomes,
+		capacity: capacity,
+		entries:  make(map[[2]pipes.VN]*cacheEntry),
+	}
+}
+
+// Lookup implements Table. On a miss it computes the route with Dijkstra and
+// caches it, evicting the least recently used route when full.
+func (c *Cache) Lookup(src, dst pipes.VN) (Route, bool) {
+	if int(src) >= len(c.vnHomes) || int(dst) >= len(c.vnHomes) || src < 0 || dst < 0 {
+		return nil, false
+	}
+	if src == dst {
+		return Route{}, true
+	}
+	key := [2]pipes.VN{src, dst}
+	if e, ok := c.entries[key]; ok {
+		c.Hits++
+		c.touch(e)
+		return e.route, e.route != nil
+	}
+	c.Misses++
+	prev, _ := ShortestPaths(c.g, c.vnHomes[src])
+	r := routeFromTree(c.g, prev, c.vnHomes[src], c.vnHomes[dst])
+	e := &cacheEntry{key: key, route: r}
+	c.entries[key] = e
+	c.pushFront(e)
+	if len(c.entries) > c.capacity {
+		c.evict()
+	}
+	return r, r != nil
+}
+
+// NumVNs implements Table.
+func (c *Cache) NumVNs() int { return len(c.vnHomes) }
+
+// Len reports the number of cached routes.
+func (c *Cache) Len() int { return len(c.entries) }
+
+func (c *Cache) touch(e *cacheEntry) {
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) evict() {
+	e := c.lruTail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, e.key)
+}
+
+// Invalidate drops all cached routes. Call after the topology's routing
+// changes (link failure, recomputed shortest paths).
+func (c *Cache) Invalidate() {
+	c.entries = make(map[[2]pipes.VN]*cacheEntry)
+	c.lruHead, c.lruTail = nil, nil
+}

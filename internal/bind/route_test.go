@@ -1,0 +1,315 @@
+package bind
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+func attrs(lat float64) topology.LinkAttrs {
+	return topology.LinkAttrs{BandwidthBps: 10e6, LatencySec: lat, QueuePkts: 10}
+}
+
+// diamond builds a 4-node graph where the top path is faster.
+func diamond() (*topology.Graph, []topology.NodeID) {
+	g := topology.New()
+	a := g.AddNode(topology.Client, "a")
+	top := g.AddNode(topology.Stub, "top")
+	bot := g.AddNode(topology.Stub, "bot")
+	b := g.AddNode(topology.Client, "b")
+	g.AddDuplex(a, top, attrs(0.001))
+	g.AddDuplex(top, b, attrs(0.001))
+	g.AddDuplex(a, bot, attrs(0.010))
+	g.AddDuplex(bot, b, attrs(0.010))
+	return g, []topology.NodeID{a, b}
+}
+
+func TestShortestPathsPicksFastRoute(t *testing.T) {
+	g, homes := diamond()
+	prev, dist := ShortestPaths(g, homes[0])
+	if math.Abs(dist[homes[1]]-0.002002) > 1e-9 {
+		t.Errorf("dist = %v, want ~0.002", dist[homes[1]])
+	}
+	r := routeFromTree(g, prev, homes[0], homes[1])
+	if len(r) != 2 {
+		t.Fatalf("route len %d, want 2", len(r))
+	}
+	// Both hops must ride the fast (top) path: links a->top and top->b.
+	for _, pid := range r {
+		if g.Links[pid].Attr.LatencySec != 0.001 {
+			t.Errorf("route used slow link %d", pid)
+		}
+	}
+}
+
+func TestMatrixLookup(t *testing.T) {
+	g, homes := diamond()
+	m, err := BuildMatrix(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVNs() != 2 {
+		t.Fatalf("NumVNs = %d", m.NumVNs())
+	}
+	r, ok := m.Lookup(0, 1)
+	if !ok || len(r) != 2 {
+		t.Fatalf("Lookup(0,1) = %v, %v", r, ok)
+	}
+	// Route continuity: consecutive pipes share a node.
+	for i := 1; i < len(r); i++ {
+		if g.Links[r[i-1]].Dst != g.Links[r[i]].Src {
+			t.Errorf("route not continuous at hop %d", i)
+		}
+	}
+	// Self route is empty but ok.
+	if r, ok := m.Lookup(1, 1); !ok || len(r) != 0 {
+		t.Errorf("self lookup = %v,%v", r, ok)
+	}
+	// Out of range.
+	if _, ok := m.Lookup(0, 99); ok {
+		t.Error("bogus VN lookup succeeded")
+	}
+}
+
+func TestMatrixUnreachable(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode(topology.Client, "a")
+	b := g.AddNode(topology.Client, "b")
+	s1 := g.AddNode(topology.Stub, "s1")
+	s2 := g.AddNode(topology.Stub, "s2")
+	g.AddDuplex(a, s1, attrs(0.001))
+	g.AddDuplex(b, s2, attrs(0.001))
+	if _, err := BuildMatrix(g, []topology.NodeID{a, b}); err == nil {
+		t.Error("disconnected matrix built without error")
+	}
+}
+
+// floydReference computes all-pairs shortest distances for cross-checking.
+func floydReference(g *topology.Graph) [][]float64 {
+	n := g.NumNodes()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, l := range g.Links {
+		w := linkWeight(l)
+		if w < d[l.Src][l.Dst] {
+			d[l.Src][l.Dst] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Property: Dijkstra distances match Floyd–Warshall on random graphs, and
+// every produced route is continuous with total weight equal to the
+// distance.
+func TestRoutingOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.Random(topology.RandomConfig{
+			Nodes: 12, Degree: 2.5,
+			Attr: attrs(0.001), Seed: seed,
+		})
+		// Random per-link latencies.
+		for i := range g.Links {
+			g.Links[i].Attr.LatencySec = float64(rng.Intn(20)+1) * 1e-3
+		}
+		ref := floydReference(g)
+		src := topology.NodeID(rng.Intn(g.NumNodes()))
+		prev, dist := ShortestPaths(g, src)
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			if math.Abs(dist[dst]-ref[src][dst]) > 1e-9 &&
+				!(math.IsInf(dist[dst], 1) && math.IsInf(ref[src][dst], 1)) {
+				return false
+			}
+			if topology.NodeID(dst) == src {
+				continue
+			}
+			r := routeFromTree(g, prev, src, topology.NodeID(dst))
+			if r == nil {
+				if !math.IsInf(ref[src][dst], 1) {
+					return false
+				}
+				continue
+			}
+			total := 0.0
+			cur := src
+			for _, pid := range r {
+				l := g.Links[pid]
+				if l.Src != cur {
+					return false // discontinuous
+				}
+				total += linkWeight(l)
+				cur = l.Dst
+			}
+			if cur != topology.NodeID(dst) || math.Abs(total-dist[dst]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheMatchesMatrix(t *testing.T) {
+	g := topology.Ring(6, 3, attrs(0.005), attrs(0.001))
+	homes := g.Clients()
+	m, err := BuildMatrix(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(g, homes, 64)
+	for i := 0; i < len(homes); i++ {
+		for j := 0; j < len(homes); j++ {
+			rm, okm := m.Lookup(pipes.VN(i), pipes.VN(j))
+			rc, okc := c.Lookup(pipes.VN(i), pipes.VN(j))
+			if okm != okc || len(rm) != len(rc) {
+				t.Fatalf("cache/matrix disagree for (%d,%d): %v/%v", i, j, rm, rc)
+			}
+			for k := range rm {
+				if rm[k] != rc[k] {
+					t.Fatalf("route mismatch at (%d,%d)[%d]", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	g := topology.Ring(4, 4, attrs(0.005), attrs(0.001))
+	homes := g.Clients()
+	c := NewCache(g, homes, 8)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i != j {
+				c.Lookup(pipes.VN(i), pipes.VN(j))
+			}
+		}
+	}
+	if c.Len() > 8 {
+		t.Errorf("cache grew to %d, cap 8", c.Len())
+	}
+	if c.Misses == 0 || c.Hits != 0 {
+		t.Errorf("hits=%d misses=%d; scan workload should all miss", c.Hits, c.Misses)
+	}
+	// Repeated lookups of a working set smaller than capacity should hit.
+	c.Invalidate()
+	c.Hits, c.Misses = 0, 0
+	for rep := 0; rep < 10; rep++ {
+		for j := 1; j < 5; j++ {
+			c.Lookup(0, pipes.VN(j))
+		}
+	}
+	if c.Hits != 36 || c.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 36/4", c.Hits, c.Misses)
+	}
+}
+
+func TestBindDefaults(t *testing.T) {
+	g := topology.Star(10, attrs(0.001))
+	b, err := Bind(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumVNs() != 10 {
+		t.Fatalf("VNs = %d", b.NumVNs())
+	}
+	// One edge per VN, all on core 0.
+	for v := 0; v < 10; v++ {
+		if b.EdgeOf[v] != v {
+			t.Errorf("EdgeOf[%d] = %d", v, b.EdgeOf[v])
+		}
+	}
+	for _, c := range b.CoreOf {
+		if c != 0 {
+			t.Errorf("core = %d, want 0", c)
+		}
+	}
+	if _, ok := b.Table.Lookup(0, 9); !ok {
+		t.Error("route lookup failed")
+	}
+}
+
+func TestBindMultiplexing(t *testing.T) {
+	g := topology.Star(12, attrs(0.001))
+	b, err := Bind(g, Options{EdgeNodes: 3, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, e := range b.EdgeOf {
+		counts[e]++
+	}
+	for e := 0; e < 3; e++ {
+		if counts[e] != 4 {
+			t.Errorf("edge %d hosts %d VNs, want 4", e, counts[e])
+		}
+	}
+	if b.CoreOf[0] != 0 || b.CoreOf[1] != 1 || b.CoreOf[2] != 0 {
+		t.Errorf("CoreOf = %v", b.CoreOf)
+	}
+}
+
+func TestBindNoClients(t *testing.T) {
+	g := topology.New()
+	g.AddNode(topology.Stub, "s")
+	if _, err := Bind(g, Options{}); err == nil {
+		t.Error("bind with no clients should fail")
+	}
+}
+
+func TestVNOfNodeInverse(t *testing.T) {
+	g := topology.Ring(3, 2, attrs(0.005), attrs(0.001))
+	b, err := Bind(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, home := range b.VNHome {
+		if b.VNOfNode[home] != pipes.VN(v) {
+			t.Errorf("VNOfNode[%d] = %d, want %d", home, b.VNOfNode[home], v)
+		}
+	}
+	for nid, vn := range b.VNOfNode {
+		if vn == -1 && g.Nodes[nid].Kind == topology.Client {
+			t.Errorf("client node %d has no VN", nid)
+		}
+	}
+}
+
+func TestPODCrossings(t *testing.T) {
+	owner := []int{0, 0, 1, 1, 0}
+	d := NewPOD(owner, 2)
+	if d.Owner(2) != 1 || d.Owner(0) != 0 {
+		t.Fatal("owner lookup wrong")
+	}
+	// Route through pipes 0,1 (core 0), 2,3 (core 1), 4 (core 0):
+	// ingress at core 0 -> crossings at pipe 2 and pipe 4.
+	r := Route{0, 1, 2, 3, 4}
+	if got := d.Crossings(0, r); got != 2 {
+		t.Errorf("crossings = %d, want 2", got)
+	}
+	// Ingress at core 1: cross to 0 at pipe 0, to 1 at pipe 2, to 0 at pipe 4.
+	if got := d.Crossings(1, r); got != 3 {
+		t.Errorf("crossings = %d, want 3", got)
+	}
+}

@@ -1,0 +1,144 @@
+package distill
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+)
+
+// Deeper distillation properties, complementing the shape tests.
+
+// Property: walk-in bounds path length at (2·walkin)+1 pipes, the paper's
+// headline cost reduction.
+func TestWalkInPathLengthBound(t *testing.T) {
+	f := func(seed int64, walkRaw uint8) bool {
+		walkIn := int(walkRaw)%2 + 1
+		cfg := topology.TransitStubConfig{
+			TransitDomains: 1, TransitPerDomain: 3,
+			StubsPerTransit: 2, RoutersPerStub: 3, ClientsPerStub: 2,
+			TransitTransit: topology.LinkAttrs{BandwidthBps: 100e6, LatencySec: 0.02, QueuePkts: 50},
+			TransitStub:    topology.LinkAttrs{BandwidthBps: 45e6, LatencySec: 0.01, QueuePkts: 50},
+			StubStub:       topology.LinkAttrs{BandwidthBps: 100e6, LatencySec: 0.002, QueuePkts: 50},
+			ClientStub:     topology.LinkAttrs{BandwidthBps: 1e6, LatencySec: 0.001, QueuePkts: 20},
+			Seed:           seed,
+		}
+		g := topology.TransitStub(cfg)
+		res, err := Distill(g, Spec{Mode: WalkIn, WalkIn: walkIn})
+		if err != nil {
+			return false
+		}
+		m, err := bind.BuildMatrix(res.Graph, res.Graph.Clients())
+		if err != nil {
+			return false
+		}
+		n := m.NumVNs()
+		// The canonical distilled path is (2·walkin)+1 pipes. For
+		// walk-in = 1 that bound is structural; for deeper walk-ins,
+		// shortest-path routing may zig-zag through preserved stub links
+		// when that's lower latency, so allow the extra preserved layer.
+		bound := 2*walkIn + 1
+		if walkIn > 1 {
+			bound += 2 * (walkIn - 1)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				r, ok := m.Lookup(pipes.VN(i), pipes.VN(j))
+				if !ok {
+					return false
+				}
+				if len(r) > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: end-to-end preserves pairwise path latency exactly (sum along
+// the shortest path), for random ring shapes.
+func TestEndToEndLatencyPreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		routers := rng.Intn(6) + 3
+		vns := rng.Intn(3) + 1
+		g := topology.Ring(routers, vns,
+			topology.LinkAttrs{BandwidthBps: 20e6, LatencySec: float64(rng.Intn(10)+1) * 1e-3, QueuePkts: 30},
+			topology.LinkAttrs{BandwidthBps: 2e6, LatencySec: float64(rng.Intn(5)+1) * 1e-3, QueuePkts: 20})
+		res, err := Distill(g, Spec{Mode: EndToEnd})
+		if err != nil {
+			return false
+		}
+		// Compare each collapsed pipe's latency against the original
+		// graph's shortest-path latency.
+		orig, err := bind.BuildMatrix(g, g.Clients())
+		if err != nil {
+			return false
+		}
+		homes := g.Clients()
+		for _, l := range res.Graph.Links {
+			i, j := int(l.Src), int(l.Dst)
+			r, ok := orig.Lookup(pipes.VN(i), pipes.VN(j))
+			if !ok {
+				return false
+			}
+			want := 0.0
+			for _, pid := range r {
+				want += g.Links[pid].Attr.LatencySec
+			}
+			got := l.Attr.LatencySec
+			if got < want-1e-9 || got > want+1e-9 {
+				return false
+			}
+			_ = homes
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Distilled graphs survive GML round trips (the pipeline can be staged
+// across tools).
+func TestDistilledGraphGMLRoundTrip(t *testing.T) {
+	g := topology.Ring(6, 3,
+		topology.LinkAttrs{BandwidthBps: 20e6, LatencySec: 0.005, QueuePkts: 30},
+		topology.LinkAttrs{BandwidthBps: 2e6, LatencySec: 0.001, QueuePkts: 20})
+	for _, spec := range []Spec{
+		{Mode: EndToEnd},
+		{Mode: WalkIn, WalkIn: 1},
+	} {
+		res, err := Distill(g, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Mode, err)
+		}
+		var buf bytes.Buffer
+		if err := topology.WriteGML(&buf, res.Graph); err != nil {
+			t.Fatal(err)
+		}
+		back, err := topology.ReadGML(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Mode, err)
+		}
+		if back.NumNodes() != res.Graph.NumNodes() || back.NumLinks() != res.Graph.NumLinks() {
+			t.Fatalf("%v: round trip changed shape", spec.Mode)
+		}
+		for i := range back.Links {
+			if back.Links[i].Attr != res.Graph.Links[i].Attr {
+				t.Fatalf("%v: link %d attrs changed", spec.Mode, i)
+			}
+		}
+	}
+}

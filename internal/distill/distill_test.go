@@ -1,0 +1,321 @@
+package distill
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/topology"
+)
+
+func attrs(mbps, ms float64) topology.LinkAttrs {
+	return topology.LinkAttrs{BandwidthBps: mbps * 1e6, LatencySec: ms * 1e-3, QueuePkts: 10}
+}
+
+func paperRing() *topology.Graph {
+	// §4.1: 20 routers at 20 Mb/s, 20 VNs each over 2 Mb/s links.
+	return topology.Ring(20, 20, attrs(20, 5), attrs(2, 1))
+}
+
+func TestCollapsePath(t *testing.T) {
+	a := []topology.LinkAttrs{
+		{BandwidthBps: 10e6, LatencySec: 0.005, LossRate: 0.1, QueuePkts: 5, Cost: 2},
+		{BandwidthBps: 2e6, LatencySec: 0.001, LossRate: 0.2, QueuePkts: 9, Cost: 3},
+		{BandwidthBps: 20e6, LatencySec: 0.010, LossRate: 0.0, QueuePkts: 7, Cost: 5},
+	}
+	c := CollapsePath(a)
+	if c.BandwidthBps != 2e6 {
+		t.Errorf("bw = %v, want min 2e6", c.BandwidthBps)
+	}
+	if math.Abs(c.LatencySec-0.016) > 1e-12 {
+		t.Errorf("lat = %v, want 0.016", c.LatencySec)
+	}
+	wantLoss := 1 - 0.9*0.8*1.0
+	if math.Abs(c.LossRate-wantLoss) > 1e-12 {
+		t.Errorf("loss = %v, want %v", c.LossRate, wantLoss)
+	}
+	if c.QueuePkts != 9 {
+		t.Errorf("queue = %d, want bottleneck's 9", c.QueuePkts)
+	}
+	if c.Cost != 10 {
+		t.Errorf("cost = %v, want 10", c.Cost)
+	}
+}
+
+// Property: collapse algebra — bandwidth is min, latency is additive,
+// reliability multiplicative, under any split of the path into segments.
+func TestCollapseCompositionProperty(t *testing.T) {
+	f := func(seed int64, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		path := make([]topology.LinkAttrs, n)
+		for i := range path {
+			path[i] = topology.LinkAttrs{
+				BandwidthBps: 1e6 + rng.Float64()*99e6,
+				LatencySec:   rng.Float64() * 0.05,
+				LossRate:     rng.Float64() * 0.3,
+				QueuePkts:    rng.Intn(50) + 1,
+			}
+		}
+		k := int(cut)%(n-1) + 1
+		whole := CollapsePath(path)
+		left := CollapsePath(path[:k])
+		right := CollapsePath(path[k:])
+		joined := CollapsePath([]topology.LinkAttrs{left, right})
+		return math.Abs(whole.BandwidthBps-joined.BandwidthBps) < 1e-6 &&
+			math.Abs(whole.LatencySec-joined.LatencySec) < 1e-12 &&
+			math.Abs(whole.LossRate-joined.LossRate) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontiers(t *testing.T) {
+	g := paperRing()
+	fr := Frontiers(g)
+	if len(fr) != 2 {
+		t.Fatalf("frontier count = %d, want 2 (VNs, routers)", len(fr))
+	}
+	if len(fr[0]) != 400 {
+		t.Errorf("frontier 0 size = %d, want 400 VNs", len(fr[0]))
+	}
+	if len(fr[1]) != 20 {
+		t.Errorf("frontier 1 size = %d, want 20 routers", len(fr[1]))
+	}
+}
+
+func TestFrontiersDeepChain(t *testing.T) {
+	// client - s1 - s2 - s3 - s4 - client : frontiers shrink to center.
+	g := topology.New()
+	c1 := g.AddNode(topology.Client, "c1")
+	prev := c1
+	var mids []topology.NodeID
+	for i := 0; i < 5; i++ {
+		s := g.AddNode(topology.Stub, "s")
+		mids = append(mids, s)
+		g.AddDuplex(prev, s, attrs(10, 1))
+		prev = s
+	}
+	c2 := g.AddNode(topology.Client, "c2")
+	g.AddDuplex(prev, c2, attrs(10, 1))
+	fr := Frontiers(g)
+	// f0={c1,c2} f1={s0,s4} f2={s1,s3} f3={s2}
+	if len(fr) != 4 {
+		t.Fatalf("frontiers = %d, want 4", len(fr))
+	}
+	if len(fr[3]) != 1 || fr[3][0] != mids[2] {
+		t.Errorf("center = %v, want {%v}", fr[3], mids[2])
+	}
+}
+
+func TestHopByHopIsIsomorphic(t *testing.T) {
+	g := paperRing()
+	r, err := Distill(g, Spec{Mode: HopByHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.NumNodes() != g.NumNodes() || r.Graph.NumLinks() != g.NumLinks() {
+		t.Fatalf("hop-by-hop changed shape: %d/%d nodes %d/%d links",
+			r.Graph.NumNodes(), g.NumNodes(), r.Graph.NumLinks(), g.NumLinks())
+	}
+	if r.MeshLinks != 0 {
+		t.Errorf("mesh links = %d", r.MeshLinks)
+	}
+}
+
+func TestEndToEndPaperCounts(t *testing.T) {
+	// §4.1: "The end-to-end distillation contains 79,800 pipes, one for
+	// each VN pair, each with a bandwidth of 2 Mb/s." We store directed
+	// pipes: 159,600.
+	g := paperRing()
+	r, err := Distill(g, Spec{Mode: EndToEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Graph.NumLinks(); got != 400*399 {
+		t.Fatalf("end-to-end pipes = %d, want %d", got, 400*399)
+	}
+	if r.Graph.NumNodes() != 400 {
+		t.Errorf("nodes = %d, want 400 (VNs only)", r.Graph.NumNodes())
+	}
+	for _, l := range r.Graph.Links {
+		if l.Attr.BandwidthBps != 2e6 {
+			t.Fatalf("collapsed pipe bandwidth %v, want 2 Mb/s (access bottleneck)", l.Attr.BandwidthBps)
+		}
+	}
+}
+
+func TestLastMilePaperCounts(t *testing.T) {
+	// §4.1: "The last-mile distillation preserves the 400 edge links to
+	// the VNs, and maps the ring itself to a fully connected mesh of 190
+	// links." 400 duplex access links = 800 directed preserved; 190
+	// unordered mesh pairs = 380 directed.
+	g := paperRing()
+	r, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PreservedLinks != 800 {
+		t.Errorf("preserved = %d, want 800", r.PreservedLinks)
+	}
+	if r.MeshLinks != 380 {
+		t.Errorf("mesh = %d, want 380", r.MeshLinks)
+	}
+	if got := r.Graph.NumLinks(); got != 1180 {
+		t.Errorf("total links = %d, want 1180", got)
+	}
+	// Paths are now at most 3 hops: access, mesh, access.
+	if r.Graph.NumNodes() != 420 {
+		t.Errorf("nodes = %d, want 420", r.Graph.NumNodes())
+	}
+}
+
+func TestWalkInPreservesAttrs(t *testing.T) {
+	g := paperRing()
+	r, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range r.Graph.Links {
+		switch r.Graph.Class(l) {
+		case topology.ClientStub:
+			if l.Attr.BandwidthBps != 2e6 {
+				t.Fatalf("access link bw %v", l.Attr.BandwidthBps)
+			}
+		default:
+			// Mesh pipe: bottleneck is a 20 Mb/s ring link; latency is a
+			// multiple of the 5 ms ring hop.
+			if l.Attr.BandwidthBps != 20e6 {
+				t.Fatalf("mesh pipe bw %v, want 20 Mb/s", l.Attr.BandwidthBps)
+			}
+			hops := l.Attr.LatencySec / 0.005
+			if hops < 0.99 || hops > 10.01 {
+				t.Fatalf("mesh latency %v implies %v ring hops", l.Attr.LatencySec, hops)
+			}
+		}
+	}
+}
+
+func TestWalkInDeeperPreservesMore(t *testing.T) {
+	// On a chain topology, walk-in=2 should preserve more links than
+	// walk-in=1 and mesh fewer nodes.
+	cfg := topology.TransitStubConfig{
+		TransitDomains: 1, TransitPerDomain: 4, StubsPerTransit: 2,
+		RoutersPerStub: 3, ClientsPerStub: 2,
+		TransitTransit: attrs(155, 20), TransitStub: attrs(45, 10),
+		StubStub: attrs(100, 2), ClientStub: attrs(1, 1), Seed: 3,
+	}
+	g := topology.TransitStub(cfg)
+	r1, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PreservedLinks <= r1.PreservedLinks {
+		t.Errorf("walk-in 2 preserved %d ≤ walk-in 1's %d", r2.PreservedLinks, r1.PreservedLinks)
+	}
+}
+
+func TestWalkOutKeepsCenterLinks(t *testing.T) {
+	// Chain: c - s1 - s2 - s3 - s4 - s5 - c. Center frontier = {s3}.
+	// Walk-out=1 preserves frontiers {s2,s4}(? depends) around center and
+	// their interconnecting links.
+	g := topology.New()
+	c1 := g.AddNode(topology.Client, "c1")
+	prev := c1
+	for i := 0; i < 5; i++ {
+		s := g.AddNode(topology.Stub, "s")
+		g.AddDuplex(prev, s, attrs(10, 1))
+		prev = s
+	}
+	c2 := g.AddNode(topology.Client, "c2")
+	g.AddDuplex(prev, c2, attrs(10, 1))
+
+	rIn, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rOut, err := Distill(g, Spec{Mode: WalkOut, WalkIn: 1, WalkOut: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOut.PreservedLinks <= rIn.PreservedLinks {
+		t.Errorf("walk-out preserved %d ≤ walk-in's %d; center links lost",
+			rOut.PreservedLinks, rIn.PreservedLinks)
+	}
+}
+
+func TestEndToEndLatencyEqualsPathLatency(t *testing.T) {
+	// Build a line: c0 - r - c1 with known latencies; collapsed pipe
+	// latency must equal the sum.
+	g := topology.New()
+	c0 := g.AddNode(topology.Client, "c0")
+	r0 := g.AddNode(topology.Stub, "r0")
+	c1 := g.AddNode(topology.Client, "c1")
+	g.AddDuplex(c0, r0, attrs(10, 3))
+	g.AddDuplex(r0, c1, attrs(10, 7))
+	res, err := Distill(g, Spec{Mode: EndToEnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumLinks() != 2 {
+		t.Fatalf("links = %d", res.Graph.NumLinks())
+	}
+	for _, l := range res.Graph.Links {
+		if math.Abs(l.Attr.LatencySec-0.010) > 1e-9 {
+			t.Errorf("collapsed latency %v, want 0.010", l.Attr.LatencySec)
+		}
+	}
+}
+
+func TestDistillErrors(t *testing.T) {
+	g := paperRing()
+	if _, err := Distill(g, Spec{Mode: WalkIn, WalkIn: 0}); err == nil {
+		t.Error("walk-in 0 accepted")
+	}
+	if _, err := Distill(g, Spec{Mode: Mode(99)}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	bad := topology.New()
+	bad.AddNode(topology.Client, "x")
+	if _, err := Distill(bad, Spec{Mode: HopByHop}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+// Property: for random connected topologies, end-to-end distillation yields
+// exactly n(n-1) directed pipes among n VNs, and every pipe's latency is at
+// least the direct link latency lower bound (collapse can't beat physics).
+func TestEndToEndShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		g := topology.Ring(4+int(seed%5), 2, attrs(20, 5), attrs(2, 1))
+		res, err := Distill(g, Spec{Mode: EndToEnd})
+		if err != nil {
+			return false
+		}
+		n := len(g.Clients())
+		if res.Graph.NumLinks() != n*(n-1) {
+			return false
+		}
+		for _, l := range res.Graph.Links {
+			if l.Attr.LatencySec < 0.002-1e-12 { // two access links minimum
+				return false
+			}
+			if l.Attr.BandwidthBps > 2e6+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package emucore
+
+import (
+	"fmt"
+
+	"modelnet/internal/vtime"
+)
+
+// Accuracy is the in-kernel logging package of §3.1, reduced to its
+// purpose: tracking expected versus actual per-packet delay. Lag is the
+// scheduler-quantization error accumulated over a packet's hops; the paper
+// reports each packet-hop accurate to within the 100 µs timer granularity
+// and ≤ 1 ms over a 10-hop path.
+type Accuracy struct {
+	Count  uint64
+	SumLag vtime.Duration
+	MaxLag vtime.Duration
+	// Buckets histogram lag in decades of 100 µs: [0,100µs), [100µs,200µs),
+	// ... [900µs,1ms), [1ms,∞).
+	Buckets [11]uint64
+	// MaxHops tracks the longest route observed, for error-bound checks.
+	MaxHops int
+}
+
+// Record accounts one delivered packet's lag.
+func (a *Accuracy) Record(lag vtime.Duration, hops int) {
+	if lag < 0 {
+		lag = 0
+	}
+	a.Count++
+	a.SumLag += lag
+	if lag > a.MaxLag {
+		a.MaxLag = lag
+	}
+	if hops > a.MaxHops {
+		a.MaxHops = hops
+	}
+	b := int(lag / (100 * vtime.Microsecond))
+	if b > 10 {
+		b = 10
+	}
+	a.Buckets[b]++
+}
+
+// MeanLag returns the average per-packet delivery lag.
+func (a *Accuracy) MeanLag() vtime.Duration {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.SumLag / vtime.Duration(a.Count)
+}
+
+// WithinBound reports whether every delivered packet's lag stayed within
+// bound — the paper's headline accuracy claim is bound = hops × tick
+// without debt handling and one tick with it.
+func (a *Accuracy) WithinBound(bound vtime.Duration) bool {
+	return a.MaxLag <= bound
+}
+
+func (a *Accuracy) String() string {
+	return fmt.Sprintf("accuracy: %d pkts, mean lag %v, max lag %v (max hops %d)",
+		a.Count, a.MeanLag(), a.MaxLag, a.MaxHops)
+}

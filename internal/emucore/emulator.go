@@ -1,0 +1,464 @@
+package emucore
+
+import (
+	"fmt"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// DeliverFunc receives a packet at its destination VN.
+type DeliverFunc func(pkt *pipes.Packet)
+
+// Emulator is a cluster of core routers emulating one distilled topology.
+// All state is driven by a single vtime.Scheduler; the emulator is not safe
+// for concurrent use.
+type Emulator struct {
+	sched   *vtime.Scheduler
+	prof    Profile
+	graph   *topology.Graph
+	binding *bind.Binding
+	pod     *bind.POD
+
+	pipes []*pipes.Pipe
+	cores []*core
+
+	deliver map[pipes.VN]DeliverFunc
+	seq     uint64
+
+	// Global counters.
+	Injected  uint64 // packets offered to the core cluster
+	Delivered uint64 // packets handed to destination VNs
+	NoRoute   uint64 // injections with no route
+	Accuracy  Accuracy
+	DropHook  func(pkt *pipes.Packet, where string) // optional debug hook
+}
+
+// core is one emulated core router: a pipe heap plus CPU/NIC occupancy.
+type core struct {
+	idx  int
+	heap *pipes.Heap
+
+	cpuBusyUntil vtime.Time
+	rxBusyUntil  vtime.Time
+	txBusyUntil  vtime.Time
+
+	pendingAt vtime.Time
+	pendingID vtime.EventID
+
+	// Stats.
+	PktsIn        uint64
+	PhysDropsCPU  uint64
+	PhysDropsNIC  uint64
+	PhysDropsTx   uint64
+	TunnelsIn     uint64
+	TunnelsOut    uint64
+	TunnelTxBytes uint64
+	CPUWork       vtime.Duration // total emulation CPU time consumed
+	RxBytes       uint64
+	TxBytes       uint64
+}
+
+// New builds an emulator over a distilled topology. The binding supplies
+// the routing table and VN→edge→core mapping; pod assigns pipes to cores
+// (nil means a single core owns everything). seed determinizes pipe loss.
+func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.POD, prof Profile, seed int64) (*Emulator, error) {
+	if pod == nil {
+		pod = bind.NewPOD(make([]int, g.NumLinks()), 1)
+	}
+	nCores := pod.Cores()
+	if nCores < 1 {
+		return nil, fmt.Errorf("emucore: POD has %d cores", nCores)
+	}
+	e := &Emulator{
+		sched:   sched,
+		prof:    prof,
+		graph:   g,
+		binding: b,
+		pod:     pod,
+		deliver: make(map[pipes.VN]DeliverFunc),
+	}
+	e.pipes = make([]*pipes.Pipe, g.NumLinks())
+	for i, l := range g.Links {
+		e.pipes[i] = pipes.New(pipes.ID(i), pipeParams(l.Attr), seed)
+	}
+	e.cores = make([]*core, nCores)
+	for i := range e.cores {
+		e.cores[i] = &core{idx: i, heap: pipes.NewHeap(), pendingAt: vtime.Forever}
+	}
+	return e, nil
+}
+
+func pipeParams(a topology.LinkAttrs) pipes.Params {
+	return pipes.Params{
+		BandwidthBps: a.BandwidthBps,
+		Latency:      vtime.DurationOf(a.LatencySec),
+		LossRate:     a.LossRate,
+		QueuePkts:    a.QueuePkts,
+	}
+}
+
+// Scheduler returns the virtual-time scheduler driving the emulation.
+func (e *Emulator) Scheduler() *vtime.Scheduler { return e.sched }
+
+// Now returns the current virtual time.
+func (e *Emulator) Now() vtime.Time { return e.sched.Now() }
+
+// Binding returns the binding this emulator was built with.
+func (e *Emulator) Binding() *bind.Binding { return e.binding }
+
+// Graph returns the distilled topology.
+func (e *Emulator) Graph() *topology.Graph { return e.graph }
+
+// Profile returns the hardware profile.
+func (e *Emulator) Profile() Profile { return e.prof }
+
+// Cores reports the number of core routers.
+func (e *Emulator) Cores() int { return len(e.cores) }
+
+// Pipe returns the live pipe for a distilled link, for inspection or
+// dynamic re-parameterization (§4.3).
+func (e *Emulator) Pipe(id pipes.ID) *pipes.Pipe { return e.pipes[id] }
+
+// NumPipes reports the number of pipes.
+func (e *Emulator) NumPipes() int { return len(e.pipes) }
+
+// SetPipeParams changes a pipe's parameters mid-run (cross traffic, fault
+// injection). In-flight packets are unaffected.
+func (e *Emulator) SetPipeParams(id pipes.ID, p pipes.Params) {
+	e.pipes[id].SetParams(p)
+}
+
+// SetTable replaces the routing table (e.g., after recomputing shortest
+// paths around a failed link).
+func (e *Emulator) SetTable(t bind.Table) { e.binding.Table = t }
+
+// RegisterVN installs the delivery callback for a VN. Packets destined to
+// an unregistered VN are counted delivered and discarded.
+func (e *Emulator) RegisterVN(vn pipes.VN, fn DeliverFunc) {
+	e.deliver[vn] = fn
+}
+
+// CoreOfVN returns the core the given VN's edge node forwards through.
+func (e *Emulator) coreOfVN(vn pipes.VN) *core {
+	edge := e.binding.EdgeOf[vn]
+	return e.cores[e.binding.CoreOf[edge]%len(e.cores)]
+}
+
+// CoreStats exposes a core's counters (index 0..Cores-1).
+func (e *Emulator) CoreStats(i int) CoreStats {
+	c := e.cores[i]
+	return CoreStats{
+		PktsIn:        c.PktsIn,
+		PhysDropsCPU:  c.PhysDropsCPU,
+		PhysDropsNIC:  c.PhysDropsNIC,
+		PhysDropsTx:   c.PhysDropsTx,
+		TunnelsIn:     c.TunnelsIn,
+		TunnelsOut:    c.TunnelsOut,
+		TunnelTxBytes: c.TunnelTxBytes,
+		CPUWork:       c.CPUWork,
+		RxBytes:       c.RxBytes,
+		TxBytes:       c.TxBytes,
+	}
+}
+
+// CoreStats is a snapshot of one core's counters.
+type CoreStats struct {
+	PktsIn        uint64
+	PhysDropsCPU  uint64
+	PhysDropsNIC  uint64
+	PhysDropsTx   uint64
+	TunnelsIn     uint64
+	TunnelsOut    uint64
+	TunnelTxBytes uint64
+	CPUWork       vtime.Duration
+	RxBytes       uint64
+	TxBytes       uint64
+}
+
+// Totals aggregates conservation counters: every injected packet is
+// eventually delivered, physically dropped, or virtually dropped in a pipe
+// (or still in flight).
+type Totals struct {
+	Injected     uint64
+	Delivered    uint64
+	NoRoute      uint64
+	PhysDrops    uint64
+	VirtualDrops uint64
+	InFlight     int
+}
+
+// Totals returns the current conservation counters.
+func (e *Emulator) Totals() Totals {
+	t := Totals{Injected: e.Injected, Delivered: e.Delivered, NoRoute: e.NoRoute}
+	for _, c := range e.cores {
+		t.PhysDrops += c.PhysDropsCPU + c.PhysDropsNIC + c.PhysDropsTx
+	}
+	for _, p := range e.pipes {
+		t.VirtualDrops += p.TotalDrops()
+		t.InFlight += p.Len()
+	}
+	return t
+}
+
+// Inject offers a packet from src's edge node to the core cluster. It
+// reports whether the packet was accepted (false = physical drop or no
+// route). Virtual (emulated) drops inside pipes are invisible here, as they
+// are to real senders.
+func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
+	route, ok := e.binding.Table.Lookup(src, dst)
+	if !ok {
+		e.NoRoute++
+		return false
+	}
+	now := e.sched.Now()
+	c := e.coreOfVN(src)
+
+	// Physical admission: NIC receive ring, then CPU (interrupt handling
+	// is starved when the emulation runs behind).
+	if !c.admitRx(e, now, size) {
+		c.PhysDropsNIC++
+		e.dropHook(nil, "nic-rx")
+		return false
+	}
+	if !c.admitCPU(e, now, e.prof.CPU.PerPacket) {
+		c.PhysDropsCPU++
+		e.dropHook(nil, "cpu")
+		return false
+	}
+	c.PktsIn++
+	e.Injected++
+	e.seq++
+	pkt := &pipes.Packet{
+		Seq:      e.seq,
+		Size:     size,
+		Src:      src,
+		Dst:      dst,
+		Route:    route,
+		Injected: now,
+		Payload:  payload,
+	}
+	if len(route) == 0 {
+		// Loopback: no pipes to traverse. Deliver asynchronously so the
+		// sender's call stack never reenters its own receive path.
+		e.sched.At(now, func() { e.finish(c, pkt, now, now) })
+		return true
+	}
+	e.enqueue(c, pkt, route[0], now)
+	return true
+}
+
+// enqueue places pkt into pipe pid at logical time at, tunneling first if
+// the pipe's owner differs from the current core.
+func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
+	owner := e.cores[e.pod.Owner(pid)%len(e.cores)]
+	now := e.sched.Now()
+	if owner != cur {
+		// Cross-core transition (§3.3): descriptor (or full packet)
+		// tunneled over the physical cluster network.
+		wire := pkt.Size
+		if e.prof.PayloadCaching && e.prof.DescriptorBytes > 0 {
+			wire = e.prof.DescriptorBytes
+		}
+		cur.forceCPU(e, now, e.prof.CPU.TunnelTx)
+		if !cur.admitTx(e, now, wire) {
+			cur.PhysDropsTx++
+			e.dropHook(pkt, "tunnel-tx")
+			return
+		}
+		cur.TunnelsOut++
+		cur.TunnelTxBytes += uint64(wire)
+		if !owner.admitRx(e, now, wire) {
+			owner.PhysDropsNIC++
+			e.dropHook(pkt, "tunnel-rx")
+			return
+		}
+		if !owner.admitCPU(e, now, e.prof.CPU.TunnelRx) {
+			owner.PhysDropsCPU++
+			e.dropHook(pkt, "tunnel-cpu")
+			return
+		}
+		owner.TunnelsIn++
+	}
+	if reason, _ := e.pipes[pid].Enqueue(pkt, at); reason != pipes.DropNone {
+		e.dropHook(pkt, "pipe-"+reason.String())
+		return
+	}
+	owner.heap.Update(e.pipes[pid])
+	e.scheduleCore(owner)
+}
+
+// runCore is one scheduler activation for a core: drain every pipe whose
+// deadline has arrived, move packets along their routes, reinsert pipes
+// with their new deadlines (the §2.2 scheduler loop).
+func (e *Emulator) runCore(c *core) {
+	now := e.sched.Now()
+	c.pendingAt = vtime.Forever
+	c.heap.PopReady(now, func(p *pipes.Pipe) {
+		p.DequeueReady(now, func(pkt *pipes.Packet, exactExit vtime.Time) {
+			e.advance(c, pkt, exactExit, now)
+		})
+		c.heap.Update(p)
+	})
+	e.scheduleCore(c)
+}
+
+// advance moves a packet that just exited a pipe to its next pipe or its
+// destination.
+func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
+	c.forceCPU(e, now, e.prof.CPU.PerHop)
+	pkt.Hop++
+	if pkt.Hop < len(pkt.Route) {
+		at := now
+		if e.prof.DebtHandling {
+			// Packet debt: enter the next pipe at the exact exit time of
+			// the previous one, canceling accumulated quantization error.
+			at = exactExit
+		} else {
+			pkt.Lag += now.Sub(exactExit)
+		}
+		e.enqueue(c, pkt, pkt.Route[pkt.Hop], at)
+		return
+	}
+	e.finish(c, pkt, exactExit, now)
+}
+
+// finish delivers a packet to its destination VN's edge node.
+func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
+	if !c.admitTx(e, now, pkt.Size) {
+		c.PhysDropsTx++
+		e.dropHook(pkt, "edge-tx")
+		return
+	}
+	e.Delivered++
+	lag := pkt.Lag + now.Sub(exactExit)
+	e.Accuracy.Record(lag, len(pkt.Route))
+	if fn := e.deliver[pkt.Dst]; fn != nil {
+		fn(pkt)
+	}
+}
+
+func (e *Emulator) dropHook(pkt *pipes.Packet, where string) {
+	if e.DropHook != nil {
+		e.DropHook(pkt, where)
+	}
+}
+
+// scheduleCore (re)arms the core's next activation at the quantized time of
+// its earliest pipe deadline.
+func (e *Emulator) scheduleCore(c *core) {
+	next := c.heap.Min()
+	if next == vtime.Forever {
+		if c.pendingAt != vtime.Forever {
+			e.sched.Cancel(c.pendingID)
+			c.pendingAt = vtime.Forever
+		}
+		return
+	}
+	want := e.quantize(next)
+	if want == c.pendingAt {
+		return
+	}
+	if c.pendingAt != vtime.Forever {
+		e.sched.Cancel(c.pendingID)
+	}
+	c.pendingAt = want
+	c.pendingID = e.sched.At(want, func() { e.runCore(c) })
+}
+
+// quantize rounds a deadline up to the next scheduler tick — the hardware
+// timer the paper's core wakes on. Exact when Tick is zero (ideal mode).
+func (e *Emulator) quantize(t vtime.Time) vtime.Time {
+	tick := vtime.Time(e.prof.Tick)
+	if tick <= 0 || t == vtime.Forever {
+		return t
+	}
+	q := (t + tick - 1) / tick * tick
+	if q < e.sched.Now() {
+		q = e.sched.Now()
+	}
+	return q
+}
+
+// ---- core capacity accounting ----
+
+// admitRx models the NIC receive path: serialization at NICBps with a
+// bounded ring. Reports false (physical drop) when the ring is over.
+func (c *core) admitRx(e *Emulator, now vtime.Time, size int) bool {
+	if e.prof.NICBps <= 0 {
+		return true
+	}
+	d := vtime.Duration(float64(size*8) / e.prof.NICBps * float64(vtime.Second))
+	start := now
+	if c.rxBusyUntil > start {
+		start = c.rxBusyUntil
+	}
+	if start.Sub(now) > e.prof.nicBacklog() {
+		return false
+	}
+	c.rxBusyUntil = start.Add(d)
+	c.RxBytes += uint64(size)
+	return true
+}
+
+// admitTx models the NIC transmit path.
+func (c *core) admitTx(e *Emulator, now vtime.Time, size int) bool {
+	if e.prof.NICBps <= 0 {
+		return true
+	}
+	d := vtime.Duration(float64(size*8) / e.prof.NICBps * float64(vtime.Second))
+	start := now
+	if c.txBusyUntil > start {
+		start = c.txBusyUntil
+	}
+	if start.Sub(now) > e.prof.nicBacklog() {
+		return false
+	}
+	c.txBusyUntil = start.Add(d)
+	c.TxBytes += uint64(size)
+	return true
+}
+
+// admitCPU charges ingress CPU work, refusing when the emulation has run
+// ahead of real time by more than the backlog bound (the paper's "NIC drops
+// additional packets beyond this point").
+func (c *core) admitCPU(e *Emulator, now vtime.Time, d vtime.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	start := now
+	if c.cpuBusyUntil > start {
+		start = c.cpuBusyUntil
+	}
+	if start.Sub(now) > e.prof.cpuBacklog() {
+		return false
+	}
+	c.cpuBusyUntil = start.Add(d)
+	c.CPUWork += d
+	return true
+}
+
+// forceCPU charges mandatory emulation work (it runs at the highest
+// priority and is never shed; overload manifests as ingress drops instead).
+func (c *core) forceCPU(e *Emulator, now vtime.Time, d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := now
+	if c.cpuBusyUntil > start {
+		start = c.cpuBusyUntil
+	}
+	c.cpuBusyUntil = start.Add(d)
+	c.CPUWork += d
+}
+
+// CPUUtilization reports core i's cumulative CPU busy fraction since t0.
+func (e *Emulator) CPUUtilization(i int, since vtime.Time) float64 {
+	elapsed := e.sched.Now().Sub(since)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(e.cores[i].CPUWork) / float64(elapsed)
+}

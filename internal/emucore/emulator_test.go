@@ -1,0 +1,399 @@
+package emucore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/assign"
+	"modelnet/internal/bind"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+func attrs(mbps, ms float64) topology.LinkAttrs {
+	return topology.LinkAttrs{BandwidthBps: mbps * 1e6, LatencySec: ms * 1e-3, QueuePkts: 100}
+}
+
+// fixture builds an emulator over g with nCores, returning it plus a
+// per-VN delivery recorder.
+func fixture(t *testing.T, g *topology.Graph, nCores int, prof Profile) (*Emulator, *vtime.Scheduler, map[pipes.VN][]vtime.Time) {
+	t.Helper()
+	sched := vtime.NewScheduler()
+	b, err := bind.Bind(g, bind.Options{Cores: nCores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pod *bind.POD
+	if nCores > 1 {
+		a, err := assign.KClusters(g, nCores, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pod = a.POD()
+	}
+	e, err := New(sched, g, b, pod, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[pipes.VN][]vtime.Time{}
+	for v := 0; v < b.NumVNs(); v++ {
+		v := pipes.VN(v)
+		e.RegisterVN(v, func(pkt *pipes.Packet) {
+			got[v] = append(got[v], sched.Now())
+		})
+	}
+	return e, sched, got
+}
+
+func TestSinglePacketIdealTiming(t *testing.T) {
+	// Two hops: each 8 Mb/s, 5 ms. 1000 B packet: 1 ms tx per hop.
+	// End-to-end ideal = 2*(1+5) = 12 ms.
+	g := topology.Line(1, attrs(8, 5)) // client-r0-client: 2 pipes
+	e, sched, got := fixture(t, g, 1, IdealProfile())
+	if !e.Inject(0, 1, 1000, nil) {
+		t.Fatal("inject refused")
+	}
+	sched.Run()
+	if len(got[1]) != 1 {
+		t.Fatalf("delivered %d packets", len(got[1]))
+	}
+	want := vtime.Time(12 * vtime.Millisecond)
+	if got[1][0] != want {
+		t.Fatalf("delivery at %v, want %v", got[1][0], want)
+	}
+	if e.Accuracy.MaxLag != 0 {
+		t.Errorf("ideal mode lag %v", e.Accuracy.MaxLag)
+	}
+}
+
+func TestTickQuantization(t *testing.T) {
+	// With a 100 µs tick, delivery lands on a tick boundary at or after
+	// the ideal time, within hops*tick.
+	g := topology.Line(1, attrs(8, 5))
+	prof := DefaultProfile()
+	prof.CPU = CPUCosts{} // isolate quantization
+	prof.NICBps = 0
+	e, sched, got := fixture(t, g, 1, prof)
+	e.Inject(0, 1, 1000, nil)
+	sched.Run()
+	if len(got[1]) != 1 {
+		t.Fatalf("delivered %d", len(got[1]))
+	}
+	at := got[1][0]
+	ideal := vtime.Time(12 * vtime.Millisecond)
+	if at < ideal {
+		t.Fatalf("delivered before ideal: %v < %v", at, ideal)
+	}
+	if at.Sub(ideal) > 2*DefaultTick {
+		t.Fatalf("lag %v exceeds 2 ticks", at.Sub(ideal))
+	}
+	if at%vtime.Time(DefaultTick) != 0 {
+		t.Errorf("delivery %v not on a tick boundary", at)
+	}
+}
+
+func TestAccuracyBoundPerHop(t *testing.T) {
+	// §3.1: each packet-hop accurate to within the timer granularity;
+	// worst case error over h hops is h ticks without debt handling.
+	const hops = 10
+	g := topology.Line(hops, attrs(100, 1))
+	prof := DefaultProfile()
+	prof.CPU = CPUCosts{}
+	prof.NICBps = 0
+	e, sched, _ := fixture(t, g, 1, prof)
+	for i := 0; i < 200; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(137*vtime.Microsecond), func() {
+			e.Inject(0, 1, 1000, nil)
+		})
+	}
+	sched.Run()
+	if e.Accuracy.Count == 0 {
+		t.Fatal("nothing delivered")
+	}
+	bound := vtime.Duration(hops+1) * DefaultTick
+	if !e.Accuracy.WithinBound(bound) {
+		t.Errorf("max lag %v exceeds %v", e.Accuracy.MaxLag, bound)
+	}
+}
+
+func TestDebtHandlingTightensBound(t *testing.T) {
+	// With packet-debt correction the end-to-end error collapses to one
+	// tick regardless of hop count (§3.1's anticipated optimization).
+	const hops = 10
+	g := topology.Line(hops, attrs(100, 1))
+	prof := DefaultProfile()
+	prof.CPU = CPUCosts{}
+	prof.NICBps = 0
+	prof.DebtHandling = true
+	e, sched, _ := fixture(t, g, 1, prof)
+	for i := 0; i < 200; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(137*vtime.Microsecond), func() {
+			e.Inject(0, 1, 1000, nil)
+		})
+	}
+	sched.Run()
+	if e.Accuracy.Count == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if !e.Accuracy.WithinBound(DefaultTick) {
+		t.Errorf("debt handling: max lag %v exceeds one tick", e.Accuracy.MaxLag)
+	}
+}
+
+func TestCPUSaturationDropsPhysically(t *testing.T) {
+	// Make the CPU absurdly slow and flood: ingress must be shed at the
+	// NIC (physical drops), and what is delivered must still be on time.
+	g := topology.Line(1, attrs(100, 1))
+	prof := DefaultProfile()
+	prof.CPU.PerPacket = 500 * vtime.Microsecond
+	prof.NICBps = 0
+	e, sched, _ := fixture(t, g, 1, prof)
+	for i := 0; i < 1000; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(10*vtime.Microsecond), func() {
+			e.Inject(0, 1, 1000, nil)
+		})
+	}
+	sched.Run()
+	tot := e.Totals()
+	if tot.PhysDrops == 0 {
+		t.Fatal("overloaded core shed nothing")
+	}
+	if tot.Delivered == 0 {
+		t.Fatal("overloaded core delivered nothing")
+	}
+	// Accuracy preserved for what got through: drops, not lateness.
+	if !e.Accuracy.WithinBound(3 * DefaultTick) {
+		t.Errorf("overload degraded accuracy: max lag %v", e.Accuracy.MaxLag)
+	}
+}
+
+func TestNICSaturationDropsPhysically(t *testing.T) {
+	g := topology.Line(1, attrs(1000, 1))
+	prof := DefaultProfile()
+	prof.CPU = CPUCosts{}
+	prof.NICBps = 10e6 // tiny NIC: 10 Mb/s
+	e, sched, _ := fixture(t, g, 1, prof)
+	for i := 0; i < 2000; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(100*vtime.Microsecond), func() {
+			e.Inject(0, 1, 1500, nil) // 12 Mb/s offered > 10 Mb/s NIC
+		})
+	}
+	sched.Run()
+	if e.CoreStats(0).PhysDropsNIC == 0 {
+		t.Error("NIC overload produced no physical drops")
+	}
+	if e.Delivered == 0 {
+		t.Error("nothing delivered under NIC overload")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	g := topology.Ring(5, 2, attrs(2, 5), attrs(1, 1))
+	prof := DefaultProfile()
+	e, sched, _ := fixture(t, g, 1, prof)
+	n := 0
+	for i := 0; i < 500; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(200*vtime.Microsecond), func() {
+			src := pipes.VN(i % 10)
+			dst := pipes.VN((i + 3) % 10)
+			if e.Inject(src, dst, 1500, nil) {
+				n++
+			}
+		})
+	}
+	sched.Run()
+	tot := e.Totals()
+	if tot.InFlight != 0 {
+		t.Fatalf("in flight after drain: %d", tot.InFlight)
+	}
+	// Injected = delivered + virtual drops + tx-side physical drops (rx
+	// drops happen before Injected is counted).
+	txDrops := uint64(0)
+	for i := 0; i < e.Cores(); i++ {
+		cs := e.CoreStats(i)
+		txDrops += cs.PhysDropsTx
+	}
+	if tot.Injected != tot.Delivered+tot.VirtualDrops+txDrops {
+		t.Errorf("conservation: injected %d != delivered %d + virtual %d + txdrops %d",
+			tot.Injected, tot.Delivered, tot.VirtualDrops, txDrops)
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	g := topology.Pairs(2, 1, attrs(10, 1)) // two disconnected pairs
+	sched := vtime.NewScheduler()
+	// Build binding with a cache table: unreachable pairs return !ok.
+	b, err := bind.Bind(g, bind.Options{RouteCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sched, g, b, nil, IdealProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VN 0 and VN 1 are the first pair's endpoints; VN 2,3 the second's.
+	if e.Inject(0, 2, 1000, nil) {
+		t.Error("inject across disconnected pairs accepted")
+	}
+	if e.NoRoute != 1 {
+		t.Errorf("NoRoute = %d", e.NoRoute)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	g := topology.Star(3, attrs(10, 1))
+	e, sched, got := fixture(t, g, 1, IdealProfile())
+	e.Inject(2, 2, 500, nil)
+	sched.Run()
+	if len(got[2]) != 1 || got[2][0] != 0 {
+		t.Errorf("self delivery: %v", got[2])
+	}
+}
+
+func TestMultiCoreTunneling(t *testing.T) {
+	g := topology.Star(8, attrs(10, 5))
+	prof := DefaultProfile()
+	e, sched, got := fixture(t, g, 4, prof)
+	for i := 0; i < 8; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(vtime.Millisecond), func() {
+			e.Inject(pipes.VN(i), pipes.VN((i+4)%8), 1500, nil)
+		})
+	}
+	sched.Run()
+	delivered := 0
+	for _, d := range got {
+		delivered += len(d)
+	}
+	if delivered != 8 {
+		t.Fatalf("delivered %d of 8", delivered)
+	}
+	tunnels := uint64(0)
+	for i := 0; i < 4; i++ {
+		tunnels += e.CoreStats(i).TunnelsOut
+	}
+	if tunnels == 0 {
+		t.Error("4-core star produced no tunnels")
+	}
+}
+
+func TestPayloadCachingReducesTunnelBytes(t *testing.T) {
+	run := func(caching bool) uint64 {
+		g := topology.Star(8, attrs(10, 5))
+		prof := DefaultProfile()
+		prof.PayloadCaching = caching
+		e, sched, _ := fixture(t, g, 4, prof)
+		for i := 0; i < 200; i++ {
+			i := i
+			sched.At(vtime.Time(i)*vtime.Time(vtime.Millisecond), func() {
+				e.Inject(pipes.VN(i%8), pipes.VN((i+4)%8), 1500, nil)
+			})
+		}
+		sched.Run()
+		var rx uint64
+		for i := 0; i < 4; i++ {
+			rx += e.CoreStats(i).RxBytes
+		}
+		return rx
+	}
+	full := run(false)
+	cached := run(true)
+	if cached >= full {
+		t.Errorf("payload caching rx bytes %d ≥ full tunneling %d", cached, full)
+	}
+}
+
+func TestDynamicPipeParams(t *testing.T) {
+	// Double a pipe's latency mid-run; later packets arrive later.
+	g := topology.Line(1, attrs(8, 5))
+	e, sched, got := fixture(t, g, 1, IdealProfile())
+	e.Inject(0, 1, 1000, nil)
+	sched.At(vtime.Time(20*vtime.Millisecond), func() {
+		for i := 0; i < e.NumPipes(); i++ {
+			p := e.Pipe(pipes.ID(i))
+			params := p.Params()
+			params.Latency *= 2
+			e.SetPipeParams(pipes.ID(i), params)
+		}
+		e.Inject(0, 1, 1000, nil)
+	})
+	sched.Run()
+	if len(got[1]) != 2 {
+		t.Fatalf("delivered %d", len(got[1]))
+	}
+	d1 := got[1][0]
+	d2 := got[1][1].Sub(vtime.Time(20 * vtime.Millisecond))
+	if vtime.Duration(d1) >= d2 {
+		t.Errorf("second packet (%v) not slower than first (%v)", d2, d1)
+	}
+}
+
+// Property: in ideal mode, delivery time for a lone packet equals the sum
+// over route pipes of (size*8/bw + latency), for random topologies/pairs.
+func TestIdealTimingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		g := topology.Ring(4+int(seed%4), 2, attrs(20, 5), attrs(2, 1))
+		sched := vtime.NewScheduler()
+		b, err := bind.Bind(g, bind.Options{})
+		if err != nil {
+			return false
+		}
+		e, err := New(sched, g, b, nil, IdealProfile(), seed)
+		if err != nil {
+			return false
+		}
+		src := pipes.VN(int(seed) % b.NumVNs())
+		dst := pipes.VN(int(seed+3) % b.NumVNs())
+		if src == dst {
+			return true
+		}
+		route, ok := b.Table.Lookup(src, dst)
+		if !ok {
+			return false
+		}
+		var want vtime.Duration
+		const size = 777
+		for _, pid := range route {
+			l := g.Links[pid]
+			want += vtime.DurationOf(float64(size*8)/l.Attr.BandwidthBps + l.Attr.LatencySec)
+		}
+		var at vtime.Time
+		e.RegisterVN(dst, func(*pipes.Packet) { at = sched.Now() })
+		e.Inject(src, dst, size, nil)
+		sched.Run()
+		diff := at.Sub(vtime.Time(want))
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // ns rounding
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	g := topology.Line(1, attrs(100, 1))
+	prof := DefaultProfile()
+	e, sched, _ := fixture(t, g, 1, prof)
+	for i := 0; i < 100; i++ {
+		i := i
+		sched.At(vtime.Time(i)*vtime.Time(vtime.Millisecond), func() {
+			e.Inject(0, 1, 1500, nil)
+		})
+	}
+	sched.Run()
+	u := e.CPUUtilization(0, 0)
+	if u <= 0 || u > 1.0 {
+		t.Errorf("utilization = %v", u)
+	}
+}

@@ -1,0 +1,128 @@
+package emucore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/assign"
+	"modelnet/internal/bind"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// System-level emulator properties over random topologies and traffic.
+
+// Property: conservation — injected = delivered + virtual drops + tx-side
+// physical drops once quiescent, for random topologies, core counts, and
+// traffic mixes.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed int64, coresRaw, lossRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := int(coresRaw)%3 + 1
+		g := topology.Ring(rng.Intn(4)+3, rng.Intn(3)+1,
+			topology.LinkAttrs{BandwidthBps: 5e6, LatencySec: 0.004, QueuePkts: rng.Intn(10) + 3, LossRate: float64(lossRaw%5) / 50},
+			topology.LinkAttrs{BandwidthBps: 1e6, LatencySec: 0.001, QueuePkts: 5})
+		b, err := bind.Bind(g, bind.Options{Cores: cores})
+		if err != nil {
+			return false
+		}
+		var pod *bind.POD
+		if cores > 1 {
+			a, err := assign.KClusters(g, cores, seed)
+			if err != nil {
+				return false
+			}
+			pod = a.POD()
+		}
+		sched := vtime.NewScheduler()
+		e, err := New(sched, g, b, pod, DefaultProfile(), seed)
+		if err != nil {
+			return false
+		}
+		n := b.NumVNs()
+		for i := 0; i < 300; i++ {
+			at := vtime.Time(rng.Intn(int(200 * vtime.Millisecond)))
+			src := pipes.VN(rng.Intn(n))
+			dst := pipes.VN(rng.Intn(n))
+			size := rng.Intn(1400) + 64
+			sched.At(at, func() { e.Inject(src, dst, size, nil) })
+		}
+		sched.Run()
+		tot := e.Totals()
+		if tot.InFlight != 0 {
+			return false
+		}
+		var txDrops uint64
+		for i := 0; i < e.Cores(); i++ {
+			txDrops += e.CoreStats(i).PhysDropsTx
+		}
+		return tot.Injected == tot.Delivered+tot.VirtualDrops+txDrops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multi-core runs are deterministic — identical seeds produce
+// identical delivery counts and accuracy.
+func TestMultiCoreDeterminismProperty(t *testing.T) {
+	run := func(seed int64) (uint64, vtime.Duration) {
+		g := topology.Ring(5, 2,
+			topology.LinkAttrs{BandwidthBps: 5e6, LatencySec: 0.004, QueuePkts: 8},
+			topology.LinkAttrs{BandwidthBps: 1e6, LatencySec: 0.001, QueuePkts: 5})
+		b, _ := bind.Bind(g, bind.Options{Cores: 3})
+		a, _ := assign.KClusters(g, 3, seed)
+		sched := vtime.NewScheduler()
+		e, _ := New(sched, g, b, a.POD(), DefaultProfile(), seed)
+		rng := rand.New(rand.NewSource(seed))
+		n := b.NumVNs()
+		for i := 0; i < 500; i++ {
+			at := vtime.Time(rng.Intn(int(500 * vtime.Millisecond)))
+			src := pipes.VN(rng.Intn(n))
+			dst := pipes.VN(rng.Intn(n))
+			sched.At(at, func() { e.Inject(src, dst, 500, nil) })
+		}
+		sched.Run()
+		return e.Delivered, e.Accuracy.MaxLag
+	}
+	f := func(seed int64) bool {
+		d1, l1 := run(seed)
+		d2, l2 := run(seed)
+		return d1 == d2 && l1 == l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the accuracy bound holds under arbitrary load for random hop
+// counts — lag never exceeds (hops+1)·tick without debt handling.
+func TestAccuracyBoundProperty(t *testing.T) {
+	f := func(seed int64, hopsRaw uint8) bool {
+		hops := int(hopsRaw)%6 + 1
+		g := topology.Line(hops, topology.LinkAttrs{BandwidthBps: 10e6, LatencySec: 0.002, QueuePkts: 10})
+		b, err := bind.Bind(g, bind.Options{})
+		if err != nil {
+			return false
+		}
+		sched := vtime.NewScheduler()
+		prof := DefaultProfile()
+		e, err := New(sched, g, b, nil, prof, seed)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			at := vtime.Time(rng.Intn(int(100 * vtime.Millisecond)))
+			sched.At(at, func() { e.Inject(0, 1, rng.Intn(1400)+64, nil) })
+		}
+		sched.Run()
+		bound := vtime.Duration(hops+2) * prof.Tick
+		return e.Accuracy.WithinBound(bound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

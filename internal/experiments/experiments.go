@@ -1,0 +1,37 @@
+// Package experiments contains one driver per table and figure in the
+// paper's evaluation (§3–§5). Each driver builds its workload on the public
+// modelnet façade, runs it in virtual time, and returns the same rows or
+// series the paper reports; cmd/mnbench prints them at full scale and the
+// root bench_test.go regenerates them under `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"modelnet/internal/vtime"
+)
+
+// vtimeMillisecond avoids importing vtime in every driver just for the
+// staggering arithmetic.
+const vtimeMillisecond = vtime.Millisecond
+
+// Row printing helpers shared by the drivers.
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// scaleInt scales a full-size count down, keeping at least lo.
+func scaleInt(full int, scale float64, lo int) int {
+	if scale <= 0 || scale >= 1 {
+		return full
+	}
+	n := int(float64(full) * scale)
+	if n < lo {
+		n = lo
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"modelnet"
+	"modelnet/internal/apps/gnutella"
+)
+
+// The paper's largest single experiment evaluated "system evolution and
+// connectivity of a 10,000 node network of unmodified gnutella clients by
+// mapping 100 VNs to each of 100 edge nodes". This driver reproduces the
+// connectivity measurement at the same scale.
+
+// ScaleConfig parameterizes the gnutella scale run.
+type ScaleConfig struct {
+	Servents int
+	Degree   int
+	TTL      int
+	EdgeVNs  int // VNs multiplexed per edge node (paper: 100)
+	Window   modelnet.Duration
+	Seed     int64
+}
+
+// DefaultScale is the paper's 10,000-servent configuration.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{
+		Servents: 10000,
+		Degree:   4,
+		TTL:      7,
+		EdgeVNs:  100,
+		Window:   modelnet.Seconds(60),
+		Seed:     15,
+	}
+}
+
+// ScaledScale shrinks the population for quick runs.
+func ScaledScale(scale float64) ScaleConfig {
+	cfg := DefaultScale()
+	cfg.Servents = scaleInt(cfg.Servents, scale, 500)
+	if scale < 1 {
+		cfg.Window = modelnet.Seconds(30)
+	}
+	return cfg
+}
+
+// ScaleResult summarizes the connectivity measurement.
+type ScaleResult struct {
+	Servents   int
+	Reachable  int // distinct peers answering a TTL-bounded ping flood
+	Forwarded  uint64
+	Duplicates uint64
+	CorePkts   uint64
+}
+
+// RunScale builds the overlay and floods a ping from servent 0.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	n := cfg.Servents
+	attr := modelnet.LinkAttrs{
+		BandwidthBps: modelnet.Mbps(10),
+		LatencySec:   modelnet.Ms(5),
+		QueuePkts:    200,
+	}
+	g := modelnet.Star(n, attr)
+	ideal := modelnet.IdealProfile()
+	em, err := modelnet.Run(g, modelnet.Options{
+		Profile:    &ideal,
+		Seed:       cfg.Seed,
+		RouteCache: 1 << 17, // the O(n²) matrix would be 100M routes at 10k VNs
+		EdgeNodes:  (n + cfg.EdgeVNs - 1) / cfg.EdgeVNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	peers := make([]*gnutella.Peer, n)
+	for i := range peers {
+		p, err := gnutella.NewPeer(em.NewHost(modelnet.VN(i)), i, gnutella.Config{DefaultTTL: cfg.TTL})
+		if err != nil {
+			return nil, err
+		}
+		peers[i] = p
+	}
+	connect := func(a, b int) {
+		peers[a].Connect(peers[b].Addr())
+		peers[b].Connect(peers[a].Addr())
+	}
+	for i := 1; i < n; i++ {
+		connect(i, rng.Intn(i))
+	}
+	for i := 0; i < n*(cfg.Degree-2)/2; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			connect(a, b)
+		}
+	}
+	res := &ScaleResult{Servents: n}
+	peers[0].Reachability(cfg.Window, func(c int) { res.Reachable = c })
+	em.RunFor(cfg.Window + modelnet.Seconds(5))
+	for _, p := range peers {
+		res.Forwarded += p.Forwarded
+		res.Duplicates += p.Duplicates
+	}
+	res.CorePkts = em.Emu.Delivered
+	return res, nil
+}
+
+// PrintScale renders the result.
+func PrintScale(w io.Writer, res *ScaleResult) {
+	fprintf(w, "Gnutella scale study: %d servents\n", res.Servents)
+	fprintf(w, "  reachable from servent 0: %d (%.1f%%)\n",
+		res.Reachable, 100*float64(res.Reachable)/float64(res.Servents-1))
+	fprintf(w, "  flood: %d forwarded, %d duplicates suppressed, %d packets emulated\n",
+		res.Forwarded, res.Duplicates, res.CorePkts)
+}

@@ -1,0 +1,151 @@
+// Package netstack is the from-scratch transport layer that applications
+// run over in this reproduction. The paper runs unmodified Linux binaries
+// whose kernel TCP stacks drive the emulated pipes; here the same role is
+// played by a packet-level TCP (NewReno: slow start, AIMD, fast
+// retransmit/recovery, delayed ACKs, RTO per RFC 6298) and UDP, implemented
+// over the emulation core's inject/deliver interface.
+//
+// Everything is event-driven on the single virtual-time loop: there are no
+// blocking calls. Applications receive callbacks (OnConnect, OnData, OnMsg,
+// OnClose) and send with non-blocking writes.
+//
+// Application payloads ride the byte stream by reference: WriteMsg attaches
+// an object to a range of stream bytes and the receiver's OnMsg fires when
+// the last byte of that range is delivered in order — the standard
+// packet-simulator pattern for modeling "an application message of size S"
+// without serialization.
+package netstack
+
+import (
+	"fmt"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/vtime"
+)
+
+// Injector is where a host's packets enter the network — normally the
+// emulation core, optionally wrapped by an edge-node model that adds host
+// link serialization or CPU contention.
+type Injector interface {
+	// Inject offers one packet; false means it was dropped before entering
+	// the emulated network (physical drop).
+	Inject(src, dst pipes.VN, size int, payload any) bool
+}
+
+// Endpoint names one side of a flow.
+type Endpoint struct {
+	VN   pipes.VN
+	Port uint16
+}
+
+func (e Endpoint) String() string { return fmt.Sprintf("vn%d:%d", e.VN, e.Port) }
+
+// Wire overheads (IPv4, no options).
+const (
+	TCPHeader = 40 // IP + TCP
+	UDPHeader = 28 // IP + UDP
+	MSS       = 1460
+)
+
+// Host is the network stack of one VN.
+type Host struct {
+	vn    pipes.VN
+	inj   Injector
+	sched *vtime.Scheduler
+
+	udpSocks  map[uint16]*UDPSocket
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	nextPort  uint16
+
+	// Stats.
+	PktsOut, PktsIn   uint64
+	BytesOut, BytesIn uint64
+	InjectFailures    uint64
+}
+
+type connKey struct {
+	localPort uint16
+	remote    Endpoint
+}
+
+// Registrar is the delivery side of the network (the emulator).
+type Registrar interface {
+	RegisterVN(vn pipes.VN, fn func(*pipes.Packet))
+}
+
+// NewHost creates the stack for VN vn, registering for packet delivery.
+// inj is the packet injection path (usually the same emulator).
+func NewHost(vn pipes.VN, sched *vtime.Scheduler, inj Injector, reg Registrar) *Host {
+	h := &Host{
+		vn:        vn,
+		inj:       inj,
+		sched:     sched,
+		udpSocks:  make(map[uint16]*UDPSocket),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextPort:  32768,
+	}
+	reg.RegisterVN(vn, h.onPacket)
+	return h
+}
+
+// VN returns the host's virtual node address.
+func (h *Host) VN() pipes.VN { return h.vn }
+
+// Scheduler returns the shared virtual-time scheduler.
+func (h *Host) Scheduler() *vtime.Scheduler { return h.sched }
+
+// ephemeralPort allocates a local port.
+func (h *Host) ephemeralPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 32768
+		}
+		if p < 1024 {
+			continue
+		}
+		if _, tcp := h.listeners[p]; tcp {
+			continue
+		}
+		if _, udp := h.udpSocks[p]; udp {
+			continue
+		}
+		inUse := false
+		for k := range h.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+	panic("netstack: out of ports")
+}
+
+// send pushes a packet into the network.
+func (h *Host) send(dst pipes.VN, size int, payload any) bool {
+	h.PktsOut++
+	h.BytesOut += uint64(size)
+	if !h.inj.Inject(h.vn, dst, size, payload) {
+		h.InjectFailures++
+		return false
+	}
+	return true
+}
+
+// onPacket dispatches a delivered packet to the owning socket.
+func (h *Host) onPacket(pkt *pipes.Packet) {
+	h.PktsIn++
+	h.BytesIn += uint64(pkt.Size)
+	switch pl := pkt.Payload.(type) {
+	case *Segment:
+		h.onSegment(pkt.Src, pl)
+	case *Datagram:
+		h.onDatagram(pkt.Src, pl)
+	}
+}

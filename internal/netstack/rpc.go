@@ -1,0 +1,160 @@
+package netstack
+
+import (
+	"errors"
+
+	"modelnet/internal/vtime"
+)
+
+// This file provides a small UDP request/response RPC used by the
+// distributed applications in the case studies (Chord lookups, CFS block
+// fetches, ACDC probes, gnutella control traffic). Requests are retried on
+// a timeout and matched to responses by ID.
+
+// ErrRPCTimeout reports a call that exhausted its retries.
+var ErrRPCTimeout = errors.New("netstack: rpc timeout")
+
+// rpcFrame is the wire payload of one RPC packet.
+type rpcFrame struct {
+	ID     uint64
+	IsResp bool
+	Body   any
+}
+
+// RPCHandler serves one inbound request: it returns the response body and
+// its payload size in bytes. Returning a nil body suppresses the response
+// (the caller will time out), modeling a dead or overloaded peer.
+type RPCHandler func(from Endpoint, body any, size int) (resp any, respSize int)
+
+// RPCNode is one endpoint able to both serve and issue RPCs over a single
+// UDP socket.
+type RPCNode struct {
+	sock    *UDPSocket
+	sched   *vtime.Scheduler
+	handler RPCHandler
+	nextID  uint64
+	pending map[uint64]*rpcCall
+
+	Calls, Timeouts, Served uint64
+}
+
+type rpcCall struct {
+	n        *RPCNode
+	id       uint64
+	to       Endpoint
+	size     int
+	body     any
+	tries    int
+	maxTry   int
+	timeout  vtime.Duration
+	timer    *vtime.Timer
+	done     func(resp any, err error)
+	finished bool
+}
+
+// finish completes the call exactly once.
+func (c *rpcCall) finish(resp any, err error) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.timer.StopTimer()
+	delete(c.n.pending, c.id)
+	if c.done != nil {
+		c.done(resp, err)
+	}
+}
+
+// NewRPCNode binds an RPC endpoint on the host at port (0 = ephemeral).
+func NewRPCNode(h *Host, port uint16, handler RPCHandler) (*RPCNode, error) {
+	n := &RPCNode{
+		sched:   h.sched,
+		handler: handler,
+		pending: make(map[uint64]*rpcCall),
+	}
+	sock, err := h.OpenUDP(port, n.onDatagram)
+	if err != nil {
+		return nil, err
+	}
+	n.sock = sock
+	return n, nil
+}
+
+// Addr returns the node's endpoint.
+func (n *RPCNode) Addr() Endpoint { return n.sock.Addr() }
+
+// Close unbinds the node and fails all pending calls.
+func (n *RPCNode) Close() {
+	n.sock.Close()
+	for _, call := range n.pending {
+		call.finish(nil, ErrRPCTimeout)
+	}
+}
+
+// CallOpts tune an RPC call.
+type CallOpts struct {
+	Timeout vtime.Duration // per-try timeout (default 500 ms)
+	Retries int            // additional attempts after the first (default 2)
+}
+
+// Call issues a request of the given payload size; done fires exactly once
+// with the response body or an error.
+func (n *RPCNode) Call(to Endpoint, body any, size int, opts CallOpts, done func(resp any, err error)) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * vtime.Millisecond
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	n.nextID++
+	n.Calls++
+	call := &rpcCall{
+		n: n, id: n.nextID, to: to, size: size, body: body,
+		maxTry: opts.Retries + 1, timeout: opts.Timeout,
+		timer: vtime.NewTimer(n.sched), done: done,
+	}
+	n.pending[call.id] = call
+	call.attempt()
+}
+
+func (c *rpcCall) attempt() {
+	c.tries++
+	// Arm the timer before sending: a loopback request can be answered
+	// synchronously within SendTo.
+	c.timer.Reset(c.timeout, func() {
+		if c.finished {
+			return
+		}
+		if c.tries < c.maxTry {
+			c.attempt()
+			return
+		}
+		c.n.Timeouts++
+		c.finish(nil, ErrRPCTimeout)
+	})
+	c.n.sock.SendTo(c.to, c.size, &rpcFrame{ID: c.id, Body: c.body})
+}
+
+func (n *RPCNode) onDatagram(from Endpoint, dg *Datagram) {
+	f, ok := dg.Obj.(*rpcFrame)
+	if !ok {
+		return
+	}
+	if f.IsResp {
+		call, ok := n.pending[f.ID]
+		if !ok {
+			return // late duplicate
+		}
+		call.finish(f.Body, nil)
+		return
+	}
+	if n.handler == nil {
+		return
+	}
+	n.Served++
+	resp, respSize := n.handler(from, f.Body, dg.Len)
+	if resp == nil {
+		return
+	}
+	n.sock.SendTo(from, respSize, &rpcFrame{ID: f.ID, IsResp: true, Body: resp})
+}

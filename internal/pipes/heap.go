@@ -1,0 +1,126 @@
+package pipes
+
+import "modelnet/internal/vtime"
+
+// Heap is the pipe heap from §2.2: pipes ordered by earliest deadline,
+// where a pipe's deadline is the exit time of the first packet in its
+// queue. The core scheduler traverses it every clock tick.
+//
+// Pipes are tracked by position so a pipe whose deadline changes can be
+// re-sifted in O(log n) without search.
+type Heap struct {
+	items []heapItem
+	pos   map[ID]int
+}
+
+type heapItem struct {
+	pipe     *Pipe
+	deadline vtime.Time
+}
+
+// NewHeap returns an empty pipe heap.
+func NewHeap() *Heap {
+	return &Heap{pos: make(map[ID]int)}
+}
+
+// Len reports the number of pipes with a live deadline.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Min returns the earliest deadline, or vtime.Forever if empty.
+func (h *Heap) Min() vtime.Time {
+	if len(h.items) == 0 {
+		return vtime.Forever
+	}
+	return h.items[0].deadline
+}
+
+// Update records pipe's current deadline. A deadline of vtime.Forever
+// removes the pipe from the heap; otherwise the pipe is inserted or moved.
+func (h *Heap) Update(p *Pipe) {
+	d := p.NextDeadline()
+	i, tracked := h.pos[p.ID()]
+	if d == vtime.Forever {
+		if tracked {
+			h.remove(i)
+		}
+		return
+	}
+	if !tracked {
+		h.items = append(h.items, heapItem{p, d})
+		i = len(h.items) - 1
+		h.pos[p.ID()] = i
+		h.up(i)
+		return
+	}
+	old := h.items[i].deadline
+	h.items[i].deadline = d
+	if d < old {
+		h.up(i)
+	} else if d > old {
+		h.down(i)
+	}
+}
+
+// PopReady removes and returns every pipe whose deadline is ≤ now. Callers
+// dequeue the ready packets and then Update the pipe to reinsert it with
+// its new deadline, mirroring the paper's scheduler loop.
+func (h *Heap) PopReady(now vtime.Time, visit func(*Pipe)) int {
+	n := 0
+	for len(h.items) > 0 && h.items[0].deadline <= now {
+		p := h.items[0].pipe
+		h.remove(0)
+		n++
+		visit(p)
+	}
+	return n
+}
+
+func (h *Heap) remove(i int) {
+	last := len(h.items) - 1
+	delete(h.pos, h.items[i].pipe.ID())
+	if i != last {
+		h.items[i] = h.items[last]
+		h.pos[h.items[i].pipe.ID()] = i
+	}
+	h.items = h.items[:last]
+	if i < len(h.items) {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].deadline <= h.items[i].deadline {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].deadline < h.items[small].deadline {
+			small = l
+		}
+		if r < n && h.items[r].deadline < h.items[small].deadline {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].pipe.ID()] = i
+	h.pos[h.items[j].pipe.ID()] = j
+}

@@ -1,0 +1,78 @@
+// Package pipes implements ModelNet's emulated links: each pipe has a
+// bandwidth, a propagation latency, a random loss rate, and a bounded packet
+// queue with a configurable discipline (drop-tail FIFO by default, RED
+// optionally). Packets move through pipes by reference; pipe processing
+// never copies packet data (§2).
+//
+// A packet first waits in the pipe's transmission queue for earlier packets
+// to drain at the pipe's bandwidth, then rides the delay line for the pipe's
+// latency — the delay line holds up to a bandwidth-delay product when the
+// link is fully utilized, exactly as in dummynet.
+package pipes
+
+import (
+	"modelnet/internal/vtime"
+)
+
+// VN identifies a virtual edge node (an application endpoint with its own
+// IP address in the emulated network).
+type VN int32
+
+// ID names a pipe within an emulation. Dense, starting at 0.
+type ID int32
+
+// Packet is the descriptor that traverses the pipe network. The core
+// schedules descriptors; payload travels by reference in Payload and is
+// never touched by emulation (link emulation does not require access to the
+// packet contents, §2.2).
+type Packet struct {
+	Seq  uint64 // unique per emulation, assigned at injection
+	Size int    // bytes on the wire, including headers
+
+	Src, Dst VN
+
+	// Route is the ordered list of pipes from source to destination,
+	// resolved at injection from the routing matrix. Hop indexes the next
+	// pipe to traverse.
+	Route []ID
+	Hop   int
+
+	// Injected is when the packet entered the core. Lag accumulates the
+	// scheduler-quantization delay added at each hop relative to exact
+	// (unquantized) pipe exits; the accuracy tracker (§3.1) records
+	// Lag + final-hop error at delivery.
+	Injected vtime.Time
+	Lag      vtime.Duration
+
+	// Payload carries protocol state (a TCP segment, an RPC frame, ...) by
+	// reference.
+	Payload any
+}
+
+// DropReason classifies why a packet was dropped by a pipe.
+type DropReason int
+
+const (
+	// DropNone means the packet was accepted.
+	DropNone DropReason = iota
+	// DropOverflow is a congestion-related queue overflow (tail drop).
+	DropOverflow
+	// DropRandomLoss is the pipe's configured random loss.
+	DropRandomLoss
+	// DropRED is an early drop by the RED policy.
+	DropRED
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "none"
+	case DropOverflow:
+		return "overflow"
+	case DropRandomLoss:
+		return "loss"
+	case DropRED:
+		return "red"
+	}
+	return "unknown"
+}

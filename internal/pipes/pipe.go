@@ -1,0 +1,209 @@
+package pipes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelnet/internal/vtime"
+)
+
+// DefaultQueuePkts is the queue capacity used when a link specifies none;
+// it matches dummynet's default of 50 slots.
+const DefaultQueuePkts = 50
+
+// Params are the emulation parameters of one pipe. They may be changed
+// while the emulation runs (dynamic network characteristics, §4.3).
+type Params struct {
+	BandwidthBps float64        // link rate, bits per second
+	Latency      vtime.Duration // one-way propagation delay
+	LossRate     float64        // [0,1) random drop probability
+	QueuePkts    int            // transmission queue capacity in packets
+	RED          *REDParams     // nil = drop-tail FIFO
+}
+
+func (p Params) queueCap() int {
+	if p.QueuePkts <= 0 {
+		return DefaultQueuePkts
+	}
+	return p.QueuePkts
+}
+
+// entry is one packet inside the pipe: waiting to transmit until txDone,
+// then on the delay line until exit.
+type entry struct {
+	pkt    *Packet
+	txDone vtime.Time
+	exit   vtime.Time
+}
+
+// Pipe is one emulated link. Not safe for concurrent use; all access happens
+// on the single emulation event loop.
+type Pipe struct {
+	id     ID
+	params Params
+
+	q      []entry // FIFO: [txHead:) still transmitting-or-waiting, earlier are on the delay line
+	head   int     // index of first live entry in q
+	txHead int     // index of first entry with txDone > now (lazily advanced)
+
+	lastTxDone vtime.Time // when the transmitter becomes free
+	rng        *rand.Rand
+	red        redState
+
+	// Stats.
+	Accepted  uint64
+	Drops     [4]uint64 // indexed by DropReason
+	BytesIn   uint64
+	BytesOut  uint64
+	Delivered uint64
+}
+
+// New returns a pipe with the given identity and parameters. seed
+// determinizes the pipe's random loss and RED decisions.
+func New(id ID, params Params, seed int64) *Pipe {
+	p := &Pipe{id: id, params: params, rng: rand.New(rand.NewSource(seed ^ int64(id)*0x1e3779b97f4a7c15))}
+	p.red.init()
+	return p
+}
+
+// ID returns the pipe's identity.
+func (p *Pipe) ID() ID { return p.id }
+
+// Params returns the current parameters.
+func (p *Pipe) Params() Params { return p.params }
+
+// SetParams installs new parameters. In-flight packets keep the schedule
+// they were assigned on entry; subsequent packets see the new values. This
+// is the mechanism behind synthetic cross traffic and fault injection.
+func (p *Pipe) SetParams(params Params) { p.params = params }
+
+// Len reports the number of packets inside the pipe (queue + delay line).
+func (p *Pipe) Len() int { return len(p.q) - p.head }
+
+// QueueLen reports packets still waiting for (or in) transmission at time
+// now — the population the drop policies act on.
+func (p *Pipe) QueueLen(now vtime.Time) int {
+	p.advanceTx(now)
+	return len(p.q) - p.txHead
+}
+
+func (p *Pipe) advanceTx(now vtime.Time) {
+	for p.txHead < len(p.q) && p.q[p.txHead].txDone <= now {
+		p.txHead++
+	}
+}
+
+// Enqueue offers a packet to the pipe at time now. It returns DropNone and
+// the packet's exit time on acceptance, or the drop reason. Drops here are
+// *emulated* ("virtual") drops: the target network would have dropped the
+// packet too.
+func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
+	// Random loss first: it models lossy media, independent of queueing.
+	if p.params.LossRate > 0 && p.rng.Float64() < p.params.LossRate {
+		p.Drops[DropRandomLoss]++
+		return DropRandomLoss, 0
+	}
+
+	qlen := p.QueueLen(now)
+	if p.params.RED != nil {
+		if p.red.shouldDrop(p.params.RED, qlen, now, p.rng) {
+			p.Drops[DropRED]++
+			return DropRED, 0
+		}
+	}
+	if qlen >= p.params.queueCap() {
+		p.Drops[DropOverflow]++
+		return DropOverflow, 0
+	}
+
+	// Time to drain every earlier queued byte plus this packet at the
+	// pipe's bandwidth (§2.2), then ride the delay line.
+	txStart := now
+	if p.lastTxDone > txStart {
+		txStart = p.lastTxDone
+	}
+	txTime := vtime.Duration(float64(pkt.Size*8) / p.params.BandwidthBps * float64(vtime.Second))
+	if txTime < 0 {
+		txTime = 0
+	}
+	txDone := txStart.Add(txTime)
+	exit := txDone.Add(p.params.Latency)
+	p.lastTxDone = txDone
+	p.q = append(p.q, entry{pkt: pkt, txDone: txDone, exit: exit})
+	p.Accepted++
+	p.BytesIn += uint64(pkt.Size)
+	return DropNone, exit
+}
+
+// NextDeadline returns the exit time of the pipe's earliest packet, or
+// vtime.Forever when the pipe is empty. This is the key the core's pipe
+// heap sorts on.
+func (p *Pipe) NextDeadline() vtime.Time {
+	if p.head >= len(p.q) {
+		return vtime.Forever
+	}
+	return p.q[p.head].exit
+}
+
+// DequeueReady pops every packet whose exit time is ≤ now, invoking deliver
+// for each in FIFO order with the packet's exact (unquantized) exit time.
+// It returns the number delivered.
+func (p *Pipe) DequeueReady(now vtime.Time, deliver func(*Packet, vtime.Time)) int {
+	n := 0
+	for p.head < len(p.q) && p.q[p.head].exit <= now {
+		e := p.q[p.head]
+		p.q[p.head] = entry{} // release reference
+		p.head++
+		n++
+		p.Delivered++
+		p.BytesOut += uint64(e.pkt.Size)
+		deliver(e.pkt, e.exit)
+	}
+	if p.head == len(p.q) {
+		p.red.markIdle(now)
+	}
+	p.compact()
+	return n
+}
+
+// PeekExit reports the scheduled exit time of the head packet without
+// removing it; ok is false when the pipe is empty.
+func (p *Pipe) PeekExit() (vtime.Time, bool) {
+	if p.head >= len(p.q) {
+		return 0, false
+	}
+	return p.q[p.head].exit, true
+}
+
+func (p *Pipe) compact() {
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+		p.txHead = 0
+		return
+	}
+	// Reclaim space once the dead prefix dominates.
+	if p.head > 64 && p.head*2 > len(p.q) {
+		n := copy(p.q, p.q[p.head:])
+		for i := n; i < len(p.q); i++ {
+			p.q[i] = entry{}
+		}
+		p.q = p.q[:n]
+		p.txHead -= p.head
+		if p.txHead < 0 {
+			p.txHead = 0
+		}
+		p.head = 0
+	}
+}
+
+// TotalDrops reports the sum of all emulated drops.
+func (p *Pipe) TotalDrops() uint64 {
+	return p.Drops[DropOverflow] + p.Drops[DropRandomLoss] + p.Drops[DropRED]
+}
+
+func (p *Pipe) String() string {
+	return fmt.Sprintf("pipe %d: %.1f Mb/s, %v, loss %.4f, q%d (len %d)",
+		p.id, p.params.BandwidthBps/1e6, p.params.Latency, p.params.LossRate,
+		p.params.queueCap(), p.Len())
+}

@@ -1,0 +1,373 @@
+package pipes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modelnet/internal/vtime"
+)
+
+func mkParams(mbps float64, lat vtime.Duration, qcap int) Params {
+	return Params{BandwidthBps: mbps * 1e6, Latency: lat, QueuePkts: qcap}
+}
+
+func pkt(size int) *Packet { return &Packet{Size: size} }
+
+func TestPipeBasicTiming(t *testing.T) {
+	// 8 Mb/s, 10 ms latency: a 1000-byte packet transmits in 1 ms,
+	// exits at 11 ms.
+	p := New(0, mkParams(8, 10*vtime.Millisecond, 10), 1)
+	reason, exit := p.Enqueue(pkt(1000), 0)
+	if reason != DropNone {
+		t.Fatalf("dropped: %v", reason)
+	}
+	want := vtime.Time(11 * vtime.Millisecond)
+	if exit != want {
+		t.Fatalf("exit = %v, want %v", exit, want)
+	}
+	if d := p.NextDeadline(); d != want {
+		t.Fatalf("deadline = %v, want %v", d, want)
+	}
+	n := p.DequeueReady(want, func(*Packet, vtime.Time) {})
+	if n != 1 {
+		t.Fatalf("delivered %d", n)
+	}
+	if p.NextDeadline() != vtime.Forever {
+		t.Error("empty pipe deadline not Forever")
+	}
+}
+
+func TestPipeSerialization(t *testing.T) {
+	// Two back-to-back packets: second waits for the first's transmission
+	// (but latency overlaps — that's the delay line).
+	p := New(0, mkParams(8, 10*vtime.Millisecond, 10), 1)
+	_, exit1 := p.Enqueue(pkt(1000), 0)
+	_, exit2 := p.Enqueue(pkt(1000), 0)
+	if exit1 != vtime.Time(11*vtime.Millisecond) {
+		t.Errorf("exit1 = %v", exit1)
+	}
+	if exit2 != vtime.Time(12*vtime.Millisecond) {
+		t.Errorf("exit2 = %v, want 12ms (serialized tx, pipelined latency)", exit2)
+	}
+}
+
+func TestPipeIdleGap(t *testing.T) {
+	p := New(0, mkParams(8, vtime.Duration(0), 10), 1)
+	_, e1 := p.Enqueue(pkt(1000), 0)
+	p.DequeueReady(e1, func(*Packet, vtime.Time) {})
+	// After idle, transmission starts at arrival, not at lastTxDone.
+	_, e2 := p.Enqueue(pkt(1000), vtime.Time(50*vtime.Millisecond))
+	want := vtime.Time(51 * vtime.Millisecond)
+	if e2 != want {
+		t.Errorf("exit after idle = %v, want %v", e2, want)
+	}
+}
+
+func TestPipeOverflow(t *testing.T) {
+	// Queue cap 3. Saturate instantaneously: packets beyond cap drop.
+	p := New(0, mkParams(1, 0, 3), 1)
+	drops := 0
+	for i := 0; i < 10; i++ {
+		if r, _ := p.Enqueue(pkt(1500), 0); r == DropOverflow {
+			drops++
+		}
+	}
+	if drops != 7 {
+		t.Errorf("drops = %d, want 7 (cap 3)", drops)
+	}
+	if p.Drops[DropOverflow] != 7 {
+		t.Errorf("stat drops = %d", p.Drops[DropOverflow])
+	}
+}
+
+func TestPipeQueueDrains(t *testing.T) {
+	// After the transmission queue drains, new packets are accepted again.
+	p := New(0, mkParams(12, 0, 2), 1) // 1500B = 1ms at 12Mb/s
+	p.Enqueue(pkt(1500), 0)
+	p.Enqueue(pkt(1500), 0)
+	if r, _ := p.Enqueue(pkt(1500), 0); r != DropOverflow {
+		t.Fatal("third packet at t=0 should overflow")
+	}
+	// At t=1ms the first tx is done; one slot frees.
+	if r, _ := p.Enqueue(pkt(1500), vtime.Time(1*vtime.Millisecond)); r != DropNone {
+		t.Fatal("packet after drain should be accepted")
+	}
+}
+
+func TestPipeRandomLoss(t *testing.T) {
+	params := mkParams(1000, 0, 1<<20)
+	params.LossRate = 0.3
+	p := New(0, params, 42)
+	const n = 20000
+	lost := 0
+	for i := 0; i < n; i++ {
+		if r, _ := p.Enqueue(pkt(100), 0); r == DropRandomLoss {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	if got < 0.27 || got > 0.33 {
+		t.Errorf("loss fraction %.3f, want ≈0.3", got)
+	}
+}
+
+func TestPipeFIFOOrder(t *testing.T) {
+	p := New(0, mkParams(100, vtime.Duration(5*vtime.Millisecond), 1000), 1)
+	var sent []uint64
+	for i := 0; i < 50; i++ {
+		pk := pkt(100 + i*10)
+		pk.Seq = uint64(i)
+		sent = append(sent, pk.Seq)
+		p.Enqueue(pk, vtime.Time(i))
+	}
+	var got []uint64
+	p.DequeueReady(vtime.Forever-1, func(pk *Packet, _ vtime.Time) { got = append(got, pk.Seq) })
+	if len(got) != len(sent) {
+		t.Fatalf("delivered %d of %d", len(got), len(sent))
+	}
+	for i := range got {
+		if got[i] != sent[i] {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSetParamsAffectsNewPackets(t *testing.T) {
+	p := New(0, mkParams(8, 0, 10), 1)
+	_, e1 := p.Enqueue(pkt(1000), 0) // 1ms at 8Mb/s
+	p.SetParams(mkParams(4, 0, 10))
+	_, e2 := p.Enqueue(pkt(1000), 0) // 2ms at 4Mb/s, queued behind first
+	if e1 != vtime.Time(1*vtime.Millisecond) {
+		t.Errorf("e1 = %v", e1)
+	}
+	if e2 != vtime.Time(3*vtime.Millisecond) {
+		t.Errorf("e2 = %v, want 3ms", e2)
+	}
+}
+
+// Property: conservation — every enqueued packet is either delivered or
+// counted as dropped, and deliveries are in exit-time order.
+func TestPipeConservationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		params := mkParams(1+rng.Float64()*99, vtime.Duration(rng.Intn(int(10*vtime.Millisecond))), rng.Intn(20)+1)
+		params.LossRate = rng.Float64() * 0.2
+		p := New(ID(seed&0xff), params, seed)
+		now := vtime.Time(0)
+		accepted := 0
+		for i := 0; i < n; i++ {
+			now = now.Add(vtime.Duration(rng.Intn(int(vtime.Millisecond))))
+			if r, _ := p.Enqueue(pkt(rng.Intn(1400)+100), now); r == DropNone {
+				accepted++
+			}
+		}
+		var lastExit vtime.Time
+		delivered := 0
+		for {
+			d := p.NextDeadline()
+			if d == vtime.Forever {
+				break
+			}
+			if d < lastExit {
+				return false
+			}
+			lastExit = d
+			delivered += p.DequeueReady(d, func(*Packet, vtime.Time) {})
+		}
+		if delivered != accepted {
+			return false
+		}
+		return p.Accepted == uint64(accepted) &&
+			uint64(n-accepted) == p.TotalDrops()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exit times always ≥ arrival + size/bw + latency (never faster
+// than physics allows).
+func TestPipeNeverFasterThanLink(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := mkParams(1+rng.Float64()*999, vtime.Duration(rng.Intn(int(50*vtime.Millisecond))), 1000)
+		p := New(0, params, seed)
+		now := vtime.Time(0)
+		for i := 0; i < 100; i++ {
+			now = now.Add(vtime.Duration(rng.Intn(int(2 * vtime.Millisecond))))
+			size := rng.Intn(1400) + 64
+			r, exit := p.Enqueue(pkt(size), now)
+			if r != DropNone {
+				continue
+			}
+			minExit := now.
+				Add(vtime.Duration(float64(size*8) / params.BandwidthBps * float64(vtime.Second))).
+				Add(params.Latency)
+			if exit < minExit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestREDDropsEarly(t *testing.T) {
+	params := mkParams(1, 0, 100) // slow pipe, builds queue
+	params.RED = DefaultRED(100)
+	p := New(0, params, 7)
+	redDrops := 0
+	overflow := 0
+	// Offer far more than the pipe can carry; RED should kick in before
+	// the queue hard-fills.
+	now := vtime.Time(0)
+	for i := 0; i < 5000; i++ {
+		now = now.Add(vtime.Duration(10 * vtime.Microsecond))
+		switch r, _ := p.Enqueue(pkt(1500), now); r {
+		case DropRED:
+			redDrops++
+		case DropOverflow:
+			overflow++
+		}
+	}
+	if redDrops == 0 {
+		t.Error("RED never dropped under sustained overload")
+	}
+}
+
+func TestREDIdleDecay(t *testing.T) {
+	params := mkParams(1, 0, 100)
+	params.RED = DefaultRED(100)
+	p := New(0, params, 7)
+	now := vtime.Time(0)
+	for i := 0; i < 2000; i++ {
+		now = now.Add(vtime.Duration(10 * vtime.Microsecond))
+		p.Enqueue(pkt(1500), now)
+	}
+	avgLoaded := p.red.avg
+	// Drain fully and wait a long idle period.
+	now = now.Add(60 * vtime.Second)
+	p.DequeueReady(now, func(*Packet, vtime.Time) {})
+	now = now.Add(10 * vtime.Second)
+	p.Enqueue(pkt(100), now)
+	if p.red.avg >= avgLoaded/2 {
+		t.Errorf("RED average did not decay over idle: %v -> %v", avgLoaded, p.red.avg)
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	h := NewHeap()
+	var ps []*Pipe
+	for i := 0; i < 20; i++ {
+		p := New(ID(i), mkParams(8, vtime.Duration(i+1)*vtime.Millisecond, 100), 1)
+		p.Enqueue(pkt(1000), 0)
+		ps = append(ps, p)
+		h.Update(p)
+	}
+	if h.Len() != 20 {
+		t.Fatalf("heap len %d", h.Len())
+	}
+	// Pipe 0 has the smallest latency; min deadline should be pipe 0's.
+	if h.Min() != ps[0].NextDeadline() {
+		t.Errorf("min = %v, want %v", h.Min(), ps[0].NextDeadline())
+	}
+	// Pop everything in order.
+	var last vtime.Time
+	count := 0
+	for h.Len() > 0 {
+		now := h.Min()
+		if now < last {
+			t.Fatal("heap order violated")
+		}
+		last = now
+		h.PopReady(now, func(p *Pipe) {
+			p.DequeueReady(now, func(*Packet, vtime.Time) {})
+			count++
+			h.Update(p) // empty now; should not reinsert
+		})
+	}
+	if count != 20 {
+		t.Errorf("visited %d pipes", count)
+	}
+}
+
+func TestHeapUpdateMoves(t *testing.T) {
+	h := NewHeap()
+	a := New(1, mkParams(8, 10*vtime.Millisecond, 100), 1)
+	b := New(2, mkParams(8, 20*vtime.Millisecond, 100), 1)
+	a.Enqueue(pkt(1000), 0)
+	b.Enqueue(pkt(1000), 0)
+	h.Update(a)
+	h.Update(b)
+	if h.Min() != a.NextDeadline() {
+		t.Fatal("a should be min")
+	}
+	// Drain a, give it a later packet; heap should now lead with b.
+	a.DequeueReady(a.NextDeadline(), func(*Packet, vtime.Time) {})
+	a.Enqueue(pkt(1000), vtime.Time(100*vtime.Millisecond))
+	h.Update(a)
+	if h.Min() != b.NextDeadline() {
+		t.Errorf("min = %v, want b's %v", h.Min(), b.NextDeadline())
+	}
+}
+
+// Property: heap Min always equals the true minimum deadline across live pipes.
+func TestHeapMinProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHeap()
+		var ps []*Pipe
+		for i := 0; i < 30; i++ {
+			p := New(ID(i), mkParams(1+rng.Float64()*100, vtime.Duration(rng.Intn(int(20*vtime.Millisecond))), 100), seed+int64(i))
+			ps = append(ps, p)
+		}
+		now := vtime.Time(0)
+		for step := 0; step < 200; step++ {
+			p := ps[rng.Intn(len(ps))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				p.Enqueue(pkt(rng.Intn(1400)+100), now)
+				h.Update(p)
+			case 2:
+				d := p.NextDeadline()
+				if d != vtime.Forever {
+					if d > now {
+						now = d
+					}
+					p.DequeueReady(now, func(*Packet, vtime.Time) {})
+					h.Update(p)
+				}
+			}
+			// Verify Min invariant.
+			want := vtime.Forever
+			for _, q := range ps {
+				if d := q.NextDeadline(); d < want {
+					want = d
+				}
+			}
+			if h.Min() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPipeEnqueueDequeue(b *testing.B) {
+	p := New(0, mkParams(1000, vtime.Duration(vtime.Millisecond), 1<<20), 1)
+	pk := pkt(1500)
+	now := vtime.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(12 * vtime.Microsecond)
+		p.Enqueue(pk, now)
+		p.DequeueReady(now, func(*Packet, vtime.Time) {})
+	}
+}

@@ -1,0 +1,238 @@
+package routing
+
+import (
+	"testing"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/emucore"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+func attrs(mbps, ms float64) topology.LinkAttrs {
+	return topology.LinkAttrs{BandwidthBps: mbps * 1e6, LatencySec: ms * 1e-3, QueuePkts: 30}
+}
+
+func TestDVConvergesFromColdStart(t *testing.T) {
+	g := topology.Ring(6, 2, attrs(20, 5), attrs(2, 1))
+	sched := vtime.NewScheduler()
+	d := New(sched, g, g.Clients(), Config{})
+	d.Start()
+	sched.RunUntil(vtime.Time(60 * vtime.Second))
+	if !d.Converged() {
+		t.Fatal("DV did not converge to shortest paths")
+	}
+	if d.Messages == 0 || d.Bytes == 0 {
+		t.Error("no protocol overhead recorded")
+	}
+}
+
+func TestDVTableMatchesMatrixAfterConvergence(t *testing.T) {
+	g := topology.Ring(5, 2, attrs(20, 5), attrs(2, 1))
+	homes := g.Clients()
+	sched := vtime.NewScheduler()
+	d := New(sched, g, homes, Config{})
+	d.Start()
+	sched.RunUntil(vtime.Time(60 * vtime.Second))
+
+	m, err := bind.BuildMatrix(g, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(r bind.Route) float64 {
+		total := 0.0
+		for _, pid := range r {
+			total += g.Links[pid].Attr.LatencySec
+		}
+		return total
+	}
+	for i := 0; i < len(homes); i++ {
+		for j := 0; j < len(homes); j++ {
+			rd, okd := d.Table().Lookup(pipes.VN(i), pipes.VN(j))
+			rm, okm := m.Lookup(pipes.VN(i), pipes.VN(j))
+			if okd != okm {
+				t.Fatalf("lookup(%d,%d): dv %v matrix %v", i, j, okd, okm)
+			}
+			if !okd {
+				continue
+			}
+			if lat(rd) > lat(rm)+1e-9 {
+				t.Fatalf("dv route %d->%d slower than optimal: %v vs %v", i, j, lat(rd), lat(rm))
+			}
+		}
+	}
+}
+
+func TestDVReconvergesAfterFailure(t *testing.T) {
+	// Diamond: fast path through `top`, slow path through `bot`. Fail the
+	// fast path and watch the protocol reroute.
+	g := topology.New()
+	a := g.AddNode(topology.Client, "a")
+	top := g.AddNode(topology.Stub, "top")
+	bot := g.AddNode(topology.Stub, "bot")
+	b := g.AddNode(topology.Client, "b")
+	f1, f1r := g.AddDuplex(a, top, attrs(10, 1))
+	g.AddDuplex(top, b, attrs(10, 1))
+	g.AddDuplex(a, bot, attrs(10, 20))
+	g.AddDuplex(bot, b, attrs(10, 20))
+	_ = f1r
+	homes := []topology.NodeID{a, b}
+	sched := vtime.NewScheduler()
+	d := New(sched, g, homes, Config{})
+	d.Start()
+	sched.RunUntil(vtime.Time(30 * vtime.Second))
+
+	r, ok := d.Table().Lookup(0, 1)
+	if !ok || len(r) != 2 || pipes.ID(f1) != r[0] {
+		t.Fatalf("initial route should use the fast path: %v %v", r, ok)
+	}
+	// Fail a->top (both directions, as a physical link cut would).
+	d.SetLinkDown(f1, true)
+	d.SetLinkDown(f1r, true)
+	// Immediately after, the route is withdrawn or rerouted; eventually it
+	// settles on the slow path.
+	sched.RunUntil(vtime.Time(90 * vtime.Second))
+	r, ok = d.Table().Lookup(0, 1)
+	if !ok {
+		t.Fatal("no route after reconvergence")
+	}
+	for _, pid := range r {
+		if pid == pipes.ID(f1) {
+			t.Fatal("route still uses the failed link")
+		}
+	}
+	if len(r) != 2 || g.Links[r[0]].Dst != bot {
+		t.Fatalf("route did not move to the slow path: %v", r)
+	}
+	// Heal: the fast path returns.
+	d.SetLinkDown(f1, false)
+	d.SetLinkDown(f1r, false)
+	sched.RunUntil(vtime.Time(180 * vtime.Second))
+	r, _ = d.Table().Lookup(0, 1)
+	if len(r) != 2 || g.Links[r[0]].Dst != top {
+		t.Fatalf("route did not return to the fast path after heal: %v", r)
+	}
+}
+
+func TestDVTriggeredBeatsPeriodic(t *testing.T) {
+	// Convergence after failure should happen in ~triggered-update time,
+	// far faster than the advertisement period.
+	g := topology.Ring(8, 1, attrs(20, 5), attrs(2, 1))
+	homes := g.Clients()
+	sched := vtime.NewScheduler()
+	cfg := Config{AdvertiseEvery: 30 * vtime.Second}
+	d := New(sched, g, homes, cfg)
+	d.Start()
+	sched.RunUntil(vtime.Time(120 * vtime.Second))
+	if !d.Converged() {
+		t.Fatal("not converged initially")
+	}
+	// Fail one ring segment (both directions).
+	var lid topology.LinkID = -1
+	for _, l := range g.Links {
+		if g.Class(l) == topology.StubStub {
+			lid = l.ID
+			break
+		}
+	}
+	rev, _ := g.FindLink(g.Links[lid].Dst, g.Links[lid].Src)
+	at := sched.Now()
+	d.SetLinkDown(lid, true)
+	d.SetLinkDown(rev.ID, true)
+	for !d.Converged() && sched.Now().Sub(at) < vtime.Duration(120*vtime.Second) {
+		sched.RunFor(500 * vtime.Millisecond)
+	}
+	el := sched.Now().Sub(at)
+	if !d.Converged() {
+		t.Fatalf("did not reconverge within 120s")
+	}
+	if el > 20*vtime.Second {
+		t.Errorf("reconvergence took %v; triggered updates should beat the 30s period", el)
+	}
+}
+
+type regAdapter struct{ e *emucore.Emulator }
+
+func (r regAdapter) RegisterVN(vn pipes.VN, fn func(*pipes.Packet)) {
+	r.e.RegisterVN(vn, emucore.DeliverFunc(fn))
+}
+
+func TestDVDrivesLiveEmulation(t *testing.T) {
+	// Wire the DV table into an emulator: a UDP stream sees an outage on
+	// link failure and recovers once the protocol reconverges — the
+	// convergence transient the perfect-routing assumption hides.
+	g := topology.New()
+	a := g.AddNode(topology.Client, "a")
+	top := g.AddNode(topology.Stub, "top")
+	bot := g.AddNode(topology.Stub, "bot")
+	b := g.AddNode(topology.Client, "b")
+	f1, f1r := g.AddDuplex(a, top, attrs(10, 1))
+	g.AddDuplex(top, b, attrs(10, 1))
+	g.AddDuplex(a, bot, attrs(10, 5))
+	g.AddDuplex(bot, b, attrs(10, 5))
+
+	bnd, err := bind.Bind(g, bind.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := vtime.NewScheduler()
+	emu, err := emucore.New(sched, g, bnd, nil, emucore.IdealProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(sched, g, bnd.VNHome, Config{AdvertiseEvery: 2 * vtime.Second})
+	emu.SetTable(d.Table())
+	d.Start()
+
+	h0 := netstack.NewHost(0, sched, emu, regAdapter{emu})
+	h1 := netstack.NewHost(1, sched, emu, regAdapter{emu})
+	var arrivals []vtime.Time
+	h1.OpenUDP(9, func(netstack.Endpoint, *netstack.Datagram) {
+		arrivals = append(arrivals, sched.Now())
+	})
+	s, _ := h0.OpenUDP(0, nil)
+	tick := vtime.NewTicker(sched, 50*vtime.Millisecond, func() {
+		s.SendTo(netstack.Endpoint{VN: 1, Port: 9}, 100, nil)
+	})
+	// Let the protocol converge, then start traffic, then cut the link.
+	sched.RunUntil(vtime.Time(10 * vtime.Second))
+	tick.Start()
+	failAt := vtime.Time(20 * vtime.Second)
+	sched.At(failAt, func() {
+		d.SetLinkDown(f1, true)
+		d.SetLinkDown(f1r, true)
+		// Packets already following stale routes onto the dead link must
+		// vanish: model the cut at the pipe level too.
+		p := emu.Pipe(pipes.ID(f1)).Params()
+		p.LossRate = 0.999999
+		emu.SetPipeParams(pipes.ID(f1), p)
+	})
+	sched.RunUntil(vtime.Time(60 * vtime.Second))
+	tick.Stop()
+
+	if len(arrivals) == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	// Find the outage: the largest inter-arrival gap after the failure.
+	var outage vtime.Duration
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < failAt {
+			continue
+		}
+		if gap := arrivals[i].Sub(arrivals[i-1]); gap > outage {
+			outage = gap
+		}
+	}
+	if outage < vtime.Duration(100*vtime.Millisecond) {
+		t.Errorf("no visible outage (%v) — convergence transient missing", outage)
+	}
+	if outage > vtime.Duration(15*vtime.Second) {
+		t.Errorf("outage %v too long — protocol failed to reroute", outage)
+	}
+	last := arrivals[len(arrivals)-1]
+	if last < vtime.Time(55*vtime.Second) {
+		t.Errorf("traffic never recovered: last arrival %v", last)
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+
+	"modelnet/internal/vtime"
+)
+
+// Meter accumulates byte/packet counts over virtual time and reports rates.
+type Meter struct {
+	Bytes   uint64
+	Packets uint64
+	start   vtime.Time
+	started bool
+	last    vtime.Time
+}
+
+// Start marks the measurement origin.
+func (m *Meter) Start(at vtime.Time) {
+	m.start = at
+	m.started = true
+}
+
+// Account records one packet of n bytes at time at.
+func (m *Meter) Account(n int, at vtime.Time) {
+	if !m.started {
+		m.Start(at)
+	}
+	m.Bytes += uint64(n)
+	m.Packets++
+	m.last = at
+}
+
+// Elapsed returns the time from start to the later of `until` and the last
+// accounted packet.
+func (m *Meter) Elapsed(until vtime.Time) vtime.Duration {
+	end := until
+	if m.last > end {
+		end = m.last
+	}
+	return end.Sub(m.start)
+}
+
+// BitsPerSec returns the average bit rate through `until`.
+func (m *Meter) BitsPerSec(until vtime.Time) float64 {
+	el := m.Elapsed(until).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.Bytes*8) / el
+}
+
+// PacketsPerSec returns the average packet rate through `until`.
+func (m *Meter) PacketsPerSec(until vtime.Time) float64 {
+	el := m.Elapsed(until).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.Packets) / el
+}
+
+func (m *Meter) String() string {
+	return fmt.Sprintf("%d pkts, %d bytes", m.Packets, m.Bytes)
+}
+
+// Event is one record in the Log.
+type Event struct {
+	At   vtime.Time
+	Kind string
+	Val  float64
+}
+
+// Log is a bounded in-memory event buffer — the stand-in for the paper's
+// kernel logging package: record cheaply during the run, analyze offline.
+type Log struct {
+	cap    int
+	events []Event
+	Drops  uint64 // records discarded after the buffer filled
+}
+
+// NewLog returns a log bounded at capacity records (≤0 means 1<<20).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &Log{cap: capacity}
+}
+
+// Record appends an event, dropping it when full.
+func (l *Log) Record(at vtime.Time, kind string, val float64) {
+	if len(l.events) >= l.cap {
+		l.Drops++
+		return
+	}
+	l.events = append(l.events, Event{at, kind, val})
+}
+
+// Events returns all buffered events.
+func (l *Log) Events() []Event { return l.events }
+
+// Kind filters events by kind.
+func (l *Log) Kind(kind string) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SampleOf collapses a kind's values into a Sample.
+func (l *Log) SampleOf(kind string) *Sample {
+	s := &Sample{}
+	for _, e := range l.events {
+		if e.Kind == kind {
+			s.Add(e.Val)
+		}
+	}
+	return s
+}

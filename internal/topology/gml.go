@@ -1,0 +1,267 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ModelNet converts all topology sources (Internet traces, BGP dumps,
+// synthetic generators) to GML, the graph modeling language (§2.1). This file
+// implements a GML subset sufficient for annotated ModelNet topologies:
+//
+//	graph [
+//	  directed 1
+//	  node [ id 0 label "vn0" kind "client" ]
+//	  edge [ source 0 target 1 bandwidth 10000000 latency 0.005 loss 0.0001 queue 10 cost 3.5 ]
+//	]
+
+// WriteGML serializes g to w in GML form. Links are written as directed
+// edges; node IDs are the graph's dense IDs.
+func WriteGML(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph [")
+	fmt.Fprintln(bw, "  directed 1")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(bw, "  node [ id %d label %q kind %q ]\n", n.ID, n.Name, n.Kind.String())
+	}
+	for _, l := range g.Links {
+		fmt.Fprintf(bw, "  edge [ source %d target %d bandwidth %g latency %g loss %g queue %d cost %g ]\n",
+			l.Src, l.Dst, l.Attr.BandwidthBps, l.Attr.LatencySec, l.Attr.LossRate, l.Attr.QueuePkts, l.Attr.Cost)
+	}
+	fmt.Fprintln(bw, "]")
+	return bw.Flush()
+}
+
+type gmlToken struct {
+	text string
+}
+
+func tokenizeGML(r io.Reader) ([]gmlToken, error) {
+	var toks []gmlToken
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		rest := line
+		for len(rest) > 0 {
+			rest = strings.TrimLeft(rest, " \t\r")
+			if len(rest) == 0 {
+				break
+			}
+			switch rest[0] {
+			case '[', ']':
+				toks = append(toks, gmlToken{string(rest[0])})
+				rest = rest[1:]
+			case '"':
+				end := strings.IndexByte(rest[1:], '"')
+				if end < 0 {
+					return nil, fmt.Errorf("gml: unterminated string in %q", line)
+				}
+				toks = append(toks, gmlToken{rest[:end+2]})
+				rest = rest[end+2:]
+			default:
+				n := strings.IndexAny(rest, " \t\r[]")
+				if n < 0 {
+					n = len(rest)
+				}
+				toks = append(toks, gmlToken{rest[:n]})
+				rest = rest[n:]
+			}
+		}
+	}
+	return toks, sc.Err()
+}
+
+// gmlValue is either a scalar string or a nested list of key/value pairs.
+type gmlValue struct {
+	scalar string
+	list   []gmlKV
+}
+
+type gmlKV struct {
+	key string
+	val gmlValue
+}
+
+func parseGMLList(toks []gmlToken, pos int) ([]gmlKV, int, error) {
+	var kvs []gmlKV
+	for pos < len(toks) {
+		if toks[pos].text == "]" {
+			return kvs, pos + 1, nil
+		}
+		key := toks[pos].text
+		pos++
+		if pos >= len(toks) {
+			return nil, pos, fmt.Errorf("gml: key %q at end of input", key)
+		}
+		if toks[pos].text == "[" {
+			sub, np, err := parseGMLList(toks, pos+1)
+			if err != nil {
+				return nil, np, err
+			}
+			kvs = append(kvs, gmlKV{key, gmlValue{list: sub}})
+			pos = np
+		} else {
+			kvs = append(kvs, gmlKV{key, gmlValue{scalar: toks[pos].text}})
+			pos++
+		}
+	}
+	return kvs, pos, nil
+}
+
+func (v gmlValue) str() string {
+	s := v.scalar
+	if len(s) >= 2 && s[0] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		return strings.Trim(s, `"`)
+	}
+	return s
+}
+
+func (v gmlValue) float() (float64, error) { return strconv.ParseFloat(v.str(), 64) }
+
+func (v gmlValue) int() (int, error) { return strconv.Atoi(v.str()) }
+
+// ReadGML parses a GML document into a Graph. Unknown keys are ignored so
+// graphs produced by external tools (GT-ITM, BRITE conversions) load as long
+// as they carry node id and edge source/target. Node kinds default to Stub
+// when unspecified; bandwidth defaults to defaultBw if the edge carries none.
+func ReadGML(r io.Reader) (*Graph, error) {
+	const defaultBw = 100e6
+	toks, err := tokenizeGML(r)
+	if err != nil {
+		return nil, err
+	}
+	top, _, err := parseGMLList(toks, 0)
+	if err != nil {
+		return nil, err
+	}
+	var graphKVs []gmlKV
+	for _, kv := range top {
+		if kv.key == "graph" && kv.val.list != nil {
+			graphKVs = kv.val.list
+			break
+		}
+	}
+	if graphKVs == nil {
+		return nil, fmt.Errorf("gml: no graph [...] block found")
+	}
+
+	type rawNode struct {
+		extID int
+		name  string
+		kind  NodeKind
+	}
+	type rawEdge struct {
+		src, dst int
+		attr     LinkAttrs
+	}
+	var nodes []rawNode
+	var edges []rawEdge
+	directed := false
+
+	for _, kv := range graphKVs {
+		switch kv.key {
+		case "directed":
+			if n, err := kv.val.int(); err == nil && n != 0 {
+				directed = true
+			}
+		case "node":
+			rn := rawNode{extID: -1, kind: Stub}
+			for _, f := range kv.val.list {
+				switch f.key {
+				case "id":
+					if n, err := f.val.int(); err == nil {
+						rn.extID = n
+					}
+				case "label":
+					rn.name = f.val.str()
+				case "kind":
+					switch strings.ToLower(f.val.str()) {
+					case "client":
+						rn.kind = Client
+					case "transit":
+						rn.kind = Transit
+					case "stub":
+						rn.kind = Stub
+					}
+				}
+			}
+			if rn.extID < 0 {
+				return nil, fmt.Errorf("gml: node without id")
+			}
+			nodes = append(nodes, rn)
+		case "edge":
+			re := rawEdge{src: -1, dst: -1, attr: LinkAttrs{BandwidthBps: defaultBw}}
+			for _, f := range kv.val.list {
+				switch f.key {
+				case "source":
+					if n, err := f.val.int(); err == nil {
+						re.src = n
+					}
+				case "target":
+					if n, err := f.val.int(); err == nil {
+						re.dst = n
+					}
+				case "bandwidth", "bw":
+					if v, err := f.val.float(); err == nil {
+						re.attr.BandwidthBps = v
+					}
+				case "latency", "delay":
+					if v, err := f.val.float(); err == nil {
+						re.attr.LatencySec = v
+					}
+				case "loss":
+					if v, err := f.val.float(); err == nil {
+						re.attr.LossRate = v
+					}
+				case "queue":
+					if n, err := f.val.int(); err == nil {
+						re.attr.QueuePkts = n
+					}
+				case "cost":
+					if v, err := f.val.float(); err == nil {
+						re.attr.Cost = v
+					}
+				}
+			}
+			if re.src < 0 || re.dst < 0 {
+				return nil, fmt.Errorf("gml: edge without source/target")
+			}
+			edges = append(edges, re)
+		}
+	}
+
+	// External IDs may be sparse; remap to dense IDs in ascending order.
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].extID < nodes[j].extID })
+	remap := make(map[int]NodeID, len(nodes))
+	g := New()
+	for _, rn := range nodes {
+		if _, dup := remap[rn.extID]; dup {
+			return nil, fmt.Errorf("gml: duplicate node id %d", rn.extID)
+		}
+		remap[rn.extID] = g.AddNode(rn.kind, rn.name)
+	}
+	for _, re := range edges {
+		s, ok1 := remap[re.src]
+		d, ok2 := remap[re.dst]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("gml: edge references unknown node %d->%d", re.src, re.dst)
+		}
+		if directed {
+			g.AddLink(s, d, re.attr)
+		} else {
+			g.AddDuplex(s, d, re.attr)
+		}
+	}
+	return g, nil
+}

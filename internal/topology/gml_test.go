@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGMLRoundTrip(t *testing.T) {
+	g := Ring(4, 2, std(), LinkAttrs{BandwidthBps: Mbps(2), LatencySec: Ms(1), LossRate: 0.01, QueuePkts: 7, Cost: 3.25})
+	var buf bytes.Buffer
+	if err := WriteGML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumLinks() != g.NumLinks() {
+		t.Fatalf("round trip: %d/%d nodes, %d/%d links",
+			g2.NumNodes(), g.NumNodes(), g2.NumLinks(), g.NumLinks())
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind != g2.Nodes[i].Kind || g.Nodes[i].Name != g2.Nodes[i].Name {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, g.Nodes[i], g2.Nodes[i])
+		}
+	}
+	for i := range g.Links {
+		a, b := g.Links[i], g2.Links[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Attr != b.Attr {
+			t.Fatalf("link %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadGMLUndirected(t *testing.T) {
+	src := `
+# a comment
+graph [
+  node [ id 10 label "x" kind "client" ]
+  node [ id 20 label "y" ]
+  edge [ source 10 target 20 bandwidth 5e6 latency 0.01 ]
+]`
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Undirected edge becomes a duplex pair.
+	if g.NumLinks() != 2 {
+		t.Fatalf("links = %d, want duplex 2", g.NumLinks())
+	}
+	if g.Nodes[0].Kind != Client || g.Nodes[1].Kind != Stub {
+		t.Errorf("kinds: %v %v", g.Nodes[0].Kind, g.Nodes[1].Kind)
+	}
+	if g.Links[0].Attr.BandwidthBps != 5e6 {
+		t.Errorf("bandwidth = %v", g.Links[0].Attr.BandwidthBps)
+	}
+}
+
+func TestReadGMLSparseIDs(t *testing.T) {
+	src := `graph [ directed 1
+  node [ id 100 ]
+  node [ id 5 ]
+  edge [ source 100 target 5 bandwidth 1e6 ]
+]`
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id 5 sorts before 100, becomes dense 0.
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("%d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	if g.Links[0].Src != 1 || g.Links[0].Dst != 0 {
+		t.Errorf("remap wrong: %+v", g.Links[0])
+	}
+}
+
+func TestReadGMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"no graph":      `foo [ ]`,
+		"node no id":    `graph [ node [ label "x" ] ]`,
+		"edge no nodes": `graph [ edge [ source 0 ] ]`,
+		"bad edge ref":  `graph [ node [ id 0 ] edge [ source 0 target 9 ] ]`,
+		"dup node id":   `graph [ node [ id 0 ] node [ id 0 ] ]`,
+		"bad string":    "graph [ node [ id 0 label \"unterminated ] ]",
+	}
+	for name, src := range cases {
+		if _, err := ReadGML(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadGMLIgnoresUnknownKeys(t *testing.T) {
+	src := `graph [ directed 1
+  creator "gt-itm"
+  node [ id 0 x 1.5 y 2.5 ]
+  node [ id 1 ]
+  edge [ source 0 target 1 bandwidth 1e6 weight 12 ]
+]`
+	g, err := ReadGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("%d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+}

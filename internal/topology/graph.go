@@ -1,0 +1,286 @@
+// Package topology implements the Create phase of ModelNet: target network
+// graphs whose nodes are clients, stubs, or transits (terminology borrowed
+// from GT-ITM) and whose edges are links annotated with bandwidth, latency,
+// loss rate, and queue capacity. It includes a GML reader/writer and
+// synthetic generators (ring, star, line, mesh, random, transit-stub).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind classifies a topology node.
+type NodeKind int
+
+const (
+	// Client nodes host virtual edge nodes (VNs): application endpoints.
+	Client NodeKind = iota
+	// Stub nodes are stub-domain routers near the edge.
+	Stub
+	// Transit nodes are backbone routers.
+	Transit
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Client:
+		return "client"
+	case Stub:
+		return "stub"
+	case Transit:
+		return "transit"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// NodeID names a node within a Graph. IDs are dense, starting at 0.
+type NodeID int
+
+// LinkID names a directed link within a Graph. IDs are dense, starting at 0.
+type LinkID int
+
+// Node is one vertex of the target topology.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	Name string // optional label carried through GML
+}
+
+// LinkClass tags the structural role of a link so that annotation policies
+// ("all transit-transit links get 155 Mb/s") can be applied en masse.
+type LinkClass int
+
+const (
+	ClientStub     LinkClass = iota // client <-> stub access ("last mile")
+	StubStub                        // within or between stub domains
+	StubTransit                     // stub domain to backbone
+	TransitTransit                  // backbone
+)
+
+func (c LinkClass) String() string {
+	switch c {
+	case ClientStub:
+		return "client-stub"
+	case StubStub:
+		return "stub-stub"
+	case StubTransit:
+		return "stub-transit"
+	case TransitTransit:
+		return "transit-transit"
+	}
+	return fmt.Sprintf("LinkClass(%d)", int(c))
+}
+
+// LinkAttrs are the emulation parameters of one directed link. These become
+// pipe parameters after distillation.
+type LinkAttrs struct {
+	BandwidthBps float64 // bits per second
+	LatencySec   float64 // one-way propagation delay, seconds
+	LossRate     float64 // [0,1) random drop probability
+	QueuePkts    int     // queue capacity in packets (0 = default)
+	Cost         float64 // abstract routing/overlay cost (ACDC §5.3)
+}
+
+// Reliability returns 1-LossRate, the per-link delivery probability.
+func (a LinkAttrs) Reliability() float64 { return 1 - a.LossRate }
+
+// Link is one directed edge of the target topology. Bidirectional physical
+// links are represented as two directed links (the paper's pipes are
+// unidirectional).
+type Link struct {
+	ID   LinkID
+	Src  NodeID
+	Dst  NodeID
+	Attr LinkAttrs
+}
+
+// Class derives the structural class of the link from its endpoints.
+func (g *Graph) Class(l Link) LinkClass {
+	a, b := g.Nodes[l.Src].Kind, g.Nodes[l.Dst].Kind
+	switch {
+	case a == Client || b == Client:
+		return ClientStub
+	case a == Transit && b == Transit:
+		return TransitTransit
+	case a == Stub && b == Stub:
+		return StubStub
+	default:
+		return StubTransit
+	}
+}
+
+// Graph is a directed multigraph over dense node and link IDs.
+type Graph struct {
+	Nodes []Node
+	Links []Link
+	out   [][]LinkID // adjacency: outgoing links per node
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node of the given kind and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name})
+	g.out = append(g.out, nil)
+	return id
+}
+
+// AddLink appends a directed link and returns its ID.
+func (g *Graph) AddLink(src, dst NodeID, attr LinkAttrs) LinkID {
+	if !g.valid(src) || !g.valid(dst) {
+		panic(fmt.Sprintf("topology: AddLink(%d,%d) with %d nodes", src, dst, len(g.Nodes)))
+	}
+	id := LinkID(len(g.Links))
+	g.Links = append(g.Links, Link{ID: id, Src: src, Dst: dst, Attr: attr})
+	g.out[src] = append(g.out[src], id)
+	return id
+}
+
+// AddDuplex adds a pair of directed links (one each way) with identical
+// attributes, returning their IDs.
+func (g *Graph) AddDuplex(a, b NodeID, attr LinkAttrs) (LinkID, LinkID) {
+	return g.AddLink(a, b, attr), g.AddLink(b, a, attr)
+}
+
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < len(g.Nodes) }
+
+// Out returns the IDs of links leaving n.
+func (g *Graph) Out(n NodeID) []LinkID { return g.out[n] }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumLinks returns the directed-link count.
+func (g *Graph) NumLinks() int { return len(g.Links) }
+
+// Clients returns the IDs of all client nodes, in ID order.
+func (g *Graph) Clients() []NodeID {
+	var out []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == Client {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// NodesOfKind returns the IDs of all nodes of the given kind, in ID order.
+func (g *Graph) NodesOfKind(kind NodeKind) []NodeID {
+	var out []NodeID
+	for _, n := range g.Nodes {
+		if n.Kind == kind {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the distinct nodes reachable over one outgoing link from
+// n, in ascending order.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, lid := range g.out[n] {
+		d := g.Links[lid].Dst
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindLink returns the first link from src to dst, if any.
+func (g *Graph) FindLink(src, dst NodeID) (Link, bool) {
+	for _, lid := range g.out[src] {
+		if g.Links[lid].Dst == dst {
+			return g.Links[lid], true
+		}
+	}
+	return Link{}, false
+}
+
+// Validate checks structural invariants: endpoint IDs are in range, no
+// self-loops, and every client node has at least one link (clients host VNs
+// and must be reachable). It returns the first problem found.
+func (g *Graph) Validate() error {
+	for _, l := range g.Links {
+		if !g.valid(l.Src) || !g.valid(l.Dst) {
+			return fmt.Errorf("topology: link %d has endpoint out of range", l.ID)
+		}
+		if l.Src == l.Dst {
+			return fmt.Errorf("topology: link %d is a self-loop on node %d", l.ID, l.Src)
+		}
+		if l.Attr.BandwidthBps <= 0 {
+			return fmt.Errorf("topology: link %d has non-positive bandwidth", l.ID)
+		}
+		if l.Attr.LatencySec < 0 {
+			return fmt.Errorf("topology: link %d has negative latency", l.ID)
+		}
+		if l.Attr.LossRate < 0 || l.Attr.LossRate >= 1 {
+			return fmt.Errorf("topology: link %d loss rate %v outside [0,1)", l.ID, l.Attr.LossRate)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == Client && len(g.out[n.ID]) == 0 {
+			return fmt.Errorf("topology: client node %d has no links", n.ID)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether every node is reachable from node 0 following
+// directed links. The empty graph is connected.
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lid := range g.out[n] {
+			d := g.Links[lid].Dst
+			if !seen[d] {
+				seen[d] = true
+				count++
+				stack = append(stack, d)
+			}
+		}
+	}
+	return count == len(g.Nodes)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Nodes: append([]Node(nil), g.Nodes...),
+		Links: append([]Link(nil), g.Links...),
+		out:   make([][]LinkID, len(g.out)),
+	}
+	for i, l := range g.out {
+		ng.out[i] = append([]LinkID(nil), l...)
+	}
+	return ng
+}
+
+// AnnotateClass sets the attributes of every link in the given class.
+// It returns the number of links updated. Users annotate GML graphs with
+// attributes not provided by the source (§2.1).
+func (g *Graph) AnnotateClass(class LinkClass, attr LinkAttrs) int {
+	n := 0
+	for i := range g.Links {
+		if g.Class(g.Links[i]) == class {
+			g.Links[i].Attr = attr
+			n++
+		}
+	}
+	return n
+}

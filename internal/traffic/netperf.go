@@ -1,0 +1,133 @@
+// Package traffic provides workload generators and network-condition
+// manipulation: netperf-style bulk TCP and constant-bit-rate UDP sources,
+// a synthetic web-trace generator (the §5.2 IBM trace substitute),
+// cross-traffic injection via dynamic pipe re-parameterization driven by a
+// queueing model (§4.3), and fault/perturbation schedules.
+package traffic
+
+import (
+	"modelnet/internal/netstack"
+	"modelnet/internal/stats"
+	"modelnet/internal/vtime"
+)
+
+// Sink is a netserver-style TCP receiver that counts bytes per connection.
+type Sink struct {
+	host *netstack.Host
+	port uint16
+
+	Flows      []*FlowStats
+	TotalBytes uint64
+}
+
+// FlowStats tracks one received flow.
+type FlowStats struct {
+	From    netstack.Endpoint
+	Bytes   uint64
+	First   vtime.Time
+	Last    vtime.Time
+	started bool
+	Closed  bool
+}
+
+// Throughput returns the flow's average goodput in bits/s over its active
+// window (0 when degenerate).
+func (f *FlowStats) Throughput() float64 {
+	el := f.Last.Sub(f.First).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(f.Bytes*8) / el
+}
+
+// NewSink starts listening on (h, port).
+func NewSink(h *netstack.Host, port uint16) (*Sink, error) {
+	s := &Sink{host: h, port: port}
+	_, err := h.Listen(port, func(c *netstack.Conn) netstack.Handlers {
+		fs := &FlowStats{From: c.Remote}
+		s.Flows = append(s.Flows, fs)
+		return netstack.Handlers{
+			OnData: func(c *netstack.Conn, n int, data []byte) {
+				now := h.Scheduler().Now()
+				if !fs.started {
+					fs.started = true
+					fs.First = now
+				}
+				fs.Last = now
+				fs.Bytes += uint64(n)
+				s.TotalBytes += uint64(n)
+			},
+			OnClose: func(c *netstack.Conn, err error) { fs.Closed = true },
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ThroughputSample returns the per-flow goodput distribution in bits/s.
+func (s *Sink) ThroughputSample() *stats.Sample {
+	out := &stats.Sample{}
+	for _, f := range s.Flows {
+		if f.Bytes > 0 {
+			out.Add(f.Throughput())
+		}
+	}
+	return out
+}
+
+// Bulk is a netperf-style TCP bulk sender.
+type Bulk struct {
+	Conn *netstack.Conn
+}
+
+// Unbounded makes a bulk flow effectively infinite.
+const Unbounded = 1 << 42
+
+// StartBulk opens a TCP connection from h to dst and streams total
+// synthetic bytes (use Unbounded for an open-ended flow). The connection
+// closes after the last byte when total is bounded.
+func StartBulk(h *netstack.Host, dst netstack.Endpoint, total int) *Bulk {
+	b := &Bulk{}
+	b.Conn = h.Dial(dst, netstack.Handlers{})
+	b.Conn.WriteCount(total)
+	if total < Unbounded {
+		b.Conn.Close()
+	}
+	return b
+}
+
+// CBR is a constant-bit-rate UDP source.
+type CBR struct {
+	sock    *netstack.UDPSocket
+	to      netstack.Endpoint
+	payload int
+	ticker  *vtime.Ticker
+	Sent    uint64
+}
+
+// StartCBR sends payload-byte datagrams to dst at bps until stopped.
+func StartCBR(h *netstack.Host, dst netstack.Endpoint, payload int, bps float64) (*CBR, error) {
+	sock, err := h.OpenUDP(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &CBR{sock: sock, to: dst, payload: payload}
+	interval := vtime.DurationOf(float64((payload+netstack.UDPHeader)*8) / bps)
+	if interval < vtime.Microsecond {
+		interval = vtime.Microsecond
+	}
+	c.ticker = vtime.NewTicker(h.Scheduler(), interval, func() {
+		c.sock.SendTo(c.to, c.payload, nil)
+		c.Sent++
+	})
+	c.ticker.Start()
+	return c, nil
+}
+
+// Stop halts the source.
+func (c *CBR) Stop() {
+	c.ticker.Stop()
+	c.sock.Close()
+}

@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"modelnet/internal/vtime"
+)
+
+// The paper's §5.2 replays 2.5 minutes of a trace of www.ibm.com (Feb
+// 2001) at 60–100 requests/second. That trace is proprietary, so this file
+// synthesizes an equivalent open-loop workload: Poisson arrivals whose rate
+// sweeps the same range, heavy-tailed (lognormal) response sizes typical of
+// 2001-era web content, and uniform client attribution. The experiment
+// consumes only the arrival times, client IDs, and response sizes, so the
+// substitution preserves the behaviour under test (server/network
+// contention); see DESIGN.md.
+
+// TraceReq is one request in a playback trace.
+type TraceReq struct {
+	At     vtime.Time
+	Client int // index into the experiment's client VN set
+	Size   int // response bytes
+}
+
+// TraceConfig parameterizes the synthetic web trace.
+type TraceConfig struct {
+	Duration vtime.Duration
+	Clients  int
+	// Request rate sweeps linearly MinRate→MaxRate→MinRate over the run.
+	MinRate, MaxRate float64 // requests/second
+	// Response size lognormal parameters (of bytes); defaults approximate
+	// a 2001 web mix: median ~6 KB, heavy tail capped at MaxSize.
+	MedianSize float64
+	Sigma      float64
+	MaxSize    int
+	Seed       int64
+}
+
+// Synthesize generates the request trace, sorted by time.
+func Synthesize(cfg TraceConfig) []TraceReq {
+	if cfg.MedianSize <= 0 {
+		cfg.MedianSize = 6 << 10
+	}
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = 1.0
+	}
+	if cfg.MaxSize <= 0 {
+		cfg.MaxSize = 1 << 20
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []TraceReq
+	t := 0.0
+	total := cfg.Duration.Seconds()
+	mu := math.Log(cfg.MedianSize)
+	for t < total {
+		// Rate at time t: triangle sweep min->max->min.
+		frac := t / total
+		var rate float64
+		if frac < 0.5 {
+			rate = cfg.MinRate + (cfg.MaxRate-cfg.MinRate)*frac*2
+		} else {
+			rate = cfg.MaxRate - (cfg.MaxRate-cfg.MinRate)*(frac-0.5)*2
+		}
+		if rate <= 0 {
+			rate = 1
+		}
+		t += rng.ExpFloat64() / rate
+		if t >= total {
+			break
+		}
+		size := int(math.Exp(mu + cfg.Sigma*rng.NormFloat64()))
+		if size < 256 {
+			size = 256
+		}
+		if size > cfg.MaxSize {
+			size = cfg.MaxSize
+		}
+		out = append(out, TraceReq{
+			At:     vtime.Time(vtime.DurationOf(t)),
+			Client: rng.Intn(cfg.Clients),
+			Size:   size,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,89 @@
+package vtime
+
+// Timer is a cancellable one-shot deadline, analogous to time.Timer but in
+// virtual time.
+type Timer struct {
+	s      *Scheduler
+	id     EventID
+	armed  bool
+	Expiry Time
+}
+
+// NewTimer returns an unarmed timer bound to s.
+func NewTimer(s *Scheduler) *Timer {
+	return &Timer{s: s}
+}
+
+// Reset (re)arms the timer to fire fn after d, canceling any prior arming.
+func (t *Timer) Reset(d Duration, fn func()) {
+	t.StopTimer()
+	t.Expiry = t.s.Now().Add(d)
+	t.armed = true
+	t.id = t.s.At(t.Expiry, func() {
+		t.armed = false
+		fn()
+	})
+}
+
+// StopTimer cancels the timer if armed. Reports whether it was armed.
+func (t *Timer) StopTimer() bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	return t.s.Cancel(t.id)
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Ticker calls fn every period until stopped. The first call happens one
+// period after Start.
+type Ticker struct {
+	s       *Scheduler
+	period  Duration
+	fn      func()
+	id      EventID
+	running bool
+}
+
+// NewTicker returns a stopped ticker; call Start to begin.
+func NewTicker(s *Scheduler, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("vtime: ticker period must be positive")
+	}
+	return &Ticker{s: s, period: period, fn: fn}
+}
+
+// Start begins ticking. Starting a running ticker is a no-op.
+func (tk *Ticker) Start() {
+	if tk.running {
+		return
+	}
+	tk.running = true
+	tk.schedule()
+}
+
+func (tk *Ticker) schedule() {
+	tk.id = tk.s.After(tk.period, func() {
+		if !tk.running {
+			return
+		}
+		tk.fn()
+		if tk.running {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. The callback will not fire again.
+func (tk *Ticker) Stop() {
+	if !tk.running {
+		return
+	}
+	tk.running = false
+	tk.s.Cancel(tk.id)
+}
+
+// Running reports whether the ticker is active.
+func (tk *Ticker) Running() bool { return tk.running }

@@ -1,0 +1,196 @@
+// Package vtime provides the virtual-time discrete-event substrate that the
+// entire emulator runs on.
+//
+// The paper's ModelNet core runs in real time off a 10 kHz hardware timer at
+// the kernel's highest priority. In Go, wall-clock scheduling would attribute
+// GC pauses and goroutine scheduling jitter to the network under test, so
+// this reproduction runs the whole system in virtual time: a deterministic
+// event loop whose clock advances only when events fire. Delay accuracy then
+// depends only on the model (tick quantization, CPU budgets), never on the
+// host.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It deliberately mirrors
+// time.Duration's unit so the usual constants read naturally.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a time later than any reachable virtual time.
+const Forever = Time(math.MaxInt64)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (t Time) String() string { return fmt.Sprintf("t+%.6fs", t.Seconds()) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
+
+// DurationOf converts floating-point seconds to a Duration.
+func DurationOf(seconds float64) Duration { return Duration(seconds * float64(Second)) }
+
+// event is one scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break so same-time events fire in schedule order
+	fn    func()
+	index int // heap index, -1 when popped or canceled
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a deterministic single-threaded discrete-event scheduler.
+// It is not safe for concurrent use; the emulator is a single logical
+// process, exactly like the paper's kernel module.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports how many events have executed, a useful determinism probe.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past is a
+// programming error and panics: virtual time never runs backwards.
+func (s *Scheduler) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("vtime: schedule at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op. Reports whether the event was removed.
+func (s *Scheduler) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.events, ev.index)
+	ev.fn = nil
+	return true
+}
+
+// Step fires the single earliest event, advancing the clock to it.
+// Reports false when no events remain.
+func (s *Scheduler) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(Forever)
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to the
+// deadline (if it was reached). Events scheduled during the run participate.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.running = true
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+	}
+	s.running = false
+	if !s.stopped && deadline != Forever && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, firing everything due in between.
+func (s *Scheduler) RunFor(d Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Stop halts a Run in progress after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }

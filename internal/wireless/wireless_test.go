@@ -1,0 +1,171 @@
+package wireless
+
+import (
+	"testing"
+
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+	"modelnet/internal/vtime"
+)
+
+func static(rangeM float64) Config {
+	return Config{BitRate: 11e6, Range: rangeM, Width: 1000, Height: 1000, Seed: 1}
+}
+
+func TestInRangeDelivery(t *testing.T) {
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(250))
+	m.AddNode(0, 0, 0)
+	m.AddNode(1, 100, 0)
+	var got *pipes.Packet
+	m.RegisterVN(1, func(p *pipes.Packet) { got = p })
+	if !m.Inject(0, 1, 1000, "hi") {
+		t.Fatal("in-range inject refused")
+	}
+	sched.Run()
+	if got == nil || got.Payload != "hi" {
+		t.Fatal("packet not delivered")
+	}
+	// Airtime: 8000 bits at 11 Mb/s ≈ 727 µs.
+	want := vtime.DurationOf(8000.0 / 11e6)
+	if sched.Now() != vtime.Time(want) {
+		t.Errorf("delivery at %v, want %v", sched.Now(), vtime.Time(want))
+	}
+}
+
+func TestOutOfRangeDrop(t *testing.T) {
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(250))
+	m.AddNode(0, 0, 0)
+	m.AddNode(1, 600, 0)
+	delivered := false
+	m.RegisterVN(1, func(*pipes.Packet) { delivered = true })
+	if m.Inject(0, 1, 1000, nil) {
+		t.Error("out-of-range inject accepted")
+	}
+	sched.Run()
+	if delivered || m.DropsRange != 1 {
+		t.Errorf("delivered=%v drops=%d", delivered, m.DropsRange)
+	}
+}
+
+func TestBroadcastReachesAllInRange(t *testing.T) {
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(250))
+	m.AddNode(0, 500, 500)
+	m.AddNode(1, 600, 500) // in range
+	m.AddNode(2, 700, 500) // in range
+	m.AddNode(3, 900, 500) // out of range
+	got := map[pipes.VN]bool{}
+	for _, vn := range []pipes.VN{1, 2, 3} {
+		vn := vn
+		m.RegisterVN(vn, func(*pipes.Packet) { got[vn] = true })
+	}
+	m.Broadcast(0, 500, nil)
+	sched.Run()
+	if !got[1] || !got[2] || got[3] {
+		t.Errorf("broadcast reached %v", got)
+	}
+}
+
+func TestChannelSharedAmongNeighbors(t *testing.T) {
+	// Two senders in range of each other must serialize: the medium is
+	// shared, unlike wired pipes.
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(250))
+	m.AddNode(0, 0, 0)
+	m.AddNode(1, 50, 0)
+	m.AddNode(2, 100, 0)
+	var arrivals []vtime.Time
+	m.RegisterVN(2, func(*pipes.Packet) { arrivals = append(arrivals, sched.Now()) })
+	m.Inject(0, 2, 1375, nil) // 1 ms airtime at 11 Mb/s
+	m.Inject(1, 2, 1375, nil)
+	sched.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals: %v", arrivals)
+	}
+	gap := arrivals[1].Sub(arrivals[0])
+	if gap < vtime.Duration(900*vtime.Microsecond) {
+		t.Errorf("transmissions overlapped: gap %v", gap)
+	}
+}
+
+func TestHiddenSendersDoNotSerialize(t *testing.T) {
+	// Two senders out of range of each other share no channel state.
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(200))
+	m.AddNode(0, 0, 0)
+	m.AddNode(1, 150, 0) // hears 0
+	m.AddNode(2, 1000, 0)
+	m.AddNode(3, 850, 0) // hears 2
+	var t1, t3 vtime.Time
+	m.RegisterVN(1, func(*pipes.Packet) { t1 = sched.Now() })
+	m.RegisterVN(3, func(*pipes.Packet) { t3 = sched.Now() })
+	m.Inject(0, 1, 1375, nil)
+	m.Inject(2, 3, 1375, nil)
+	sched.Run()
+	if t1 != t3 {
+		t.Errorf("independent cells serialized: %v vs %v", t1, t3)
+	}
+}
+
+func TestMobilityChangesConnectivity(t *testing.T) {
+	sched := vtime.NewScheduler()
+	cfg := static(250)
+	cfg.SpeedMin, cfg.SpeedMax = 50, 50 // fast, deterministic-ish motion
+	m := NewMedium(sched, cfg)
+	for i := 0; i < 10; i++ {
+		m.AddNodeRandom(pipes.VN(i))
+	}
+	before := len(m.Neighbors(0))
+	changed := false
+	for i := 0; i < 600 && !changed; i++ {
+		sched.RunUntil(sched.Now().Add(vtime.Second))
+		if len(m.Neighbors(0)) != before {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("mobility never changed node 0's neighborhood")
+	}
+}
+
+func TestNetstackOverWireless(t *testing.T) {
+	// The full UDP stack runs over the medium unchanged.
+	sched := vtime.NewScheduler()
+	m := NewMedium(sched, static(300))
+	m.AddNode(0, 100, 100)
+	m.AddNode(1, 200, 100)
+	h0 := netstack.NewHost(0, sched, m, m)
+	h1 := netstack.NewHost(1, sched, m, m)
+	var got int
+	h1.OpenUDP(9, func(from netstack.Endpoint, dg *netstack.Datagram) { got = dg.Len })
+	s, _ := h0.OpenUDP(0, nil)
+	s.SendTo(netstack.Endpoint{VN: 1, Port: 9}, 500, nil)
+	sched.Run()
+	if got != 500 {
+		t.Fatalf("UDP over wireless: got %d", got)
+	}
+}
+
+func TestTCPOverWireless(t *testing.T) {
+	sched := vtime.NewScheduler()
+	cfg := static(300)
+	cfg.LossRate = 0.01
+	m := NewMedium(sched, cfg)
+	m.AddNode(0, 100, 100)
+	m.AddNode(1, 200, 100)
+	h0 := netstack.NewHost(0, sched, m, m)
+	h1 := netstack.NewHost(1, sched, m, m)
+	got := 0
+	h1.Listen(80, func(c *netstack.Conn) netstack.Handlers {
+		return netstack.Handlers{OnData: func(c *netstack.Conn, n int, data []byte) { got += n }}
+	})
+	c := h0.Dial(netstack.Endpoint{VN: 1, Port: 80}, netstack.Handlers{})
+	c.WriteCount(200_000)
+	c.Close()
+	sched.RunUntil(vtime.Time(60 * vtime.Second))
+	if got != 200_000 {
+		t.Fatalf("TCP over wireless delivered %d", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package modelnet is a Go reproduction of ModelNet (Vahdat et al.,
+// "Scalability and Accuracy in a Large-Scale Network Emulator", OSDI 2002):
+// a large-scale network emulation environment in which unmodified
+// application logic, running on virtual edge nodes (VNs), is subjected to
+// the bandwidth, latency, loss, queueing, and congestion of an arbitrary
+// target topology emulated link-by-link by a cluster of core routers.
+//
+// The system runs the paper's five phases:
+//
+//	CREATE   — build or load a target topology   (internal/topology)
+//	DISTILL  — transform it into a pipe topology (internal/distill)
+//	ASSIGN   — partition pipes across cores      (internal/assign)
+//	BIND     — place VNs, compute routes, POD    (internal/bind)
+//	RUN      — emulate packets in virtual time   (internal/emucore)
+//
+// This root package wires the phases together behind one call:
+//
+//	g := modelnet.Ring(20, 20, ringAttrs, accessAttrs)
+//	em, err := modelnet.Run(g, modelnet.Options{Cores: 4})
+//	h := em.NewHost(0)            // netstack on VN 0
+//	...start applications on hosts...
+//	em.RunFor(modelnet.Seconds(30))
+//
+// Everything executes in virtual time: the clock advances only as events
+// fire, so results are deterministic and GC pauses cannot corrupt delay
+// accuracy (the key substitution this reproduction makes for the paper's
+// in-kernel real-time core; see DESIGN.md).
+package modelnet
+
+import (
+	"fmt"
+
+	"modelnet/internal/assign"
+	"modelnet/internal/bind"
+	"modelnet/internal/distill"
+	"modelnet/internal/emucore"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// Re-exported aliases so common use needs only this package.
+type (
+	// Graph is a target or distilled topology.
+	Graph = topology.Graph
+	// LinkAttrs are per-link emulation parameters.
+	LinkAttrs = topology.LinkAttrs
+	// VN identifies a virtual edge node.
+	VN = pipes.VN
+	// Host is a VN's transport stack (TCP/UDP/RPC).
+	Host = netstack.Host
+	// Endpoint is a (VN, port) pair.
+	Endpoint = netstack.Endpoint
+	// Time is virtual time; Duration a virtual span.
+	Time = vtime.Time
+	// Duration is a span of virtual time.
+	Duration = vtime.Duration
+	// Profile models core-cluster hardware capacity.
+	Profile = emucore.Profile
+	// DistillSpec selects the accuracy/scalability tradeoff of §4.1.
+	DistillSpec = distill.Spec
+)
+
+// Distillation modes (§4.1).
+const (
+	HopByHop = distill.HopByHop
+	EndToEnd = distill.EndToEnd
+	WalkIn   = distill.WalkIn
+	WalkOut  = distill.WalkOut
+)
+
+// Topology constructors re-exported from internal/topology.
+var (
+	NewGraph    = topology.New
+	Ring        = topology.Ring
+	Star        = topology.Star
+	Line        = topology.Line
+	Pairs       = topology.Pairs
+	FullMesh    = topology.FullMesh
+	TransitStub = topology.TransitStub
+	ReadGML     = topology.ReadGML
+	WriteGML    = topology.WriteGML
+	Mbps        = topology.Mbps
+	Ms          = topology.Ms
+)
+
+// Seconds converts seconds to a virtual Duration.
+func Seconds(s float64) Duration { return vtime.DurationOf(s) }
+
+// DefaultProfile models the paper's testbed hardware (see DESIGN.md for
+// the calibration); IdealProfile is the event-exact, infinitely
+// provisioned reference (the "ns-2 role").
+var (
+	DefaultProfile = emucore.DefaultProfile
+	IdealProfile   = emucore.IdealProfile
+)
+
+// Options configure an emulation.
+type Options struct {
+	// Distill selects the distillation mode; zero value = hop-by-hop.
+	Distill DistillSpec
+	// Cores is the number of emulated core routers (default 1). Pipes are
+	// partitioned with greedy k-clusters when Cores > 1.
+	Cores int
+	// EdgeNodes is the number of physical edge machines VNs multiplex
+	// onto (default: one per VN).
+	EdgeNodes int
+	// RouteCache, when positive, replaces the O(n²) routing matrix with
+	// an LRU route cache of that capacity (§2.2 alternative).
+	RouteCache int
+	// HierarchicalRoutes replaces the matrix with per-stub-cluster tables
+	// (the other §2.2 alternative; exact on stub-clustered topologies).
+	HierarchicalRoutes bool
+	// Profile models the core hardware; zero value = DefaultProfile().
+	// Use IdealProfile() for an exact reference emulation.
+	Profile *Profile
+	// Seed determinizes loss, assignment, and other randomness.
+	Seed int64
+}
+
+// Emulation is a fully bound, running-ready emulation.
+type Emulation struct {
+	Sched      *vtime.Scheduler
+	Target     *Graph
+	Distilled  *distill.Result
+	Binding    *bind.Binding
+	Assignment *assign.Assignment
+	Emu        *emucore.Emulator
+
+	hosts map[VN]*Host
+}
+
+// Run executes the Create→Distill→Assign→Bind phases over the target
+// topology and returns an emulation ready for the Run phase (start
+// applications on hosts, then drive the scheduler).
+func Run(target *Graph, opts Options) (*Emulation, error) {
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("modelnet: create: %w", err)
+	}
+	dist, err := distill.Distill(target, opts.Distill)
+	if err != nil {
+		return nil, fmt.Errorf("modelnet: distill: %w", err)
+	}
+	cores := opts.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	asn, err := assign.KClusters(dist.Graph, cores, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("modelnet: assign: %w", err)
+	}
+	b, err := bind.Bind(dist.Graph, bind.Options{
+		EdgeNodes:    opts.EdgeNodes,
+		Cores:        cores,
+		RouteCache:   opts.RouteCache,
+		Hierarchical: opts.HierarchicalRoutes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("modelnet: bind: %w", err)
+	}
+	prof := emucore.DefaultProfile()
+	if opts.Profile != nil {
+		prof = *opts.Profile
+	}
+	sched := vtime.NewScheduler()
+	emu, err := emucore.New(sched, dist.Graph, b, asn.POD(), prof, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("modelnet: run: %w", err)
+	}
+	return &Emulation{
+		Sched:      sched,
+		Target:     target,
+		Distilled:  dist,
+		Binding:    b,
+		Assignment: asn,
+		Emu:        emu,
+		hosts:      make(map[VN]*Host),
+	}, nil
+}
+
+// NumVNs reports how many VNs the emulation binds.
+func (e *Emulation) NumVNs() int { return e.Binding.NumVNs() }
+
+// registrar adapts the emulator to netstack's Registrar.
+type registrar struct{ e *emucore.Emulator }
+
+func (r registrar) RegisterVN(vn pipes.VN, fn func(*pipes.Packet)) {
+	r.e.RegisterVN(vn, emucore.DeliverFunc(fn))
+}
+
+// NewHost creates (or returns) the transport stack for a VN.
+func (e *Emulation) NewHost(vn VN) *Host {
+	if h, ok := e.hosts[vn]; ok {
+		return h
+	}
+	h := netstack.NewHost(vn, e.Sched, e.Emu, registrar{e.Emu})
+	e.hosts[vn] = h
+	return h
+}
+
+// NewHosts creates hosts for every VN, indexed by VN number.
+func (e *Emulation) NewHosts() []*Host {
+	out := make([]*Host, e.NumVNs())
+	for v := range out {
+		out[v] = e.NewHost(VN(v))
+	}
+	return out
+}
+
+// NewHostVia creates the stack for a VN whose packets pass through the
+// given injection wrapper (e.g. an edge-machine model).
+func (e *Emulation) NewHostVia(vn VN, inj netstack.Injector) *Host {
+	h := netstack.NewHost(vn, e.Sched, inj, registrar{e.Emu})
+	e.hosts[vn] = h
+	return h
+}
+
+// Now returns the current virtual time.
+func (e *Emulation) Now() Time { return e.Sched.Now() }
+
+// RunFor advances virtual time by d, firing all due events.
+func (e *Emulation) RunFor(d Duration) { e.Sched.RunFor(d) }
+
+// RunUntil advances virtual time to the deadline.
+func (e *Emulation) RunUntil(t Time) { e.Sched.RunUntil(t) }
+
+// RunToCompletion fires events until none remain.
+func (e *Emulation) RunToCompletion() { e.Sched.Run() }
