@@ -11,6 +11,7 @@ package modelnet_test
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"modelnet/internal/experiments"
@@ -136,6 +137,35 @@ func BenchmarkGnutella10k(b *testing.B) {
 			b.Fatal(err)
 		}
 		experiments.PrintScale(out(b), res)
+	}
+}
+
+func BenchmarkParcoreScaling(b *testing.B) {
+	// Sequential vs parallel runtime on the paper's 20×20 ring at 1/2/4/8
+	// cores (full scale in cmd/mnbench, which also records
+	// BENCH_parcore.json). Every configuration must produce identical
+	// counters; wall-clock speedup is only meaningful when the host has
+	// cores to run the shards on.
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunParcoreScaling(experiments.ScaledParcore(benchScale))
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintParcore(out(b), res)
+		if !res.Deterministic {
+			b.Fatal("parallel configurations diverged from the sequential baseline")
+		}
+		// Wall-clock speedup depends on the host (CPU count, load,
+		// throttling), so it is reported rather than asserted; the
+		// determinism contract above is the hard requirement.
+		for _, r := range res.Rows {
+			if r.Cores == 4 && r.Parallel {
+				b.ReportMetric(r.Speedup, "speedup-4core")
+				if runtime.NumCPU() >= 4 && r.Speedup < 2 {
+					b.Logf("note: 4-core speedup %.2fx < 2x on a %d-CPU host", r.Speedup, runtime.NumCPU())
+				}
+			}
+		}
 	}
 }
 

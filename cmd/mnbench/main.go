@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	mnbench [-scale 1.0] [-run all|fig4|table1|fig5|fig6|fig7|fig8|fig9|fig11|fig12|accuracy]
+//	mnbench [-scale 1.0] [-run all|fig4|table1|fig5|fig6|fig7|fig8|fig9|fig11|fig12|accuracy|parcore]
+//
+// The parcore step additionally records its rows in BENCH_parcore.json
+// (override the path with -parcorejson).
 //
 // At -scale 1 (default) the workloads match the paper's parameters: full
 // runs take minutes of wall-clock time because they emulate hundreds of
@@ -23,6 +26,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale (1 = the paper's parameters)")
 	run := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+	parcoreJSON := flag.String("parcorejson", "BENCH_parcore.json", "where the parcore step records its results ('' = don't)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -134,6 +138,20 @@ func main() {
 				return err
 			}
 			experiments.PrintFailoverAblation(os.Stdout, fo)
+			return nil
+		}},
+		{"parcore", func() error {
+			res, err := experiments.RunParcoreScaling(experiments.ScaledParcore(s))
+			if err != nil {
+				return err
+			}
+			experiments.PrintParcore(os.Stdout, res)
+			if *parcoreJSON != "" {
+				if err := experiments.WriteParcoreJSON(*parcoreJSON, res); err != nil {
+					return err
+				}
+				fmt.Printf("  [recorded %s]\n", *parcoreJSON)
+			}
 			return nil
 		}},
 		{"accuracy", func() error {

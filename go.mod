@@ -1,0 +1,3 @@
+module modelnet
+
+go 1.21

@@ -5,6 +5,13 @@
 // so the paper (and this package) uses a simple greedy k-clusters heuristic:
 // pick k random seed nodes and greedily grow connected components
 // round-robin, claiming each frontier link for the growing cluster.
+//
+// The heuristic here is lookahead-aware: each cluster claims its
+// lowest-latency frontier link first, so low-latency links end up interior
+// to a cluster and the eventual cut falls across high-latency links. The
+// parallel runtime (internal/parcore) synchronizes cores conservatively
+// with a lookahead equal to the minimum cut-pipe latency, so a
+// high-latency cut directly buys larger synchronization windows.
 package assign
 
 import (
@@ -14,6 +21,7 @@ import (
 	"modelnet/internal/bind"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
 )
 
 // Assignment maps each pipe (distilled link) to an owning core.
@@ -26,7 +34,21 @@ type Assignment struct {
 func (a *Assignment) POD() *bind.POD { return bind.NewPOD(a.Owner, a.Cores) }
 
 // KClusters partitions the links of g across k cores with the paper's
-// greedy heuristic, seeded deterministically.
+// greedy heuristic, seeded deterministically: k random seed nodes grow
+// connected node clusters round-robin, and every directed link is owned by
+// its source node's cluster.
+//
+// Two refinements serve the parallel runtime:
+//
+//   - Growth is lookahead-aware: each cluster annexes the node across its
+//     lowest-latency frontier link first, so low-latency links end up
+//     interior and the cut falls across high-latency links. With
+//     source-node ownership, a packet reaches another core only by fully
+//     traversing a cut link, so the synchronization lookahead equals the
+//     minimum cut-link latency (see CutStats).
+//   - Client nodes are glued to their first router's cluster, keeping both
+//     directions of every access link — and therefore VN injection and
+//     delivery — on the VN's home core.
 func KClusters(g *topology.Graph, k int, seed int64) (*Assignment, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("assign: need at least one core, got %d", k)
@@ -54,59 +76,90 @@ func KClusters(g *topology.Graph, k int, seed int64) (*Assignment, error) {
 		frontier[c] = append(frontier[c], g.Out(topology.NodeID(perm[c]))...)
 	}
 
-	linkOwner := a.Owner
-	for i := range linkOwner {
-		linkOwner[i] = -1
-	}
-	claimed := 0
-	total := g.NumLinks()
-	// Round-robin growth: each cluster claims one unclaimed link from its
-	// frontier per turn, annexing the link's far node when unowned.
-	for claimed < total {
+	// Round-robin growth: each cluster annexes one frontier node per turn,
+	// crossing its cheapest (lowest-latency) frontier link (ties broken by
+	// link ID, deterministic).
+	owned := seeds
+	for owned < n {
 		progress := false
-		for c := 0; c < k && claimed < total; c++ {
-			for len(frontier[c]) > 0 {
-				lid := frontier[c][0]
-				frontier[c] = frontier[c][1:]
-				if linkOwner[lid] != -1 {
-					continue
-				}
-				linkOwner[lid] = c
-				claimed++
+		for c := 0; c < k && owned < n; c++ {
+			if lid, ok := popCheapest(&frontier[c], nodeOwner, g); ok {
+				dst := g.Links[lid].Dst
+				nodeOwner[dst] = c
+				owned++
 				progress = true
-				l := g.Links[lid]
-				// Claim the reverse direction too so a duplex pair stays
-				// together (halves avoidable crossings).
-				if rev, ok := g.FindLink(l.Dst, l.Src); ok && linkOwner[rev.ID] == -1 {
-					linkOwner[rev.ID] = c
-					claimed++
-				}
-				if nodeOwner[l.Dst] == -1 {
-					nodeOwner[l.Dst] = c
-					frontier[c] = append(frontier[c], g.Out(l.Dst)...)
-				}
-				break
+				frontier[c] = append(frontier[c], g.Out(dst)...)
 			}
 		}
 		if !progress {
-			// Disconnected remainder: hand leftover links out round-robin
-			// and restart growth from their endpoints.
-			for i := range linkOwner {
-				if linkOwner[i] == -1 {
-					c := claimed % k
-					linkOwner[i] = c
-					claimed++
-					l := g.Links[i]
-					if nodeOwner[l.Dst] == -1 {
-						nodeOwner[l.Dst] = c
-						frontier[c] = append(frontier[c], g.Out(l.Dst)...)
-					}
+			// Disconnected remainder: seed leftover nodes round-robin and
+			// resume growth from them.
+			for i := range nodeOwner {
+				if nodeOwner[i] == -1 {
+					c := owned % k
+					nodeOwner[i] = c
+					owned++
+					frontier[c] = append(frontier[c], g.Out(topology.NodeID(i))...)
 					break
 				}
 			}
 		}
 	}
+
+	// Glue each client to its router's cluster so access links never sit
+	// on the cut (the glue targets only non-client routers, from a
+	// snapshot, so client-client topologies stay as grown).
+	glued := make([]int, n)
+	copy(glued, nodeOwner)
+	for _, nd := range g.Nodes {
+		if nd.Kind != topology.Client {
+			continue
+		}
+		for _, lid := range g.Out(nd.ID) {
+			r := g.Links[lid].Dst
+			if g.Nodes[r].Kind != topology.Client {
+				glued[nd.ID] = nodeOwner[r]
+				break
+			}
+		}
+	}
+
+	for i, l := range g.Links {
+		a.Owner[i] = glued[l.Src]
+	}
 	return a, nil
+}
+
+// popCheapest removes and returns the frontier link with the lowest
+// latency whose far node is unowned (ties by link ID), compacting away
+// entries to already-owned nodes. ok is false when no such link remains.
+func popCheapest(frontier *[]topology.LinkID, nodeOwner []int, g *topology.Graph) (topology.LinkID, bool) {
+	f := *frontier
+	live := f[:0]
+	best := -1 // index into live
+	for _, lid := range f {
+		if nodeOwner[g.Links[lid].Dst] != -1 {
+			continue
+		}
+		live = append(live, lid)
+		i := len(live) - 1
+		if best < 0 {
+			best = i
+			continue
+		}
+		la, lb := g.Links[live[best]].Attr.LatencySec, g.Links[lid].Attr.LatencySec
+		if lb < la || (lb == la && lid < live[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		*frontier = live
+		return 0, false
+	}
+	lid := live[best]
+	live[best] = live[len(live)-1]
+	*frontier = live[:len(live)-1]
+	return lid, true
 }
 
 // Even assigns pipes to cores in contiguous equal-size blocks of link ID
@@ -155,6 +208,47 @@ func (a *Assignment) LoadMetrics() Metrics {
 		m.Imbalance = float64(maxv) * float64(a.Cores) / float64(sum)
 	}
 	return m
+}
+
+// CutStats quantify how an assignment will synchronize under the parallel
+// runtime. A pipe is on the cut when a packet exiting it can next enter a
+// pipe owned by a different core (structurally: some outgoing link of its
+// head node has a different owner). The runtime's conservative lookahead is
+// the minimum latency over cut pipes — every cross-core handoff is
+// announced at least that far ahead in virtual time — so partitions whose
+// cuts cross high-latency links synchronize less often.
+type CutStats struct {
+	CutPipes       int            // pipes whose exit can cross cores
+	Lookahead      vtime.Duration // min cut-pipe latency (0 when no cut)
+	MeanCutLatency vtime.Duration // mean cut-pipe latency
+}
+
+// CutStats analyzes the assignment's cut over the distilled topology.
+func (a *Assignment) CutStats(g *topology.Graph) CutStats {
+	var s CutStats
+	var sum vtime.Duration
+	for _, l := range g.Links {
+		cut := false
+		for _, nid := range g.Out(l.Dst) {
+			if a.Owner[nid] != a.Owner[l.ID] {
+				cut = true
+				break
+			}
+		}
+		if !cut {
+			continue
+		}
+		lat := vtime.DurationOf(l.Attr.LatencySec)
+		if s.CutPipes == 0 || lat < s.Lookahead {
+			s.Lookahead = lat
+		}
+		s.CutPipes++
+		sum += lat
+	}
+	if s.CutPipes > 0 {
+		s.MeanCutLatency = sum / vtime.Duration(s.CutPipes)
+	}
+	return s
 }
 
 // CrossingStats computes, over all VN-pair routes in the matrix, the total

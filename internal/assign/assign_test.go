@@ -42,21 +42,58 @@ func TestKClustersSingleCore(t *testing.T) {
 	}
 }
 
-func TestKClustersDuplexPairsTogether(t *testing.T) {
+func TestKClustersAccessPairsStayWithRouter(t *testing.T) {
+	// Both directions of every client access link must share one owner
+	// (the client's home core), so VN injection and delivery are always
+	// core-local in the parallel runtime.
 	g := topology.Ring(8, 2, attrs(), attrs())
 	a, err := KClusters(g, 3, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, l := range g.Links {
+		if g.Class(l) != topology.ClientStub {
+			continue
+		}
 		rev, ok := g.FindLink(l.Dst, l.Src)
 		if !ok {
 			continue
 		}
 		if a.Owner[l.ID] != a.Owner[rev.ID] {
-			t.Fatalf("duplex pair (%d,%d) split across cores %d/%d",
+			t.Fatalf("access pair (%d,%d) split across cores %d/%d",
 				l.ID, rev.ID, a.Owner[l.ID], a.Owner[rev.ID])
 		}
+	}
+}
+
+func TestKClustersLookaheadObjective(t *testing.T) {
+	// On a ring with slow backbone links and fast access links, the cut
+	// must fall across the backbone: lookahead == the ring latency, an
+	// order of magnitude above the access latency.
+	ring := topology.LinkAttrs{BandwidthBps: 100e6, LatencySec: 0.010, QueuePkts: 50}
+	access := topology.LinkAttrs{BandwidthBps: 10e6, LatencySec: 0.001, QueuePkts: 50}
+	g := topology.Ring(20, 20, ring, access)
+	for _, k := range []int{2, 4, 8} {
+		a, err := KClusters(g, k, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := a.CutStats(g)
+		if cs.CutPipes == 0 {
+			t.Fatalf("k=%d: no cut pipes on a partitioned ring", k)
+		}
+		if cs.Lookahead.Seconds() != ring.LatencySec {
+			t.Errorf("k=%d: lookahead %v, want the ring latency %vs (cut crossed an access link)",
+				k, cs.Lookahead, ring.LatencySec)
+		}
+	}
+	// The structure-blind Even baseline cuts access links: its lookahead
+	// is strictly worse.
+	ev, _ := Even(g, 4)
+	kc, _ := KClusters(g, 4, 11)
+	if ev.CutStats(g).Lookahead >= kc.CutStats(g).Lookahead {
+		t.Errorf("Even lookahead %v not worse than KClusters %v",
+			ev.CutStats(g).Lookahead, kc.CutStats(g).Lookahead)
 	}
 }
 

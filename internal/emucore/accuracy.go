@@ -42,6 +42,22 @@ func (a *Accuracy) Record(lag vtime.Duration, hops int) {
 	a.Buckets[b]++
 }
 
+// Merge folds another tracker's observations into a (multiset union; used
+// to aggregate per-shard trackers after a parallel run).
+func (a *Accuracy) Merge(b Accuracy) {
+	a.Count += b.Count
+	a.SumLag += b.SumLag
+	if b.MaxLag > a.MaxLag {
+		a.MaxLag = b.MaxLag
+	}
+	if b.MaxHops > a.MaxHops {
+		a.MaxHops = b.MaxHops
+	}
+	for i, n := range b.Buckets {
+		a.Buckets[i] += n
+	}
+}
+
 // MeanLag returns the average per-packet delivery lag.
 func (a *Accuracy) MeanLag() vtime.Duration {
 	if a.Count == 0 {

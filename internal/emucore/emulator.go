@@ -12,9 +12,23 @@ import (
 // DeliverFunc receives a packet at its destination VN.
 type DeliverFunc func(pkt *pipes.Packet)
 
+// HandoffFunc carries a cross-shard event out of a shard-mode emulator (see
+// NewShard). pid >= 0 asks the owning shard to enqueue pkt into pipe pid at
+// time at (a §2.2 core-to-core tunnel); pid < 0 asks the destination VN's
+// home shard to complete delivery of pkt, where at is the delivery time and
+// lag the accumulated quantization error.
+type HandoffFunc func(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.Time, lag vtime.Duration)
+
 // Emulator is a cluster of core routers emulating one distilled topology.
 // All state is driven by a single vtime.Scheduler; the emulator is not safe
 // for concurrent use.
+//
+// In the default (sequential) mode one Emulator owns every pipe and core
+// struct. In shard mode (NewShard) the Emulator is one core router of a
+// parallel cluster: it owns only the pipes the POD assigns to its shard
+// index, runs on its own scheduler, and emits HandoffFunc events when a
+// packet's next pipe — or destination VN — lives on a peer shard. The
+// parallel runtime (internal/parcore) routes those events between shards.
 type Emulator struct {
 	sched   *vtime.Scheduler
 	prof    Profile
@@ -28,12 +42,23 @@ type Emulator struct {
 	deliver map[pipes.VN]DeliverFunc
 	seq     uint64
 
+	// Shard mode (see NewShard); shard is -1 in sequential mode.
+	shard   int
+	homes   []int // VN -> home shard, nil in sequential mode
+	handoff HandoffFunc
+	eager   bool // pre-emit handoffs at enqueue time (ideal profile only)
+
 	// Global counters.
 	Injected  uint64 // packets offered to the core cluster
 	Delivered uint64 // packets handed to destination VNs
 	NoRoute   uint64 // injections with no route
 	Accuracy  Accuracy
 	DropHook  func(pkt *pipes.Packet, where string) // optional debug hook
+	// OnDeliver, when set, observes every completed delivery with its
+	// delivery time (before the VN callback runs). In parallel mode the
+	// hook is installed per shard and may be invoked concurrently across
+	// shards; implementations must be safe for that.
+	OnDeliver func(pkt *pipes.Packet, at vtime.Time)
 }
 
 // core is one emulated core router: a pipe heap plus CPU/NIC occupancy.
@@ -79,6 +104,7 @@ func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.P
 		binding: b,
 		pod:     pod,
 		deliver: make(map[pipes.VN]DeliverFunc),
+		shard:   -1,
 	}
 	e.pipes = make([]*pipes.Pipe, g.NumLinks())
 	for i, l := range g.Links {
@@ -90,6 +116,50 @@ func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.P
 	}
 	return e, nil
 }
+
+// NewShard builds the shard-mode emulator for one core of a parallel
+// cluster: it processes injections and deliveries for the VNs whose home
+// shard (per homes) is shard, emulates only the pipes the POD assigns to
+// shard, and forwards everything else through handoff. Every shard
+// constructs the full pipe set with identical per-pipe seeds so loss/RED
+// randomness matches the sequential emulator pipe-for-pipe; a shard only
+// ever touches the pipes it owns.
+//
+// Under an ideal profile (no tick, no CPU/NIC model) the shard runs in
+// "eager" mode: a pipe's exit time is fixed the moment the packet is
+// enqueued, so cross-shard handoffs are emitted at enqueue time, timestamped
+// with the future exit. That gives the parallel runtime a full pipe latency
+// of lookahead per crossing instead of being throttled by the actual
+// cross-traffic event rate. With a resource model the tunnel-tx admission
+// decision depends on core state at exit time, so handoffs are emitted
+// lazily when the exit is processed.
+func NewShard(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.POD, prof Profile, seed int64, shard int, homes []int, handoff HandoffFunc) (*Emulator, error) {
+	e, err := New(sched, g, b, pod, prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(e.cores) {
+		return nil, fmt.Errorf("emucore: shard %d out of range [0,%d)", shard, len(e.cores))
+	}
+	if handoff == nil {
+		return nil, fmt.Errorf("emucore: shard mode requires a handoff func")
+	}
+	if len(homes) < b.NumVNs() {
+		return nil, fmt.Errorf("emucore: homes covers %d of %d VNs", len(homes), b.NumVNs())
+	}
+	e.shard = shard
+	e.homes = homes
+	e.handoff = handoff
+	e.eager = prof.ideal()
+	return e, nil
+}
+
+// Shard reports the shard index, or -1 for a sequential emulator.
+func (e *Emulator) Shard() int { return e.shard }
+
+// Eager reports whether the shard emits handoffs at enqueue time (see
+// NewShard); always false in sequential mode.
+func (e *Emulator) Eager() bool { return e.eager }
 
 func pipeParams(a topology.LinkAttrs) pipes.Params {
 	return pipes.Params{
@@ -215,6 +285,11 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 	}
 	now := e.sched.Now()
 	c := e.coreOfVN(src)
+	if e.shard >= 0 {
+		// Shard mode: the runtime homes each VN on the shard owning its
+		// access pipes, so ingress always charges this shard's core.
+		c = e.cores[e.shard]
+	}
 
 	// Physical admission: NIC receive ring, then CPU (interrupt handling
 	// is starved when the emulation runs behind).
@@ -232,7 +307,7 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 	e.Injected++
 	e.seq++
 	pkt := &pipes.Packet{
-		Seq:      e.seq,
+		Seq:      e.seq | uint64(e.shard+1)<<48,
 		Size:     size,
 		Src:      src,
 		Dst:      dst,
@@ -251,17 +326,17 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 }
 
 // enqueue places pkt into pipe pid at logical time at, tunneling first if
-// the pipe's owner differs from the current core.
+// the pipe's owner differs from the current core. In shard mode a tunnel to
+// a pipe owned by a peer shard performs only the sender-side accounting and
+// emits a handoff; the owning shard finishes admission in TunnelIn.
 func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
-	owner := e.cores[e.pod.Owner(pid)%len(e.cores)]
+	ownerIdx := e.pod.Owner(pid) % len(e.cores)
+	owner := e.cores[ownerIdx]
 	now := e.sched.Now()
 	if owner != cur {
 		// Cross-core transition (§3.3): descriptor (or full packet)
 		// tunneled over the physical cluster network.
-		wire := pkt.Size
-		if e.prof.PayloadCaching && e.prof.DescriptorBytes > 0 {
-			wire = e.prof.DescriptorBytes
-		}
+		wire := e.wireSize(pkt)
 		cur.forceCPU(e, now, e.prof.CPU.TunnelTx)
 		if !cur.admitTx(e, now, wire) {
 			cur.PhysDropsTx++
@@ -270,6 +345,10 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		}
 		cur.TunnelsOut++
 		cur.TunnelTxBytes += uint64(wire)
+		if e.shard >= 0 && ownerIdx != e.shard {
+			e.handoff(ownerIdx, pkt, pid, at, 0)
+			return
+		}
 		if !owner.admitRx(e, now, wire) {
 			owner.PhysDropsNIC++
 			e.dropHook(pkt, "tunnel-rx")
@@ -282,12 +361,83 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		}
 		owner.TunnelsIn++
 	}
-	if reason, _ := e.pipes[pid].Enqueue(pkt, at); reason != pipes.DropNone {
+	e.localEnqueue(owner, pkt, pid, at)
+}
+
+// wireSize is the byte count a tunneled packet occupies on the physical
+// cluster network (§2.2 payload caching tunnels descriptors only).
+func (e *Emulator) wireSize(pkt *pipes.Packet) int {
+	if e.prof.PayloadCaching && e.prof.DescriptorBytes > 0 {
+		return e.prof.DescriptorBytes
+	}
+	return pkt.Size
+}
+
+// localEnqueue inserts pkt into owned pipe pid at time at and rearms the
+// core. In eager shard mode the pipe's exit time — fixed here, at enqueue —
+// is used to pre-emit any cross-shard handoff the exit will cause, giving
+// the parallel runtime a pipe latency of lookahead.
+func (e *Emulator) localEnqueue(c *core, pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
+	reason, exit := e.pipes[pid].Enqueue(pkt, at)
+	if reason != pipes.DropNone {
 		e.dropHook(pkt, "pipe-"+reason.String())
 		return
 	}
-	owner.heap.Update(e.pipes[pid])
-	e.scheduleCore(owner)
+	c.heap.Update(e.pipes[pid])
+	e.scheduleCore(c)
+	if e.eager {
+		e.preEmit(c, pkt, exit)
+	}
+}
+
+// preEmit sends the cross-shard handoff a packet's exit from its current
+// pipe will cause, timestamped with the (already exact) future exit time.
+// The peer shard receives a private copy; the original stays in the local
+// pipe purely to occupy queue slots and transmission time, and its exit is
+// ignored by advance. Only valid in eager mode, where admission paths are
+// no-ops and the exit-time decisions are therefore known at enqueue time.
+func (e *Emulator) preEmit(c *core, pkt *pipes.Packet, exit vtime.Time) {
+	next := pkt.Hop + 1
+	if next < len(pkt.Route) {
+		npid := pkt.Route[next]
+		tgt := e.pod.Owner(npid) % len(e.cores)
+		if tgt == e.shard {
+			return
+		}
+		cp := *pkt
+		cp.Hop = next
+		c.TunnelsOut++
+		c.TunnelTxBytes += uint64(e.wireSize(pkt))
+		e.handoff(tgt, &cp, npid, exit, 0)
+		return
+	}
+	if home := e.homes[pkt.Dst]; home != e.shard {
+		// Final hop lands on a peer shard's VN: hand the delivery over.
+		// Lag is zero by construction (eager mode has no quantization).
+		cp := *pkt
+		e.handoff(home, &cp, -1, exit, 0)
+	}
+}
+
+// TunnelIn accepts a packet handed off by a peer shard: the receive half of
+// the core-to-core tunnel (admission, then pipe entry). pid must be owned
+// by this shard. Called by the parallel runtime at the handoff's fire time.
+func (e *Emulator) TunnelIn(pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
+	c := e.cores[e.shard]
+	now := e.sched.Now()
+	wire := e.wireSize(pkt)
+	if !c.admitRx(e, now, wire) {
+		c.PhysDropsNIC++
+		e.dropHook(pkt, "tunnel-rx")
+		return
+	}
+	if !c.admitCPU(e, now, e.prof.CPU.TunnelRx) {
+		c.PhysDropsCPU++
+		e.dropHook(pkt, "tunnel-cpu")
+		return
+	}
+	c.TunnelsIn++
+	e.localEnqueue(c, pkt, pid, at)
 }
 
 // runCore is one scheduler activation for a core: drain every pipe whose
@@ -306,11 +456,16 @@ func (e *Emulator) runCore(c *core) {
 }
 
 // advance moves a packet that just exited a pipe to its next pipe or its
-// destination.
+// destination. In eager shard mode, exits whose consequence lives on a peer
+// shard were already pre-emitted at enqueue time (see preEmit) and are
+// ignored here.
 func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
 	c.forceCPU(e, now, e.prof.CPU.PerHop)
 	pkt.Hop++
 	if pkt.Hop < len(pkt.Route) {
+		if e.eager && e.pod.Owner(pkt.Route[pkt.Hop])%len(e.cores) != e.shard {
+			return // a copy crossed at enqueue time
+		}
 		at := now
 		if e.prof.DebtHandling {
 			// Packet debt: enter the next pipe at the exact exit time of
@@ -322,19 +477,37 @@ func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time
 		e.enqueue(c, pkt, pkt.Route[pkt.Hop], at)
 		return
 	}
+	if e.eager && e.homes[pkt.Dst] != e.shard {
+		return // the delivery copy crossed at enqueue time
+	}
 	e.finish(c, pkt, exactExit, now)
 }
 
-// finish delivers a packet to its destination VN's edge node.
+// finish delivers a packet to its destination VN's edge node, handing off
+// to the VN's home shard when it lives elsewhere.
 func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
 	if !c.admitTx(e, now, pkt.Size) {
 		c.PhysDropsTx++
 		e.dropHook(pkt, "edge-tx")
 		return
 	}
-	e.Delivered++
 	lag := pkt.Lag + now.Sub(exactExit)
+	if e.shard >= 0 && e.homes[pkt.Dst] != e.shard {
+		e.handoff(e.homes[pkt.Dst], pkt, -1, now, lag)
+		return
+	}
+	e.CompleteDelivery(pkt, lag, now)
+}
+
+// CompleteDelivery finishes a delivery on the destination VN's home shard
+// (or inline, in sequential mode): counters, accuracy, hooks, VN callback.
+// at is the delivery time.
+func (e *Emulator) CompleteDelivery(pkt *pipes.Packet, lag vtime.Duration, at vtime.Time) {
+	e.Delivered++
 	e.Accuracy.Record(lag, len(pkt.Route))
+	if e.OnDeliver != nil {
+		e.OnDeliver(pkt, at)
+	}
 	if fn := e.deliver[pkt.Dst]; fn != nil {
 		fn(pkt)
 	}
@@ -452,6 +625,17 @@ func (c *core) forceCPU(e *Emulator, now vtime.Time, d vtime.Duration) {
 	}
 	c.cpuBusyUntil = start.Add(d)
 	c.CPUWork += d
+}
+
+// NextPipeDeadline reports the earliest exact (unquantized) exit deadline
+// among this shard's occupied pipes, or vtime.Forever when all are idle.
+// The parallel runtime folds this into its safe-advance bound: in lazy
+// shard mode a handoff can fire as soon as the earliest border pipe drains.
+func (e *Emulator) NextPipeDeadline() vtime.Time {
+	if e.shard < 0 {
+		return e.cores[0].heap.Min()
+	}
+	return e.cores[e.shard].heap.Min()
 }
 
 // CPUUtilization reports core i's cumulative CPU busy fraction since t0.

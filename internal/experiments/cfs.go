@@ -31,6 +31,11 @@ type CFSConfig struct {
 	// Downloaders lists which nodes run a download per point (Fig. 7
 	// averages over them; Fig. 8 uses all).
 	Downloaders []int
+	// Cores/Parallel/Profile select the core-cluster configuration (the
+	// zero values preserve the paper runs: one core, default profile).
+	Cores    int
+	Parallel bool
+	Profile  *modelnet.Profile
 }
 
 // DefaultCFS is the full configuration.
@@ -67,13 +72,23 @@ type cfsCluster struct {
 // curve).
 func newCFSCluster(cfg CFSConfig, oneMachine bool) (*cfsCluster, error) {
 	g := cfs.RONTopology(cfg.Sites, cfg.Seed)
-	em, err := modelnet.Run(g, modelnet.Options{Seed: cfg.Seed})
+	em, err := modelnet.Run(g, modelnet.Options{
+		Seed:     cfg.Seed,
+		Cores:    cfg.Cores,
+		Parallel: cfg.Parallel,
+		Profile:  cfg.Profile,
+	})
 	if err != nil {
 		return nil, err
 	}
 	var machine *edge.Machine
-	var inj netstack.Injector = em.Emu
+	var inj netstack.Injector
 	if oneMachine {
+		// The one-machine model needs the single sequential scheduler; it
+		// is a sequential-mode experiment by construction.
+		if em.Par != nil {
+			return nil, fmt.Errorf("cfs: the one-machine variant requires sequential mode (Parallel=false)")
+		}
 		mc := edge.DefaultMachineConfig()
 		machine = edge.NewMachine(em.Sched, mc)
 		inj = machine.WrapInjector(em.Emu)

@@ -1,0 +1,110 @@
+package experiments
+
+// The parallel runtime's determinism contract, exercised on real
+// application workloads: running the gnutella scale study and a CFS
+// download with the same seed under sequential and parallel modes must
+// produce byte-identical conservation counters and identical delivery-time
+// CDFs (internal/stats). See DESIGN.md for the contract's scope.
+
+import (
+	"sync"
+	"testing"
+
+	"modelnet"
+	"modelnet/internal/pipes"
+	"modelnet/internal/stats"
+)
+
+func sameCDF(t *testing.T, name string, a, b *stats.Sample) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("%s: delivery count %d vs %d", name, a.N(), b.N())
+	}
+	ac, bc := a.CDFAt(64), b.CDFAt(64)
+	if len(ac) != len(bc) {
+		t.Fatalf("%s: CDF lengths %d vs %d", name, len(ac), len(bc))
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("%s: CDF diverges at point %d: %+v vs %+v", name, i, ac[i], bc[i])
+		}
+	}
+}
+
+func TestGnutellaSeqParDeterminism(t *testing.T) {
+	cfg := ScaleConfig{
+		Servents: 200,
+		Degree:   4,
+		TTL:      7,
+		EdgeVNs:  25,
+		Window:   modelnet.Seconds(10),
+		Seed:     15,
+		Cores:    4,
+	}
+	seqCfg, parCfg := cfg, cfg
+	parCfg.Parallel = true
+	seq, err := RunScale(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunScale(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Reachable != par.Reachable || seq.Forwarded != par.Forwarded ||
+		seq.Duplicates != par.Duplicates || seq.CorePkts != par.CorePkts {
+		t.Errorf("gnutella diverges:\n sequential %+v\n parallel   %+v", seq, par)
+	}
+	if seq.Reachable < cfg.Servents/2 {
+		t.Errorf("flood barely spread: %d/%d reachable", seq.Reachable, cfg.Servents)
+	}
+	sameCDF(t, "gnutella", seq.Deliveries, par.Deliveries)
+}
+
+// cfsRun builds a CFS cluster, downloads the striped file from two nodes,
+// and returns the counters plus the delivery-time sample.
+func cfsRun(t *testing.T, parallel bool) (uint64, uint64, uint64, *stats.Sample, float64) {
+	t.Helper()
+	ideal := modelnet.IdealProfile()
+	cfg := DefaultCFS()
+	cfg.Cores = 3
+	cfg.Parallel = parallel
+	cfg.Profile = &ideal
+	cl, err := newCFSCluster(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &stats.Sample{}
+	var mu sync.Mutex
+	cl.em.OnDeliver(func(pkt *pipes.Packet, at modelnet.Time) {
+		mu.Lock()
+		sample.Add(at.Seconds())
+		mu.Unlock()
+	})
+	speed := 0.0
+	for _, node := range []int{0, 6} {
+		sp, err := cl.download(cfg, node, 24<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speed += sp
+	}
+	tot := cl.em.Totals()
+	return tot.Injected, tot.Delivered, tot.NoRoute, sample, speed
+}
+
+func TestCFSSeqParDeterminism(t *testing.T) {
+	si, sd, sn, ss, sspeed := cfsRun(t, false)
+	pi, pd, pn, ps, pspeed := cfsRun(t, true)
+	if si != pi || sd != pd || sn != pn {
+		t.Errorf("CFS counters diverge: seq (inj %d, del %d, noroute %d) vs par (%d, %d, %d)",
+			si, sd, sn, pi, pd, pn)
+	}
+	if sspeed != pspeed {
+		t.Errorf("CFS download speeds diverge: %v vs %v KB/s", sspeed, pspeed)
+	}
+	if sd == 0 {
+		t.Fatal("CFS run delivered nothing")
+	}
+	sameCDF(t, "cfs", ss, ps)
+}

@@ -1,0 +1,229 @@
+package experiments
+
+// The parallel-runtime scaling study: the paper's scalability claim is that
+// emulation capacity grows with the number of core routers (§3.3, Table 1
+// measures how cross-core transitions erode it). The sequential
+// reproduction cannot show this — one scheduler thread is one core's worth
+// of compute no matter what Options.Cores says — so this experiment drives
+// the same saturating workload over the paper's 20-router ring under the
+// sequential runtime and under the parallel runtime at growing core
+// counts, reporting wall-clock speedup and verifying that every
+// configuration produces identical emulation results.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"modelnet"
+	"modelnet/internal/vtime"
+)
+
+// ParcoreConfig parameterizes the scaling study.
+type ParcoreConfig struct {
+	Routers       int // ring routers (paper topology: 20)
+	VNsPerRouter  int // clients per router (20 ⇒ 400 VNs)
+	Cores         []int
+	Duration      modelnet.Duration
+	PacketsPerSec float64 // per-VN CBR rate
+	PacketBytes   int
+	Seed          int64
+}
+
+// DefaultParcore is the full-scale configuration: the 20×20 ring, 400 CBR
+// flows crossing the ring diameter, 1/2/4/8 cores.
+func DefaultParcore() ParcoreConfig {
+	return ParcoreConfig{
+		Routers:       20,
+		VNsPerRouter:  20,
+		Cores:         []int{1, 2, 4, 8},
+		Duration:      modelnet.Seconds(10),
+		PacketsPerSec: 200,
+		PacketBytes:   1000,
+		Seed:          11,
+	}
+}
+
+// ScaledParcore shrinks the emulated duration for quick runs.
+func ScaledParcore(scale float64) ParcoreConfig {
+	cfg := DefaultParcore()
+	if scale < 1 {
+		cfg.Duration = modelnet.Seconds(10 * scale)
+	}
+	return cfg
+}
+
+// ParcoreRow is one configuration's outcome.
+type ParcoreRow struct {
+	Cores        int     `json:"cores"`
+	Parallel     bool    `json:"parallel"`
+	WallMS       float64 `json:"wall_ms"`
+	Speedup      float64 `json:"speedup"` // vs the sequential row
+	Delivered    uint64  `json:"delivered"`
+	Injected     uint64  `json:"injected"`
+	Drops        uint64  `json:"drops"`
+	Windows      uint64  `json:"windows,omitempty"`
+	SerialRounds uint64  `json:"serial_rounds,omitempty"`
+	Messages     uint64  `json:"messages,omitempty"`
+	LookaheadMS  float64 `json:"lookahead_ms,omitempty"`
+}
+
+// ParcoreResult is the full study.
+type ParcoreResult struct {
+	Routers      int     `json:"routers"`
+	VNsPerRouter int     `json:"vns_per_router"`
+	DurationSec  float64 `json:"duration_sec"`
+	// HostCPUs is runtime.NumCPU() where the study ran: wall-clock
+	// speedup is bounded by it (on a 1-CPU host the parallel rows measure
+	// pure synchronization overhead instead).
+	HostCPUs int          `json:"host_cpus"`
+	Rows     []ParcoreRow `json:"rows"`
+	// Deterministic reports whether every configuration produced
+	// byte-identical conservation counters.
+	Deterministic bool `json:"deterministic"`
+}
+
+// runParcoreOnce builds the ring, loads it with diameter-crossing CBR
+// flows, runs it, and reports totals plus wall time.
+func runParcoreOnce(cfg ParcoreConfig, cores int, parallel bool) (ParcoreRow, error) {
+	// A gigabit ring keeps the aggregate offered load (~165 Mb/s per ring
+	// pipe at the default rate) well under capacity: zero virtual drops,
+	// so the determinism comparison is exact regardless of how same-
+	// nanosecond arrivals interleave (no drop-victim selection).
+	ringAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(1000), LatencySec: modelnet.Ms(5), QueuePkts: 400}
+	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 100}
+	g := modelnet.Ring(cfg.Routers, cfg.VNsPerRouter, ringAttr, accessAttr)
+	ideal := modelnet.IdealProfile()
+	em, err := modelnet.Run(g, modelnet.Options{
+		Cores:    cores,
+		Parallel: parallel,
+		Profile:  &ideal,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return ParcoreRow{}, err
+	}
+	hosts := em.NewHosts()
+	n := len(hosts)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	period := vtime.DurationOf(1 / cfg.PacketsPerSec)
+	for v, h := range hosts {
+		sink, err := h.OpenUDP(9, nil)
+		if err != nil {
+			return ParcoreRow{}, err
+		}
+		_ = sink
+		s, err := h.OpenUDP(0, nil)
+		if err != nil {
+			return ParcoreRow{}, err
+		}
+		// Destination: the same client slot on the diametrically opposite
+		// router — every packet traverses half the ring.
+		dst := modelnet.Endpoint{VN: modelnet.VN((v + n/2) % n), Port: 9}
+		// Nanosecond-jittered phase and rate de-synchronize the flows.
+		start := vtime.Duration(rng.Int63n(int64(period)))
+		jitter := vtime.Duration(rng.Int63n(int64(period / 8)))
+		size := cfg.PacketBytes
+		sched := em.SchedulerOf(modelnet.VN(v))
+		// Injection stops before the deadline so the run drains: every
+		// offered packet is delivered or dropped by the end, making the
+		// counters insensitive to where the cutoff slices in-flight
+		// traffic.
+		sendEnd := vtime.Time(0).Add(cfg.Duration)
+		var send func()
+		send = func() {
+			s.SendTo(dst, size, nil)
+			if next := sched.Now().Add(period + jitter); next < sendEnd {
+				sched.After(period+jitter, send)
+			}
+		}
+		sched.After(start, send)
+	}
+	begin := time.Now()
+	em.RunFor(cfg.Duration + modelnet.Seconds(0.5))
+	wall := time.Since(begin)
+	tot := em.Totals()
+	row := ParcoreRow{
+		Cores:     cores,
+		Parallel:  parallel,
+		WallMS:    float64(wall.Microseconds()) / 1000,
+		Delivered: tot.Delivered,
+		Injected:  tot.Injected,
+		Drops:     tot.PhysDrops + tot.VirtualDrops,
+	}
+	if parallel {
+		st := em.Par.Stats()
+		row.Windows = st.Windows
+		row.SerialRounds = st.SerialRounds
+		row.Messages = st.Messages
+		row.LookaheadMS = em.Par.Lookahead().Seconds() * 1000
+	}
+	return row, nil
+}
+
+// RunParcoreScaling runs the study: one sequential baseline, then the
+// parallel runtime at each core count above 1.
+func RunParcoreScaling(cfg ParcoreConfig) (*ParcoreResult, error) {
+	res := &ParcoreResult{
+		Routers:       cfg.Routers,
+		VNsPerRouter:  cfg.VNsPerRouter,
+		DurationSec:   cfg.Duration.Seconds(),
+		HostCPUs:      runtime.NumCPU(),
+		Deterministic: true,
+	}
+	base, err := runParcoreOnce(cfg, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	base.Speedup = 1
+	res.Rows = append(res.Rows, base)
+	for _, k := range cfg.Cores {
+		if k < 2 {
+			continue
+		}
+		row, err := runParcoreOnce(cfg, k, true)
+		if err != nil {
+			return nil, err
+		}
+		if row.WallMS > 0 {
+			row.Speedup = base.WallMS / row.WallMS
+		}
+		if row.Delivered != base.Delivered || row.Injected != base.Injected || row.Drops != base.Drops {
+			res.Deterministic = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintParcore renders the study.
+func PrintParcore(w io.Writer, res *ParcoreResult) {
+	fprintf(w, "Parallel core-cluster scaling: %d×%d ring, %.1fs emulated\n",
+		res.Routers, res.VNsPerRouter, res.DurationSec)
+	fprintf(w, "%6s %9s %9s %10s %9s %8s %9s %10s\n",
+		"cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "lookahead")
+	for _, r := range res.Rows {
+		mode := "seq"
+		if r.Parallel {
+			mode = fmt.Sprintf("%d", r.Cores)
+		}
+		fprintf(w, "%6s %9.0f %8.2fx %10d %9d %8d %9d %8.1fms\n",
+			mode, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages, r.LookaheadMS)
+	}
+	if !res.Deterministic {
+		fprintf(w, "  WARNING: configurations disagreed on emulation counters\n")
+	}
+}
+
+// WriteParcoreJSON records the study for the repository (BENCH_parcore.json).
+func WriteParcoreJSON(path string, res *ParcoreResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

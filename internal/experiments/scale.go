@@ -3,9 +3,12 @@ package experiments
 import (
 	"io"
 	"math/rand"
+	"sync"
 
 	"modelnet"
 	"modelnet/internal/apps/gnutella"
+	"modelnet/internal/pipes"
+	"modelnet/internal/stats"
 )
 
 // The paper's largest single experiment evaluated "system evolution and
@@ -21,6 +24,11 @@ type ScaleConfig struct {
 	EdgeVNs  int // VNs multiplexed per edge node (paper: 100)
 	Window   modelnet.Duration
 	Seed     int64
+	// Cores and Parallel select the core-cluster configuration; Cores 0
+	// means 1. With Parallel set the run uses the parallel runtime
+	// (internal/parcore) and must produce the same result.
+	Cores    int
+	Parallel bool
 }
 
 // DefaultScale is the paper's 10,000-servent configuration.
@@ -52,6 +60,9 @@ type ScaleResult struct {
 	Forwarded  uint64
 	Duplicates uint64
 	CorePkts   uint64
+	// Deliveries samples every packet's delivery time (seconds); its CDF
+	// is the determinism probe comparing sequential and parallel modes.
+	Deliveries *stats.Sample
 }
 
 // RunScale builds the overlay and floods a ping from servent 0.
@@ -63,16 +74,36 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		QueuePkts:    200,
 	}
 	g := modelnet.Star(n, attr)
+	// Heterogeneous last miles: jitter each access latency up to ±20%.
+	// Real populations are not metronomes, and distinct per-link delays
+	// keep the flood's wavefronts from colliding in the same nanosecond —
+	// which is also what lets the sequential and parallel runtimes agree
+	// packet-for-packet.
+	latRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1e))
+	for i := range g.Links {
+		a := g.Links[i].Attr
+		a.LatencySec *= 0.8 + 0.4*latRng.Float64()
+		g.Links[i].Attr = a
+	}
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(g, modelnet.Options{
 		Profile:    &ideal,
 		Seed:       cfg.Seed,
 		RouteCache: 1 << 17, // the O(n²) matrix would be 100M routes at 10k VNs
 		EdgeNodes:  (n + cfg.EdgeVNs - 1) / cfg.EdgeVNs,
+		Cores:      cfg.Cores,
+		Parallel:   cfg.Parallel,
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := &ScaleResult{Servents: n, Deliveries: &stats.Sample{}}
+	var mu sync.Mutex
+	em.OnDeliver(func(pkt *pipes.Packet, at modelnet.Time) {
+		mu.Lock()
+		res.Deliveries.Add(at.Seconds())
+		mu.Unlock()
+	})
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	peers := make([]*gnutella.Peer, n)
 	for i := range peers {
@@ -95,14 +126,13 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 			connect(a, b)
 		}
 	}
-	res := &ScaleResult{Servents: n}
 	peers[0].Reachability(cfg.Window, func(c int) { res.Reachable = c })
 	em.RunFor(cfg.Window + modelnet.Seconds(5))
 	for _, p := range peers {
 		res.Forwarded += p.Forwarded
 		res.Duplicates += p.Duplicates
 	}
-	res.CorePkts = em.Emu.Delivered
+	res.CorePkts = em.Totals().Delivered
 	return res, nil
 }
 

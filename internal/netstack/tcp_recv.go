@@ -121,6 +121,12 @@ func (c *Conn) processAck(seg *Segment) {
 		c.BytesSent += dataHi - dataLo
 		c.popAcked()
 		c.retries = 0
+		// Forward progress clears any timeout backoff (RFC 6298 §5.7 /
+		// Linux tcp_ack): without this, lossy paths ratchet the RTO to
+		// its maximum — Karn's algorithm keeps canceling the samples that
+		// would bring it back down — and every later loss stalls the
+		// connection for maxRTO.
+		c.rto = c.computedRTO()
 		// RTT sample (Karn's: only for never-retransmitted ranges).
 		if c.rttActive && c.sndUna >= c.rttSeq {
 			c.rttSample(c.h.sched.Now().Sub(c.rttAt))
@@ -361,11 +367,21 @@ func (c *Conn) rttSample(rtt vtime.Duration) {
 		c.rttvar = (3*c.rttvar + d) / 4
 		c.srtt = (7*c.srtt + rtt) / 8
 	}
-	c.rto = c.srtt + 4*c.rttvar
-	if c.rto < minRTO {
-		c.rto = minRTO
+	c.rto = c.computedRTO()
+}
+
+// computedRTO derives the un-backed-off RTO from the current estimator
+// state (initialRTO before the first sample), clamped to [minRTO, maxRTO].
+func (c *Conn) computedRTO() vtime.Duration {
+	if c.srtt == 0 {
+		return initialRTO
 	}
-	if c.rto > maxRTO {
-		c.rto = maxRTO
+	rto := c.srtt + 4*c.rttvar
+	if rto < minRTO {
+		rto = minRTO
 	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
 }

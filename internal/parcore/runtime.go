@@ -1,0 +1,501 @@
+// Package parcore is the parallel core-cluster runtime: it runs each
+// emulated core router on its own goroutine with its own virtual-time
+// scheduler, synchronized conservatively so that results are deterministic
+// and — under an event-exact profile — identical to the sequential
+// single-scheduler emulation.
+//
+// The paper's scalability argument (§3.3) is that emulation capacity grows
+// with the number of core routers as long as cross-core transitions stay
+// cheap. The sequential reproduction partitions pipes across cores but
+// still drives everything from one scheduler, so extra cores buy nothing.
+// Here the partition becomes real concurrency:
+//
+//   - Each shard is an emucore.NewShard emulator owning the pipes its core
+//     was assigned (the POD), plus the netstack hosts of the VNs homed on
+//     it. A VN's home is the core owning its access pipes, so injection and
+//     delivery never cross cores.
+//   - Cross-core packet transitions are explicit tunnel messages (§2.2
+//     core-to-core tunnels) exchanged at synchronization barriers.
+//   - Synchronization is conservative, in the null-message/time-window
+//     style: all shards repeatedly agree on a horizon H no earlier than any
+//     future tunnel message, then process their own events with timestamps
+//     below H in parallel. The horizon is derived from each shard's next
+//     event time plus its lookahead — the minimum latency of its cut pipes
+//     (see assign.CutStats) — because a packet must spend that latency
+//     inside a cut pipe before it can surface on a peer core.
+//
+// Under an ideal profile shards run eagerly (emucore.Eager): a handoff is
+// emitted the moment its packet enters a cut pipe, timestamped with the
+// pipe's exact future exit, so the horizon genuinely advances by the full
+// lookahead each round instead of stalling on the next actual crossing.
+//
+// Determinism: barriers exchange messages in a canonical order (fire time,
+// sender shard, sender sequence number), and each shard's window is a
+// single-threaded deterministic event loop, so a run's outcome depends only
+// on the seed — never on goroutine timing. Under an event-exact profile the
+// outcome also matches the sequential mode packet-for-packet, except where
+// two packets from different shards interact at the same pipe in the same
+// nanosecond (the modes may then order them differently; counters of such
+// ties are unaffected, per-packet attribution can differ). See DESIGN.md.
+package parcore
+
+import (
+	"fmt"
+	"sort"
+
+	"modelnet/internal/assign"
+	"modelnet/internal/bind"
+	"modelnet/internal/emucore"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// message is one cross-shard event in flight between barriers.
+type message struct {
+	pkt    *pipes.Packet
+	pid    pipes.ID       // target pipe, or -1 for a delivery completion
+	at     vtime.Time     // pipe entry time (may trail fire under debt handling)
+	lag    vtime.Duration // accumulated quantization error (deliveries)
+	fire   vtime.Time     // virtual time the event takes effect at the target
+	sender int
+	seq    uint64
+}
+
+// worker is one shard: an emulator on a private scheduler plus its mailbox.
+type worker struct {
+	idx   int
+	sched *vtime.Scheduler
+	emu   *emucore.Emulator
+
+	// Mailboxes. outbox is appended by this worker's handoffs during a
+	// window; the coordinator moves it into peers' inboxes at the barrier.
+	outbox [][]message
+	inbox  []message
+	msgSeq uint64
+
+	// Static synchronization inputs (computed at construction).
+	borderPipes  []pipes.ID     // owned pipes whose exit can cross shards
+	lookahead    vtime.Duration // min latency over borderPipes
+	ingressCross bool           // a homed VN can inject directly into a peer's pipe
+
+	cmd  chan vtime.Time
+	done chan struct{}
+}
+
+// SyncStats describe how a run synchronized.
+type SyncStats struct {
+	Windows      uint64 // parallel windows executed
+	SerialRounds uint64 // serial drain rounds (zero/exhausted lookahead)
+	Messages     uint64 // cross-shard messages exchanged
+}
+
+// Runtime is a parallel core cluster ready to run.
+type Runtime struct {
+	graph   *topology.Graph
+	binding *bind.Binding
+	pod     *bind.POD
+	workers []*worker
+	homes   []int // VN -> shard
+	now     vtime.Time
+	stats   SyncStats
+}
+
+// Config assembles a Runtime.
+type Config struct {
+	Graph      *topology.Graph    // distilled topology
+	Binding    *bind.Binding      // shared binding (route table, VN homes)
+	Assignment *assign.Assignment // pipe -> core ownership
+	Profile    emucore.Profile
+	Seed       int64
+	// NewTable, when non-nil, builds a private route table per shard.
+	// Required when the shared table mutates on lookup (the LRU route
+	// cache); leave nil for read-only tables (matrix, hierarchical).
+	NewTable func() bind.Table
+}
+
+// New builds the parallel runtime: one shard emulator per assignment core,
+// each on a fresh scheduler.
+func New(cfg Config) (*Runtime, error) {
+	k := cfg.Assignment.Cores
+	if k < 2 {
+		return nil, fmt.Errorf("parcore: need at least 2 cores, got %d", k)
+	}
+	g, b := cfg.Graph, cfg.Binding
+	pod := cfg.Assignment.POD()
+	r := &Runtime{graph: g, binding: b, pod: pod}
+
+	// Home each VN on the core owning its access pipe so that injection,
+	// and (because k-clusters keeps duplex pairs together) delivery, are
+	// core-local. VNs with access links split across cores still work but
+	// force zero-lookahead synchronization for their shard.
+	r.homes = make([]int, b.NumVNs())
+	for v, node := range b.VNHome {
+		if outs := g.Out(node); len(outs) > 0 {
+			r.homes[v] = pod.Owner(pipes.ID(outs[0])) % k
+		}
+	}
+
+	r.workers = make([]*worker, k)
+	for i := range r.workers {
+		w := &worker{
+			idx:    i,
+			sched:  vtime.NewScheduler(),
+			outbox: make([][]message, k),
+			cmd:    make(chan vtime.Time),
+			done:   make(chan struct{}),
+		}
+		bi := b
+		if cfg.NewTable != nil {
+			cp := *b
+			cp.Table = cfg.NewTable()
+			bi = &cp
+		}
+		i := i
+		handoff := func(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.Time, lag vtime.Duration) {
+			fire := at
+			if now := w.sched.Now(); fire < now {
+				fire = now
+			}
+			w.msgSeq++
+			w.outbox[target%k] = append(w.outbox[target%k], message{
+				pkt: pkt, pid: pid, at: at, lag: lag, fire: fire, sender: i, seq: w.msgSeq,
+			})
+		}
+		emu, err := emucore.NewShard(w.sched, g, bi, pod, cfg.Profile, cfg.Seed, i, r.homes, handoff)
+		if err != nil {
+			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
+		}
+		w.emu = emu
+		r.workers[i] = w
+	}
+	r.computeBorders()
+	return r, nil
+}
+
+// computeBorders derives, per shard, the set of owned pipes whose exit can
+// produce a cross-shard event — either the packet's next hop is a pipe
+// owned elsewhere (structural adjacency over-approximates the routes) or
+// the pipe terminates at a VN homed elsewhere — and the resulting
+// lookahead. It also flags shards whose VNs can inject straight into a
+// peer's pipe (possible under collapsing distillation modes), which pins
+// that shard's safe bound to its next event time.
+func (r *Runtime) computeBorders() {
+	g, pod, k := r.graph, r.pod, len(r.workers)
+	for _, l := range g.Links {
+		o := pod.Owner(pipes.ID(l.ID)) % k
+		border := false
+		for _, nid := range g.Out(l.Dst) {
+			if pod.Owner(pipes.ID(nid))%k != o {
+				border = true
+				break
+			}
+		}
+		if !border {
+			if vn := r.binding.VNOfNode[l.Dst]; vn >= 0 && r.homes[vn] != o {
+				border = true
+			}
+		}
+		if !border {
+			continue
+		}
+		w := r.workers[o]
+		lat := vtime.DurationOf(l.Attr.LatencySec)
+		if len(w.borderPipes) == 0 || lat < w.lookahead {
+			w.lookahead = lat
+		}
+		w.borderPipes = append(w.borderPipes, pipes.ID(l.ID))
+	}
+	for v, node := range r.binding.VNHome {
+		for _, lid := range g.Out(node) {
+			if pod.Owner(pipes.ID(lid))%k != r.homes[v] {
+				r.workers[r.homes[v]].ingressCross = true
+			}
+		}
+	}
+}
+
+// Cores reports the number of shards.
+func (r *Runtime) Cores() int { return len(r.workers) }
+
+// HomeOf reports the shard a VN's netstack lives on.
+func (r *Runtime) HomeOf(vn pipes.VN) int { return r.homes[vn] }
+
+// SchedOf returns the scheduler driving a VN's home shard; hosts and
+// application timers for that VN must be built on it.
+func (r *Runtime) SchedOf(vn pipes.VN) *vtime.Scheduler { return r.workers[r.homes[vn]].sched }
+
+// EmuOf returns the shard emulator a VN injects into.
+func (r *Runtime) EmuOf(vn pipes.VN) *emucore.Emulator { return r.workers[r.homes[vn]].emu }
+
+// ShardEmu returns shard i's emulator (counters, per-core stats).
+func (r *Runtime) ShardEmu(i int) *emucore.Emulator { return r.workers[i].emu }
+
+// RegisterVN installs a delivery callback on the VN's home shard.
+func (r *Runtime) RegisterVN(vn pipes.VN, fn emucore.DeliverFunc) {
+	r.workers[r.homes[vn]].emu.RegisterVN(vn, fn)
+}
+
+// SetDeliverHook installs fn as every shard's OnDeliver hook. Shards run
+// concurrently, so fn must be safe for concurrent use.
+func (r *Runtime) SetDeliverHook(fn func(pkt *pipes.Packet, at vtime.Time)) {
+	for _, w := range r.workers {
+		w.emu.OnDeliver = fn
+	}
+}
+
+// Lookahead reports the cluster-wide synchronization lookahead: the
+// smallest per-shard border-pipe latency (0 with an ingress crossing).
+func (r *Runtime) Lookahead() vtime.Duration {
+	la := vtime.Duration(-1)
+	for _, w := range r.workers {
+		if w.ingressCross {
+			return 0
+		}
+		if len(w.borderPipes) == 0 {
+			continue
+		}
+		if la < 0 || w.lookahead < la {
+			la = w.lookahead
+		}
+	}
+	if la < 0 {
+		return 0
+	}
+	return la
+}
+
+// Stats reports synchronization counters for the run so far.
+func (r *Runtime) Stats() SyncStats { return r.stats }
+
+// Now reports the cluster's virtual time: the deadline of the last run, or
+// the latest shard clock after RunToCompletion.
+func (r *Runtime) Now() vtime.Time { return r.now }
+
+// Totals sums the conservation counters over all shards.
+func (r *Runtime) Totals() emucore.Totals {
+	var t emucore.Totals
+	for _, w := range r.workers {
+		wt := w.emu.Totals()
+		t.Injected += wt.Injected
+		t.Delivered += wt.Delivered
+		t.NoRoute += wt.NoRoute
+		t.PhysDrops += wt.PhysDrops
+		t.VirtualDrops += wt.VirtualDrops
+		t.InFlight += wt.InFlight
+	}
+	return t
+}
+
+// Accuracy merges the per-shard delay-accuracy trackers.
+func (r *Runtime) Accuracy() emucore.Accuracy {
+	var a emucore.Accuracy
+	for _, w := range r.workers {
+		a.Merge(w.emu.Accuracy)
+	}
+	return a
+}
+
+// RunFor advances the cluster by d, firing all due events.
+func (r *Runtime) RunFor(d vtime.Duration) { r.RunUntil(r.now.Add(d)) }
+
+// Run fires events until none remain anywhere in the cluster.
+func (r *Runtime) Run() { r.RunUntil(vtime.Forever) }
+
+// RunUntil advances every shard to the deadline, firing all events with
+// timestamps at or before it. This is the conservative synchronization
+// loop: barrier, agree on a horizon, run shards in parallel below it,
+// exchange tunnel messages, repeat.
+func (r *Runtime) RunUntil(deadline vtime.Time) {
+	for _, w := range r.workers {
+		w := w
+		go func() {
+			for bound := range w.cmd {
+				w.sched.RunUntil(bound)
+				w.done <- struct{}{}
+			}
+		}()
+	}
+	defer func() {
+		for _, w := range r.workers {
+			close(w.cmd)
+			w.cmd = make(chan vtime.Time)
+		}
+	}()
+
+	prevBound := vtime.Time(-1)
+	for {
+		r.distribute()
+		minNext, horizon := r.bounds()
+		if minNext > deadline || minNext == vtime.Forever {
+			break
+		}
+		// An unconstrained horizon (no shard can ever emit a cross-shard
+		// message from its current state) must not clamp clocks to the
+		// end of time: run straight to the caller's deadline.
+		bound := deadline
+		if horizon != vtime.Forever && horizon-1 < bound {
+			bound = horizon - 1
+		}
+		if bound < minNext || bound < prevBound {
+			// The horizon excludes the very next event: lookahead is zero
+			// or consumed. Drain time minNext serially, deterministically.
+			r.serialDrain(minNext)
+			if minNext > prevBound {
+				prevBound = minNext
+			}
+			continue
+		}
+		r.window(bound)
+		prevBound = bound
+	}
+	if deadline == vtime.Forever {
+		for _, w := range r.workers {
+			if w.sched.Now() > r.now {
+				r.now = w.sched.Now()
+			}
+		}
+		return
+	}
+	r.window(deadline) // advance all clocks to the deadline
+	r.now = deadline
+}
+
+// distribute moves every outbox into the target inboxes, then schedules
+// each inbox in the canonical (fire, sender, seq) order. Runs on the
+// coordinator between windows.
+func (r *Runtime) distribute() {
+	r.distributeOnly()
+	for _, w := range r.workers {
+		r.applyInbox(w)
+	}
+}
+
+// applyInbox schedules w's pending messages onto its scheduler.
+func (r *Runtime) applyInbox(w *worker) {
+	if len(w.inbox) == 0 {
+		return
+	}
+	sort.Slice(w.inbox, func(i, j int) bool {
+		a, b := w.inbox[i], w.inbox[j]
+		if a.fire != b.fire {
+			return a.fire < b.fire
+		}
+		if a.sender != b.sender {
+			return a.sender < b.sender
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range w.inbox {
+		m := m
+		at := m.fire
+		if now := w.sched.Now(); at < now {
+			panic(fmt.Sprintf("parcore: EOT violation: fire %v < now %v (pid %d)", m.fire, now, m.pid))
+		}
+		w.sched.At(at, func() {
+			if m.pid >= 0 {
+				w.emu.TunnelIn(m.pkt, m.pid, m.at)
+			} else {
+				w.emu.CompleteDelivery(m.pkt, m.lag, m.at)
+			}
+		})
+	}
+	w.inbox = w.inbox[:0]
+}
+
+// bounds computes the global next-event time and the safe horizon H: no
+// shard will emit a cross-shard message firing before H, so every shard may
+// process events strictly below H without hearing from its peers.
+func (r *Runtime) bounds() (minNext, horizon vtime.Time) {
+	minNext, horizon = vtime.Forever, vtime.Forever
+	for _, w := range r.workers {
+		next := w.sched.NextEventTime()
+		if next < minNext {
+			minNext = next
+		}
+		t := next
+		if hm := w.emu.NextPipeDeadline(); hm < t {
+			t = hm
+		}
+		e := satAdd(t, w.lookahead)
+		if w.ingressCross {
+			e = t
+		} else if !w.emu.Eager() {
+			// Lazy shards emit at exit-processing time: a handoff can fire
+			// as soon as the earliest occupied border pipe drains.
+			for _, pid := range w.borderPipes {
+				if d := w.emu.Pipe(pid).NextDeadline(); d < e {
+					e = d
+				}
+			}
+		}
+		if len(w.borderPipes) == 0 && !w.ingressCross {
+			e = vtime.Forever
+		}
+		if e < horizon {
+			horizon = e
+		}
+	}
+	return minNext, horizon
+}
+
+// satAdd offsets t by d, saturating at Forever.
+func satAdd(t vtime.Time, d vtime.Duration) vtime.Time {
+	if t == vtime.Forever || d == 0 {
+		return t
+	}
+	s := t.Add(d)
+	if s < t {
+		return vtime.Forever
+	}
+	return s
+}
+
+// window runs every shard concurrently up to bound (inclusive).
+func (r *Runtime) window(bound vtime.Time) {
+	for _, w := range r.workers {
+		w.cmd <- bound
+	}
+	for _, w := range r.workers {
+		<-w.done
+	}
+	r.stats.Windows++
+}
+
+// serialDrain processes every event with timestamp ≤ t, one shard at a
+// time in index order, exchanging messages between turns until quiescent.
+// This is the correct-but-sequential fallback for zero-lookahead instants;
+// with a latency-bearing cut it only runs when a window closes exactly on
+// the next event.
+func (r *Runtime) serialDrain(t vtime.Time) {
+	for {
+		progressed := false
+		for _, w := range r.workers {
+			r.applyInbox(w)
+			if w.sched.NextEventTime() <= t {
+				w.sched.RunUntil(t)
+				progressed = true
+			}
+		}
+		r.distributeOnly()
+		if !progressed {
+			return
+		}
+		r.stats.SerialRounds++
+	}
+}
+
+// distributeOnly moves outboxes to inboxes without scheduling (the next
+// drain round or distribute call applies them).
+func (r *Runtime) distributeOnly() {
+	for _, src := range r.workers {
+		for tgt, msgs := range src.outbox {
+			if len(msgs) == 0 {
+				continue
+			}
+			r.workers[tgt].inbox = append(r.workers[tgt].inbox, msgs...)
+			r.stats.Messages += uint64(len(msgs))
+			src.outbox[tgt] = src.outbox[tgt][:0]
+		}
+	}
+}

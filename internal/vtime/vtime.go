@@ -123,6 +123,18 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // Pending reports how many events are scheduled but not yet fired.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// NextEventTime returns the time of the earliest scheduled event, or Forever
+// when none are pending. Together with RunUntil this forms the
+// bounded-advance API used by parallel runtimes (internal/parcore): a
+// coordinator peeks each scheduler's horizon, computes a safe bound, and
+// lets every scheduler advance independently up to it.
+func (s *Scheduler) NextEventTime() Time {
+	if len(s.events) == 0 {
+		return Forever
+	}
+	return s.events[0].at
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past is a
 // programming error and panics: virtual time never runs backwards.
 func (s *Scheduler) At(at Time, fn func()) EventID {

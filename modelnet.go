@@ -35,6 +35,7 @@ import (
 	"modelnet/internal/distill"
 	"modelnet/internal/emucore"
 	"modelnet/internal/netstack"
+	"modelnet/internal/parcore"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
@@ -117,9 +118,23 @@ type Options struct {
 	Profile *Profile
 	// Seed determinizes loss, assignment, and other randomness.
 	Seed int64
+	// Parallel, with Cores > 1, runs each emulated core router on its own
+	// goroutine with its own scheduler, synchronized conservatively
+	// (internal/parcore). Same seed ⇒ same results run-to-run, and — under
+	// an event-exact profile such as IdealProfile — the same counters and
+	// delivery times as the sequential mode. In parallel mode Sched and
+	// Emu are nil: drive the run through the Emulation methods (RunFor,
+	// Totals, OnDeliver, SchedulerOf) and keep application callbacks on
+	// their own host's scheduler.
+	Parallel bool
 }
 
 // Emulation is a fully bound, running-ready emulation.
+//
+// In sequential mode (the default) Sched drives everything and Emu is the
+// single emulator. In parallel mode (Options.Parallel) Par replaces both:
+// Sched and Emu are nil, each VN's host lives on its home core's scheduler
+// (SchedulerOf), and cluster-wide counters come from Totals and Accuracy.
 type Emulation struct {
 	Sched      *vtime.Scheduler
 	Target     *Graph
@@ -127,6 +142,7 @@ type Emulation struct {
 	Binding    *bind.Binding
 	Assignment *assign.Assignment
 	Emu        *emucore.Emulator
+	Par        *parcore.Runtime
 
 	hosts map[VN]*Host
 }
@@ -163,20 +179,42 @@ func Run(target *Graph, opts Options) (*Emulation, error) {
 	if opts.Profile != nil {
 		prof = *opts.Profile
 	}
+	em := &Emulation{
+		Target:     target,
+		Distilled:  dist,
+		Binding:    b,
+		Assignment: asn,
+		hosts:      make(map[VN]*Host),
+	}
+	if opts.Parallel && cores > 1 {
+		var newTable func() bind.Table
+		if opts.RouteCache > 0 {
+			// The LRU cache mutates on lookup; give each shard its own.
+			g, clients, cap := dist.Graph, dist.Graph.Clients(), opts.RouteCache
+			newTable = func() bind.Table { return bind.NewCache(g, clients, cap) }
+		}
+		par, err := parcore.New(parcore.Config{
+			Graph:      dist.Graph,
+			Binding:    b,
+			Assignment: asn,
+			Profile:    prof,
+			Seed:       opts.Seed,
+			NewTable:   newTable,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("modelnet: run: %w", err)
+		}
+		em.Par = par
+		return em, nil
+	}
 	sched := vtime.NewScheduler()
 	emu, err := emucore.New(sched, dist.Graph, b, asn.POD(), prof, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("modelnet: run: %w", err)
 	}
-	return &Emulation{
-		Sched:      sched,
-		Target:     target,
-		Distilled:  dist,
-		Binding:    b,
-		Assignment: asn,
-		Emu:        emu,
-		hosts:      make(map[VN]*Host),
-	}, nil
+	em.Sched = sched
+	em.Emu = emu
+	return em, nil
 }
 
 // NumVNs reports how many VNs the emulation binds.
@@ -189,12 +227,34 @@ func (r registrar) RegisterVN(vn pipes.VN, fn func(*pipes.Packet)) {
 	r.e.RegisterVN(vn, emucore.DeliverFunc(fn))
 }
 
-// NewHost creates (or returns) the transport stack for a VN.
+// SchedulerOf returns the scheduler that drives vn's host: the global
+// scheduler in sequential mode, the VN's home-core scheduler in parallel
+// mode. Application timers for a VN must use its own scheduler.
+func (e *Emulation) SchedulerOf(vn VN) *vtime.Scheduler {
+	if e.Par != nil {
+		return e.Par.SchedOf(vn)
+	}
+	return e.Sched
+}
+
+// injectorOf returns the emulator vn's packets enter.
+func (e *Emulation) injectorOf(vn VN) *emucore.Emulator {
+	if e.Par != nil {
+		return e.Par.EmuOf(vn)
+	}
+	return e.Emu
+}
+
+// NewHost returns the transport stack for a VN, creating it on first use.
+// If the VN's stack was already created — by NewHost or by NewHostVia —
+// that same stack is returned, including its injection wrapper; a VN has
+// exactly one stack.
 func (e *Emulation) NewHost(vn VN) *Host {
 	if h, ok := e.hosts[vn]; ok {
 		return h
 	}
-	h := netstack.NewHost(vn, e.Sched, e.Emu, registrar{e.Emu})
+	emu := e.injectorOf(vn)
+	h := netstack.NewHost(vn, e.SchedulerOf(vn), emu, registrar{emu})
 	e.hosts[vn] = h
 	return h
 }
@@ -209,21 +269,78 @@ func (e *Emulation) NewHosts() []*Host {
 }
 
 // NewHostVia creates the stack for a VN whose packets pass through the
-// given injection wrapper (e.g. an edge-machine model).
+// given injection wrapper (e.g. an edge-machine model). It panics if the
+// VN already has a stack: a host created by NewHost would bypass inj, so
+// the wrapping must be established before first use, not after.
 func (e *Emulation) NewHostVia(vn VN, inj netstack.Injector) *Host {
-	h := netstack.NewHost(vn, e.Sched, inj, registrar{e.Emu})
+	if _, ok := e.hosts[vn]; ok {
+		panic(fmt.Sprintf("modelnet: NewHostVia(%d): VN already has a host; create wrapped hosts before NewHost", vn))
+	}
+	h := netstack.NewHost(vn, e.SchedulerOf(vn), inj, registrar{e.injectorOf(vn)})
 	e.hosts[vn] = h
 	return h
 }
 
+// Totals aggregates the conservation counters, transparently across
+// sequential and parallel modes.
+func (e *Emulation) Totals() emucore.Totals {
+	if e.Par != nil {
+		return e.Par.Totals()
+	}
+	return e.Emu.Totals()
+}
+
+// AccuracyStats returns the delay-accuracy tracker (merged across cores in
+// parallel mode).
+func (e *Emulation) AccuracyStats() emucore.Accuracy {
+	if e.Par != nil {
+		return e.Par.Accuracy()
+	}
+	return e.Emu.Accuracy
+}
+
+// OnDeliver installs a hook observing every completed delivery with its
+// delivery time. In parallel mode the hook runs concurrently across cores
+// and must be safe for that.
+func (e *Emulation) OnDeliver(fn func(pkt *pipes.Packet, at Time)) {
+	if e.Par != nil {
+		e.Par.SetDeliverHook(fn)
+		return
+	}
+	e.Emu.OnDeliver = fn
+}
+
 // Now returns the current virtual time.
-func (e *Emulation) Now() Time { return e.Sched.Now() }
+func (e *Emulation) Now() Time {
+	if e.Par != nil {
+		return e.Par.Now()
+	}
+	return e.Sched.Now()
+}
 
 // RunFor advances virtual time by d, firing all due events.
-func (e *Emulation) RunFor(d Duration) { e.Sched.RunFor(d) }
+func (e *Emulation) RunFor(d Duration) {
+	if e.Par != nil {
+		e.Par.RunFor(d)
+		return
+	}
+	e.Sched.RunFor(d)
+}
 
 // RunUntil advances virtual time to the deadline.
-func (e *Emulation) RunUntil(t Time) { e.Sched.RunUntil(t) }
+func (e *Emulation) RunUntil(t Time) {
+	if e.Par != nil {
+		e.Par.RunUntil(t)
+		return
+	}
+	e.Sched.RunUntil(t)
+}
 
 // RunToCompletion fires events until none remain.
-func (e *Emulation) RunToCompletion() { e.Sched.Run() }
+func (e *Emulation) RunToCompletion() {
+	if e.Par != nil {
+		e.Par.Run()
+		return
+	}
+	e.Sched.Run()
+}

@@ -90,6 +90,49 @@ func TestNewHostIdempotent(t *testing.T) {
 	}
 }
 
+// countingInjector wraps the emulator, counting injections.
+type countingInjector struct {
+	inner interface {
+		Inject(src, dst pipes.VN, size int, payload any) bool
+	}
+	n int
+}
+
+func (c *countingInjector) Inject(src, dst pipes.VN, size int, payload any) bool {
+	c.n++
+	return c.inner.Inject(src, dst, size, payload)
+}
+
+func TestNewHostViaAgreesWithNewHost(t *testing.T) {
+	g := modelnet.Star(3, attrs(10, 1))
+	em, err := modelnet.Run(g, modelnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &countingInjector{inner: em.Emu}
+	h := em.NewHostVia(0, inj)
+	// NewHost after NewHostVia returns the same (wrapped) stack: one VN,
+	// one stack, and the wrapper stays on the injection path.
+	if em.NewHost(0) != h {
+		t.Error("NewHost did not return the stack created by NewHostVia")
+	}
+	s, _ := h.OpenUDP(0, nil)
+	em.NewHost(1).OpenUDP(9, func(netstack.Endpoint, *netstack.Datagram) {})
+	s.SendTo(modelnet.Endpoint{VN: 1, Port: 9}, 100, nil)
+	em.RunFor(modelnet.Seconds(1))
+	if inj.n != 1 {
+		t.Errorf("wrapper saw %d injections, want 1", inj.n)
+	}
+	// The reverse order is a programming error: a wrapper installed after
+	// the plain stack exists would silently never see traffic.
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHostVia after NewHost did not panic")
+		}
+	}()
+	em.NewHostVia(1, inj)
+}
+
 func TestDistillationModesThroughFacade(t *testing.T) {
 	g := modelnet.Ring(8, 2, attrs(20, 5), attrs(2, 1))
 	for _, spec := range []modelnet.DistillSpec{
