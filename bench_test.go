@@ -200,3 +200,29 @@ func BenchmarkAblationRoutingFailover(b *testing.B) {
 		experiments.PrintFailoverAblation(out(b), rows)
 	}
 }
+
+func BenchmarkFednetScaling(b *testing.B) {
+	// In-process parallel vs real multi-process federation over loopback
+	// sockets on the shared ring-cbr workload (full scale in cmd/mnbench,
+	// which also records BENCH_fednet.json). The benchmark spawns this
+	// test binary as the worker fleet (see TestMain); the hard requirement
+	// is that every mode produces identical counters — socket speedup is
+	// host-dependent and only reported.
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ScaledFednet(0.05)
+		cfg.Cores = []int{2}
+		res, err := experiments.RunFednetScaling(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintFednet(out(b), res)
+		if !res.Deterministic {
+			b.Fatal("federated configurations diverged from the sequential baseline")
+		}
+		for _, r := range res.Rows {
+			if r.Mode == "fednet" && r.Cores == 2 {
+				b.ReportMetric(r.Speedup, "speedup-2proc")
+			}
+		}
+	}
+}

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	mnbench [-scale 1.0] [-run all|fig4|table1|fig5|fig6|fig7|fig8|fig9|fig11|fig12|accuracy|parcore]
+//	mnbench [-scale 1.0] [-run all|fig4|table1|fig5|fig6|fig7|fig8|fig9|fig11|fig12|accuracy|parcore|fednet]
 //
 // The parcore step additionally records its rows in BENCH_parcore.json
-// (override the path with -parcorejson).
+// (override the path with -parcorejson); the fednet step — which spawns
+// real worker processes from this binary — records BENCH_fednet.json
+// (-fednetjson).
 //
 // At -scale 1 (default) the workloads match the paper's parameters: full
 // runs take minutes of wall-clock time because they emulate hundreds of
@@ -21,12 +23,15 @@ import (
 	"time"
 
 	"modelnet/internal/experiments"
+	"modelnet/internal/fednet"
 )
 
 func main() {
+	fednet.MaybeRunWorker() // the fednet step re-execs this binary as its workers
 	scale := flag.Float64("scale", 1.0, "experiment scale (1 = the paper's parameters)")
 	run := flag.String("run", "all", "comma-separated experiments to run, or 'all'")
 	parcoreJSON := flag.String("parcorejson", "BENCH_parcore.json", "where the parcore step records its results ('' = don't)")
+	fednetJSON := flag.String("fednetjson", "BENCH_fednet.json", "where the fednet step records its results ('' = don't)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -151,6 +156,20 @@ func main() {
 					return err
 				}
 				fmt.Printf("  [recorded %s]\n", *parcoreJSON)
+			}
+			return nil
+		}},
+		{"fednet", func() error {
+			res, err := experiments.RunFednetScaling(experiments.ScaledFednet(s))
+			if err != nil {
+				return err
+			}
+			experiments.PrintFednet(os.Stdout, res)
+			if *fednetJSON != "" {
+				if err := experiments.WriteFednetJSON(*fednetJSON, res); err != nil {
+					return err
+				}
+				fmt.Printf("  [recorded %s]\n", *fednetJSON)
 			}
 			return nil
 		}},

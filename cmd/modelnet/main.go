@@ -2,13 +2,26 @@
 // and drives a synthetic workload through the emulation — the equivalent of
 // the paper's deploy scripts, in one binary.
 //
-//	modelnet -gml topo.gml [-distill hop|e2e|walkin|walkout] [-walkin N]
-//	         [-cores K] [-flows F] [-duration 10] [-ideal]
+//	modelnet [-gml topo.gml] [-distill hop|e2e|walkin|walkout] [-walkin N]
+//	         [-cores K] [-parallel] [-flows F] [-duration 10] [-ideal]
 //	         [-out distilled.gml]
 //
 // Without -gml it synthesizes the paper's §4.1 ring (20 routers × 20 VNs).
 // The workload is F random-pair bulk TCP flows; the tool reports phase
 // statistics, per-flow goodput, core utilization, and emulation accuracy.
+// With -parallel each emulated core router runs on its own goroutine
+// (internal/parcore).
+//
+// Federation (internal/fednet) spreads the core routers across OS
+// processes:
+//
+//	modelnet core -join host:port            # one worker (per machine)
+//	modelnet -federate :9000 -cores 4        # coordinator, waits for workers
+//	modelnet -federate 127.0.0.1:0 -cores 4 -fedspawn   # self-contained demo
+//
+// A federated run drives a registered scenario (-fedscenario ring-cbr or
+// gnutella-ring) instead of the local TCP-flow workload, because the
+// workload itself must be distributed across the worker processes.
 package main
 
 import (
@@ -17,29 +30,38 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"modelnet"
+	"modelnet/internal/experiments"
+	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
 	"modelnet/internal/traffic"
 )
 
 func main() {
+	fednet.MaybeRunWorker() // -fedspawn re-execs this binary as its workers
+	if len(os.Args) > 1 && os.Args[1] == "core" {
+		coreMain(os.Args[2:])
+		return
+	}
 	gmlPath := flag.String("gml", "", "target topology in GML (default: the paper's ring)")
 	distillMode := flag.String("distill", "hop", "distillation: hop, e2e, walkin, walkout")
 	walkIn := flag.Int("walkin", 1, "walk-in frontier sets")
 	walkOut := flag.Int("walkout", 1, "walk-out frontier sets")
 	cores := flag.Int("cores", 1, "emulated core routers")
+	parallel := flag.Bool("parallel", false, "run each core router on its own goroutine (internal/parcore)")
 	flows := flag.Int("flows", 50, "random-pair bulk TCP flows")
 	duration := flag.Float64("duration", 10, "virtual seconds to run")
 	ideal := flag.Bool("ideal", false, "ideal (event-exact, infinite-capacity) core")
 	seed := flag.Int64("seed", 1, "random seed")
 	outPath := flag.String("out", "", "write the distilled topology as GML")
+	federate := flag.String("federate", "", "coordinate a multi-process federation listening on this address")
+	fedSpawn := flag.Bool("fedspawn", false, "with -federate: spawn the worker processes from this binary")
+	fedData := flag.String("feddata", fednet.DataUDP, "with -federate: data plane, udp or tcp")
+	fedScenario := flag.String("fedscenario", experiments.ScenarioRingCBR, "with -federate: registered scenario to run")
 	flag.Parse()
 
-	g, err := loadTopology(*gmlPath)
-	if err != nil {
-		fatal(err)
-	}
 	spec := modelnet.DistillSpec{}
 	switch *distillMode {
 	case "hop":
@@ -56,10 +78,20 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -distill %q", *distillMode))
 	}
-	opts := modelnet.Options{Distill: spec, Cores: *cores, Seed: *seed}
+	opts := modelnet.Options{Distill: spec, Cores: *cores, Seed: *seed, Parallel: *parallel}
 	if *ideal {
 		p := modelnet.IdealProfile()
 		opts.Profile = &p
+	}
+
+	if *federate != "" {
+		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, opts)
+		return
+	}
+
+	g, err := loadTopology(*gmlPath)
+	if err != nil {
+		fatal(err)
 	}
 	em, err := modelnet.Run(g, opts)
 	if err != nil {
@@ -71,7 +103,16 @@ func main() {
 		spec.Mode, em.Distilled.Graph.NumLinks(), em.Distilled.PreservedLinks, em.Distilled.MeshLinks)
 	lm := em.Assignment.LoadMetrics()
 	fmt.Printf("assign : %d cores, pipes/core %v (imbalance %.2f)\n", *cores, lm.LinksPerCore, lm.Imbalance)
-	fmt.Printf("bind   : routing over %d VNs\n", em.Binding.NumVNs())
+	if *cores > 1 {
+		cut := em.Assignment.CutStats(em.Distilled.Graph)
+		fmt.Printf("         cut: %d pipes, lookahead %v, mean cut latency %v\n",
+			cut.CutPipes, cut.Lookahead, cut.MeanCutLatency)
+	}
+	mode := "sequential"
+	if em.Par != nil {
+		mode = fmt.Sprintf("parallel ×%d", em.Par.Cores())
+	}
+	fmt.Printf("bind   : routing over %d VNs (%s run phase)\n", em.Binding.NumVNs(), mode)
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -85,7 +126,8 @@ func main() {
 		fmt.Printf("wrote distilled topology to %s\n", *outPath)
 	}
 
-	// Run phase: random-pair bulk flows.
+	// Run phase: random-pair bulk flows, each scheduled on its source
+	// VN's scheduler so the same code drives both run modes.
 	rng := rand.New(rand.NewSource(*seed))
 	n := em.NumVNs()
 	if *flows > n/2 {
@@ -94,7 +136,8 @@ func main() {
 	perm := rng.Perm(n)
 	var sinks []*traffic.Sink
 	for i := 0; i < *flows; i++ {
-		src := em.NewHost(modelnet.VN(perm[2*i]))
+		srcVN := modelnet.VN(perm[2*i])
+		src := em.NewHost(srcVN)
 		dst := em.NewHost(modelnet.VN(perm[2*i+1]))
 		sink, err := traffic.NewSink(dst, 80)
 		if err != nil {
@@ -102,7 +145,7 @@ func main() {
 		}
 		sinks = append(sinks, sink)
 		start := modelnet.Time(int64(i) * int64(modelnet.Seconds(0.5)) / int64(*flows))
-		em.Sched.At(start, func() {
+		em.SchedulerOf(srcVN).At(start, func() {
 			traffic.StartBulk(src, netstack.Endpoint{VN: dst.VN(), Port: 80}, traffic.Unbounded)
 		})
 	}
@@ -123,15 +166,107 @@ func main() {
 		fmt.Printf("run    : %d flows for %gs: aggregate %.1f Mb/s, per-flow min/median/max %.2f/%.2f/%.2f Mb/s\n",
 			len(rates), *duration, sum, rates[0], rates[len(rates)/2], rates[len(rates)-1])
 	}
-	tot := em.Emu.Totals()
+	tot := em.Totals()
 	fmt.Printf("core   : %d pkts delivered, %d physical drops, %d virtual drops\n",
 		tot.Delivered, tot.PhysDrops, tot.VirtualDrops)
-	for c := 0; c < em.Emu.Cores(); c++ {
-		fmt.Printf("core %d : cpu %.0f%%, %d tunnels out\n",
-			c, em.Emu.CPUUtilization(c, 0)*100, em.Emu.CoreStats(c).TunnelsOut)
+	if em.Par != nil {
+		st := em.Par.Stats()
+		fmt.Printf("sync   : %d windows, %d serial rounds, %d cross-core messages, lookahead %v\n",
+			st.Windows, st.SerialRounds, st.Messages, em.Par.Lookahead())
+		for c := 0; c < em.Par.Cores(); c++ {
+			cs := em.Par.ShardEmu(c).CoreStats(c)
+			fmt.Printf("core %d : %d pkts in, %d tunnels out\n", c, cs.PktsIn, cs.TunnelsOut)
+		}
+	} else {
+		for c := 0; c < em.Emu.Cores(); c++ {
+			fmt.Printf("core %d : cpu %.0f%%, %d tunnels out\n",
+				c, em.Emu.CPUUtilization(c, 0)*100, em.Emu.CoreStats(c).TunnelsOut)
+		}
 	}
-	fmt.Printf("accuracy: %v\n", &em.Emu.Accuracy)
+	acc := em.AccuracyStats()
+	fmt.Printf("accuracy: %v\n", &acc)
 }
+
+// coreMain is the worker subcommand: one process, one federated shard.
+func coreMain(args []string) {
+	fs := flag.NewFlagSet("modelnet core", flag.ExitOnError)
+	join := fs.String("join", "", "coordinator control-plane address (host:port)")
+	timeout := fs.Duration("timeout", fednet.DefaultTimeout, "liveness bound for every protocol step")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: modelnet core -join host:port [-timeout 2m]")
+		fmt.Fprintln(os.Stderr, "runs one federated core-router worker; start one per machine, then the coordinator with -federate")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *join == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	err := fednet.Worker(*join, fednet.WorkerOptions{
+		Timeout: *timeout,
+		Log: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// federateMain coordinates a multi-process run of a registered scenario.
+func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, opts Options) {
+	opts.Federate = &modelnet.FederateOptions{
+		Listen:    listen,
+		DataPlane: dataPlane,
+		Spawn:     spawn,
+	}
+	if opts.Cores < 2 {
+		opts.Cores = 2
+	}
+	var params any
+	switch scenario {
+	case experiments.ScenarioRingCBR:
+		params = experiments.RingCBRSpec{
+			Routers: 20, VNsPerRouter: 20,
+			PacketsPerSec: 200, PacketBytes: 1000,
+			DurationSec: duration, Seed: opts.Seed,
+		}
+	case experiments.ScenarioGnutella:
+		params = experiments.GnutellaRingSpec{
+			Routers: 20, VNsPerRouter: 10,
+			Degree: 4, TTL: 7,
+			WindowSec: duration, Seed: opts.Seed,
+		}
+	default:
+		fatal(fmt.Errorf("-fedscenario %q: known scenarios are %v", scenario, fednet.Scenarios()))
+	}
+	begin := time.Now()
+	rep, err := modelnet.Federate(scenario, params, modelnet.Seconds(duration+5), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("federation: %d worker processes over %s, scenario %s\n", rep.Cores, rep.DataPlane, scenario)
+	fmt.Printf("run    : %d injected, %d delivered, %d phys drops, %d virtual drops (%.0f ms wall, %.0f ms total)\n",
+		rep.Totals.Injected, rep.Totals.Delivered, rep.Totals.PhysDrops, rep.Totals.VirtualDrops,
+		rep.WallMS, float64(time.Since(begin).Milliseconds()))
+	fmt.Printf("sync   : %d windows, %d serial rounds, %d tunnel messages over sockets, lookahead %v (cut: %d pipes)\n",
+		rep.Sync.Windows, rep.Sync.SerialRounds, rep.Sync.Messages, rep.Lookahead, rep.Cut.CutPipes)
+	for _, w := range rep.Workers {
+		fmt.Printf("shard %d: %d injected, %d delivered, %d tunnels in, %d tunnels out\n",
+			w.Shard, w.Totals.Injected, w.Totals.Delivered, w.TunnelsIn, w.TunnelsOut)
+	}
+	if scenario == experiments.ScenarioGnutella {
+		if g, err := experiments.GnutellaFederatedReport(rep); err == nil {
+			fmt.Printf("overlay: %d reachable from servent 0, %d forwarded, %d duplicates\n",
+				g.Reachable, g.Forwarded, g.Duplicates)
+		}
+	}
+	acc := rep.Accuracy
+	fmt.Printf("accuracy: %v\n", &acc)
+}
+
+// Options is shortened locally for federateMain's signature.
+type Options = modelnet.Options
 
 func loadTopology(path string) (*modelnet.Graph, error) {
 	if path == "" {

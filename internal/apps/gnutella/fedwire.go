@@ -1,0 +1,96 @@
+package gnutella
+
+// Federation codecs: gnutella messages ride cross-core packets as datagram
+// payloads, so federated runs (internal/fednet) need them as real bytes.
+// Registered here, next to the types, so any binary that can run a gnutella
+// workload can also federate it.
+
+import (
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+)
+
+func putEndpoint(e *wire.Enc, ep netstack.Endpoint) {
+	e.I32(int32(ep.VN))
+	e.U16(ep.Port)
+}
+
+func getEndpoint(d *wire.Dec) netstack.Endpoint {
+	return netstack.Endpoint{VN: pipes.VN(d.I32()), Port: d.U16()}
+}
+
+func init() {
+	wire.RegisterPayload(wire.PayloadApp+0, (*ping)(nil), wire.PayloadCodec{
+		Enc: func(v any) ([]byte, error) {
+			m := v.(*ping)
+			var e wire.Enc
+			e.U64(m.ID)
+			e.I32(int32(m.TTL))
+			putEndpoint(&e, m.Origin)
+			return e.Bytes(), nil
+		},
+		Dec: func(b []byte) (any, error) {
+			d := wire.NewDec(b)
+			m := &ping{ID: d.U64(), TTL: int(d.I32()), Origin: getEndpoint(d)}
+			if err := d.Done(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
+	wire.RegisterPayload(wire.PayloadApp+1, (*pong)(nil), wire.PayloadCodec{
+		Enc: func(v any) ([]byte, error) {
+			m := v.(*pong)
+			var e wire.Enc
+			e.U64(m.ID)
+			putEndpoint(&e, m.From)
+			return e.Bytes(), nil
+		},
+		Dec: func(b []byte) (any, error) {
+			d := wire.NewDec(b)
+			m := &pong{ID: d.U64(), From: getEndpoint(d)}
+			if err := d.Done(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
+	wire.RegisterPayload(wire.PayloadApp+2, (*query)(nil), wire.PayloadCodec{
+		Enc: func(v any) ([]byte, error) {
+			m := v.(*query)
+			var e wire.Enc
+			e.U64(m.ID)
+			e.I32(int32(m.TTL))
+			e.Str(m.Keyword)
+			putEndpoint(&e, m.Origin)
+			return e.Bytes(), nil
+		},
+		Dec: func(b []byte) (any, error) {
+			d := wire.NewDec(b)
+			m := &query{ID: d.U64(), TTL: int(d.I32()), Keyword: d.Str(), Origin: getEndpoint(d)}
+			if err := d.Done(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
+	wire.RegisterPayload(wire.PayloadApp+3, (*queryHit)(nil), wire.PayloadCodec{
+		Enc: func(v any) ([]byte, error) {
+			m := v.(*queryHit)
+			var e wire.Enc
+			e.U64(m.ID)
+			e.Str(m.Keyword)
+			putEndpoint(&e, m.From)
+			return e.Bytes(), nil
+		},
+		Dec: func(b []byte) (any, error) {
+			d := wire.NewDec(b)
+			m := &queryHit{ID: d.U64(), Keyword: d.Str(), From: getEndpoint(d)}
+			if err := d.Done(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+	})
+}

@@ -189,3 +189,74 @@ type regAdapter struct{ e *emucore.Emulator }
 func (r regAdapter) RegisterVN(vn pipes.VN, fn func(*pipes.Packet)) {
 	r.e.RegisterVN(vn, emucore.DeliverFunc(fn))
 }
+
+func TestNICBacklogDropHorizon(t *testing.T) {
+	// The backlog bound is a precise horizon, not just "drops eventually":
+	// with a 1 ms-per-packet NIC and a B-ms backlog, an instantaneous
+	// burst gets exactly floor(B/tx)+1 packets through — those whose NIC
+	// queueing delay is still ≤ B — and every later packet is dropped.
+	cases := []struct {
+		backlog  vtime.Duration
+		accepted int
+	}{
+		{2 * vtime.Millisecond, 3},
+		{5 * vtime.Millisecond, 6},
+		{0, 11}, // zero config falls back to the documented 10 ms default
+	}
+	for _, tc := range cases {
+		sched := vtime.NewScheduler()
+		cfg := DefaultMachineConfig()
+		cfg.LinkBps = 8e6 // 1 ms per 1000 B packet
+		cfg.KernelPerPacket = 0
+		cfg.NICBacklog = tc.backlog
+		m := NewMachine(sched, cfg)
+		m.AddProcess()
+		sink := &countInjector{sched: sched}
+		inj := m.WrapInjector(sink)
+		accepted := 0
+		for i := 0; i < 40; i++ {
+			if inj.Inject(0, 1, 1000, nil) {
+				accepted++
+			}
+		}
+		if accepted != tc.accepted {
+			t.Errorf("backlog %v: accepted %d of a burst, want %d", tc.backlog, accepted, tc.accepted)
+		}
+		if got := int(m.NICDrops); got != 40-tc.accepted {
+			t.Errorf("backlog %v: NICDrops = %d, want %d", tc.backlog, got, 40-tc.accepted)
+		}
+		sched.Run()
+		if sink.n != accepted {
+			t.Errorf("backlog %v: sink got %d, accepted %d", tc.backlog, sink.n, accepted)
+		}
+	}
+}
+
+func TestNICBacklogMeasuresNICQueueingNotCPU(t *testing.T) {
+	// The horizon is time queued *for the NIC* after the kernel hands the
+	// packet over (txStart - when), not elapsed CPU-queue time: a slow
+	// kernel that paces packets out slower than the link drains them must
+	// never trip the backlog bound, however deep the CPU queue gets.
+	sched := vtime.NewScheduler()
+	cfg := DefaultMachineConfig()
+	cfg.LinkBps = 8e6                            // 1 ms per 1000 B packet
+	cfg.KernelPerPacket = 2e6                    // 2 ms of kernel CPU per send
+	cfg.NICBacklog = vtime.Duration(1)           // 1 ns: any NIC queueing at all drops
+	cfg.OverheadBase, cfg.OverheadShare, cfg.OverheadLog = 0, 0, 0
+	m := NewMachine(sched, cfg)
+	m.AddProcess()
+	sink := &countInjector{sched: sched}
+	inj := m.WrapInjector(sink)
+	for i := 0; i < 20; i++ {
+		if !inj.Inject(0, 1, 1000, nil) {
+			t.Fatalf("packet %d dropped: CPU queueing charged against the NIC backlog", i)
+		}
+	}
+	if m.NICDrops != 0 {
+		t.Errorf("NICDrops = %d behind a slow kernel", m.NICDrops)
+	}
+	sched.Run()
+	if sink.n != 20 {
+		t.Errorf("sink got %d of 20", sink.n)
+	}
+}

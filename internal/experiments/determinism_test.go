@@ -4,13 +4,17 @@ package experiments
 // application workloads: running the gnutella scale study and a CFS
 // download with the same seed under sequential and parallel modes must
 // produce byte-identical conservation counters and identical delivery-time
-// CDFs (internal/stats). See DESIGN.md for the contract's scope.
+// CDFs (internal/stats). The federated tests extend the same contract to
+// real multi-process runs over loopback sockets: 1-process sequential,
+// N-goroutine parallel, and N-process federated executions must agree.
+// See DESIGN.md for the contract's scope.
 
 import (
 	"sync"
 	"testing"
 
 	"modelnet"
+	"modelnet/internal/fednet"
 	"modelnet/internal/pipes"
 	"modelnet/internal/stats"
 )
@@ -91,6 +95,112 @@ func cfsRun(t *testing.T, parallel bool) (uint64, uint64, uint64, *stats.Sample,
 	}
 	tot := cl.em.Totals()
 	return tot.Injected, tot.Delivered, tot.NoRoute, sample, speed
+}
+
+// fednetRingSpec is the federated determinism workload: small enough to
+// run three times per test, large enough that traffic genuinely crosses
+// shards.
+func fednetRingSpec() RingCBRSpec {
+	return RingCBRSpec{
+		Routers:       8,
+		VNsPerRouter:  4,
+		PacketsPerSec: 50,
+		PacketBytes:   600,
+		DurationSec:   2,
+		Seed:          11,
+	}
+}
+
+// sampleOf turns a federated run's merged delivery times into a Sample
+// comparable with the local runners' (CDFAt sorts internally, so shard
+// interleaving is irrelevant).
+func sampleOf(rep *fednet.Report) *stats.Sample {
+	s := &stats.Sample{}
+	s.AddAll(rep.Deliveries)
+	return s
+}
+
+func TestRingFednetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := fednetRingSpec()
+	seq, err := RunRingCBRLocal(spec, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunRingCBRLocal(spec, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := RunRingCBRFederated(spec, 2, fednet.DataUDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Totals.Delivered == 0 {
+		t.Fatal("ring run delivered nothing")
+	}
+	if seq.Totals != par.Totals {
+		t.Errorf("ring counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
+	}
+	if seq.Totals != fed.Totals {
+		t.Errorf("ring counters diverge:\n sequential %+v\n federated  %+v", seq.Totals, fed.Totals)
+	}
+	sameCDF(t, "ring seq vs par", seq.Deliveries, par.Deliveries)
+	sameCDF(t, "ring seq vs fednet", seq.Deliveries, sampleOf(fed))
+	if fed.Sync.Messages == 0 {
+		t.Error("federated ring exchanged no cross-core messages — the comparison is vacuous")
+	}
+}
+
+func TestGnutellaFednetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := GnutellaRingSpec{
+		Routers:      10,
+		VNsPerRouter: 12,
+		Degree:       4,
+		TTL:          6,
+		WindowSec:    8,
+		Seed:         15,
+	}
+	seq, err := RunGnutellaRingLocal(spec, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunGnutellaRingLocal(spec, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := RunGnutellaRingFederated(spec, 2, fednet.DataTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fedRep, err := GnutellaFederatedReport(fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Gnutella.Reachable < spec.Servents()/2 {
+		t.Errorf("flood barely spread: %d/%d reachable", seq.Gnutella.Reachable, spec.Servents())
+	}
+	if seq.Gnutella != par.Gnutella {
+		t.Errorf("gnutella overlay results diverge:\n sequential %+v\n parallel   %+v", seq.Gnutella, par.Gnutella)
+	}
+	if seq.Gnutella != fedRep {
+		t.Errorf("gnutella overlay results diverge:\n sequential %+v\n federated  %+v", seq.Gnutella, fedRep)
+	}
+	if seq.Totals != par.Totals {
+		t.Errorf("gnutella counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
+	}
+	if seq.Totals != fed.Totals {
+		t.Errorf("gnutella counters diverge:\n sequential %+v\n federated  %+v", seq.Totals, fed.Totals)
+	}
+	sameCDF(t, "gnutella seq vs par", seq.Deliveries, par.Deliveries)
+	sameCDF(t, "gnutella seq vs fednet", seq.Deliveries, sampleOf(fed))
+	if fed.Sync.Messages == 0 {
+		t.Error("federated gnutella exchanged no cross-core messages — the comparison is vacuous")
+	}
 }
 
 func TestCFSSeqParDeterminism(t *testing.T) {

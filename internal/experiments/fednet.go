@@ -1,0 +1,563 @@
+package experiments
+
+// Federated scenarios and the fednet scaling study. Two workloads register
+// with the federation runtime (internal/fednet):
+//
+//   - "ring-cbr": the parcore study's saturating CBR ring (UDP, nil
+//     payloads), the cross-mode determinism yardstick.
+//   - "gnutella-ring": a gnutella ping flood over a ring of routers with
+//     jittered link latencies, exercising application payload codecs and
+//     bursty cross-core traffic.
+//
+// Every scenario is a pure function of its parameters: the coordinator and
+// all three execution modes (sequential, in-process parallel, N-process
+// federated) derive the same topology, the same per-VN plan, and install it
+// identically — which is what makes the byte-identical determinism tests in
+// determinism_test.go possible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"modelnet"
+	"modelnet/internal/apps/gnutella"
+	"modelnet/internal/fednet"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+	"modelnet/internal/stats"
+	"modelnet/internal/vtime"
+)
+
+// Registered federation scenario names.
+const (
+	ScenarioRingCBR  = "ring-cbr"
+	ScenarioGnutella = "gnutella-ring"
+)
+
+// ---------------------------------------------------------------------------
+// ring-cbr
+
+// RingCBRSpec parameterizes the saturating CBR ring workload,
+// mode-independently. It doubles as the federation scenario's JSON params.
+type RingCBRSpec struct {
+	Routers       int     `json:"routers"`
+	VNsPerRouter  int     `json:"vns_per_router"`
+	PacketsPerSec float64 `json:"packets_per_sec"` // per-VN CBR rate
+	PacketBytes   int     `json:"packet_bytes"`
+	DurationSec   float64 `json:"duration_sec"` // injection window
+	Seed          int64   `json:"seed"`
+}
+
+// drain is the extra virtual time after the injection window that lets
+// in-flight traffic finish, making the counters insensitive to where the
+// cutoff slices.
+const ringCBRDrainSec = 0.5
+
+// RunFor is the virtual time a run of this spec must cover.
+func (c RingCBRSpec) RunFor() modelnet.Duration {
+	return modelnet.Seconds(c.DurationSec + ringCBRDrainSec)
+}
+
+// Topology builds the gigabit ring: aggregate offered load stays well under
+// capacity so there are zero virtual drops and the cross-mode comparison is
+// exact regardless of how same-nanosecond arrivals interleave.
+func (c RingCBRSpec) Topology() *modelnet.Graph {
+	ringAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(1000), LatencySec: modelnet.Ms(5), QueuePkts: 400}
+	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 100}
+	return modelnet.Ring(c.Routers, c.VNsPerRouter, ringAttr, accessAttr)
+}
+
+// Install sets up the workload for every VN the caller owns: a sink on port
+// 9 and a CBR flow to the same client slot on the diametrically opposite
+// router, so every packet traverses half the ring. The per-VN phase and
+// rate jitter is drawn for the whole population in VN order, so any subset
+// installs values identical to a full install.
+func (c RingCBRSpec) Install(n int, homed func(pipes.VN) bool,
+	host func(pipes.VN) *netstack.Host, sched func(pipes.VN) *vtime.Scheduler) error {
+	rng := rand.New(rand.NewSource(c.Seed))
+	period := vtime.DurationOf(1 / c.PacketsPerSec)
+	starts := make([]vtime.Duration, n)
+	jitters := make([]vtime.Duration, n)
+	for v := range starts {
+		// Nanosecond-jittered phase and rate de-synchronize the flows.
+		starts[v] = vtime.Duration(rng.Int63n(int64(period)))
+		jitters[v] = vtime.Duration(rng.Int63n(int64(period / 8)))
+	}
+	sendEnd := vtime.Time(0).Add(vtime.DurationOf(c.DurationSec))
+	for v := 0; v < n; v++ {
+		vn := pipes.VN(v)
+		if !homed(vn) {
+			continue
+		}
+		h := host(vn)
+		if _, err := h.OpenUDP(9, nil); err != nil {
+			return err
+		}
+		s, err := h.OpenUDP(0, nil)
+		if err != nil {
+			return err
+		}
+		dst := modelnet.Endpoint{VN: modelnet.VN((v + n/2) % n), Port: 9}
+		jitter := jitters[v]
+		size := c.PacketBytes
+		sc := sched(vn)
+		// Injection stops before the deadline so the run drains: every
+		// offered packet is delivered or dropped by the end.
+		var send func()
+		send = func() {
+			s.SendTo(dst, size, nil)
+			if next := sc.Now().Add(period + jitter); next < sendEnd {
+				sc.After(period+jitter, send)
+			}
+		}
+		sc.After(starts[v], send)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// gnutella-ring
+
+// GnutellaRingSpec parameterizes a gnutella ping flood over a ring of
+// routers (servents spread across them, so the flood genuinely crosses
+// cores — unlike the §4.3 star, which one core owns whole).
+type GnutellaRingSpec struct {
+	Routers      int     `json:"routers"`
+	VNsPerRouter int     `json:"vns_per_router"`
+	Degree       int     `json:"degree"`
+	TTL          int     `json:"ttl"`
+	WindowSec    float64 `json:"window_sec"`
+	Seed         int64   `json:"seed"`
+}
+
+// Servents is the overlay population.
+func (c GnutellaRingSpec) Servents() int { return c.Routers * c.VNsPerRouter }
+
+// RunFor covers the reachability window plus settling time (as in the §4.3
+// scale study).
+func (c GnutellaRingSpec) RunFor() modelnet.Duration {
+	return modelnet.Seconds(c.WindowSec + 5)
+}
+
+// Topology builds the ring with per-link latency jitter: real populations
+// are not metronomes, and distinct per-link delays keep the flood's
+// wavefronts from colliding in the same nanosecond — which is what lets all
+// three runtimes agree packet-for-packet.
+func (c GnutellaRingSpec) Topology() *modelnet.Graph {
+	ringAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(100), LatencySec: modelnet.Ms(5), QueuePkts: 400}
+	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 200}
+	g := modelnet.Ring(c.Routers, c.VNsPerRouter, ringAttr, accessAttr)
+	latRng := rand.New(rand.NewSource(c.Seed ^ 0x5ca1e))
+	for i := range g.Links {
+		a := g.Links[i].Attr
+		a.LatencySec *= 0.8 + 0.4*latRng.Float64()
+		g.Links[i].Attr = a
+	}
+	return g
+}
+
+// NeighborPlan derives the overlay adjacency the way the §4.3 scale study
+// wires it — a random spanning tree plus random extra edges — as ordered
+// per-servent endpoint lists. The list order matters (it is the flood's
+// fan-out order), so the plan replays the exact connect sequence.
+func (c GnutellaRingSpec) NeighborPlan() [][]netstack.Endpoint {
+	n := c.Servents()
+	rng := rand.New(rand.NewSource(c.Seed))
+	nbrs := make([][]netstack.Endpoint, n)
+	add := func(a, b int) {
+		ep := netstack.Endpoint{VN: pipes.VN(b), Port: 6346}
+		for _, e := range nbrs[a] {
+			if e == ep {
+				return
+			}
+		}
+		nbrs[a] = append(nbrs[a], ep)
+	}
+	connect := func(a, b int) { add(a, b); add(b, a) }
+	for i := 1; i < n; i++ {
+		connect(i, rng.Intn(i))
+	}
+	for i := 0; i < n*(c.Degree-2)/2; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			connect(a, b)
+		}
+	}
+	return nbrs
+}
+
+// GnutellaRingReport is the scenario's measurement: connectivity from
+// servent 0 plus flood load, summed over the installing process's peers.
+type GnutellaRingReport struct {
+	Reachable  int    `json:"reachable"`
+	Forwarded  uint64 `json:"forwarded"`
+	Duplicates uint64 `json:"duplicates"`
+}
+
+// Merge folds another process's report in.
+func (r *GnutellaRingReport) Merge(o GnutellaRingReport) {
+	if o.Reachable > r.Reachable {
+		r.Reachable = o.Reachable
+	}
+	r.Forwarded += o.Forwarded
+	r.Duplicates += o.Duplicates
+}
+
+// Install builds the homed slice of the overlay and, on the process homing
+// servent 0, starts the reachability flood. The returned closure reports
+// this slice's results after the run.
+func (c GnutellaRingSpec) Install(n int, homed func(pipes.VN) bool,
+	host func(pipes.VN) *netstack.Host) (func() GnutellaRingReport, error) {
+	nbrs := c.NeighborPlan()
+	rep := &GnutellaRingReport{}
+	var peers []*gnutella.Peer
+	for v := 0; v < n; v++ {
+		vn := pipes.VN(v)
+		if !homed(vn) {
+			continue
+		}
+		p, err := gnutella.NewPeer(host(vn), v, gnutella.Config{DefaultTTL: c.TTL})
+		if err != nil {
+			return nil, err
+		}
+		for _, ep := range nbrs[v] {
+			p.Connect(ep)
+		}
+		peers = append(peers, p)
+		if v == 0 {
+			p.Reachability(vtime.DurationOf(c.WindowSec), func(count int) { rep.Reachable = count })
+		}
+	}
+	return func() GnutellaRingReport {
+		for _, p := range peers {
+			rep.Forwarded += p.Forwarded
+			rep.Duplicates += p.Duplicates
+		}
+		return *rep
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// scenario registration
+
+func init() {
+	fednet.Register(ScenarioRingCBR, fednet.Scenario{
+		Build: func(params json.RawMessage) (*modelnet.Graph, error) {
+			var c RingCBRSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			return c.Topology(), nil
+		},
+		Install: func(env *fednet.WorkerEnv, params json.RawMessage) (func() json.RawMessage, error) {
+			var c RingCBRSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			err := c.Install(env.NumVNs(), env.Homed, env.NewHost,
+				func(pipes.VN) *vtime.Scheduler { return env.Sched })
+			return nil, err
+		},
+	})
+	fednet.Register(ScenarioGnutella, fednet.Scenario{
+		Build: func(params json.RawMessage) (*modelnet.Graph, error) {
+			var c GnutellaRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			return c.Topology(), nil
+		},
+		Install: func(env *fednet.WorkerEnv, params json.RawMessage) (func() json.RawMessage, error) {
+			var c GnutellaRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			report, err := c.Install(env.NumVNs(), env.Homed, env.NewHost)
+			if err != nil {
+				return nil, err
+			}
+			return func() json.RawMessage {
+				b, _ := json.Marshal(report())
+				return b
+			}, nil
+		},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// local (non-socket) runners, for cross-mode comparison
+
+// localRun is a mode-generic outcome.
+type localRun struct {
+	Totals     modelnet.Totals
+	Deliveries *stats.Sample
+	WallMS     float64
+	Windows    uint64
+	Serial     uint64
+	Messages   uint64
+	Lookahead  modelnet.Duration
+	Gnutella   GnutellaRingReport
+}
+
+// runLocal executes a registered-scenario-equivalent workload without
+// sockets: sequentially (parallel=false) or on the in-process parallel
+// runtime.
+func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
+	install func(em *modelnet.Emulation) (func() GnutellaRingReport, error),
+	runFor modelnet.Duration) (*localRun, error) {
+	ideal := modelnet.IdealProfile()
+	em, err := modelnet.Run(topo, modelnet.Options{
+		Cores: cores, Parallel: parallel, Profile: &ideal, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &localRun{Deliveries: &stats.Sample{}}
+	var mu sync.Mutex
+	em.OnDeliver(func(_ *pipes.Packet, at modelnet.Time) {
+		mu.Lock()
+		res.Deliveries.Add(at.Seconds())
+		mu.Unlock()
+	})
+	report, err := install(em)
+	if err != nil {
+		return nil, err
+	}
+	begin := time.Now()
+	em.RunFor(runFor)
+	res.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+	res.Totals = em.Totals()
+	if report != nil {
+		res.Gnutella = report()
+	}
+	if em.Par != nil {
+		st := em.Par.Stats()
+		res.Windows, res.Serial, res.Messages = st.Windows, st.SerialRounds, st.Messages
+		res.Lookahead = em.Par.Lookahead()
+	}
+	return res, nil
+}
+
+// RunRingCBRLocal runs the ring-cbr scenario without sockets.
+func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel,
+		func(em *modelnet.Emulation) (func() GnutellaRingReport, error) {
+			err := c.Install(em.NumVNs(),
+				func(pipes.VN) bool { return true },
+				em.NewHost, em.SchedulerOf)
+			return nil, err
+		}, c.RunFor())
+}
+
+// RunGnutellaRingLocal runs the gnutella-ring scenario without sockets.
+func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel,
+		func(em *modelnet.Emulation) (func() GnutellaRingReport, error) {
+			return c.Install(em.NumVNs(),
+				func(pipes.VN) bool { return true },
+				em.NewHost)
+		}, c.RunFor())
+}
+
+// RunRingCBRFederated runs the ring-cbr scenario as a cores-process
+// federation over loopback (workers spawned from this binary; the caller's
+// main or TestMain must call fednet.MaybeRunWorker).
+func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string) (*fednet.Report, error) {
+	ideal := modelnet.IdealProfile()
+	return fednet.Run(fednet.Options{
+		Scenario: ScenarioRingCBR, Params: c,
+		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		RunFor: c.RunFor(), DataPlane: dataPlane,
+		Spawn: true, CollectDeliveries: true,
+	})
+}
+
+// RunGnutellaRingFederated runs the gnutella-ring scenario as a
+// cores-process federation over loopback.
+func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+	ideal := modelnet.IdealProfile()
+	return fednet.Run(fednet.Options{
+		Scenario: ScenarioGnutella, Params: c,
+		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		RunFor: c.RunFor(), DataPlane: dataPlane,
+		Spawn: true, CollectDeliveries: true,
+	})
+}
+
+// GnutellaFederatedReport merges the per-worker scenario reports of a
+// federated gnutella-ring run.
+func GnutellaFederatedReport(rep *fednet.Report) (GnutellaRingReport, error) {
+	var out GnutellaRingReport
+	for _, w := range rep.Workers {
+		if len(w.Scenario) == 0 {
+			continue
+		}
+		var r GnutellaRingReport
+		if err := json.Unmarshal(w.Scenario, &r); err != nil {
+			return out, fmt.Errorf("shard %d scenario report: %w", w.Shard, err)
+		}
+		out.Merge(r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// the fednet scaling study (mnbench -run fednet -> BENCH_fednet.json)
+
+// FednetConfig parameterizes the scaling study: the same ring workload
+// under the in-process parallel runtime and under real multi-process
+// federation at each core count.
+type FednetConfig struct {
+	Ring      RingCBRSpec
+	Cores     []int
+	DataPlane string
+}
+
+// DefaultFednet is the full-scale study: the paper's 20×20 ring at 2 and 4
+// cores, over the UDP data plane.
+func DefaultFednet() FednetConfig {
+	return FednetConfig{
+		Ring: RingCBRSpec{
+			Routers:       20,
+			VNsPerRouter:  20,
+			PacketsPerSec: 200,
+			PacketBytes:   1000,
+			DurationSec:   10,
+			Seed:          11,
+		},
+		Cores:     []int{2, 4},
+		DataPlane: fednet.DataUDP,
+	}
+}
+
+// ScaledFednet shrinks the emulated duration for quick runs.
+func ScaledFednet(scale float64) FednetConfig {
+	cfg := DefaultFednet()
+	if scale < 1 {
+		cfg.Ring.DurationSec *= scale
+	}
+	return cfg
+}
+
+// FednetRow is one configuration's outcome.
+type FednetRow struct {
+	Mode         string  `json:"mode"` // seq, inproc, fednet
+	Cores        int     `json:"cores"`
+	WallMS       float64 `json:"wall_ms"`
+	Speedup      float64 `json:"speedup"` // vs the sequential row
+	Delivered    uint64  `json:"delivered"`
+	Injected     uint64  `json:"injected"`
+	Drops        uint64  `json:"drops"`
+	Windows      uint64  `json:"windows,omitempty"`
+	SerialRounds uint64  `json:"serial_rounds,omitempty"`
+	Messages     uint64  `json:"messages,omitempty"`
+	LookaheadMS  float64 `json:"lookahead_ms,omitempty"`
+}
+
+// FednetResult is the full study.
+type FednetResult struct {
+	Routers      int     `json:"routers"`
+	VNsPerRouter int     `json:"vns_per_router"`
+	DurationSec  float64 `json:"duration_sec"`
+	DataPlane    string  `json:"data_plane"`
+	// HostCPUs bounds the achievable speedup; on a 1-CPU host the
+	// parallel and federated rows measure synchronization and socket
+	// overhead instead.
+	HostCPUs int         `json:"host_cpus"`
+	Rows     []FednetRow `json:"rows"`
+	// Deterministic reports whether every configuration produced
+	// identical conservation counters.
+	Deterministic bool `json:"deterministic"`
+}
+
+func totalsRow(mode string, cores int, t modelnet.Totals, wallMS float64) FednetRow {
+	return FednetRow{
+		Mode: mode, Cores: cores, WallMS: wallMS,
+		Delivered: t.Delivered, Injected: t.Injected,
+		Drops: t.PhysDrops + t.VirtualDrops,
+	}
+}
+
+// RunFednetScaling runs the study: a sequential baseline, then at each core
+// count the in-process parallel runtime and a real multi-process
+// federation.
+func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
+	res := &FednetResult{
+		Routers:      cfg.Ring.Routers,
+		VNsPerRouter: cfg.Ring.VNsPerRouter,
+		DurationSec:  cfg.Ring.DurationSec,
+		DataPlane:    cfg.DataPlane,
+		HostCPUs:     runtime.NumCPU(),
+
+		Deterministic: true,
+	}
+	seq, err := RunRingCBRLocal(cfg.Ring, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	base := totalsRow("seq", 1, seq.Totals, seq.WallMS)
+	base.Speedup = 1
+	res.Rows = append(res.Rows, base)
+	check := func(r FednetRow) FednetRow {
+		if r.WallMS > 0 {
+			r.Speedup = base.WallMS / r.WallMS
+		}
+		if r.Delivered != base.Delivered || r.Injected != base.Injected || r.Drops != base.Drops {
+			res.Deterministic = false
+		}
+		return r
+	}
+	for _, k := range cfg.Cores {
+		if k < 2 {
+			continue
+		}
+		par, err := RunRingCBRLocal(cfg.Ring, k, true)
+		if err != nil {
+			return nil, err
+		}
+		row := totalsRow("inproc", k, par.Totals, par.WallMS)
+		row.Windows, row.SerialRounds, row.Messages = par.Windows, par.Serial, par.Messages
+		row.LookaheadMS = par.Lookahead.Seconds() * 1000
+		res.Rows = append(res.Rows, check(row))
+
+		fed, err := RunRingCBRFederated(cfg.Ring, k, cfg.DataPlane)
+		if err != nil {
+			return nil, err
+		}
+		frow := totalsRow("fednet", k, fed.Totals, fed.WallMS)
+		frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
+		frow.LookaheadMS = fed.Lookahead.Seconds() * 1000
+		res.Rows = append(res.Rows, check(frow))
+	}
+	return res, nil
+}
+
+// PrintFednet renders the study.
+func PrintFednet(w io.Writer, res *FednetResult) {
+	fprintf(w, "Core federation scaling: %d×%d ring, %.1fs emulated, %s data plane (host CPUs: %d)\n",
+		res.Routers, res.VNsPerRouter, res.DurationSec, res.DataPlane, res.HostCPUs)
+	fprintf(w, "%8s %6s %9s %9s %10s %9s %8s %9s %10s\n",
+		"mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "lookahead")
+	for _, r := range res.Rows {
+		fprintf(w, "%8s %6d %9.0f %8.2fx %10d %9d %8d %9d %8.1fms\n",
+			r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages, r.LookaheadMS)
+	}
+	if !res.Deterministic {
+		fprintf(w, "  WARNING: configurations disagreed on emulation counters\n")
+	}
+}
+
+// WriteFednetJSON records the study for the repository (BENCH_fednet.json).
+func WriteFednetJSON(path string, res *FednetResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"modelnet/internal/fednet"
+)
+
+// TestMain lets this test binary serve as its own federation worker fleet:
+// the federated determinism tests spawn it with the fednet join variable
+// set, and MaybeRunWorker diverts those processes into worker mode before
+// any test runs.
+func TestMain(m *testing.M) {
+	fednet.MaybeRunWorker()
+	os.Exit(m.Run())
+}

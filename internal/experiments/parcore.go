@@ -14,13 +14,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
 	"modelnet"
-	"modelnet/internal/vtime"
+	"modelnet/internal/pipes"
 )
 
 // ParcoreConfig parameterizes the scaling study.
@@ -87,18 +86,30 @@ type ParcoreResult struct {
 	Deterministic bool `json:"deterministic"`
 }
 
+// ringSpec converts the study config to the mode-independent workload spec
+// shared with the federation scenarios (fednet.go).
+func (cfg ParcoreConfig) ringSpec() RingCBRSpec {
+	return RingCBRSpec{
+		Routers:       cfg.Routers,
+		VNsPerRouter:  cfg.VNsPerRouter,
+		PacketsPerSec: cfg.PacketsPerSec,
+		PacketBytes:   cfg.PacketBytes,
+		DurationSec:   cfg.Duration.Seconds(),
+		Seed:          cfg.Seed,
+	}
+}
+
 // runParcoreOnce builds the ring, loads it with diameter-crossing CBR
-// flows, runs it, and reports totals plus wall time.
+// flows (the shared ring-cbr workload), runs it, and reports totals plus
+// wall time.
 func runParcoreOnce(cfg ParcoreConfig, cores int, parallel bool) (ParcoreRow, error) {
 	// A gigabit ring keeps the aggregate offered load (~165 Mb/s per ring
 	// pipe at the default rate) well under capacity: zero virtual drops,
 	// so the determinism comparison is exact regardless of how same-
 	// nanosecond arrivals interleave (no drop-victim selection).
-	ringAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(1000), LatencySec: modelnet.Ms(5), QueuePkts: 400}
-	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 100}
-	g := modelnet.Ring(cfg.Routers, cfg.VNsPerRouter, ringAttr, accessAttr)
+	spec := cfg.ringSpec()
 	ideal := modelnet.IdealProfile()
-	em, err := modelnet.Run(g, modelnet.Options{
+	em, err := modelnet.Run(spec.Topology(), modelnet.Options{
 		Cores:    cores,
 		Parallel: parallel,
 		Profile:  &ideal,
@@ -107,44 +118,14 @@ func runParcoreOnce(cfg ParcoreConfig, cores int, parallel bool) (ParcoreRow, er
 	if err != nil {
 		return ParcoreRow{}, err
 	}
-	hosts := em.NewHosts()
-	n := len(hosts)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	period := vtime.DurationOf(1 / cfg.PacketsPerSec)
-	for v, h := range hosts {
-		sink, err := h.OpenUDP(9, nil)
-		if err != nil {
-			return ParcoreRow{}, err
-		}
-		_ = sink
-		s, err := h.OpenUDP(0, nil)
-		if err != nil {
-			return ParcoreRow{}, err
-		}
-		// Destination: the same client slot on the diametrically opposite
-		// router — every packet traverses half the ring.
-		dst := modelnet.Endpoint{VN: modelnet.VN((v + n/2) % n), Port: 9}
-		// Nanosecond-jittered phase and rate de-synchronize the flows.
-		start := vtime.Duration(rng.Int63n(int64(period)))
-		jitter := vtime.Duration(rng.Int63n(int64(period / 8)))
-		size := cfg.PacketBytes
-		sched := em.SchedulerOf(modelnet.VN(v))
-		// Injection stops before the deadline so the run drains: every
-		// offered packet is delivered or dropped by the end, making the
-		// counters insensitive to where the cutoff slices in-flight
-		// traffic.
-		sendEnd := vtime.Time(0).Add(cfg.Duration)
-		var send func()
-		send = func() {
-			s.SendTo(dst, size, nil)
-			if next := sched.Now().Add(period + jitter); next < sendEnd {
-				sched.After(period+jitter, send)
-			}
-		}
-		sched.After(start, send)
+	err = spec.Install(em.NumVNs(),
+		func(pipes.VN) bool { return true },
+		em.NewHost, em.SchedulerOf)
+	if err != nil {
+		return ParcoreRow{}, err
 	}
 	begin := time.Now()
-	em.RunFor(cfg.Duration + modelnet.Seconds(0.5))
+	em.RunFor(spec.RunFor())
 	wall := time.Since(begin)
 	tot := em.Totals()
 	row := ParcoreRow{

@@ -1,0 +1,487 @@
+package fednet
+
+// The coordinator side of a federation: build and partition the topology,
+// distribute it, then drive parcore.Drive through a Transport whose shards
+// answer over TCP. The coordinator owns no shard — it is the paper's
+// deploy-and-synchronize machinery, not an emulation participant.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"modelnet/internal/assign"
+	"modelnet/internal/distill"
+	"modelnet/internal/emucore"
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/parcore"
+	"modelnet/internal/vtime"
+)
+
+// Options configure a federated run.
+type Options struct {
+	// Scenario names a registered Scenario; Params is marshaled to JSON
+	// and handed to its Build and Install hooks.
+	Scenario string
+	Params   any
+
+	// Cores is the number of worker processes (= emulated core routers);
+	// at least 2.
+	Cores int
+	// Seed determinizes assignment, loss, and scenario randomness,
+	// exactly as modelnet.Options.Seed does.
+	Seed int64
+	// Profile models the core hardware; nil = emucore.DefaultProfile().
+	// Use an event-exact profile (IdealProfile) for the cross-mode
+	// determinism guarantee and eager windows.
+	Profile *emucore.Profile
+	// Distill selects the distillation mode (zero value = hop-by-hop).
+	Distill distill.Spec
+	// EdgeNodes, RouteCache, Hierarchical mirror modelnet.Options.
+	EdgeNodes    int
+	RouteCache   int
+	Hierarchical bool
+
+	// RunFor is the virtual time to emulate. Zero or negative runs to
+	// global quiescence.
+	RunFor vtime.Duration
+
+	// Listen is the control-plane address (default "127.0.0.1:0"; use
+	// ":port" to accept workers from other machines).
+	Listen string
+	// DataPlane selects how workers exchange tunnel messages: DataUDP
+	// (default; the paper's IP-in-UDP tunnels) or DataTCP (lossless
+	// fallback for links that may drop datagrams).
+	DataPlane string
+	// Spawn, when true, re-executes the current binary Cores times as
+	// local workers (MaybeRunWorker must run early in its main). When
+	// false the coordinator waits for externally started `modelnet core
+	// -join` workers.
+	Spawn bool
+	// CollectDeliveries has every worker record each delivery's virtual
+	// time; the merged sample lands in Report.Deliveries (the cross-mode
+	// determinism probe).
+	CollectDeliveries bool
+	// Timeout bounds every blocking protocol step (default
+	// DefaultTimeout).
+	Timeout time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o *Options) defaults() error {
+	if o.Scenario == "" {
+		return fmt.Errorf("fednet: Options.Scenario is required")
+	}
+	if o.Cores < 2 {
+		return fmt.Errorf("fednet: federation needs at least 2 cores, got %d", o.Cores)
+	}
+	if o.Listen == "" {
+		o.Listen = "127.0.0.1:0"
+	}
+	if o.DataPlane == "" {
+		o.DataPlane = DataUDP
+	}
+	if o.DataPlane != DataUDP && o.DataPlane != DataTCP {
+		return fmt.Errorf("fednet: unknown data plane %q", o.DataPlane)
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Report is a federated run's aggregated outcome.
+type Report struct {
+	Cores     int
+	DataPlane string
+
+	// Totals and Accuracy merge every worker's counters, comparably to
+	// Emulation.Totals / AccuracyStats in the other modes.
+	Totals   emucore.Totals
+	Accuracy emucore.Accuracy
+	// Sync counts barrier activity; Messages is the number of cross-core
+	// tunnel messages that crossed real sockets.
+	Sync parcore.SyncStats
+	// Lookahead and Cut describe the partition the run synchronized under.
+	Lookahead vtime.Duration
+	Cut       assign.CutStats
+	// WallMS is the coordinator-measured wall-clock time of the Run
+	// phase (excluding topology build and worker setup).
+	WallMS float64
+	// Deliveries merges the per-worker delivery-time samples (seconds),
+	// when CollectDeliveries was set. Order is by shard, then by each
+	// shard's delivery order; sort before comparing across modes.
+	Deliveries []float64
+	// Workers holds each worker's full report, by shard.
+	Workers []WorkerReport
+}
+
+// Run executes a federated emulation end to end and aggregates the worker
+// reports. See Options for the knobs.
+func Run(opts Options) (*Report, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	scen, err := lookupScenario(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	var params json.RawMessage
+	if opts.Params != nil {
+		params, err = json.Marshal(opts.Params)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: scenario params: %w", err)
+		}
+	}
+
+	// CREATE / DISTILL / ASSIGN on the coordinator; workers receive the
+	// results rather than re-deriving them.
+	target, err := scen.Build(params)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: scenario %q build: %w", opts.Scenario, err)
+	}
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("fednet: create: %w", err)
+	}
+	dist, err := distill.Distill(target, opts.Distill)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: distill: %w", err)
+	}
+	asn, err := assign.KClusters(dist.Graph, opts.Cores, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: assign: %w", err)
+	}
+	prof := emucore.DefaultProfile()
+	if opts.Profile != nil {
+		prof = *opts.Profile
+	}
+
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: listen %s: %w", opts.Listen, err)
+	}
+	defer ln.Close()
+	opts.Log("fednet: coordinating %d cores on %s (%s data plane, scenario %q)",
+		opts.Cores, ln.Addr(), opts.DataPlane, opts.Scenario)
+
+	var spawned []*spawnedWorker
+	if opts.Spawn {
+		spawned, err = SpawnWorkers(opts.Cores, ln.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer stopWorkers(spawned)
+
+	conns, hellos, err := acceptWorkers(ln, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Distribute: shard i is the i-th worker to join.
+	addrs := make([]string, opts.Cores)
+	for i, h := range hellos {
+		if opts.DataPlane == DataUDP {
+			addrs[i] = h.UDPAddr
+		} else {
+			addrs[i] = h.TCPAddr
+		}
+	}
+	topoBin := wire.EncodeTopology(dist.Graph)
+	asnBin := wire.EncodeAssignment(asn.Owner, asn.Cores)
+	for i, c := range conns {
+		cfgJSON, err := json.Marshal(setup{
+			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
+			DataPlane: opts.DataPlane, DataAddrs: addrs,
+			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
+			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var e wire.Enc
+		e.Blob(cfgJSON)
+		e.Blob(topoBin)
+		e.Blob(asnBin)
+		if err := wire.WriteFrame(c, wire.TSetup, e.Bytes()); err != nil {
+			return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+		}
+	}
+	tr := &coordTransport{conns: conns, timeout: opts.Timeout}
+	tr.init(opts.Cores)
+	for i := range conns {
+		if typ, body, err := tr.read(i); err != nil {
+			return nil, err
+		} else if typ != wire.TSetupAck {
+			return nil, fmt.Errorf("fednet: shard %d: expected setup ack, got frame type %d (%q)", i, typ, body)
+		}
+	}
+	opts.Log("fednet: all %d shards up, running", opts.Cores)
+
+	deadline := vtime.Forever
+	if opts.RunFor > 0 {
+		deadline = vtime.Time(0).Add(opts.RunFor)
+	}
+	rep := &Report{
+		Cores: opts.Cores, DataPlane: opts.DataPlane,
+		Cut: asn.CutStats(dist.Graph),
+	}
+	begin := time.Now()
+	if err := parcore.Drive(tr, &rep.Sync, deadline); err != nil {
+		return nil, err
+	}
+	rep.WallMS = float64(time.Since(begin).Microseconds()) / 1000
+	rep.Sync.Messages = tr.messages
+
+	for i := range conns {
+		if err := wire.WriteFrame(conns[i], wire.TFinish, nil); err != nil {
+			return nil, err
+		}
+	}
+	rep.Workers = make([]WorkerReport, opts.Cores)
+	for i := range conns {
+		typ, body, err := tr.read(i)
+		if err != nil {
+			return nil, err
+		}
+		if typ != wire.TReport {
+			return nil, fmt.Errorf("fednet: shard %d: expected report, got frame type %d", i, typ)
+		}
+		var wr WorkerReport
+		if err := json.Unmarshal(body, &wr); err != nil {
+			return nil, fmt.Errorf("fednet: shard %d report: %w", i, err)
+		}
+		rep.Workers[i] = wr
+		rep.Totals.Injected += wr.Totals.Injected
+		rep.Totals.Delivered += wr.Totals.Delivered
+		rep.Totals.NoRoute += wr.Totals.NoRoute
+		rep.Totals.PhysDrops += wr.Totals.PhysDrops
+		rep.Totals.VirtualDrops += wr.Totals.VirtualDrops
+		rep.Totals.InFlight += wr.Totals.InFlight
+		rep.Accuracy.Merge(wr.Accuracy)
+		rep.Deliveries = append(rep.Deliveries, wr.Deliveries...)
+	}
+	// CutStats' minimum cut latency is the cluster-granularity analog of
+	// parcore.Runtime.Lookahead.
+	rep.Lookahead = rep.Cut.Lookahead
+	if err := waitWorkers(spawned); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// acceptWorkers admits Cores workers and reads their hello frames.
+func acceptWorkers(ln net.Listener, opts Options) ([]net.Conn, []hello, error) {
+	conns := make([]net.Conn, 0, opts.Cores)
+	hellos := make([]hello, 0, opts.Cores)
+	fail := func(err error) ([]net.Conn, []hello, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, nil, err
+	}
+	for len(conns) < opts.Cores {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			_ = dl.SetDeadline(time.Now().Add(opts.Timeout))
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("fednet: waiting for workers (%d of %d joined): %w", len(conns), opts.Cores, err))
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		_ = c.SetReadDeadline(time.Now().Add(opts.Timeout))
+		typ, body, err := wire.ReadFrame(c)
+		if err != nil || typ != wire.THello {
+			c.Close()
+			return fail(fmt.Errorf("fednet: bad join (frame type %d): %v", typ, err))
+		}
+		var h hello
+		if err := json.Unmarshal(body, &h); err != nil {
+			c.Close()
+			return fail(fmt.Errorf("fednet: bad hello: %w", err))
+		}
+		conns = append(conns, c)
+		hellos = append(hellos, h)
+		opts.Log("fednet: shard %d joined from %s", len(conns)-1, c.RemoteAddr())
+	}
+	return conns, hellos, nil
+}
+
+// coordTransport is the socket-backed parcore.Transport: each call is one
+// broadcast round on the control plane. Cumulative per-peer send counters
+// reported by workers let the barrier tell every worker exactly how many
+// data-plane messages to await, which is what makes the protocol immune to
+// datagram reordering.
+type coordTransport struct {
+	conns   []net.Conn
+	timeout time.Duration
+
+	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
+	messages uint64
+}
+
+func (t *coordTransport) init(k int) {
+	t.sent = make([][]uint64, k)
+	for i := range t.sent {
+		t.sent[i] = make([]uint64, k)
+	}
+}
+
+// expectFor is the channel-prefix vector worker i must have received:
+// expectFor(i)[j] is the cumulative count of messages shard j has reported
+// sending to i.
+func (t *coordTransport) expectFor(i int) []uint64 {
+	v := make([]uint64, len(t.conns))
+	for j := range t.conns {
+		v[j] = t.sent[j][i]
+	}
+	return v
+}
+
+// Cores implements parcore.Transport.
+func (t *coordTransport) Cores() int { return len(t.conns) }
+
+// read reads one control frame from worker i, surfacing worker errors.
+func (t *coordTransport) read(i int) (uint8, []byte, error) {
+	c := t.conns[i]
+	if err := c.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
+		return 0, nil, err
+	}
+	typ, body, err := wire.ReadFrame(c)
+	if err != nil {
+		return 0, nil, fmt.Errorf("fednet: shard %d: %w", i, err)
+	}
+	if typ == wire.TError {
+		return 0, nil, fmt.Errorf("fednet: shard %d failed: %s", i, body)
+	}
+	return typ, body, nil
+}
+
+// update folds worker i's cumulative send counters into the expectation
+// vector.
+func (t *coordTransport) update(i int, sent []uint64) error {
+	if len(sent) != len(t.conns) {
+		return fmt.Errorf("fednet: shard %d reported %d peer counters, want %d", i, len(sent), len(t.conns))
+	}
+	for j, s := range sent {
+		prev := t.sent[i][j]
+		if s < prev {
+			return fmt.Errorf("fednet: shard %d send counter to %d went backwards (%d -> %d)", i, j, prev, s)
+		}
+		t.messages += s - prev
+		t.sent[i][j] = s
+	}
+	return nil
+}
+
+// collectCounts reads one counts-bearing reply of the given type from every
+// worker.
+func (t *coordTransport) collectCounts(want uint8) error {
+	for i := range t.conns {
+		typ, body, err := t.read(i)
+		if err != nil {
+			return err
+		}
+		if typ != want {
+			return fmt.Errorf("fednet: shard %d: expected frame type %d, got %d", i, want, typ)
+		}
+		m, err := wire.DecodeCounts(body)
+		if err != nil {
+			return err
+		}
+		if err := t.update(i, m.Sent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exchange implements parcore.Transport: a flush round moves every pending
+// message onto the sockets and settles the expectation counters, then a
+// sync round has every worker await, apply, and report bounds.
+func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
+	for i := range t.conns {
+		if err := wire.WriteFrame(t.conns[i], wire.TFlush, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.collectCounts(wire.TFlushDone); err != nil {
+		return nil, err
+	}
+	for i := range t.conns {
+		if err := wire.WriteFrame(t.conns[i], wire.TSync, wire.Sync{Expect: t.expectFor(i)}.Encode()); err != nil {
+			return nil, err
+		}
+	}
+	bs := make([]parcore.Bounds, len(t.conns))
+	for i := range t.conns {
+		typ, body, err := t.read(i)
+		if err != nil {
+			return nil, err
+		}
+		if typ != wire.TReady {
+			return nil, fmt.Errorf("fednet: shard %d: expected ready, got frame type %d", i, typ)
+		}
+		m, err := wire.DecodeReady(body)
+		if err != nil {
+			return nil, err
+		}
+		bs[i] = parcore.Bounds{Next: vtime.Time(m.Next), Safe: vtime.Time(m.Safe)}
+	}
+	return bs, nil
+}
+
+// Window implements parcore.Transport: all workers run their shards
+// concurrently — this is where federation buys real parallelism.
+func (t *coordTransport) Window(bound vtime.Time) error {
+	for i := range t.conns {
+		if err := wire.WriteFrame(t.conns[i], wire.TWindow, wire.Window{Bound: int64(bound)}.Encode()); err != nil {
+			return err
+		}
+	}
+	return t.collectCounts(wire.TWindowDone)
+}
+
+// DrainPass implements parcore.Transport. Turns within a pass are
+// independent (messages only move between passes), so the pass runs
+// concurrently here too; the expectation counters carry messages from the
+// previous pass only, exactly like the in-process transport.
+func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
+	for i := range t.conns {
+		body := wire.Drain{T: int64(tt), Expect: t.expectFor(i)}.Encode()
+		if err := wire.WriteFrame(t.conns[i], wire.TDrain, body); err != nil {
+			return false, err
+		}
+	}
+	progressed := false
+	for i := range t.conns {
+		typ, body, err := t.read(i)
+		if err != nil {
+			return false, err
+		}
+		if typ != wire.TDrainDone {
+			return false, fmt.Errorf("fednet: shard %d: expected drain-done, got frame type %d", i, typ)
+		}
+		m, err := wire.DecodeDrainDone(body)
+		if err != nil {
+			return false, err
+		}
+		if err := t.update(i, m.Counts.Sent); err != nil {
+			return false, err
+		}
+		progressed = progressed || m.Progressed
+	}
+	return progressed, nil
+}

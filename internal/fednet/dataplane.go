@@ -1,0 +1,399 @@
+package fednet
+
+// The data plane: cross-core tunnel messages travel worker-to-worker over
+// UDP datagrams (the paper's IP-in-UDP core tunnels) or a TCP mesh, never
+// through the coordinator. Reliability is not required for correctness of
+// ordering — the barrier applies messages in canonical (fire, sender, seq)
+// order regardless of arrival order — but every counted message must
+// eventually arrive, so the UDP plane is for the loss-free links of a
+// cluster interconnect (or loopback) and TCP is the fallback everywhere
+// else.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/parcore"
+	"modelnet/internal/pipes"
+	"modelnet/internal/vtime"
+)
+
+// collector accumulates decoded inbound tunnel messages per sender
+// channel. The control loop blocks in wait until the barrier-announced
+// prefix of every channel has arrived; readers feed it from socket
+// goroutines. Selection is by each message's dense channel sequence
+// number, so messages a peer sends for the *next* barrier round — already
+// in flight while this worker still awaits the current one — sit in the
+// buffer untouched instead of corrupting the round, and a duplicated
+// datagram is detected rather than applied twice.
+type collector struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	channels []channelBuf
+	err      error
+}
+
+// channelBuf is one sender→me channel. Sequences are dense and 1-based,
+// so readiness is a counter comparison: contig is the highest sequence
+// with every message delivered+1..contig buffered, maintained in O(1)
+// amortized as messages arrive (possibly out of order).
+type channelBuf struct {
+	buffered  map[uint64]parcore.Msg
+	delivered uint64 // prefix already handed to the barrier
+	contig    uint64 // prefix currently available
+}
+
+func newCollector(k int) *collector {
+	c := &collector{channels: make([]channelBuf, k)}
+	for j := range c.channels {
+		c.channels[j].buffered = map[uint64]parcore.Msg{}
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) add(m parcore.Msg, tseq uint64) {
+	c.mu.Lock()
+	switch {
+	case m.Sender < 0 || m.Sender >= len(c.channels):
+		if c.err == nil {
+			c.err = fmt.Errorf("fednet: data plane: message from out-of-range shard %d", m.Sender)
+		}
+	case tseq == 0:
+		if c.err == nil {
+			c.err = fmt.Errorf("fednet: data plane: zero channel sequence from shard %d", m.Sender)
+		}
+	default:
+		ch := &c.channels[m.Sender]
+		if _, dup := ch.buffered[tseq]; dup || tseq <= ch.delivered {
+			if c.err == nil {
+				c.err = fmt.Errorf("fednet: data plane: duplicate message %d from shard %d", tseq, m.Sender)
+			}
+			break
+		}
+		ch.buffered[tseq] = m
+		for {
+			if _, ok := ch.buffered[ch.contig+1]; !ok {
+				break
+			}
+			ch.contig++
+		}
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+func (c *collector) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// readyLocked reports whether, for every sender j, the full channel prefix
+// (delivered[j], expect[j]] is buffered.
+func (c *collector) readyLocked(expect []uint64) bool {
+	for j, want := range expect {
+		if c.channels[j].contig < want {
+			return false
+		}
+	}
+	return true
+}
+
+// wait blocks until the barrier's channel prefixes have all arrived, then
+// extracts exactly those messages (later in-flight ones stay buffered).
+// The timeout guards against a lost datagram or dead peer hanging the
+// federation forever; a timer that fires in the instant the wait succeeds
+// must not poison later rounds.
+func (c *collector) wait(expect []uint64, timeout time.Duration) ([]parcore.Msg, error) {
+	if len(expect) != len(c.channels) {
+		return nil, fmt.Errorf("fednet: barrier names %d channels, data plane has %d", len(expect), len(c.channels))
+	}
+	done := false
+	deadline := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		if !done && c.err == nil {
+			c.err = fmt.Errorf("fednet: data plane: timed out after %v awaiting peer messages (lost datagram?)", timeout)
+		}
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer deadline.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && !c.readyLocked(expect) {
+		c.cond.Wait()
+	}
+	done = true
+	if c.err != nil {
+		return nil, c.err
+	}
+	var msgs []parcore.Msg
+	for j, want := range expect {
+		ch := &c.channels[j]
+		if want <= ch.delivered {
+			continue // already handed out (coordinator counters are monotonic)
+		}
+		for t := ch.delivered + 1; t <= want; t++ {
+			msgs = append(msgs, ch.buffered[t])
+			delete(ch.buffered, t)
+		}
+		ch.delivered = want
+	}
+	return msgs, nil
+}
+
+// dataPlane sends encoded tunnel messages to peers and feeds received ones
+// into the collector.
+type dataPlane struct {
+	plane string
+	shard int
+
+	udp      *net.UDPConn
+	udpPeers []*net.UDPAddr
+
+	tcp []net.Conn // per peer shard; nil at own index
+
+	col    *collector
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// decodeMsg converts a received data frame into a parcore message plus its
+// channel sequence.
+func decodeMsg(body []byte) (parcore.Msg, uint64, error) {
+	d, err := wire.DecodeData(body)
+	if err != nil {
+		return parcore.Msg{}, 0, err
+	}
+	pkt, err := d.Pkt.Packet()
+	if err != nil {
+		return parcore.Msg{}, 0, err
+	}
+	return parcore.Msg{
+		Pkt:    pkt,
+		Pid:    pipes.ID(d.Pid),
+		At:     vtime.Time(d.At),
+		Lag:    vtime.Duration(d.Lag),
+		Fire:   vtime.Time(d.Fire),
+		Sender: int(d.Sender),
+		Seq:    d.Seq,
+	}, d.TSeq, nil
+}
+
+// encodeMsg converts an outbound parcore message into a data frame body.
+func encodeMsg(m parcore.Msg, tseq uint64) ([]byte, error) {
+	pw, err := wire.EncodePacket(m.Pkt)
+	if err != nil {
+		return nil, err
+	}
+	kind := wire.KindTunnel
+	if m.Pid < 0 {
+		kind = wire.KindDelivery
+	}
+	return wire.Data{
+		Sender: uint16(m.Sender),
+		Seq:    m.Seq,
+		TSeq:   tseq,
+		Kind:   kind,
+		Pid:    int32(m.Pid),
+		At:     int64(m.At),
+		Lag:    int64(m.Lag),
+		Fire:   int64(m.Fire),
+		Pkt:    pw,
+	}.Encode(), nil
+}
+
+// openDataPlane wires this worker to its peers. UDP: everyone already has a
+// bound socket; peers are just addresses. TCP: workers form a full mesh —
+// shard i dials every j < i (identifying itself with a hello frame) and
+// accepts a connection from every j > i.
+func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tcpLn net.Listener, col *collector, timeout time.Duration) (*dataPlane, error) {
+	k := len(addrs)
+	dp := &dataPlane{plane: plane, shard: shard, col: col, closed: make(chan struct{})}
+	switch plane {
+	case DataUDP:
+		dp.udp = udp
+		dp.udpPeers = make([]*net.UDPAddr, k)
+		for j, a := range addrs {
+			if j == shard {
+				continue
+			}
+			ua, err := net.ResolveUDPAddr("udp", a)
+			if err != nil {
+				return nil, fmt.Errorf("fednet: peer %d udp addr %q: %w", j, a, err)
+			}
+			dp.udpPeers[j] = ua
+		}
+		// A window's handoffs burst at the barrier; buffer enough that the
+		// kernel never sheds a counted datagram before the reader drains it.
+		_ = udp.SetReadBuffer(8 << 20)
+		_ = udp.SetWriteBuffer(8 << 20)
+		dp.wg.Add(1)
+		go dp.readUDP()
+	case DataTCP:
+		dp.tcp = make([]net.Conn, k)
+		errc := make(chan error, 2)
+		go func() { // accept from higher shards
+			for j := shard + 1; j < k; j++ {
+				conn, err := tcpLn.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				typ, body, err := wire.ReadFrame(conn)
+				if err != nil || typ != wire.THello || len(body) < 2 {
+					errc <- fmt.Errorf("fednet: bad data-plane hello: %v", err)
+					return
+				}
+				peer := int(wire.NewDec(body).U16())
+				if peer <= shard || peer >= k || dp.tcp[peer] != nil {
+					errc <- fmt.Errorf("fednet: unexpected data-plane hello from shard %d", peer)
+					return
+				}
+				dp.tcp[peer] = conn
+			}
+			errc <- nil
+		}()
+		go func() { // dial lower shards
+			for j := 0; j < shard; j++ {
+				conn, err := net.DialTimeout("tcp", addrs[j], timeout)
+				if err != nil {
+					errc <- fmt.Errorf("fednet: dial peer %d at %s: %w", j, addrs[j], err)
+					return
+				}
+				var e wire.Enc
+				e.U16(uint16(shard))
+				if err := wire.WriteFrame(conn, wire.THello, e.Bytes()); err != nil {
+					errc <- err
+					return
+				}
+				dp.tcp[j] = conn
+			}
+			errc <- nil
+		}()
+		for i := 0; i < 2; i++ {
+			if err := <-errc; err != nil {
+				return nil, err
+			}
+		}
+		for j, conn := range dp.tcp {
+			if j == shard || conn == nil {
+				continue
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetNoDelay(true)
+			}
+			dp.wg.Add(1)
+			go dp.readTCP(conn)
+		}
+	default:
+		return nil, fmt.Errorf("fednet: unknown data plane %q", plane)
+	}
+	return dp, nil
+}
+
+func (dp *dataPlane) readUDP() {
+	defer dp.wg.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := dp.udp.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-dp.closed:
+			default:
+				dp.col.fail(fmt.Errorf("fednet: udp read: %w", err))
+			}
+			return
+		}
+		typ, body, err := wire.ParseFrame(buf[:n])
+		if err != nil || typ != wire.TData {
+			dp.col.fail(fmt.Errorf("fednet: bad data datagram (%d bytes): %v", n, err))
+			return
+		}
+		m, tseq, err := decodeMsg(body)
+		if err != nil {
+			dp.col.fail(err)
+			return
+		}
+		dp.col.add(m, tseq)
+	}
+}
+
+func (dp *dataPlane) readTCP(conn net.Conn) {
+	defer dp.wg.Done()
+	for {
+		typ, body, err := wire.ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-dp.closed:
+			default:
+				dp.col.fail(fmt.Errorf("fednet: tcp data read: %w", err))
+			}
+			return
+		}
+		if typ != wire.TData {
+			dp.col.fail(fmt.Errorf("fednet: unexpected data-plane frame type %d", typ))
+			return
+		}
+		m, tseq, err := decodeMsg(body)
+		if err != nil {
+			dp.col.fail(err)
+			return
+		}
+		dp.col.add(m, tseq)
+	}
+}
+
+// maxUDPFrame bounds a single-datagram tunnel message; larger payloads need
+// the TCP data plane.
+const maxUDPFrame = 60 << 10
+
+// send transmits one tunnel message to peer shard j as the tseq-th message
+// on the this-shard→j channel.
+func (dp *dataPlane) send(j int, m parcore.Msg, tseq uint64) error {
+	body, err := encodeMsg(m, tseq)
+	if err != nil {
+		return err
+	}
+	frame := wire.AppendFrame(nil, wire.TData, body)
+	if dp.plane == DataUDP {
+		if len(frame) > maxUDPFrame {
+			return fmt.Errorf("fednet: %d-byte tunnel message exceeds the UDP data plane limit (%d); use the tcp data plane", len(frame), maxUDPFrame)
+		}
+		// Barrier flushes burst; some kernels (macOS loopback notably)
+		// answer a burst with transient ENOBUFS rather than blocking.
+		// Back off briefly instead of failing the federation.
+		for attempt := 0; ; attempt++ {
+			_, err = dp.udp.WriteToUDP(frame, dp.udpPeers[j])
+			if err == nil || !errors.Is(err, syscall.ENOBUFS) || attempt >= 50 {
+				return err
+			}
+			time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
+		}
+	}
+	_, err = dp.tcp[j].Write(frame)
+	return err
+}
+
+// close tears the plane down; reader goroutines drain out.
+func (dp *dataPlane) close() {
+	close(dp.closed)
+	if dp.udp != nil {
+		dp.udp.Close()
+	}
+	for _, c := range dp.tcp {
+		if c != nil {
+			c.Close()
+		}
+	}
+	dp.wg.Wait()
+}

@@ -1,0 +1,186 @@
+// Package fednet is the multi-process core federation runtime: it runs each
+// parcore shard in its own OS process — and hence, with remote workers, on
+// its own machine — connected by real sockets, the deployment shape of the
+// paper's core cluster (emulated core routers on separate physical machines
+// exchanging cross-core packets as tunnel traffic).
+//
+// A federated run has one coordinator and Cores workers:
+//
+//   - The coordinator (Run) builds the target topology, distills it, and
+//     partitions the pipes; it then distributes the distilled topology,
+//     assignment, and scenario over a TCP control plane and drives the same
+//     conservative synchronization loop as the in-process runtime
+//     (parcore.Drive) through a socket-backed parcore.Transport.
+//   - Each worker (Worker, usually entered via the `modelnet core`
+//     subcommand or the self-exec spawn helper) deterministically rebuilds
+//     its shard — binding, shard emulator, homed VN hosts, workload — from
+//     the distributed state, and exchanges cross-core tunnel messages with
+//     its peers directly over a UDP (or TCP-fallback) data plane.
+//
+// The scheduler never learns whether its peer is a goroutine or a socket:
+// parcore.Drive sees only the Transport. That is what extends PR 1's
+// determinism contract to federation — with the same seed, a 1-process
+// sequential run, an N-goroutine parallel run, and an N-process federated
+// run produce identical counters and delivery times (under an event-exact
+// profile; see DESIGN.md §Federation for the contract's scope).
+package fednet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/emucore"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// DataUDP and DataTCP select the data plane carrying cross-core tunnel
+// messages. UDP is the paper's tunnel transport (IP-in-UDP encapsulation);
+// TCP is the lossless fallback — the barrier protocol tolerates reordering
+// (messages are applied in canonical order) but not loss.
+const (
+	DataUDP = "udp"
+	DataTCP = "tcp"
+)
+
+// Scenario is a federable workload. Build runs on the coordinator and
+// returns the target topology. Install runs on every worker after its shard
+// is constructed: it must create hosts and traffic only for the VNs homed
+// on the worker's shard (env.Homed), deterministically — every worker
+// derives the same global plan from the scenario parameters and installs
+// its slice of it. The returned report function, if non-nil, runs after the
+// run completes and contributes the worker's scenario-specific results.
+type Scenario struct {
+	Build   func(params json.RawMessage) (*topology.Graph, error)
+	Install func(env *WorkerEnv, params json.RawMessage) (func() json.RawMessage, error)
+}
+
+var scenarioMu sync.RWMutex
+var scenarios = map[string]Scenario{}
+
+// Register adds a named scenario to the registry. Workers resolve the
+// coordinator's scenario name here, so every process of a federation must
+// be built from a binary that registers the same names (typically via the
+// owning package's init).
+func Register(name string, s Scenario) {
+	if s.Build == nil || s.Install == nil {
+		panic("fednet: scenario " + name + " needs Build and Install")
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarios[name]; dup {
+		panic("fednet: scenario " + name + " registered twice")
+	}
+	scenarios[name] = s
+}
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func lookupScenario(name string) (Scenario, error) {
+	scenarioMu.RLock()
+	s, ok := scenarios[name]
+	scenarioMu.RUnlock()
+	if !ok {
+		return Scenario{}, fmt.Errorf("fednet: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	return s, nil
+}
+
+// WorkerEnv is the slice of a federated emulation one worker owns: the
+// distilled topology and binding (shared, read-only), and the shard's
+// scheduler and emulator. Scenario installers use it the way applications
+// use modelnet.Emulation, restricted to homed VNs.
+type WorkerEnv struct {
+	Shard, Cores int
+	Graph        *topology.Graph
+	Binding      *bind.Binding
+	Sched        *vtime.Scheduler
+	Emu          *emucore.Emulator
+
+	homes []int
+	hosts map[pipes.VN]*netstack.Host
+}
+
+// NumVNs reports how many VNs the federation binds (across all shards).
+func (e *WorkerEnv) NumVNs() int { return e.Binding.NumVNs() }
+
+// HomeOf reports the shard a VN is homed on.
+func (e *WorkerEnv) HomeOf(vn pipes.VN) int { return e.homes[vn] }
+
+// Homed reports whether a VN lives on this worker's shard.
+func (e *WorkerEnv) Homed(vn pipes.VN) bool { return e.homes[vn] == e.Shard }
+
+// registrar adapts the shard emulator to netstack's Registrar.
+type registrar struct{ e *emucore.Emulator }
+
+func (r registrar) RegisterVN(vn pipes.VN, fn func(*pipes.Packet)) {
+	r.e.RegisterVN(vn, emucore.DeliverFunc(fn))
+}
+
+// NewHost returns the transport stack for a homed VN, creating it on first
+// use. It panics on a VN homed elsewhere: that stack belongs to a different
+// process.
+func (e *WorkerEnv) NewHost(vn pipes.VN) *netstack.Host {
+	if !e.Homed(vn) {
+		panic(fmt.Sprintf("fednet: NewHost(%d): VN homed on shard %d, this is shard %d", vn, e.homes[vn], e.Shard))
+	}
+	if h, ok := e.hosts[vn]; ok {
+		return h
+	}
+	h := netstack.NewHost(vn, e.Sched, e.Emu, registrar{e.Emu})
+	e.hosts[vn] = h
+	return h
+}
+
+// setup is the control-plane configuration frame body (JSON section); the
+// distilled topology and assignment ride the same frame as binary blobs.
+type setup struct {
+	Shard     int             `json:"shard"`
+	Cores     int             `json:"cores"`
+	Seed      int64           `json:"seed"`
+	Profile   emucore.Profile `json:"profile"`
+	DataPlane string          `json:"data_plane"`
+	DataAddrs []string        `json:"data_addrs"` // per shard, for DataPlane
+
+	EdgeNodes    int  `json:"edge_nodes,omitempty"`
+	RouteCache   int  `json:"route_cache,omitempty"`
+	Hierarchical bool `json:"hierarchical,omitempty"`
+
+	Scenario          string          `json:"scenario"`
+	Params            json.RawMessage `json:"params,omitempty"`
+	CollectDeliveries bool            `json:"collect_deliveries,omitempty"`
+}
+
+// hello is a worker's join frame body: the data-plane endpoints it listens
+// on, one per supported plane.
+type hello struct {
+	TCPAddr string `json:"tcp_addr"`
+	UDPAddr string `json:"udp_addr"`
+}
+
+// WorkerReport is one worker's final accounting.
+type WorkerReport struct {
+	Shard      int             `json:"shard"`
+	Totals     emucore.Totals  `json:"totals"`
+	Accuracy   emucore.Accuracy `json:"accuracy"`
+	NowNs      int64           `json:"now_ns"`
+	TunnelsIn  uint64          `json:"tunnels_in"`
+	TunnelsOut uint64          `json:"tunnels_out"`
+	Deliveries []float64       `json:"deliveries,omitempty"`
+	Scenario   json.RawMessage `json:"scenario,omitempty"`
+}

@@ -1,0 +1,57 @@
+package fednet
+
+// Federation payload codec for the netstack layer: a cross-core packet's
+// Payload is a *netstack.Datagram whose Obj may itself be an application
+// message (registered by the app's own package). TCP segments deliberately
+// have no codec yet — a federated scenario partitions so that TCP
+// connections stay shard-local or uses UDP-based workloads; an unregistered
+// payload crossing the wire fails loudly with the type name.
+
+import (
+	"fmt"
+
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/netstack"
+)
+
+func init() {
+	wire.RegisterPayload(wire.PayloadDatagram, (*netstack.Datagram)(nil), wire.PayloadCodec{
+		Enc: func(v any) ([]byte, error) {
+			dg := v.(*netstack.Datagram)
+			var e wire.Enc
+			e.U16(dg.SrcPort)
+			e.U16(dg.DstPort)
+			e.I32(int32(dg.Len))
+			e.Blob(dg.Data)
+			pt, pb, err := wire.EncodePayload(dg.Obj)
+			if err != nil {
+				return nil, fmt.Errorf("datagram %d->%d: %w", dg.SrcPort, dg.DstPort, err)
+			}
+			e.U16(pt)
+			e.Blob(pb)
+			return e.Bytes(), nil
+		},
+		Dec: func(b []byte) (any, error) {
+			d := wire.NewDec(b)
+			dg := &netstack.Datagram{
+				SrcPort: d.U16(),
+				DstPort: d.U16(),
+				Len:     int(d.I32()),
+			}
+			if data := d.Blob(); len(data) > 0 {
+				dg.Data = append([]byte(nil), data...)
+			}
+			pt := d.U16()
+			pb := d.Blob()
+			if err := d.Done(); err != nil {
+				return nil, err
+			}
+			obj, err := wire.DecodePayload(pt, pb)
+			if err != nil {
+				return nil, err
+			}
+			dg.Obj = obj
+			return dg, nil
+		},
+	})
+}

@@ -1,0 +1,81 @@
+package fednet
+
+// Local worker spawning: the zero-configuration path where the coordinator
+// re-executes its own binary once per core. Any binary whose main (or
+// TestMain) calls MaybeRunWorker early can host a federation this way; for
+// a real multi-machine deployment, start `modelnet core -join host:port`
+// on each machine instead.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// EnvJoin is the environment variable that turns a process into a worker:
+// its value is the coordinator's control-plane address.
+const EnvJoin = "MODELNET_FEDNET_JOIN"
+
+// spawnedWorker tracks one self-exec'd worker process.
+type spawnedWorker struct {
+	cmd *exec.Cmd
+}
+
+// SpawnWorkers re-executes the current binary n times as federation
+// workers joining the coordinator at join.
+func SpawnWorkers(n int, join string) ([]*spawnedWorker, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("fednet: spawn: %w", err)
+	}
+	var ws []*spawnedWorker
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), EnvJoin+"="+join)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stopWorkers(ws)
+			return nil, fmt.Errorf("fednet: spawn worker %d: %w", i, err)
+		}
+		ws = append(ws, &spawnedWorker{cmd: cmd})
+	}
+	return ws, nil
+}
+
+// waitWorkers reaps spawned workers after a completed run; a nonzero exit
+// is an error (the worker also reported it over the control plane, but a
+// crash after reporting should not go unnoticed).
+func waitWorkers(ws []*spawnedWorker) error {
+	var firstErr error
+	for _, w := range ws {
+		if w.cmd == nil {
+			continue
+		}
+		err := w.cmd.Wait()
+		w.cmd = nil
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fednet: worker exited: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// stopWorkers kills any spawned workers that are still running (the error
+// path; a clean run reaps them in waitWorkers).
+func stopWorkers(ws []*spawnedWorker) {
+	for _, w := range ws {
+		if w.cmd == nil || w.cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(c *exec.Cmd) { _ = c.Wait(); close(done) }(w.cmd)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			_ = w.cmd.Process.Kill()
+			<-done
+		}
+		w.cmd = nil
+	}
+}

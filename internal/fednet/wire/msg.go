@@ -1,0 +1,427 @@
+package wire
+
+// Bodies of the synchronization and data-plane frames. Each message has an
+// Encode method producing its frame body and a decode function that is
+// total over arbitrary input.
+
+import (
+	"fmt"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// Window asks a worker to run its shard through Bound (inclusive).
+type Window struct {
+	Bound int64
+}
+
+// Encode returns the frame body.
+func (m Window) Encode() []byte {
+	var e Enc
+	e.I64(m.Bound)
+	return e.Bytes()
+}
+
+// DecodeWindow parses a TWindow body.
+func DecodeWindow(b []byte) (Window, error) {
+	d := NewDec(b)
+	m := Window{Bound: d.I64()}
+	return m, d.Done()
+}
+
+// Counts reports a worker's cumulative per-peer message counters: Sent[j]
+// is the total number of data-plane messages this worker has ever sent to
+// shard j. Cumulative counters make barrier accounting independent of when
+// frames physically move.
+type Counts struct {
+	Now  int64 // the worker's virtual clock
+	Sent []uint64
+}
+
+// Encode returns the frame body.
+func (m Counts) Encode() []byte {
+	var e Enc
+	e.I64(m.Now)
+	e.U32(uint32(len(m.Sent)))
+	for _, s := range m.Sent {
+		e.U64(s)
+	}
+	return e.Bytes()
+}
+
+// DecodeCounts parses a TWindowDone/TFlushDone body.
+func DecodeCounts(b []byte) (Counts, error) {
+	d := NewDec(b)
+	m := Counts{Now: d.I64()}
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		m.Sent = append(m.Sent, d.U64())
+	}
+	return m, d.Done()
+}
+
+// Sync tells a worker, per sender shard, the cumulative number of
+// data-plane messages ever addressed to it (Expect[j] covers channel j→me);
+// the worker blocks until exactly that prefix of every channel has arrived,
+// applies its inbox in canonical order, and replies with TReady. Channel
+// prefixes — rather than a single total — make the barrier immune to
+// cross-channel arrival races: a peer's next-round messages can already be
+// in flight while this worker still awaits the current round.
+type Sync struct {
+	Expect []uint64
+}
+
+// Encode returns the frame body.
+func (m Sync) Encode() []byte {
+	var e Enc
+	e.U32(uint32(len(m.Expect)))
+	for _, x := range m.Expect {
+		e.U64(x)
+	}
+	return e.Bytes()
+}
+
+// DecodeSync parses a TSync body.
+func DecodeSync(b []byte) (Sync, error) {
+	d := NewDec(b)
+	n := d.Len(8)
+	m := Sync{}
+	for i := 0; i < n; i++ {
+		m.Expect = append(m.Expect, d.U64())
+	}
+	return m, d.Done()
+}
+
+// Ready is a worker's post-apply bounds report.
+type Ready struct {
+	Next, Safe int64
+}
+
+// Encode returns the frame body.
+func (m Ready) Encode() []byte {
+	var e Enc
+	e.I64(m.Next)
+	e.I64(m.Safe)
+	return e.Bytes()
+}
+
+// DecodeReady parses a TReady body.
+func DecodeReady(b []byte) (Ready, error) {
+	d := NewDec(b)
+	m := Ready{Next: d.I64(), Safe: d.I64()}
+	return m, d.Done()
+}
+
+// Drain gives a worker one serial drain turn at time T: await the Expect
+// channel prefixes (as in Sync), apply, run local events with timestamps
+// ≤ T.
+type Drain struct {
+	T      int64
+	Expect []uint64
+}
+
+// Encode returns the frame body.
+func (m Drain) Encode() []byte {
+	var e Enc
+	e.I64(m.T)
+	e.U32(uint32(len(m.Expect)))
+	for _, x := range m.Expect {
+		e.U64(x)
+	}
+	return e.Bytes()
+}
+
+// DecodeDrain parses a TDrain body.
+func DecodeDrain(b []byte) (Drain, error) {
+	d := NewDec(b)
+	m := Drain{T: d.I64()}
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		m.Expect = append(m.Expect, d.U64())
+	}
+	return m, d.Done()
+}
+
+// DrainDone reports a drain turn's outcome.
+type DrainDone struct {
+	Progressed bool
+	Counts     Counts
+}
+
+// Encode returns the frame body.
+func (m DrainDone) Encode() []byte {
+	var e Enc
+	e.Bool(m.Progressed)
+	e.Blob(m.Counts.Encode())
+	return e.Bytes()
+}
+
+// DecodeDrainDone parses a TDrainDone body.
+func DecodeDrainDone(b []byte) (DrainDone, error) {
+	d := NewDec(b)
+	m := DrainDone{Progressed: d.Bool()}
+	cb := d.Blob()
+	if err := d.Done(); err != nil {
+		return m, err
+	}
+	var err error
+	m.Counts, err = DecodeCounts(cb)
+	return m, err
+}
+
+// Data message kinds.
+const (
+	KindTunnel   uint8 = 0 // enqueue Pkt into pipe Pid at time At
+	KindDelivery uint8 = 1 // complete Pkt's delivery at At with lag Lag
+)
+
+// Data is one cross-core event: a tunnel entry or delivery completion,
+// carrying the packet descriptor (and, without payload caching, its
+// payload) between core processes — the §2.2 core-to-core tunnel made
+// literal.
+type Data struct {
+	Sender uint16
+	Seq    uint64 // the sender's outbox sequence (canonical-order tiebreak)
+	TSeq   uint64 // dense 1-based sequence on the sender→target channel
+	Kind   uint8
+	Pid    int32
+	At     int64
+	Lag    int64
+	Fire   int64
+	Pkt    PacketWire
+}
+
+// PacketWire is the on-the-wire form of pipes.Packet. The payload is
+// encoded through the payload registry; PayloadType 0 means nil.
+type PacketWire struct {
+	Seq         uint64
+	Size        int32
+	Src, Dst    int32
+	Route       []int32
+	Hop         int32
+	Injected    int64
+	Lag         int64
+	PayloadType uint16
+	Payload     []byte
+}
+
+// Encode returns the frame body.
+func (m Data) Encode() []byte {
+	var e Enc
+	e.U16(m.Sender)
+	e.U64(m.Seq)
+	e.U64(m.TSeq)
+	e.U8(m.Kind)
+	e.I32(m.Pid)
+	e.I64(m.At)
+	e.I64(m.Lag)
+	e.I64(m.Fire)
+	p := &m.Pkt
+	e.U64(p.Seq)
+	e.I32(p.Size)
+	e.I32(p.Src)
+	e.I32(p.Dst)
+	e.U32(uint32(len(p.Route)))
+	for _, r := range p.Route {
+		e.I32(r)
+	}
+	e.I32(p.Hop)
+	e.I64(p.Injected)
+	e.I64(p.Lag)
+	e.U16(p.PayloadType)
+	e.Blob(p.Payload)
+	return e.Bytes()
+}
+
+// DecodeData parses a TData body.
+func DecodeData(b []byte) (Data, error) {
+	d := NewDec(b)
+	m := Data{
+		Sender: d.U16(),
+		Seq:    d.U64(),
+		TSeq:   d.U64(),
+		Kind:   d.U8(),
+		Pid:    d.I32(),
+		At:     d.I64(),
+		Lag:    d.I64(),
+		Fire:   d.I64(),
+	}
+	p := &m.Pkt
+	p.Seq = d.U64()
+	p.Size = d.I32()
+	p.Src = d.I32()
+	p.Dst = d.I32()
+	n := d.Len(4)
+	for i := 0; i < n; i++ {
+		p.Route = append(p.Route, d.I32())
+	}
+	p.Hop = d.I32()
+	p.Injected = d.I64()
+	p.Lag = d.I64()
+	p.PayloadType = d.U16()
+	p.Payload = append([]byte(nil), d.Blob()...)
+	if err := d.Done(); err != nil {
+		return Data{}, err
+	}
+	if m.Kind != KindTunnel && m.Kind != KindDelivery {
+		return Data{}, fmt.Errorf("wire: unknown data kind %d", m.Kind)
+	}
+	if m.Kind == KindTunnel && m.Pid < 0 {
+		return Data{}, fmt.Errorf("wire: tunnel message with pipe %d", m.Pid)
+	}
+	if p.Hop < 0 || int(p.Hop) > len(p.Route) {
+		return Data{}, fmt.Errorf("wire: hop %d outside route of %d pipes", p.Hop, len(p.Route))
+	}
+	return m, nil
+}
+
+// EncodePacket converts a live packet to wire form, encoding its payload
+// through the registry.
+func EncodePacket(pkt *pipes.Packet) (PacketWire, error) {
+	pt, pb, err := EncodePayload(pkt.Payload)
+	if err != nil {
+		return PacketWire{}, fmt.Errorf("wire: packet %d %v->%v: %w", pkt.Seq, pkt.Src, pkt.Dst, err)
+	}
+	route := make([]int32, len(pkt.Route))
+	for i, r := range pkt.Route {
+		route[i] = int32(r)
+	}
+	return PacketWire{
+		Seq:      pkt.Seq,
+		Size:     int32(pkt.Size),
+		Src:      int32(pkt.Src),
+		Dst:      int32(pkt.Dst),
+		Route:    route,
+		Hop:      int32(pkt.Hop),
+		Injected: int64(pkt.Injected),
+		Lag:      int64(pkt.Lag),
+
+		PayloadType: pt,
+		Payload:     pb,
+	}, nil
+}
+
+// Packet reconstructs the live packet, decoding the payload through the
+// registry.
+func (p *PacketWire) Packet() (*pipes.Packet, error) {
+	payload, err := DecodePayload(p.PayloadType, p.Payload)
+	if err != nil {
+		return nil, err
+	}
+	route := make([]pipes.ID, len(p.Route))
+	for i, r := range p.Route {
+		route[i] = pipes.ID(r)
+	}
+	return &pipes.Packet{
+		Seq:      p.Seq,
+		Size:     int(p.Size),
+		Src:      pipes.VN(p.Src),
+		Dst:      pipes.VN(p.Dst),
+		Route:    route,
+		Hop:      int(p.Hop),
+		Injected: vtime.Time(p.Injected),
+		Lag:      vtime.Duration(p.Lag),
+		Payload:  payload,
+	}, nil
+}
+
+// EncodeTopology serializes a graph bit-exactly (float64 attributes travel
+// as raw bits, so the distilled topology a worker rebuilds is identical to
+// the coordinator's).
+func EncodeTopology(g *topology.Graph) []byte {
+	var e Enc
+	e.U32(uint32(g.NumNodes()))
+	for _, n := range g.Nodes {
+		e.U8(uint8(n.Kind))
+		e.Str(n.Name)
+	}
+	e.U32(uint32(g.NumLinks()))
+	for _, l := range g.Links {
+		e.U32(uint32(l.Src))
+		e.U32(uint32(l.Dst))
+		e.F64(l.Attr.BandwidthBps)
+		e.F64(l.Attr.LatencySec)
+		e.F64(l.Attr.LossRate)
+		e.I32(int32(l.Attr.QueuePkts))
+		e.F64(l.Attr.Cost)
+	}
+	return e.Bytes()
+}
+
+// DecodeTopology rebuilds a graph from EncodeTopology output. Node and link
+// IDs are reconstructed densely in order, so they match the source graph.
+func DecodeTopology(b []byte) (*topology.Graph, error) {
+	d := NewDec(b)
+	g := topology.New()
+	nNodes := d.Len(2)
+	for i := 0; i < nNodes; i++ {
+		kind := d.U8()
+		name := d.Str()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if kind > uint8(topology.Transit) {
+			return nil, fmt.Errorf("wire: node %d has unknown kind %d", i, kind)
+		}
+		g.AddNode(topology.NodeKind(kind), name)
+	}
+	nLinks := d.Len(40)
+	for i := 0; i < nLinks; i++ {
+		src := d.U32()
+		dst := d.U32()
+		attr := topology.LinkAttrs{
+			BandwidthBps: d.F64(),
+			LatencySec:   d.F64(),
+			LossRate:     d.F64(),
+			QueuePkts:    int(d.I32()),
+			Cost:         d.F64(),
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if int(src) >= nNodes || int(dst) >= nNodes {
+			return nil, fmt.Errorf("wire: link %d endpoint out of range", i)
+		}
+		g.AddLink(topology.NodeID(src), topology.NodeID(dst), attr)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// EncodeAssignment serializes a pipe->core ownership vector.
+func EncodeAssignment(owner []int, cores int) []byte {
+	var e Enc
+	e.U32(uint32(cores))
+	e.U32(uint32(len(owner)))
+	for _, o := range owner {
+		e.U32(uint32(o))
+	}
+	return e.Bytes()
+}
+
+// DecodeAssignment parses EncodeAssignment output.
+func DecodeAssignment(b []byte) (owner []int, cores int, err error) {
+	d := NewDec(b)
+	cores = int(d.U32())
+	n := d.Len(4)
+	owner = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		owner = append(owner, int(d.U32()))
+	}
+	if err := d.Done(); err != nil {
+		return nil, 0, err
+	}
+	if cores < 1 || cores > 1<<16 {
+		return nil, 0, fmt.Errorf("wire: assignment with %d cores", cores)
+	}
+	for i, o := range owner {
+		if o < 0 || o >= cores {
+			return nil, 0, fmt.Errorf("wire: pipe %d owned by core %d of %d", i, o, cores)
+		}
+	}
+	return owner, cores, nil
+}

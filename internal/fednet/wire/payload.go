@@ -1,0 +1,92 @@
+package wire
+
+// Packet payloads travel by reference inside one process (the emulator
+// never touches them, §2.2). Crossing a process boundary makes the
+// reference real bytes, so every payload type that can ride a cross-core
+// packet registers a codec here. Registration normally happens in the
+// owning package's init (netstack datagrams in internal/fednet, application
+// messages in their app packages); a payload of an unregistered type fails
+// the encode with a descriptive error rather than silently corrupting the
+// federated run.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Well-known payload type IDs. 0 is reserved for nil. Ranges: 1-9 netstack,
+// 10-99 bundled applications, 100+ user payloads.
+const (
+	PayloadNil      uint16 = 0
+	PayloadDatagram uint16 = 1 // *netstack.Datagram (registered by internal/fednet)
+
+	// PayloadApp is the first ID for application payloads.
+	PayloadApp uint16 = 10
+)
+
+// PayloadCodec converts one payload type to and from bytes. Enc receives
+// exactly the registered type; Dec must return it.
+type PayloadCodec struct {
+	Enc func(v any) ([]byte, error)
+	Dec func(b []byte) (any, error)
+}
+
+var payloadMu sync.RWMutex
+var payloadByID = map[uint16]PayloadCodec{}
+var payloadByType = map[reflect.Type]uint16{}
+
+// RegisterPayload registers a codec for sample's dynamic type under id.
+// It panics on a duplicate id or type: registration is an init-time,
+// program-wide contract.
+func RegisterPayload(id uint16, sample any, c PayloadCodec) {
+	if id == PayloadNil {
+		panic("wire: payload id 0 is reserved for nil")
+	}
+	t := reflect.TypeOf(sample)
+	payloadMu.Lock()
+	defer payloadMu.Unlock()
+	if _, dup := payloadByID[id]; dup {
+		panic(fmt.Sprintf("wire: payload id %d registered twice", id))
+	}
+	if _, dup := payloadByType[t]; dup {
+		panic(fmt.Sprintf("wire: payload type %v registered twice", t))
+	}
+	payloadByID[id] = c
+	payloadByType[t] = id
+}
+
+// EncodePayload serializes v through its registered codec. nil encodes as
+// (PayloadNil, nil).
+func EncodePayload(v any) (uint16, []byte, error) {
+	if v == nil {
+		return PayloadNil, nil, nil
+	}
+	t := reflect.TypeOf(v)
+	payloadMu.RLock()
+	id, ok := payloadByType[t]
+	c := payloadByID[id]
+	payloadMu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("payload type %v has no federation codec (wire.RegisterPayload)", t)
+	}
+	b, err := c.Enc(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, b, nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(id uint16, b []byte) (any, error) {
+	if id == PayloadNil {
+		return nil, nil
+	}
+	payloadMu.RLock()
+	c, ok := payloadByID[id]
+	payloadMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: payload id %d has no registered codec", id)
+	}
+	return c.Dec(b)
+}

@@ -1,0 +1,276 @@
+// Package wire is the federation wire protocol: a compact, versioned,
+// length-prefixed binary codec for everything that crosses a machine
+// boundary in a federated run — control-plane synchronization messages,
+// topology and assignment distribution, and the data-plane tunnel messages
+// (including eager-mode pre-announcements) that carry packets between core
+// processes.
+//
+// Every frame is
+//
+//	[ length u32 | version u8 | type u8 | body ]
+//
+// where length counts the version, type, and body bytes. Bodies are encoded
+// with the fixed-width little-endian cursors below; decoding is total — a
+// truncated, oversized, or corrupt frame produces an error, never a panic
+// (the fuzz tests pin this).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version; peers with a different version are
+// rejected at the first frame.
+const Version = 1
+
+// MaxFrame bounds a frame's length field: anything larger is treated as
+// corruption rather than an allocation request.
+const MaxFrame = 64 << 20
+
+// Frame types. Control types travel coordinator<->worker over TCP; TData
+// travels worker<->worker on the data plane.
+const (
+	THello      uint8 = 1  // worker -> coordinator: join (JSON body)
+	TSetup      uint8 = 2  // coordinator -> worker: config + topology + assignment
+	TSetupAck   uint8 = 3  // worker -> coordinator: data-plane mesh established
+	TFlush      uint8 = 4  // coordinator -> worker: flush outbox to peers
+	TFlushDone  uint8 = 5  // worker -> coordinator: cumulative sent counts
+	TSync       uint8 = 6  // coordinator -> worker: await + apply inbox
+	TReady      uint8 = 7  // worker -> coordinator: bounds after apply
+	TWindow     uint8 = 8  // coordinator -> worker: run a window
+	TWindowDone uint8 = 9  // worker -> coordinator: window complete + sent counts
+	TDrain      uint8 = 10 // coordinator -> worker: one serial drain turn
+	TDrainDone  uint8 = 11 // worker -> coordinator: drain turn complete
+	TFinish     uint8 = 12 // coordinator -> worker: stop and report
+	TReport     uint8 = 13 // worker -> coordinator: final report (JSON body)
+	TError      uint8 = 14 // either direction: fatal error (text body)
+	TData       uint8 = 15 // worker -> worker: one cross-core tunnel message
+)
+
+const headerBytes = 6 // u32 length + u8 version + u8 type
+
+// AppendFrame appends a complete frame to dst and returns the result.
+func AppendFrame(dst []byte, typ uint8, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)+2))
+	dst = append(dst, Version, typ)
+	return append(dst, body...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ uint8, body []byte) error {
+	buf := AppendFrame(make([]byte, 0, headerBytes+len(body)), typ, body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from a stream.
+func ReadFrame(r io.Reader) (typ uint8, body []byte, err error) {
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 2 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	rest := make([]byte, n)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	if rest[0] != Version {
+		return 0, nil, fmt.Errorf("wire: version %d, want %d", rest[0], Version)
+	}
+	return rest[1], rest[2:], nil
+}
+
+// ParseFrame decodes one datagram-framed frame (the UDP data plane, where
+// the transport preserves message boundaries).
+func ParseFrame(b []byte) (typ uint8, body []byte, err error) {
+	if len(b) < headerBytes {
+		return 0, nil, fmt.Errorf("wire: datagram %d bytes, need at least %d", len(b), headerBytes)
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n < 2 || n > MaxFrame || int(n) != len(b)-4 {
+		return 0, nil, fmt.Errorf("wire: datagram length field %d does not match %d payload bytes", n, len(b)-4)
+	}
+	if b[4] != Version {
+		return 0, nil, fmt.Errorf("wire: version %d, want %d", b[4], Version)
+	}
+	return b[5], b[6:], nil
+}
+
+// Enc is an append-only little-endian encoder.
+type Enc struct{ b []byte }
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.b = append(e.b, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// U16 appends a uint16.
+func (e *Enc) U16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+
+// U32 appends a uint32.
+func (e *Enc) U32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+
+// U64 appends a uint64.
+func (e *Enc) U64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// I32 appends an int32.
+func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
+
+// I64 appends an int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends a float64 bit-exactly.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Blob appends a u32-length-prefixed byte string.
+func (e *Enc) Blob(v []byte) {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Str appends a u32-length-prefixed string.
+func (e *Enc) Str(v string) {
+	e.U32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Dec is a bounds-checked little-endian decoder with a sticky error:
+// reading past the end sets the error and returns zero values, so codecs
+// can decode unconditionally and check once.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+// Err returns the sticky error.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail(need int) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated: need %d bytes at offset %d of %d", need, d.off, len(d.b))
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail(n)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// U16 reads a uint16.
+func (d *Dec) U16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+// U32 reads a uint32.
+func (d *Dec) U32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+// U64 reads a uint64.
+func (d *Dec) U64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// I32 reads an int32.
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// I64 reads an int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// F64 reads a float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Blob reads a u32-length-prefixed byte string. The result aliases the
+// input buffer.
+func (d *Dec) Blob() []byte {
+	n := d.U32()
+	if n > MaxFrame {
+		d.fail(int(n))
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// Str reads a u32-length-prefixed string.
+func (d *Dec) Str() string { return string(d.Blob()) }
+
+// Len reads a u32 element count, bounds-checked against the bytes that
+// remain assuming at least elemBytes per element — a corrupt count fails
+// here instead of provoking a huge allocation.
+func (d *Dec) Len(elemBytes int) int {
+	n := d.U32()
+	if d.err != nil {
+		return 0
+	}
+	if elemBytes < 1 {
+		elemBytes = 1
+	}
+	if int(n) > (len(d.b)-d.off)/elemBytes {
+		d.fail(int(n) * elemBytes)
+		return 0
+	}
+	return int(n)
+}
+
+// Done checks that decoding consumed the whole buffer cleanly.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(d.b)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xab}, 4096)}
+	for i, b := range bodies {
+		if err := WriteFrame(&buf, uint8(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, b := range bodies {
+		typ, body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != uint8(i+1) || !bytes.Equal(body, b) {
+			t.Fatalf("frame %d: got type %d, %d bytes", i, typ, len(body))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFrameRejectsBadVersion(t *testing.T) {
+	raw := AppendFrame(nil, TData, []byte("x"))
+	raw[4] = Version + 1
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+	if _, _, err := ParseFrame(raw); err == nil {
+		t.Fatal("version mismatch accepted by ParseFrame")
+	}
+}
+
+func TestParseFrameLengthMismatch(t *testing.T) {
+	raw := AppendFrame(nil, TData, []byte("abc"))
+	if _, _, err := ParseFrame(raw[:len(raw)-1]); err == nil {
+		t.Fatal("truncated datagram accepted")
+	}
+	if _, _, err := ParseFrame(append(raw, 0)); err == nil {
+		t.Fatal("oversized datagram accepted")
+	}
+}
+
+func TestSyncMessageRoundTrips(t *testing.T) {
+	w, err := DecodeWindow(Window{Bound: -5}.Encode())
+	if err != nil || w.Bound != -5 {
+		t.Fatalf("window: %+v, %v", w, err)
+	}
+	c, err := DecodeCounts(Counts{Now: 42, Sent: []uint64{1, 0, 7}}.Encode())
+	if err != nil || c.Now != 42 || !reflect.DeepEqual(c.Sent, []uint64{1, 0, 7}) {
+		t.Fatalf("counts: %+v, %v", c, err)
+	}
+	s, err := DecodeSync(Sync{Expect: []uint64{9, 0}}.Encode())
+	if err != nil || !reflect.DeepEqual(s.Expect, []uint64{9, 0}) {
+		t.Fatalf("sync: %+v, %v", s, err)
+	}
+	r, err := DecodeReady(Ready{Next: 1, Safe: 2}.Encode())
+	if err != nil || r != (Ready{Next: 1, Safe: 2}) {
+		t.Fatalf("ready: %+v, %v", r, err)
+	}
+	dr, err := DecodeDrain(Drain{T: 3, Expect: []uint64{4}}.Encode())
+	if err != nil || dr.T != 3 || !reflect.DeepEqual(dr.Expect, []uint64{4}) {
+		t.Fatalf("drain: %+v, %v", dr, err)
+	}
+	dd, err := DecodeDrainDone(DrainDone{Progressed: true, Counts: Counts{Now: 8, Sent: []uint64{3}}}.Encode())
+	if err != nil || !dd.Progressed || dd.Counts.Now != 8 || len(dd.Counts.Sent) != 1 {
+		t.Fatalf("draindone: %+v, %v", dd, err)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	pkt := &pipes.Packet{
+		Seq:      1<<48 | 77,
+		Size:     1028,
+		Src:      3,
+		Dst:      250,
+		Route:    []pipes.ID{4, 9, 1},
+		Hop:      1,
+		Injected: vtime.Time(12345),
+		Lag:      vtime.Duration(6),
+	}
+	pw, err := EncodePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Data{Sender: 2, Seq: 10, Kind: KindTunnel, Pid: 9, At: 100, Lag: 0, Fire: 200, Pkt: pw}
+	got, err := DecodeData(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Pkt.Packet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, pkt) {
+		t.Fatalf("packet round trip:\n got %+v\nwant %+v", back, pkt)
+	}
+	if got.Sender != 2 || got.Seq != 10 || got.Fire != 200 {
+		t.Fatalf("envelope round trip: %+v", got)
+	}
+}
+
+func TestDataRejectsCorruptStructure(t *testing.T) {
+	pw, _ := EncodePacket(&pipes.Packet{Route: []pipes.ID{1}, Hop: 0})
+	cases := []Data{
+		{Kind: 9, Pkt: pw},                   // unknown kind
+		{Kind: KindTunnel, Pid: -1, Pkt: pw}, // tunnel without a pipe
+	}
+	for i, m := range cases {
+		if _, err := DecodeData(m.Encode()); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	bad := Data{Kind: KindDelivery, Pid: -1, Pkt: pw}
+	raw := bad.Encode()
+	if _, err := DecodeData(raw); err != nil {
+		t.Fatalf("valid message rejected: %v", err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeData(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnregisteredPayloadErrors(t *testing.T) {
+	type private struct{ X int }
+	if _, err := EncodePacket(&pipes.Packet{Payload: private{1}}); err == nil {
+		t.Fatal("unregistered payload encoded")
+	}
+	if _, err := DecodePayload(0xfffe, nil); err == nil {
+		t.Fatal("unregistered payload id decoded")
+	}
+}
+
+func TestTopologyRoundTripExact(t *testing.T) {
+	g := topology.New()
+	a := g.AddNode(topology.Stub, "r0")
+	b := g.AddNode(topology.Transit, "")
+	c := g.AddNode(topology.Client, "vn0")
+	g.AddDuplex(a, b, topology.LinkAttrs{BandwidthBps: 1e9 / 3, LatencySec: 0.00512345678901, QueuePkts: 30})
+	g.AddLink(c, a, topology.LinkAttrs{BandwidthBps: 2e6, LatencySec: 1e-3, LossRate: 0.015, Cost: 2.25})
+	got, err := DecodeTopology(EncodeTopology(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Nodes, g.Nodes) || !reflect.DeepEqual(got.Links, g.Links) {
+		t.Fatalf("topology round trip diverged")
+	}
+	for n := range g.Nodes {
+		if !reflect.DeepEqual(got.Out(topology.NodeID(n)), g.Out(topology.NodeID(n))) {
+			t.Fatalf("adjacency of node %d diverged", n)
+		}
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	owner := []int{0, 1, 1, 2, 0}
+	got, cores, err := DecodeAssignment(EncodeAssignment(owner, 3))
+	if err != nil || cores != 3 || !reflect.DeepEqual(got, owner) {
+		t.Fatalf("got %v cores=%d err=%v", got, cores, err)
+	}
+	if _, _, err := DecodeAssignment(EncodeAssignment([]int{5}, 3)); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+}

@@ -1,0 +1,376 @@
+package fednet
+
+// The worker side of a federation: one process, one parcore shard. The
+// worker deterministically rebuilds its slice of the emulation from the
+// distributed state and then serves the coordinator's barrier protocol.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/emucore"
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/netstack"
+	"modelnet/internal/parcore"
+	"modelnet/internal/pipes"
+	"modelnet/internal/vtime"
+)
+
+// WorkerOptions tune a worker process.
+type WorkerOptions struct {
+	// Timeout bounds every blocking step (control reads, data-plane
+	// waits). Zero means DefaultTimeout.
+	Timeout time.Duration
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// DefaultTimeout is the per-step liveness bound of a federation.
+const DefaultTimeout = 120 * time.Second
+
+func (o *WorkerOptions) defaults() {
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+}
+
+// Worker joins the coordinator at join and serves one shard until the run
+// completes. It is the body of the `modelnet core` subcommand.
+func Worker(join string, opts WorkerOptions) error {
+	opts.defaults()
+	conn, err := net.DialTimeout("tcp", join, opts.Timeout)
+	if err != nil {
+		return fmt.Errorf("fednet: join %s: %w", join, err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	w := &workerState{control: conn, opts: opts}
+	if err := w.run(); err != nil {
+		// Best-effort error report so the coordinator fails fast instead
+		// of timing out.
+		_ = wire.WriteFrame(conn, wire.TError, []byte(err.Error()))
+		return err
+	}
+	return nil
+}
+
+type workerState struct {
+	control net.Conn
+	opts    WorkerOptions
+
+	cfg   setup
+	env   *WorkerEnv
+	sched *vtime.Scheduler
+	emu   *emucore.Emulator
+	sync  parcore.ShardSync
+
+	outbox *parcore.Outbox
+	col    *collector
+	dp     *dataPlane
+
+	sent       []uint64 // cumulative messages sent per peer shard
+	deliveries []float64
+	report     func() json.RawMessage
+}
+
+// readControl reads one control frame under the liveness timeout,
+// surfacing TError frames as errors.
+func (w *workerState) readControl() (uint8, []byte, error) {
+	if err := w.control.SetReadDeadline(time.Now().Add(w.opts.Timeout)); err != nil {
+		return 0, nil, err
+	}
+	typ, body, err := wire.ReadFrame(w.control)
+	if err != nil {
+		return 0, nil, fmt.Errorf("fednet: control read: %w", err)
+	}
+	if typ == wire.TError {
+		return 0, nil, fmt.Errorf("fednet: coordinator error: %s", body)
+	}
+	return typ, body, nil
+}
+
+func (w *workerState) send(typ uint8, body []byte) error {
+	return wire.WriteFrame(w.control, typ, body)
+}
+
+// run is the worker lifecycle: hello, setup, barrier service, report.
+func (w *workerState) run() error {
+	// Bind both data planes before announcing: the coordinator picks one.
+	// Listeners bind to the interface facing the coordinator, so remote
+	// workers announce a routable address rather than localhost.
+	localIP := w.control.LocalAddr().(*net.TCPAddr).IP
+	tcpLn, err := net.Listen("tcp", net.JoinHostPort(localIP.String(), "0"))
+	if err != nil {
+		return err
+	}
+	defer tcpLn.Close()
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: localIP})
+	if err != nil {
+		return err
+	}
+	defer udp.Close()
+
+	hb, _ := json.Marshal(hello{TCPAddr: tcpLn.Addr().String(), UDPAddr: udp.LocalAddr().String()})
+	if err := w.send(wire.THello, hb); err != nil {
+		return err
+	}
+
+	typ, body, err := w.readControl()
+	if err != nil {
+		return err
+	}
+	if typ != wire.TSetup {
+		return fmt.Errorf("fednet: expected setup, got frame type %d", typ)
+	}
+	if err := w.setup(body, udp, tcpLn); err != nil {
+		return err
+	}
+	tcpLn.Close() // mesh is up; no further data-plane joins
+	w.opts.Log("fednet worker: shard %d/%d up (%s data plane, %d VNs homed)",
+		w.cfg.Shard, w.cfg.Cores, w.cfg.DataPlane, w.homedVNs())
+	defer w.dp.close()
+	if err := w.send(wire.TSetupAck, nil); err != nil {
+		return err
+	}
+	return w.serve()
+}
+
+func (w *workerState) homedVNs() int {
+	n := 0
+	for vn := 0; vn < w.env.NumVNs(); vn++ {
+		if w.env.homes[vn] == w.cfg.Shard {
+			n++
+		}
+	}
+	return n
+}
+
+// setup rebuilds the shard from the coordinator's distributed state.
+func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) error {
+	d := wire.NewDec(body)
+	cfgJSON := d.Blob()
+	topoBin := d.Blob()
+	asnBin := d.Blob()
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("fednet: setup frame: %w", err)
+	}
+	if err := json.Unmarshal(cfgJSON, &w.cfg); err != nil {
+		return fmt.Errorf("fednet: setup config: %w", err)
+	}
+	cfg := &w.cfg
+	if cfg.Shard < 0 || cfg.Cores < 2 || cfg.Shard >= cfg.Cores || len(cfg.DataAddrs) != cfg.Cores {
+		return fmt.Errorf("fednet: inconsistent setup: shard %d of %d, %d data addrs", cfg.Shard, cfg.Cores, len(cfg.DataAddrs))
+	}
+	g, err := wire.DecodeTopology(topoBin)
+	if err != nil {
+		return fmt.Errorf("fednet: setup topology: %w", err)
+	}
+	owner, cores, err := wire.DecodeAssignment(asnBin)
+	if err != nil {
+		return fmt.Errorf("fednet: setup assignment: %w", err)
+	}
+	if cores != cfg.Cores || len(owner) != g.NumLinks() {
+		return fmt.Errorf("fednet: assignment covers %d pipes on %d cores, topology has %d links and setup %d cores",
+			len(owner), cores, g.NumLinks(), cfg.Cores)
+	}
+
+	// Rebuild the Bind phase exactly as the coordinator's modelnet.Run
+	// would: same inputs, deterministic outputs.
+	pod := bind.NewPOD(owner, cores)
+	b, err := bind.Bind(g, bind.Options{
+		EdgeNodes:    cfg.EdgeNodes,
+		Cores:        cores,
+		RouteCache:   cfg.RouteCache,
+		Hierarchical: cfg.Hierarchical,
+	})
+	if err != nil {
+		return fmt.Errorf("fednet: bind: %w", err)
+	}
+	homes := parcore.Homes(g, b, pod, cores)
+	w.sync = parcore.ComputeSync(g, b, pod, homes, cores)[cfg.Shard]
+	w.sched = vtime.NewScheduler()
+	w.outbox = parcore.NewOutbox(cfg.Shard, cores, w.sched)
+	w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
+	if err != nil {
+		return fmt.Errorf("fednet: shard emulator: %w", err)
+	}
+	if cfg.CollectDeliveries {
+		w.emu.OnDeliver = func(_ *pipes.Packet, at vtime.Time) {
+			w.deliveries = append(w.deliveries, at.Seconds())
+		}
+	}
+
+	w.col = newCollector(cores)
+	w.dp, err = openDataPlane(cfg.DataPlane, cfg.Shard, cfg.DataAddrs, udp, tcpLn, w.col, w.opts.Timeout)
+	if err != nil {
+		return err
+	}
+	w.sent = make([]uint64, cores)
+
+	w.env = &WorkerEnv{
+		Shard: cfg.Shard, Cores: cores,
+		Graph: g, Binding: b,
+		Sched: w.sched, Emu: w.emu,
+		homes: homes,
+		hosts: map[pipes.VN]*netstack.Host{},
+	}
+	scen, err := lookupScenario(cfg.Scenario)
+	if err != nil {
+		return err
+	}
+	w.report, err = scen.Install(w.env, cfg.Params)
+	if err != nil {
+		return fmt.Errorf("fednet: scenario %q install: %w", cfg.Scenario, err)
+	}
+	return nil
+}
+
+// flushOutbox sends every pending cross-shard message to its peer, each
+// stamped with its dense channel sequence, and updates the cumulative
+// counters.
+func (w *workerState) flushOutbox() error {
+	for j := 0; j < w.cfg.Cores; j++ {
+		if j == w.cfg.Shard {
+			continue
+		}
+		for _, m := range w.outbox.Take(j) {
+			w.sent[j]++
+			if err := w.dp.send(j, m, w.sent[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *workerState) counts() wire.Counts {
+	return wire.Counts{Now: int64(w.sched.Now()), Sent: append([]uint64(nil), w.sent...)}
+}
+
+// serve is the barrier service loop, the worker half of the socket
+// Transport the coordinator drives.
+func (w *workerState) serve() error {
+	for {
+		typ, body, err := w.readControl()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.TFlush:
+			if err := w.flushOutbox(); err != nil {
+				return err
+			}
+			if err := w.send(wire.TFlushDone, w.counts().Encode()); err != nil {
+				return err
+			}
+		case wire.TSync:
+			m, err := wire.DecodeSync(body)
+			if err != nil {
+				return err
+			}
+			msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
+			if err != nil {
+				return err
+			}
+			if err := parcore.ApplyMsgs(w.sched, w.emu, msgs); err != nil {
+				return err
+			}
+			b := parcore.ShardBounds(w.sched, w.emu, w.sync)
+			if err := w.send(wire.TReady, wire.Ready{Next: int64(b.Next), Safe: int64(b.Safe)}.Encode()); err != nil {
+				return err
+			}
+		case wire.TWindow:
+			m, err := wire.DecodeWindow(body)
+			if err != nil {
+				return err
+			}
+			w.sched.RunUntil(vtime.Time(m.Bound))
+			if err := w.flushOutbox(); err != nil {
+				return err
+			}
+			if err := w.send(wire.TWindowDone, w.counts().Encode()); err != nil {
+				return err
+			}
+		case wire.TDrain:
+			m, err := wire.DecodeDrain(body)
+			if err != nil {
+				return err
+			}
+			msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
+			if err != nil {
+				return err
+			}
+			if err := parcore.ApplyMsgs(w.sched, w.emu, msgs); err != nil {
+				return err
+			}
+			progressed := false
+			if w.sched.NextEventTime() <= vtime.Time(m.T) {
+				w.sched.RunUntil(vtime.Time(m.T))
+				progressed = true
+			}
+			if err := w.flushOutbox(); err != nil {
+				return err
+			}
+			dd := wire.DrainDone{Progressed: progressed, Counts: w.counts()}
+			if err := w.send(wire.TDrainDone, dd.Encode()); err != nil {
+				return err
+			}
+		case wire.TFinish:
+			return w.finish()
+		default:
+			return fmt.Errorf("fednet: unexpected control frame type %d", typ)
+		}
+	}
+}
+
+// finish builds and sends the worker's final report.
+func (w *workerState) finish() error {
+	rep := WorkerReport{
+		Shard:      w.cfg.Shard,
+		Totals:     w.emu.Totals(),
+		Accuracy:   w.emu.Accuracy,
+		NowNs:      int64(w.sched.Now()),
+		Deliveries: w.deliveries,
+	}
+	cs := w.emu.CoreStats(w.cfg.Shard)
+	rep.TunnelsIn, rep.TunnelsOut = cs.TunnelsIn, cs.TunnelsOut
+	if w.report != nil {
+		rep.Scenario = w.report()
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	return w.send(wire.TReport, body)
+}
+
+// MaybeRunWorker turns the current process into a federation worker when
+// the spawn environment variable is set, and never returns in that case.
+// Binaries that can host a worker (cmd/modelnet, cmd/mnbench, test
+// binaries via TestMain) call it before doing anything else; SpawnWorkers
+// relies on it to re-exec the running binary as its worker fleet.
+func MaybeRunWorker() {
+	join := os.Getenv(EnvJoin)
+	if join == "" {
+		return
+	}
+	err := Worker(join, WorkerOptions{
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fednet worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

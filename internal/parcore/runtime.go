@@ -37,11 +37,15 @@
 // two packets from different shards interact at the same pipe in the same
 // nanosecond (the modes may then order them differently; counters of such
 // ties are unaffected, per-packet attribution can differ). See DESIGN.md.
+//
+// The synchronization algebra itself lives in Drive, behind the Transport
+// interface: this file is the in-process transport (shards as goroutines,
+// barriers as slice moves). internal/fednet implements the same contract
+// over real sockets, one OS process per shard.
 package parcore
 
 import (
 	"fmt"
-	"sort"
 
 	"modelnet/internal/assign"
 	"modelnet/internal/bind"
@@ -51,37 +55,26 @@ import (
 	"modelnet/internal/vtime"
 )
 
-// message is one cross-shard event in flight between barriers.
-type message struct {
-	pkt    *pipes.Packet
-	pid    pipes.ID       // target pipe, or -1 for a delivery completion
-	at     vtime.Time     // pipe entry time (may trail fire under debt handling)
-	lag    vtime.Duration // accumulated quantization error (deliveries)
-	fire   vtime.Time     // virtual time the event takes effect at the target
-	sender int
-	seq    uint64
-}
-
 // worker is one shard: an emulator on a private scheduler plus its mailbox.
 type worker struct {
 	idx   int
 	sched *vtime.Scheduler
 	emu   *emucore.Emulator
 
-	// Mailboxes. outbox is appended by this worker's handoffs during a
+	// Mailboxes. outbox is filled by this worker's handoffs during a
 	// window; the coordinator moves it into peers' inboxes at the barrier.
-	outbox [][]message
-	inbox  []message
-	msgSeq uint64
+	outbox *Outbox
+	inbox  []Msg
 
 	// Static synchronization inputs (computed at construction).
-	borderPipes  []pipes.ID     // owned pipes whose exit can cross shards
-	lookahead    vtime.Duration // min latency over borderPipes
-	ingressCross bool           // a homed VN can inject directly into a peer's pipe
+	sync ShardSync
 
 	cmd  chan vtime.Time
 	done chan struct{}
 }
+
+// bounds reports this shard's contribution to the horizon computation.
+func (w *worker) bounds() Bounds { return ShardBounds(w.sched, w.emu, w.sync) }
 
 // SyncStats describe how a run synchronized.
 type SyncStats struct {
@@ -124,95 +117,34 @@ func New(cfg Config) (*Runtime, error) {
 	g, b := cfg.Graph, cfg.Binding
 	pod := cfg.Assignment.POD()
 	r := &Runtime{graph: g, binding: b, pod: pod}
-
-	// Home each VN on the core owning its access pipe so that injection,
-	// and (because k-clusters keeps duplex pairs together) delivery, are
-	// core-local. VNs with access links split across cores still work but
-	// force zero-lookahead synchronization for their shard.
-	r.homes = make([]int, b.NumVNs())
-	for v, node := range b.VNHome {
-		if outs := g.Out(node); len(outs) > 0 {
-			r.homes[v] = pod.Owner(pipes.ID(outs[0])) % k
-		}
-	}
+	r.homes = Homes(g, b, pod, k)
 
 	r.workers = make([]*worker, k)
 	for i := range r.workers {
 		w := &worker{
-			idx:    i,
-			sched:  vtime.NewScheduler(),
-			outbox: make([][]message, k),
-			cmd:    make(chan vtime.Time),
-			done:   make(chan struct{}),
+			idx:   i,
+			sched: vtime.NewScheduler(),
+			cmd:   make(chan vtime.Time),
+			done:  make(chan struct{}),
 		}
+		w.outbox = NewOutbox(i, k, w.sched)
 		bi := b
 		if cfg.NewTable != nil {
 			cp := *b
 			cp.Table = cfg.NewTable()
 			bi = &cp
 		}
-		i := i
-		handoff := func(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.Time, lag vtime.Duration) {
-			fire := at
-			if now := w.sched.Now(); fire < now {
-				fire = now
-			}
-			w.msgSeq++
-			w.outbox[target%k] = append(w.outbox[target%k], message{
-				pkt: pkt, pid: pid, at: at, lag: lag, fire: fire, sender: i, seq: w.msgSeq,
-			})
-		}
-		emu, err := emucore.NewShard(w.sched, g, bi, pod, cfg.Profile, cfg.Seed, i, r.homes, handoff)
+		emu, err := emucore.NewShard(w.sched, g, bi, pod, cfg.Profile, cfg.Seed, i, r.homes, w.outbox.Handoff)
 		if err != nil {
 			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
 		}
 		w.emu = emu
 		r.workers[i] = w
 	}
-	r.computeBorders()
+	for i, s := range ComputeSync(g, b, pod, r.homes, k) {
+		r.workers[i].sync = s
+	}
 	return r, nil
-}
-
-// computeBorders derives, per shard, the set of owned pipes whose exit can
-// produce a cross-shard event — either the packet's next hop is a pipe
-// owned elsewhere (structural adjacency over-approximates the routes) or
-// the pipe terminates at a VN homed elsewhere — and the resulting
-// lookahead. It also flags shards whose VNs can inject straight into a
-// peer's pipe (possible under collapsing distillation modes), which pins
-// that shard's safe bound to its next event time.
-func (r *Runtime) computeBorders() {
-	g, pod, k := r.graph, r.pod, len(r.workers)
-	for _, l := range g.Links {
-		o := pod.Owner(pipes.ID(l.ID)) % k
-		border := false
-		for _, nid := range g.Out(l.Dst) {
-			if pod.Owner(pipes.ID(nid))%k != o {
-				border = true
-				break
-			}
-		}
-		if !border {
-			if vn := r.binding.VNOfNode[l.Dst]; vn >= 0 && r.homes[vn] != o {
-				border = true
-			}
-		}
-		if !border {
-			continue
-		}
-		w := r.workers[o]
-		lat := vtime.DurationOf(l.Attr.LatencySec)
-		if len(w.borderPipes) == 0 || lat < w.lookahead {
-			w.lookahead = lat
-		}
-		w.borderPipes = append(w.borderPipes, pipes.ID(l.ID))
-	}
-	for v, node := range r.binding.VNHome {
-		for _, lid := range g.Out(node) {
-			if pod.Owner(pipes.ID(lid))%k != r.homes[v] {
-				r.workers[r.homes[v]].ingressCross = true
-			}
-		}
-	}
 }
 
 // Cores reports the number of shards.
@@ -249,14 +181,14 @@ func (r *Runtime) SetDeliverHook(fn func(pkt *pipes.Packet, at vtime.Time)) {
 func (r *Runtime) Lookahead() vtime.Duration {
 	la := vtime.Duration(-1)
 	for _, w := range r.workers {
-		if w.ingressCross {
+		if w.sync.IngressCross {
 			return 0
 		}
-		if len(w.borderPipes) == 0 {
+		if len(w.sync.BorderPipes) == 0 {
 			continue
 		}
-		if la < 0 || w.lookahead < la {
-			la = w.lookahead
+		if la < 0 || w.sync.Lookahead < la {
+			la = w.sync.Lookahead
 		}
 	}
 	if la < 0 {
@@ -303,9 +235,8 @@ func (r *Runtime) RunFor(d vtime.Duration) { r.RunUntil(r.now.Add(d)) }
 func (r *Runtime) Run() { r.RunUntil(vtime.Forever) }
 
 // RunUntil advances every shard to the deadline, firing all events with
-// timestamps at or before it. This is the conservative synchronization
-// loop: barrier, agree on a horizon, run shards in parallel below it,
-// exchange tunnel messages, repeat.
+// timestamps at or before it, by handing the in-process transport to the
+// conservative synchronization loop (Drive).
 func (r *Runtime) RunUntil(deadline vtime.Time) {
 	for _, w := range r.workers {
 		w := w
@@ -323,31 +254,10 @@ func (r *Runtime) RunUntil(deadline vtime.Time) {
 		}
 	}()
 
-	prevBound := vtime.Time(-1)
-	for {
-		r.distribute()
-		minNext, horizon := r.bounds()
-		if minNext > deadline || minNext == vtime.Forever {
-			break
-		}
-		// An unconstrained horizon (no shard can ever emit a cross-shard
-		// message from its current state) must not clamp clocks to the
-		// end of time: run straight to the caller's deadline.
-		bound := deadline
-		if horizon != vtime.Forever && horizon-1 < bound {
-			bound = horizon - 1
-		}
-		if bound < minNext || bound < prevBound {
-			// The horizon excludes the very next event: lookahead is zero
-			// or consumed. Drain time minNext serially, deterministically.
-			r.serialDrain(minNext)
-			if minNext > prevBound {
-				prevBound = minNext
-			}
-			continue
-		}
-		r.window(bound)
-		prevBound = bound
+	if err := Drive(inproc{r}, &r.stats, deadline); err != nil {
+		// The in-process transport only errors on an EOT violation, which
+		// is a runtime invariant breach, not an I/O condition.
+		panic(err)
 	}
 	if deadline == vtime.Forever {
 		for _, w := range r.workers {
@@ -357,18 +267,55 @@ func (r *Runtime) RunUntil(deadline vtime.Time) {
 		}
 		return
 	}
-	r.window(deadline) // advance all clocks to the deadline
 	r.now = deadline
 }
 
-// distribute moves every outbox into the target inboxes, then schedules
-// each inbox in the canonical (fire, sender, seq) order. Runs on the
-// coordinator between windows.
-func (r *Runtime) distribute() {
+// inproc is the in-process Transport: shards are this Runtime's worker
+// goroutines and the barrier moves messages between slices.
+type inproc struct{ r *Runtime }
+
+// Cores implements Transport.
+func (t inproc) Cores() int { return len(t.r.workers) }
+
+// Exchange implements Transport: move outboxes, apply inboxes in canonical
+// order, report bounds.
+func (t inproc) Exchange() ([]Bounds, error) {
+	r := t.r
 	r.distributeOnly()
+	bs := make([]Bounds, len(r.workers))
+	for i, w := range r.workers {
+		r.applyInbox(w)
+		bs[i] = w.bounds()
+	}
+	return bs, nil
+}
+
+// Window implements Transport: run every shard concurrently up to bound
+// (inclusive).
+func (t inproc) Window(bound vtime.Time) error {
+	for _, w := range t.r.workers {
+		w.cmd <- bound
+	}
+	for _, w := range t.r.workers {
+		<-w.done
+	}
+	return nil
+}
+
+// DrainPass implements Transport: one serial turn per shard at time tt,
+// messages moved only at the end of the pass.
+func (t inproc) DrainPass(tt vtime.Time) (bool, error) {
+	r := t.r
+	progressed := false
 	for _, w := range r.workers {
 		r.applyInbox(w)
+		if w.sched.NextEventTime() <= tt {
+			w.sched.RunUntil(tt)
+			progressed = true
+		}
 	}
+	r.distributeOnly()
+	return progressed, nil
 }
 
 // applyInbox schedules w's pending messages onto its scheduler.
@@ -376,126 +323,23 @@ func (r *Runtime) applyInbox(w *worker) {
 	if len(w.inbox) == 0 {
 		return
 	}
-	sort.Slice(w.inbox, func(i, j int) bool {
-		a, b := w.inbox[i], w.inbox[j]
-		if a.fire != b.fire {
-			return a.fire < b.fire
-		}
-		if a.sender != b.sender {
-			return a.sender < b.sender
-		}
-		return a.seq < b.seq
-	})
-	for _, m := range w.inbox {
-		m := m
-		at := m.fire
-		if now := w.sched.Now(); at < now {
-			panic(fmt.Sprintf("parcore: EOT violation: fire %v < now %v (pid %d)", m.fire, now, m.pid))
-		}
-		w.sched.At(at, func() {
-			if m.pid >= 0 {
-				w.emu.TunnelIn(m.pkt, m.pid, m.at)
-			} else {
-				w.emu.CompleteDelivery(m.pkt, m.lag, m.at)
-			}
-		})
+	if err := ApplyMsgs(w.sched, w.emu, w.inbox); err != nil {
+		panic(err)
 	}
 	w.inbox = w.inbox[:0]
 }
 
-// bounds computes the global next-event time and the safe horizon H: no
-// shard will emit a cross-shard message firing before H, so every shard may
-// process events strictly below H without hearing from its peers.
-func (r *Runtime) bounds() (minNext, horizon vtime.Time) {
-	minNext, horizon = vtime.Forever, vtime.Forever
-	for _, w := range r.workers {
-		next := w.sched.NextEventTime()
-		if next < minNext {
-			minNext = next
-		}
-		t := next
-		if hm := w.emu.NextPipeDeadline(); hm < t {
-			t = hm
-		}
-		e := satAdd(t, w.lookahead)
-		if w.ingressCross {
-			e = t
-		} else if !w.emu.Eager() {
-			// Lazy shards emit at exit-processing time: a handoff can fire
-			// as soon as the earliest occupied border pipe drains.
-			for _, pid := range w.borderPipes {
-				if d := w.emu.Pipe(pid).NextDeadline(); d < e {
-					e = d
-				}
-			}
-		}
-		if len(w.borderPipes) == 0 && !w.ingressCross {
-			e = vtime.Forever
-		}
-		if e < horizon {
-			horizon = e
-		}
-	}
-	return minNext, horizon
-}
-
-// satAdd offsets t by d, saturating at Forever.
-func satAdd(t vtime.Time, d vtime.Duration) vtime.Time {
-	if t == vtime.Forever || d == 0 {
-		return t
-	}
-	s := t.Add(d)
-	if s < t {
-		return vtime.Forever
-	}
-	return s
-}
-
-// window runs every shard concurrently up to bound (inclusive).
-func (r *Runtime) window(bound vtime.Time) {
-	for _, w := range r.workers {
-		w.cmd <- bound
-	}
-	for _, w := range r.workers {
-		<-w.done
-	}
-	r.stats.Windows++
-}
-
-// serialDrain processes every event with timestamp ≤ t, one shard at a
-// time in index order, exchanging messages between turns until quiescent.
-// This is the correct-but-sequential fallback for zero-lookahead instants;
-// with a latency-bearing cut it only runs when a window closes exactly on
-// the next event.
-func (r *Runtime) serialDrain(t vtime.Time) {
-	for {
-		progressed := false
-		for _, w := range r.workers {
-			r.applyInbox(w)
-			if w.sched.NextEventTime() <= t {
-				w.sched.RunUntil(t)
-				progressed = true
-			}
-		}
-		r.distributeOnly()
-		if !progressed {
-			return
-		}
-		r.stats.SerialRounds++
-	}
-}
-
 // distributeOnly moves outboxes to inboxes without scheduling (the next
-// drain round or distribute call applies them).
+// Exchange or DrainPass applies them).
 func (r *Runtime) distributeOnly() {
 	for _, src := range r.workers {
-		for tgt, msgs := range src.outbox {
+		for tgt := range r.workers {
+			msgs := src.outbox.Take(tgt)
 			if len(msgs) == 0 {
 				continue
 			}
 			r.workers[tgt].inbox = append(r.workers[tgt].inbox, msgs...)
 			r.stats.Messages += uint64(len(msgs))
-			src.outbox[tgt] = src.outbox[tgt][:0]
 		}
 	}
 }

@@ -1,0 +1,315 @@
+package parcore
+
+// The conservative synchronization loop, factored out of Runtime so that it
+// can drive shards it cannot touch directly. The scheduler algebra is
+// transport-oblivious (the LinkEmulator/transport separation): the loop
+// below only ever asks the cluster to exchange messages, report bounds, and
+// run windows. Two transports exist: the in-process one built into Runtime
+// (shards are goroutines, messages move between slices at the barrier) and
+// the socket transport in internal/fednet (shards are OS processes,
+// messages move over real UDP/TCP and the barrier is a TCP round).
+
+import (
+	"fmt"
+	"sort"
+
+	"modelnet/internal/bind"
+	"modelnet/internal/emucore"
+	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// Msg is one cross-shard event in flight between barriers: either a tunnel
+// entry (Pid >= 0: enqueue Pkt into pipe Pid at time At) or a delivery
+// completion (Pid < 0: complete Pkt's delivery at At with accumulated lag
+// Lag). Fire is the virtual time the event takes effect on the receiving
+// shard; (Fire, Sender, Seq) is the canonical barrier order that makes runs
+// independent of arrival order.
+type Msg struct {
+	Pkt    *pipes.Packet
+	Pid    pipes.ID
+	At     vtime.Time
+	Lag    vtime.Duration
+	Fire   vtime.Time
+	Sender int
+	Seq    uint64
+}
+
+// Bounds is one shard's contribution to the horizon computation: Next is
+// its next local event time, Safe the earliest virtual time at which it
+// could emit a cross-shard message from its current state.
+type Bounds struct {
+	Next, Safe vtime.Time
+}
+
+// Transport connects the synchronization loop to the cluster's shards,
+// hiding whether they are goroutines or processes.
+type Transport interface {
+	// Cores reports the number of shards.
+	Cores() int
+	// Exchange moves every pending cross-shard message to its target
+	// shard, has each shard apply its inbox in canonical order, and
+	// returns every shard's bounds. This is the barrier.
+	Exchange() ([]Bounds, error)
+	// Window runs every shard concurrently through bound (inclusive).
+	Window(bound vtime.Time) error
+	// DrainPass gives every shard one serial turn at time t — apply
+	// pending messages, then run local events with timestamps ≤ t — and
+	// moves the messages those turns produced. Turns within a pass are
+	// independent (messages only travel between passes), so shards may
+	// take them concurrently. Reports whether any shard ran events.
+	DrainPass(t vtime.Time) (bool, error)
+}
+
+// Drive runs the conservative synchronization loop over the transport until
+// every event at or before deadline has fired: barrier, agree on a horizon,
+// run shards in parallel below it, exchange tunnel messages, repeat. With
+// deadline == vtime.Forever it returns at global quiescence without the
+// final clock-advancing window. st accumulates synchronization counters.
+func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
+	prevBound := vtime.Time(-1)
+	for {
+		bs, err := tr.Exchange()
+		if err != nil {
+			return err
+		}
+		minNext, horizon := vtime.Forever, vtime.Forever
+		for _, b := range bs {
+			if b.Next < minNext {
+				minNext = b.Next
+			}
+			if b.Safe < horizon {
+				horizon = b.Safe
+			}
+		}
+		if minNext > deadline || minNext == vtime.Forever {
+			break
+		}
+		// An unconstrained horizon (no shard can ever emit a cross-shard
+		// message from its current state) must not clamp clocks to the
+		// end of time: run straight to the caller's deadline.
+		bound := deadline
+		if horizon != vtime.Forever && horizon-1 < bound {
+			bound = horizon - 1
+		}
+		if bound < minNext || bound < prevBound {
+			// The horizon excludes the very next event: lookahead is zero
+			// or consumed. Drain time minNext serially, deterministically.
+			for {
+				progressed, err := tr.DrainPass(minNext)
+				if err != nil {
+					return err
+				}
+				if !progressed {
+					break
+				}
+				st.SerialRounds++
+			}
+			if minNext > prevBound {
+				prevBound = minNext
+			}
+			continue
+		}
+		if err := tr.Window(bound); err != nil {
+			return err
+		}
+		st.Windows++
+		prevBound = bound
+	}
+	if deadline == vtime.Forever {
+		return nil
+	}
+	if err := tr.Window(deadline); err != nil { // advance all clocks to the deadline
+		return err
+	}
+	st.Windows++
+	return nil
+}
+
+// ShardSync holds one shard's static synchronization inputs, derived from
+// the assignment by ComputeSync.
+type ShardSync struct {
+	// BorderPipes are the shard's owned pipes whose exit can produce a
+	// cross-shard event.
+	BorderPipes []pipes.ID
+	// Lookahead is the minimum latency over BorderPipes: a packet must
+	// spend at least that long inside a cut pipe before it can surface on
+	// a peer shard.
+	Lookahead vtime.Duration
+	// IngressCross flags shards whose homed VNs can inject directly into
+	// a peer's pipe (possible under collapsing distillation modes), which
+	// pins the shard's safe bound to its next event time.
+	IngressCross bool
+}
+
+// Homes maps every VN to the shard owning its access pipes, so that
+// injection — and, because k-clusters keeps duplex pairs together,
+// delivery — is core-local.
+func Homes(g *topology.Graph, b *bind.Binding, pod *bind.POD, k int) []int {
+	homes := make([]int, b.NumVNs())
+	for v, node := range b.VNHome {
+		if outs := g.Out(node); len(outs) > 0 {
+			homes[v] = pod.Owner(pipes.ID(outs[0])) % k
+		}
+	}
+	return homes
+}
+
+// ComputeSync derives every shard's synchronization inputs: the set of
+// owned pipes whose exit can cross shards — either the packet's next hop is
+// a pipe owned elsewhere (structural adjacency over-approximates the
+// routes) or the pipe terminates at a VN homed elsewhere — the resulting
+// lookahead, and the ingress-crossing flag.
+func ComputeSync(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, k int) []ShardSync {
+	sync := make([]ShardSync, k)
+	for _, l := range g.Links {
+		o := pod.Owner(pipes.ID(l.ID)) % k
+		border := false
+		for _, nid := range g.Out(l.Dst) {
+			if pod.Owner(pipes.ID(nid))%k != o {
+				border = true
+				break
+			}
+		}
+		if !border {
+			if vn := b.VNOfNode[l.Dst]; vn >= 0 && homes[vn] != o {
+				border = true
+			}
+		}
+		if !border {
+			continue
+		}
+		s := &sync[o]
+		lat := vtime.DurationOf(l.Attr.LatencySec)
+		if len(s.BorderPipes) == 0 || lat < s.Lookahead {
+			s.Lookahead = lat
+		}
+		s.BorderPipes = append(s.BorderPipes, pipes.ID(l.ID))
+	}
+	for v, node := range b.VNHome {
+		for _, lid := range g.Out(node) {
+			if pod.Owner(pipes.ID(lid))%k != homes[v] {
+				sync[homes[v]].IngressCross = true
+			}
+		}
+	}
+	return sync
+}
+
+// ShardBounds computes one shard's Bounds from its live state: Next is its
+// next event time; Safe bounds the earliest future cross-shard message it
+// can emit — min(next event, earliest pipe deadline) plus its lookahead,
+// lowered to the earliest occupied border-pipe deadline in lazy mode
+// (handoffs are emitted at exit-processing time, so one can fire as soon as
+// the earliest occupied border pipe drains), and pinned to the next event
+// time under an ingress crossing.
+func ShardBounds(sched *vtime.Scheduler, emu *emucore.Emulator, sync ShardSync) Bounds {
+	next := sched.NextEventTime()
+	t := next
+	if hm := emu.NextPipeDeadline(); hm < t {
+		t = hm
+	}
+	e := satAdd(t, sync.Lookahead)
+	if sync.IngressCross {
+		e = t
+	} else if !emu.Eager() {
+		for _, pid := range sync.BorderPipes {
+			if d := emu.Pipe(pid).NextDeadline(); d < e {
+				e = d
+			}
+		}
+	}
+	if len(sync.BorderPipes) == 0 && !sync.IngressCross {
+		e = vtime.Forever
+	}
+	return Bounds{Next: next, Safe: e}
+}
+
+// satAdd offsets t by d, saturating at Forever.
+func satAdd(t vtime.Time, d vtime.Duration) vtime.Time {
+	if t == vtime.Forever || d == 0 {
+		return t
+	}
+	s := t.Add(d)
+	if s < t {
+		return vtime.Forever
+	}
+	return s
+}
+
+// Outbox collects the cross-shard messages a shard's emulator emits during
+// a window, stamped with the canonical (Fire, Sender, Seq) key. Transports
+// move its per-target batches at barriers.
+type Outbox struct {
+	shard, cores int
+	sched        *vtime.Scheduler
+	seq          uint64
+	pending      [][]Msg
+}
+
+// NewOutbox returns an empty outbox for the given shard.
+func NewOutbox(shard, cores int, sched *vtime.Scheduler) *Outbox {
+	return &Outbox{shard: shard, cores: cores, sched: sched, pending: make([][]Msg, cores)}
+}
+
+// Handoff is the emucore.HandoffFunc that records cross-shard events. The
+// fire time is the event time clamped to the shard's clock (an event handed
+// off mid-window may target a time the sender has already passed; the
+// receiver hears about it at the barrier, before its own clock gets there).
+func (o *Outbox) Handoff(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.Time, lag vtime.Duration) {
+	fire := at
+	if now := o.sched.Now(); fire < now {
+		fire = now
+	}
+	o.seq++
+	t := target % o.cores
+	o.pending[t] = append(o.pending[t], Msg{
+		Pkt: pkt, Pid: pid, At: at, Lag: lag, Fire: fire, Sender: o.shard, Seq: o.seq,
+	})
+}
+
+// Take removes and returns the pending messages for one target shard.
+func (o *Outbox) Take(target int) []Msg {
+	msgs := o.pending[target]
+	o.pending[target] = nil
+	return msgs
+}
+
+// SortMsgs orders msgs by the canonical barrier key (Fire, Sender, Seq), so
+// that applying a batch is independent of arrival order.
+func SortMsgs(msgs []Msg) {
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.Fire != b.Fire {
+			return a.Fire < b.Fire
+		}
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// ApplyMsgs sorts a batch canonically and schedules each message onto the
+// shard's scheduler at its fire time. A message firing before the shard's
+// clock is an earliest-output-time violation — the window algebra in Drive
+// is why it cannot happen — reported as an error so remote transports can
+// surface it instead of corrupting virtual time.
+func ApplyMsgs(sched *vtime.Scheduler, emu *emucore.Emulator, msgs []Msg) error {
+	SortMsgs(msgs)
+	for _, m := range msgs {
+		m := m
+		if now := sched.Now(); m.Fire < now {
+			return fmt.Errorf("parcore: EOT violation: fire %v < now %v (pid %d)", m.Fire, now, m.Pid)
+		}
+		sched.At(m.Fire, func() {
+			if m.Pid >= 0 {
+				emu.TunnelIn(m.Pkt, m.Pid, m.At)
+			} else {
+				emu.CompleteDelivery(m.Pkt, m.Lag, m.At)
+			}
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package modelnet_test
+
+import (
+	"os"
+	"testing"
+
+	"modelnet/internal/fednet"
+)
+
+// TestMain lets this test binary double as its own federation worker
+// fleet: BenchmarkFednetScaling spawns it with the fednet join variable
+// set, and MaybeRunWorker diverts those processes into worker mode before
+// any test or benchmark runs.
+func TestMain(m *testing.M) {
+	fednet.MaybeRunWorker()
+	os.Exit(m.Run())
+}

@@ -34,6 +34,7 @@ import (
 	"modelnet/internal/bind"
 	"modelnet/internal/distill"
 	"modelnet/internal/emucore"
+	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
 	"modelnet/internal/parcore"
 	"modelnet/internal/pipes"
@@ -59,6 +60,8 @@ type (
 	Duration = vtime.Duration
 	// Profile models core-cluster hardware capacity.
 	Profile = emucore.Profile
+	// Totals are the cluster-wide conservation counters.
+	Totals = emucore.Totals
 	// DistillSpec selects the accuracy/scalability tradeoff of §4.1.
 	DistillSpec = distill.Spec
 )
@@ -127,6 +130,62 @@ type Options struct {
 	// Totals, OnDeliver, SchedulerOf) and keep application callbacks on
 	// their own host's scheduler.
 	Parallel bool
+	// Federate configures multi-process federation (internal/fednet):
+	// each core router runs in its own OS process — on its own machine,
+	// with remote workers — and the determinism contract above extends
+	// across them. Federated runs are driven by registered scenario, not
+	// by an Emulation handle: use modelnet.Federate, not Run.
+	Federate *FederateOptions
+}
+
+// FederateOptions are the federation knobs of Options.
+type FederateOptions struct {
+	// Listen is the coordinator's control-plane address (default
+	// "127.0.0.1:0"; use ":port" to admit workers from other machines).
+	Listen string
+	// DataPlane carries cross-core tunnel messages: "udp" (default, the
+	// paper's IP-in-UDP tunnels) or "tcp" (lossless fallback).
+	DataPlane string
+	// Spawn re-executes the current binary as the worker fleet; leave
+	// false when `modelnet core -join` workers connect on their own.
+	Spawn bool
+	// CollectDeliveries records every delivery's virtual time in the
+	// report (the cross-mode determinism probe).
+	CollectDeliveries bool
+}
+
+// FederationReport is a federated run's aggregated outcome.
+type FederationReport = fednet.Report
+
+// Federate runs a registered federation scenario (internal/fednet;
+// internal/experiments registers "ring-cbr" and "gnutella-ring") for
+// runFor virtual time across Options.Cores worker processes. The usual
+// Options fields — Cores, Seed, Profile, Distill, EdgeNodes, RouteCache,
+// HierarchicalRoutes — mean what they mean for Run; Options.Federate
+// supplies the socket-layer knobs.
+func Federate(scenario string, params any, runFor Duration, opts Options) (*FederationReport, error) {
+	fo := FederateOptions{}
+	if opts.Federate != nil {
+		fo = *opts.Federate
+	}
+	return fednet.Run(fednet.Options{
+		Scenario: scenario,
+		Params:   params,
+		Cores:    opts.Cores,
+		Seed:     opts.Seed,
+		Profile:  opts.Profile,
+		Distill:  opts.Distill,
+
+		EdgeNodes:    opts.EdgeNodes,
+		RouteCache:   opts.RouteCache,
+		Hierarchical: opts.HierarchicalRoutes,
+
+		RunFor:            runFor,
+		Listen:            fo.Listen,
+		DataPlane:         fo.DataPlane,
+		Spawn:             fo.Spawn,
+		CollectDeliveries: fo.CollectDeliveries,
+	})
 }
 
 // Emulation is a fully bound, running-ready emulation.
@@ -151,6 +210,9 @@ type Emulation struct {
 // topology and returns an emulation ready for the Run phase (start
 // applications on hosts, then drive the scheduler).
 func Run(target *Graph, opts Options) (*Emulation, error) {
+	if opts.Federate != nil {
+		return nil, fmt.Errorf("modelnet: Options.Federate set: federated runs are scenario-driven, use modelnet.Federate")
+	}
 	if err := target.Validate(); err != nil {
 		return nil, fmt.Errorf("modelnet: create: %w", err)
 	}
