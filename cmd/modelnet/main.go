@@ -60,6 +60,8 @@ func main() {
 	fedSpawn := flag.Bool("fedspawn", false, "with -federate: spawn the worker processes from this binary")
 	fedData := flag.String("feddata", fednet.DataUDP, "with -federate: data plane, udp or tcp")
 	fedScenario := flag.String("fedscenario", experiments.ScenarioRingCBR, "with -federate: registered scenario to run")
+	fedBatch := flag.Bool("batch", true, "with -federate: coalesce each window's tunnel messages per peer into batch frames (-batch=0 = one frame per message)")
+	fedMaxDgram := flag.Int("fedmaxdgram", 0, "with -federate: UDP data-plane datagram bound in bytes (0 = default)")
 	flag.Parse()
 
 	spec := modelnet.DistillSpec{}
@@ -85,7 +87,7 @@ func main() {
 	}
 
 	if *federate != "" {
-		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, opts)
+		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, opts)
 		return
 	}
 
@@ -214,11 +216,13 @@ func coreMain(args []string) {
 }
 
 // federateMain coordinates a multi-process run of a registered scenario.
-func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, opts Options) {
+func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, opts Options) {
 	opts.Federate = &modelnet.FederateOptions{
-		Listen:    listen,
-		DataPlane: dataPlane,
-		Spawn:     spawn,
+		Listen:      listen,
+		DataPlane:   dataPlane,
+		Spawn:       spawn,
+		NoBatch:     noBatch,
+		MaxDatagram: maxDgram,
 	}
 	if opts.Cores < 2 {
 		opts.Cores = 2
@@ -251,6 +255,8 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 		rep.WallMS, float64(time.Since(begin).Milliseconds()))
 	fmt.Printf("sync   : %d windows, %d serial rounds, %d tunnel messages over sockets, lookahead %v (cut: %d pipes)\n",
 		rep.Sync.Windows, rep.Sync.SerialRounds, rep.Sync.Messages, rep.Lookahead, rep.Cut.CutPipes)
+	fmt.Printf("wire   : %d data-plane frames, %.1f MB on the wire (%.1f messages/frame)\n",
+		rep.Frames, float64(rep.BytesOnWire)/1e6, float64(rep.Sync.Messages)/float64(max(rep.Frames, 1)))
 	for _, w := range rep.Workers {
 		fmt.Printf("shard %d: %d injected, %d delivered, %d tunnels in, %d tunnels out\n",
 			w.Shard, w.Totals.Injected, w.Totals.Delivered, w.TunnelsIn, w.TunnelsOut)

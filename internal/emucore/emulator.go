@@ -39,8 +39,18 @@ type Emulator struct {
 	pipes []*pipes.Pipe
 	cores []*core
 
-	deliver map[pipes.VN]DeliverFunc
+	// deliver is indexed by VN (dense IDs; grown on registration) — the
+	// delivery path runs once per packet, so it must not pay a map lookup.
+	deliver []DeliverFunc
 	seq     uint64
+
+	// pool recycles packet descriptors at delivery and drop; every
+	// injection (and eager-mode handoff copy) draws from it.
+	pool pipes.PacketPool
+
+	// Deferred core re-arming for batch application (see BatchApply).
+	applyDepth int
+	dirty      []*core
 
 	// Shard mode (see NewShard); shard is -1 in sequential mode.
 	shard   int
@@ -72,6 +82,7 @@ type core struct {
 
 	pendingAt vtime.Time
 	pendingID vtime.EventID
+	dirtyArm  bool // re-arm deferred to the end of the current BatchApply
 
 	// Stats.
 	PktsIn        uint64
@@ -103,7 +114,7 @@ func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.P
 		graph:   g,
 		binding: b,
 		pod:     pod,
-		deliver: make(map[pipes.VN]DeliverFunc),
+		deliver: make([]DeliverFunc, b.NumVNs()),
 		shard:   -1,
 	}
 	e.pipes = make([]*pipes.Pipe, g.NumLinks())
@@ -208,6 +219,9 @@ func (e *Emulator) SetTable(t bind.Table) { e.binding.Table = t }
 // RegisterVN installs the delivery callback for a VN. Packets destined to
 // an unregistered VN are counted delivered and discarded.
 func (e *Emulator) RegisterVN(vn pipes.VN, fn DeliverFunc) {
+	for int(vn) >= len(e.deliver) {
+		e.deliver = append(e.deliver, nil)
+	}
 	e.deliver[vn] = fn
 }
 
@@ -306,7 +320,8 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 	c.PktsIn++
 	e.Injected++
 	e.seq++
-	pkt := &pipes.Packet{
+	pkt := e.pool.Get()
+	*pkt = pipes.Packet{
 		Seq:      e.seq | uint64(e.shard+1)<<48,
 		Size:     size,
 		Src:      src,
@@ -341,6 +356,7 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		if !cur.admitTx(e, now, wire) {
 			cur.PhysDropsTx++
 			e.dropHook(pkt, "tunnel-tx")
+			e.pool.Put(pkt)
 			return
 		}
 		cur.TunnelsOut++
@@ -352,11 +368,13 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		if !owner.admitRx(e, now, wire) {
 			owner.PhysDropsNIC++
 			e.dropHook(pkt, "tunnel-rx")
+			e.pool.Put(pkt)
 			return
 		}
 		if !owner.admitCPU(e, now, e.prof.CPU.TunnelRx) {
 			owner.PhysDropsCPU++
 			e.dropHook(pkt, "tunnel-cpu")
+			e.pool.Put(pkt)
 			return
 		}
 		owner.TunnelsIn++
@@ -381,6 +399,7 @@ func (e *Emulator) localEnqueue(c *core, pkt *pipes.Packet, pid pipes.ID, at vti
 	reason, exit := e.pipes[pid].Enqueue(pkt, at)
 	if reason != pipes.DropNone {
 		e.dropHook(pkt, "pipe-"+reason.String())
+		e.pool.Put(pkt)
 		return
 	}
 	c.heap.Update(e.pipes[pid])
@@ -404,18 +423,20 @@ func (e *Emulator) preEmit(c *core, pkt *pipes.Packet, exit vtime.Time) {
 		if tgt == e.shard {
 			return
 		}
-		cp := *pkt
+		cp := e.pool.Get()
+		*cp = *pkt
 		cp.Hop = next
 		c.TunnelsOut++
 		c.TunnelTxBytes += uint64(e.wireSize(pkt))
-		e.handoff(tgt, &cp, npid, exit, 0)
+		e.handoff(tgt, cp, npid, exit, 0)
 		return
 	}
 	if home := e.homes[pkt.Dst]; home != e.shard {
 		// Final hop lands on a peer shard's VN: hand the delivery over.
 		// Lag is zero by construction (eager mode has no quantization).
-		cp := *pkt
-		e.handoff(home, &cp, -1, exit, 0)
+		cp := e.pool.Get()
+		*cp = *pkt
+		e.handoff(home, cp, -1, exit, 0)
 	}
 }
 
@@ -429,11 +450,13 @@ func (e *Emulator) TunnelIn(pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
 	if !c.admitRx(e, now, wire) {
 		c.PhysDropsNIC++
 		e.dropHook(pkt, "tunnel-rx")
+		e.pool.Put(pkt)
 		return
 	}
 	if !c.admitCPU(e, now, e.prof.CPU.TunnelRx) {
 		c.PhysDropsCPU++
 		e.dropHook(pkt, "tunnel-cpu")
+		e.pool.Put(pkt)
 		return
 	}
 	c.TunnelsIn++
@@ -464,7 +487,8 @@ func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time
 	pkt.Hop++
 	if pkt.Hop < len(pkt.Route) {
 		if e.eager && e.pod.Owner(pkt.Route[pkt.Hop])%len(e.cores) != e.shard {
-			return // a copy crossed at enqueue time
+			e.pool.Put(pkt) // a copy crossed at enqueue time
+			return
 		}
 		at := now
 		if e.prof.DebtHandling {
@@ -478,7 +502,8 @@ func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time
 		return
 	}
 	if e.eager && e.homes[pkt.Dst] != e.shard {
-		return // the delivery copy crossed at enqueue time
+		e.pool.Put(pkt) // the delivery copy crossed at enqueue time
+		return
 	}
 	e.finish(c, pkt, exactExit, now)
 }
@@ -489,6 +514,7 @@ func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time)
 	if !c.admitTx(e, now, pkt.Size) {
 		c.PhysDropsTx++
 		e.dropHook(pkt, "edge-tx")
+		e.pool.Put(pkt)
 		return
 	}
 	lag := pkt.Lag + now.Sub(exactExit)
@@ -501,17 +527,48 @@ func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time)
 
 // CompleteDelivery finishes a delivery on the destination VN's home shard
 // (or inline, in sequential mode): counters, accuracy, hooks, VN callback.
-// at is the delivery time.
+// at is the delivery time. The descriptor is recycled when the callbacks
+// return: hooks and delivery functions must not retain it.
 func (e *Emulator) CompleteDelivery(pkt *pipes.Packet, lag vtime.Duration, at vtime.Time) {
 	e.Delivered++
 	e.Accuracy.Record(lag, len(pkt.Route))
 	if e.OnDeliver != nil {
 		e.OnDeliver(pkt, at)
 	}
-	if fn := e.deliver[pkt.Dst]; fn != nil {
-		fn(pkt)
+	if d := int(pkt.Dst); d < len(e.deliver) {
+		if fn := e.deliver[d]; fn != nil {
+			fn(pkt)
+		}
 	}
+	e.pool.Put(pkt)
 }
+
+// BatchApply runs fn with core (re-)arming deferred: every pipe insertion
+// inside fn marks its core dirty instead of cancelling and re-scheduling
+// the core's activation event, and each dirty core is armed exactly once
+// when the outermost BatchApply returns. The parallel runtime wraps each
+// deadline cluster of cross-shard messages in it, so applying N tunnel
+// entries costs one scheduler arm instead of up to N cancel/insert pairs.
+func (e *Emulator) BatchApply(fn func()) {
+	e.applyDepth++
+	fn()
+	e.applyDepth--
+	if e.applyDepth > 0 {
+		return
+	}
+	for _, c := range e.dirty {
+		c.dirtyArm = false
+		e.scheduleCore(c)
+	}
+	e.dirty = e.dirty[:0]
+}
+
+// ReleasePacket returns a descriptor to the emulator's free list. It is for
+// transports that serialize a handed-off packet (the federation data
+// plane): once the bytes are on the wire the descriptor is dead, and the
+// emulator that produced it gets it back. Callers must hold the only
+// reference.
+func (e *Emulator) ReleasePacket(pkt *pipes.Packet) { e.pool.Put(pkt) }
 
 func (e *Emulator) dropHook(pkt *pipes.Packet, where string) {
 	if e.DropHook != nil {
@@ -520,8 +577,16 @@ func (e *Emulator) dropHook(pkt *pipes.Packet, where string) {
 }
 
 // scheduleCore (re)arms the core's next activation at the quantized time of
-// its earliest pipe deadline.
+// its earliest pipe deadline. Inside a BatchApply the re-arm is deferred:
+// the core is marked dirty and armed once at the end of the batch.
 func (e *Emulator) scheduleCore(c *core) {
+	if e.applyDepth > 0 {
+		if !c.dirtyArm {
+			c.dirtyArm = true
+			e.dirty = append(e.dirty, c)
+		}
+		return
+	}
 	next := c.heap.Min()
 	if next == vtime.Forever {
 		if c.pendingAt != vtime.Forever {

@@ -457,7 +457,12 @@ type FednetRow struct {
 	Windows      uint64  `json:"windows,omitempty"`
 	SerialRounds uint64  `json:"serial_rounds,omitempty"`
 	Messages     uint64  `json:"messages,omitempty"`
-	LookaheadMS  float64 `json:"lookahead_ms,omitempty"`
+	// Frames and BytesOnWire price the data plane of a fednet row: frames
+	// written to real sockets (= syscalls on the UDP plane) and bytes
+	// including framing. With batching, Frames ≪ Messages.
+	Frames      uint64  `json:"frames,omitempty"`
+	BytesOnWire uint64  `json:"bytes_on_wire,omitempty"`
+	LookaheadMS float64 `json:"lookahead_ms,omitempty"`
 }
 
 // FednetResult is the full study.
@@ -532,6 +537,7 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 		}
 		frow := totalsRow("fednet", k, fed.Totals, fed.WallMS)
 		frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
+		frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
 		frow.LookaheadMS = fed.Lookahead.Seconds() * 1000
 		res.Rows = append(res.Rows, check(frow))
 	}
@@ -542,11 +548,12 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 func PrintFednet(w io.Writer, res *FednetResult) {
 	fprintf(w, "Core federation scaling: %d×%d ring, %.1fs emulated, %s data plane (host CPUs: %d)\n",
 		res.Routers, res.VNsPerRouter, res.DurationSec, res.DataPlane, res.HostCPUs)
-	fprintf(w, "%8s %6s %9s %9s %10s %9s %8s %9s %10s\n",
-		"mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "lookahead")
+	fprintf(w, "%8s %6s %9s %9s %10s %9s %8s %9s %9s %11s %10s\n",
+		"mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "lookahead")
 	for _, r := range res.Rows {
-		fprintf(w, "%8s %6d %9.0f %8.2fx %10d %9d %8d %9d %8.1fms\n",
-			r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages, r.LookaheadMS)
+		fprintf(w, "%8s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.1fms\n",
+			r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
+			r.Frames, float64(r.BytesOnWire)/1e6, r.LookaheadMS)
 	}
 	if !res.Deterministic {
 		fprintf(w, "  WARNING: configurations disagreed on emulation counters\n")

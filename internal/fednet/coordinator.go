@@ -54,6 +54,17 @@ type Options struct {
 	// (default; the paper's IP-in-UDP tunnels) or DataTCP (lossless
 	// fallback for links that may drop datagrams).
 	DataPlane string
+	// NoBatch reverts the data plane to one frame (and one syscall) per
+	// tunnel message. By default each window's messages per peer coalesce
+	// into MTU-bounded MsgBatch frames, which is what makes cross-core
+	// cost per-window instead of per-packet; this is the escape hatch
+	// (CLI: -batch=0).
+	NoBatch bool
+	// MaxDatagram bounds one UDP data-plane frame in bytes, batches
+	// chunked to fit. 0 means DefaultMaxDatagram; a single message larger
+	// than the bound fails the run loudly (the kernel would otherwise
+	// truncate or drop the datagram silently).
+	MaxDatagram int
 	// Spawn, when true, re-executes the current binary Cores times as
 	// local workers (MaybeRunWorker must run early in its main). When
 	// false the coordinator waits for externally started `modelnet core
@@ -86,6 +97,12 @@ func (o *Options) defaults() error {
 	if o.DataPlane != DataUDP && o.DataPlane != DataTCP {
 		return fmt.Errorf("fednet: unknown data plane %q", o.DataPlane)
 	}
+	if o.MaxDatagram == 0 {
+		o.MaxDatagram = DefaultMaxDatagram
+	}
+	if o.MaxDatagram < 512 || o.MaxDatagram > 65000 {
+		return fmt.Errorf("fednet: MaxDatagram %d outside [512, 65000]", o.MaxDatagram)
+	}
 	if o.Timeout <= 0 {
 		o.Timeout = DefaultTimeout
 	}
@@ -107,6 +124,12 @@ type Report struct {
 	// Sync counts barrier activity; Messages is the number of cross-core
 	// tunnel messages that crossed real sockets.
 	Sync parcore.SyncStats
+	// Frames and BytesOnWire sum the workers' data-plane costs: frames
+	// written (= syscalls on the UDP plane) and bytes with framing. The
+	// batched plane keeps Frames an order of magnitude under
+	// Sync.Messages; the unbatched plane has Frames == Sync.Messages.
+	Frames      uint64
+	BytesOnWire uint64
 	// Lookahead and Cut describe the partition the run synchronized under.
 	Lookahead vtime.Duration
 	Cut       assign.CutStats
@@ -203,6 +226,7 @@ func Run(opts Options) (*Report, error) {
 		cfgJSON, err := json.Marshal(setup{
 			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
 			DataPlane: opts.DataPlane, DataAddrs: addrs,
+			NoBatch: opts.NoBatch, MaxDatagram: opts.MaxDatagram,
 			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
 		})
@@ -262,6 +286,8 @@ func Run(opts Options) (*Report, error) {
 			return nil, fmt.Errorf("fednet: shard %d report: %w", i, err)
 		}
 		rep.Workers[i] = wr
+		rep.Frames += wr.Frames
+		rep.BytesOnWire += wr.BytesOnWire
 		rep.Totals.Injected += wr.Totals.Injected
 		rep.Totals.Delivered += wr.Totals.Delivered
 		rep.Totals.NoRoute += wr.Totals.NoRoute

@@ -157,6 +157,11 @@ type dataPlane struct {
 	plane string
 	shard int
 
+	// maxDatagram bounds one UDP data-plane frame (header included);
+	// batches are chunked under it, and a single message that cannot fit
+	// fails the run instead of being silently truncated by the kernel.
+	maxDatagram int
+
 	udp      *net.UDPConn
 	udpPeers []*net.UDPAddr
 
@@ -165,6 +170,10 @@ type dataPlane struct {
 	col    *collector
 	closed chan struct{}
 	wg     sync.WaitGroup
+
+	// Wire-cost counters, maintained by the sending (control) goroutine.
+	frames uint64 // data-plane frames written (= syscalls on the UDP plane)
+	bytes  uint64 // bytes handed to the sockets, framing included
 }
 
 // decodeMsg converts a received data frame into a parcore message plus its
@@ -174,9 +183,21 @@ func decodeMsg(body []byte) (parcore.Msg, uint64, error) {
 	if err != nil {
 		return parcore.Msg{}, 0, err
 	}
-	pkt, err := d.Pkt.Packet()
+	m, err := liveMsg(int(d.Sender), wire.DataMsg{
+		Seq: d.Seq, Kind: d.Kind, Pid: d.Pid,
+		At: d.At, Lag: d.Lag, Fire: d.Fire, Pkt: d.Pkt,
+	})
 	if err != nil {
 		return parcore.Msg{}, 0, err
+	}
+	return m, d.TSeq, nil
+}
+
+// liveMsg reconstructs a parcore message from one decoded batch element.
+func liveMsg(sender int, d wire.DataMsg) (parcore.Msg, error) {
+	pkt, err := d.Pkt.Packet()
+	if err != nil {
+		return parcore.Msg{}, err
 	}
 	return parcore.Msg{
 		Pkt:    pkt,
@@ -184,31 +205,50 @@ func decodeMsg(body []byte) (parcore.Msg, uint64, error) {
 		At:     vtime.Time(d.At),
 		Lag:    vtime.Duration(d.Lag),
 		Fire:   vtime.Time(d.Fire),
-		Sender: int(d.Sender),
+		Sender: sender,
 		Seq:    d.Seq,
-	}, d.TSeq, nil
+	}, nil
 }
 
-// encodeMsg converts an outbound parcore message into a data frame body.
-func encodeMsg(m parcore.Msg, tseq uint64) ([]byte, error) {
+// wireMsg converts an outbound parcore message to its wire form (the batch
+// element; Sender and the channel sequence live in the enclosing frame).
+func wireMsg(m parcore.Msg) (wire.DataMsg, error) {
 	pw, err := wire.EncodePacket(m.Pkt)
 	if err != nil {
-		return nil, err
+		return wire.DataMsg{}, err
 	}
 	kind := wire.KindTunnel
 	if m.Pid < 0 {
 		kind = wire.KindDelivery
 	}
+	return wire.DataMsg{
+		Seq:  m.Seq,
+		Kind: kind,
+		Pid:  int32(m.Pid),
+		At:   int64(m.At),
+		Lag:  int64(m.Lag),
+		Fire: int64(m.Fire),
+		Pkt:  pw,
+	}, nil
+}
+
+// encodeMsg converts an outbound parcore message into a single-message data
+// frame body (the unbatched plane).
+func encodeMsg(m parcore.Msg, tseq uint64) ([]byte, error) {
+	d, err := wireMsg(m)
+	if err != nil {
+		return nil, err
+	}
 	return wire.Data{
 		Sender: uint16(m.Sender),
-		Seq:    m.Seq,
+		Seq:    d.Seq,
 		TSeq:   tseq,
-		Kind:   kind,
-		Pid:    int32(m.Pid),
-		At:     int64(m.At),
-		Lag:    int64(m.Lag),
-		Fire:   int64(m.Fire),
-		Pkt:    pw,
+		Kind:   d.Kind,
+		Pid:    d.Pid,
+		At:     d.At,
+		Lag:    d.Lag,
+		Fire:   d.Fire,
+		Pkt:    d.Pkt,
 	}.Encode(), nil
 }
 
@@ -216,9 +256,12 @@ func encodeMsg(m parcore.Msg, tseq uint64) ([]byte, error) {
 // bound socket; peers are just addresses. TCP: workers form a full mesh —
 // shard i dials every j < i (identifying itself with a hello frame) and
 // accepts a connection from every j > i.
-func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tcpLn net.Listener, col *collector, timeout time.Duration) (*dataPlane, error) {
+func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tcpLn net.Listener, col *collector, timeout time.Duration, maxDatagram int) (*dataPlane, error) {
 	k := len(addrs)
-	dp := &dataPlane{plane: plane, shard: shard, col: col, closed: make(chan struct{})}
+	if maxDatagram <= 0 {
+		maxDatagram = DefaultMaxDatagram
+	}
+	dp := &dataPlane{plane: plane, shard: shard, maxDatagram: maxDatagram, col: col, closed: make(chan struct{})}
 	switch plane {
 	case DataUDP:
 		dp.udp = udp
@@ -301,9 +344,43 @@ func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tc
 	return dp, nil
 }
 
+// deliverFrame feeds one received data-plane frame into the collector.
+// Both planes accept single-message (TData) and batched (TDataBatch)
+// frames, so a `-batch=0` sender interoperates with any receiver.
+func (dp *dataPlane) deliverFrame(typ uint8, body []byte) error {
+	switch typ {
+	case wire.TData:
+		m, tseq, err := decodeMsg(body)
+		if err != nil {
+			return err
+		}
+		dp.col.add(m, tseq)
+		return nil
+	case wire.TDataBatch:
+		b, err := wire.DecodeDataBatch(body)
+		if err != nil {
+			return err
+		}
+		for i, d := range b.Msgs {
+			m, err := liveMsg(int(b.Sender), d)
+			if err != nil {
+				return err
+			}
+			dp.col.add(m, b.TSeq0+uint64(i))
+		}
+		return nil
+	default:
+		return fmt.Errorf("fednet: unexpected data-plane frame type %d", typ)
+	}
+}
+
 func (dp *dataPlane) readUDP() {
 	defer dp.wg.Done()
-	buf := make([]byte, 1<<16)
+	n := 1 << 16
+	if dp.maxDatagram > n {
+		n = dp.maxDatagram
+	}
+	buf := make([]byte, n)
 	for {
 		n, _, err := dp.udp.ReadFromUDP(buf)
 		if err != nil {
@@ -315,16 +392,14 @@ func (dp *dataPlane) readUDP() {
 			return
 		}
 		typ, body, err := wire.ParseFrame(buf[:n])
-		if err != nil || typ != wire.TData {
+		if err != nil {
 			dp.col.fail(fmt.Errorf("fednet: bad data datagram (%d bytes): %v", n, err))
 			return
 		}
-		m, tseq, err := decodeMsg(body)
-		if err != nil {
+		if err := dp.deliverFrame(typ, body); err != nil {
 			dp.col.fail(err)
 			return
 		}
-		dp.col.add(m, tseq)
 	}
 }
 
@@ -340,48 +415,114 @@ func (dp *dataPlane) readTCP(conn net.Conn) {
 			}
 			return
 		}
-		if typ != wire.TData {
-			dp.col.fail(fmt.Errorf("fednet: unexpected data-plane frame type %d", typ))
-			return
-		}
-		m, tseq, err := decodeMsg(body)
-		if err != nil {
+		if err := dp.deliverFrame(typ, body); err != nil {
 			dp.col.fail(err)
 			return
 		}
-		dp.col.add(m, tseq)
 	}
 }
 
-// maxUDPFrame bounds a single-datagram tunnel message; larger payloads need
-// the TCP data plane.
-const maxUDPFrame = 60 << 10
+// DefaultMaxDatagram is the default bound on one UDP data-plane frame:
+// comfortably under the 65507-byte UDP payload ceiling, leaving room for
+// the stack's own headers.
+const DefaultMaxDatagram = 60 << 10
 
-// send transmits one tunnel message to peer shard j as the tseq-th message
-// on the this-shard→j channel.
-func (dp *dataPlane) send(j int, m parcore.Msg, tseq uint64) error {
-	body, err := encodeMsg(m, tseq)
-	if err != nil {
-		return err
-	}
-	frame := wire.AppendFrame(nil, wire.TData, body)
+// maxTCPChunk bounds one batched frame on the TCP plane. The stream has no
+// datagram limit, but bounding the chunk bounds both ends' buffering.
+const maxTCPChunk = 1 << 20
+
+// write puts one complete frame on the wire to peer j — a single syscall on
+// the UDP plane — and maintains the frame/byte counters.
+func (dp *dataPlane) write(j int, frame []byte) error {
+	dp.frames++
+	dp.bytes += uint64(len(frame))
 	if dp.plane == DataUDP {
-		if len(frame) > maxUDPFrame {
-			return fmt.Errorf("fednet: %d-byte tunnel message exceeds the UDP data plane limit (%d); use the tcp data plane", len(frame), maxUDPFrame)
-		}
 		// Barrier flushes burst; some kernels (macOS loopback notably)
 		// answer a burst with transient ENOBUFS rather than blocking.
 		// Back off briefly instead of failing the federation.
 		for attempt := 0; ; attempt++ {
-			_, err = dp.udp.WriteToUDP(frame, dp.udpPeers[j])
+			_, err := dp.udp.WriteToUDP(frame, dp.udpPeers[j])
 			if err == nil || !errors.Is(err, syscall.ENOBUFS) || attempt >= 50 {
 				return err
 			}
 			time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
 		}
 	}
-	_, err = dp.tcp[j].Write(frame)
+	_, err := dp.tcp[j].Write(frame)
 	return err
+}
+
+// send transmits one tunnel message to peer shard j as the tseq-th message
+// on the this-shard→j channel (the unbatched plane).
+func (dp *dataPlane) send(j int, m parcore.Msg, tseq uint64) error {
+	body, err := encodeMsg(m, tseq)
+	if err != nil {
+		return err
+	}
+	frame := wire.AppendFrame(nil, wire.TData, body)
+	if dp.plane == DataUDP && len(frame) > dp.maxDatagram {
+		return fmt.Errorf("fednet: %d-byte tunnel message exceeds the UDP data plane datagram bound (%d); use the tcp data plane", len(frame), dp.maxDatagram)
+	}
+	return dp.write(j, frame)
+}
+
+// batchOverhead is the fixed cost of one batched frame: the frame header
+// plus the batch header (sender u16, tseq0 u64, count u32).
+const batchOverhead = 6 + 2 + 8 + 4
+
+// chunkBatch partitions pre-encoded batch elements into [start, end)
+// ranges such that each range's frame fits under limit. With strict set
+// (the UDP plane, where limit is a real datagram bound), a single element
+// that cannot fit even alone is an error — the kernel would otherwise
+// truncate or drop the datagram silently. Without strict (the TCP plane,
+// where limit only bounds buffering), an oversized element simply gets a
+// frame of its own.
+func chunkBatch(elems [][]byte, limit int, strict bool) ([][2]int, error) {
+	var ranges [][2]int
+	start, size := 0, batchOverhead
+	for i, el := range elems {
+		if strict && batchOverhead+len(el) > limit {
+			return nil, fmt.Errorf("fednet: %d-byte tunnel message exceeds the UDP data plane datagram bound (%d); raise MaxDatagram or use the tcp data plane", batchOverhead+len(el), limit)
+		}
+		if size+len(el) > limit && i > start {
+			ranges = append(ranges, [2]int{start, i})
+			start, size = i, batchOverhead
+		}
+		size += len(el)
+	}
+	if start < len(elems) {
+		ranges = append(ranges, [2]int{start, len(elems)})
+	}
+	return ranges, nil
+}
+
+// sendBatch transmits a window's whole batch for peer shard j, elements
+// carrying dense channel sequences tseq0, tseq0+1, ... — one frame (and on
+// UDP one syscall) per chunk instead of one per message.
+func (dp *dataPlane) sendBatch(j int, msgs []parcore.Msg, tseq0 uint64) error {
+	elems := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		d, err := wireMsg(m)
+		if err != nil {
+			return err
+		}
+		elems[i] = d.Encode()
+	}
+	limit, strict := maxTCPChunk, false
+	if dp.plane == DataUDP {
+		limit, strict = dp.maxDatagram, true
+	}
+	ranges, err := chunkBatch(elems, limit, strict)
+	if err != nil {
+		return err
+	}
+	for _, r := range ranges {
+		body := wire.EncodeDataBatch(uint16(dp.shard), tseq0+uint64(r[0]), elems[r[0]:r[1]])
+		if err := dp.write(j, wire.AppendFrame(nil, wire.TDataBatch, body)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // close tears the plane down; reader goroutines drain out.

@@ -164,6 +164,12 @@ type setup struct {
 	Scenario          string          `json:"scenario"`
 	Params            json.RawMessage `json:"params,omitempty"`
 	CollectDeliveries bool            `json:"collect_deliveries,omitempty"`
+
+	// NoBatch reverts the data plane to one frame per tunnel message (the
+	// pre-batching behavior); zero value = batching on.
+	NoBatch bool `json:"no_batch,omitempty"`
+	// MaxDatagram bounds one UDP data-plane frame; 0 = DefaultMaxDatagram.
+	MaxDatagram int `json:"max_datagram,omitempty"`
 }
 
 // hello is a worker's join frame body: the data-plane endpoints it listens
@@ -175,12 +181,17 @@ type hello struct {
 
 // WorkerReport is one worker's final accounting.
 type WorkerReport struct {
-	Shard      int             `json:"shard"`
-	Totals     emucore.Totals  `json:"totals"`
+	Shard      int              `json:"shard"`
+	Totals     emucore.Totals   `json:"totals"`
 	Accuracy   emucore.Accuracy `json:"accuracy"`
-	NowNs      int64           `json:"now_ns"`
-	TunnelsIn  uint64          `json:"tunnels_in"`
-	TunnelsOut uint64          `json:"tunnels_out"`
-	Deliveries []float64       `json:"deliveries,omitempty"`
-	Scenario   json.RawMessage `json:"scenario,omitempty"`
+	NowNs      int64            `json:"now_ns"`
+	TunnelsIn  uint64           `json:"tunnels_in"`
+	TunnelsOut uint64           `json:"tunnels_out"`
+	// Frames and BytesOnWire price the worker's share of the data plane:
+	// frames written (= syscalls on the UDP plane) and bytes including
+	// framing. With batching, Frames is far below the message count.
+	Frames      uint64          `json:"frames"`
+	BytesOnWire uint64          `json:"bytes_on_wire"`
+	Deliveries  []float64       `json:"deliveries,omitempty"`
+	Scenario    json.RawMessage `json:"scenario,omitempty"`
 }

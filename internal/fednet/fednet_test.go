@@ -192,10 +192,48 @@ func TestFederatedMatchesLocalModes(t *testing.T) {
 	if rep.Sync.Windows == 0 {
 		t.Error("federated run executed no windows")
 	}
+	// Batching is the default: a window's messages coalesce per peer, so
+	// the data plane writes strictly fewer frames than messages.
+	if rep.Frames == 0 || rep.Frames >= rep.Sync.Messages {
+		t.Errorf("batched plane wrote %d frames for %d messages", rep.Frames, rep.Sync.Messages)
+	}
+	if rep.BytesOnWire == 0 {
+		t.Error("no bytes accounted on the wire")
+	}
 	for i, w := range rep.Workers {
 		if w.Totals.Injected == 0 {
 			t.Errorf("shard %d injected nothing — VNs not spread across shards", i)
 		}
+	}
+}
+
+func TestFederatedBatchingDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	// The -batch=0 escape hatch: one frame per message, byte-identical
+	// outcome.
+	seqT, seqD := runLocal(t, 1, false)
+	rep, err := fednet.Run(fednet.Options{
+		Scenario:          "fednet-test-ring",
+		Params:            testParams,
+		Cores:             2,
+		Seed:              7,
+		Profile:           idealPtr(),
+		RunFor:            modelnet.Seconds(testRunFor),
+		DataPlane:         fednet.DataUDP,
+		Spawn:             true,
+		CollectDeliveries: true,
+		NoBatch:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := append([]float64(nil), rep.Deliveries...)
+	sort.Float64s(ds)
+	sameRun(t, "seq vs federated-nobatch", seqT, seqD, rep.Totals, ds)
+	if rep.Frames != rep.Sync.Messages {
+		t.Errorf("unbatched plane wrote %d frames for %d messages", rep.Frames, rep.Sync.Messages)
 	}
 }
 

@@ -27,6 +27,10 @@ func fuzzSeeds(f *testing.F) {
 	})
 	f.Add(Data{Sender: 1, Seq: 9, Kind: KindTunnel, Pid: 3, At: 5, Fire: 6, Pkt: pw}.Encode())
 	f.Add(Data{Kind: KindDelivery, Pid: -1, Lag: 11, Pkt: pw}.Encode())
+	f.Add(DataBatch{Sender: 1, TSeq0: 4, Msgs: []DataMsg{
+		{Seq: 9, Kind: KindTunnel, Pid: 3, At: 5, Fire: 6, Pkt: pw},
+		{Seq: 10, Kind: KindDelivery, Pid: -1, Lag: 11, Pkt: pw},
+	}}.Encode())
 	f.Add(Window{Bound: 1 << 40}.Encode())
 	f.Add(Counts{Now: 3, Sent: []uint64{0, 2}}.Encode())
 	f.Add(DrainDone{Progressed: true, Counts: Counts{Sent: []uint64{1}}}.Encode())
@@ -35,8 +39,8 @@ func fuzzSeeds(f *testing.F) {
 }
 
 // FuzzDecodeData feeds arbitrary bytes to every body decoder: none may
-// panic, and a successful Data decode must re-encode byte-identically
-// (the codec is canonical).
+// panic, and a successful Data or DataBatch decode must re-encode
+// byte-identically (the codec is canonical).
 func FuzzDecodeData(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, b []byte) {
@@ -48,6 +52,18 @@ func FuzzDecodeData(f *testing.F) {
 				if _, err := EncodePacket(mustPacket(t, &m.Pkt)); err != nil {
 					t.Fatalf("decoded packet failed to re-encode: %v", err)
 				}
+			}
+		}
+		if m, err := DecodeDataBatch(b); err == nil {
+			if !bytes.Equal(m.Encode(), b) {
+				t.Fatalf("DataBatch decode/encode not canonical for %x", b)
+			}
+			elems := make([][]byte, len(m.Msgs))
+			for i, x := range m.Msgs {
+				elems[i] = x.Encode()
+			}
+			if !bytes.Equal(EncodeDataBatch(m.Sender, m.TSeq0, elems), b) {
+				t.Fatalf("EncodeDataBatch not canonical for %x", b)
 			}
 		}
 		DecodeWindowAll(b)

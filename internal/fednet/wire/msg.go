@@ -207,18 +207,8 @@ type PacketWire struct {
 	Payload     []byte
 }
 
-// Encode returns the frame body.
-func (m Data) Encode() []byte {
-	var e Enc
-	e.U16(m.Sender)
-	e.U64(m.Seq)
-	e.U64(m.TSeq)
-	e.U8(m.Kind)
-	e.I32(m.Pid)
-	e.I64(m.At)
-	e.I64(m.Lag)
-	e.I64(m.Fire)
-	p := &m.Pkt
+// appendPacketWire encodes a packet descriptor into e.
+func appendPacketWire(e *Enc, p *PacketWire) {
 	e.U64(p.Seq)
 	e.I32(p.Size)
 	e.I32(p.Src)
@@ -232,6 +222,41 @@ func (m Data) Encode() []byte {
 	e.I64(p.Lag)
 	e.U16(p.PayloadType)
 	e.Blob(p.Payload)
+}
+
+// decodePacketWire reads a packet descriptor from d (errors are sticky on
+// the decoder; structural validation is checkDataMsg's).
+func decodePacketWire(d *Dec) PacketWire {
+	p := PacketWire{
+		Seq:  d.U64(),
+		Size: d.I32(),
+		Src:  d.I32(),
+		Dst:  d.I32(),
+	}
+	n := d.Len(4)
+	for i := 0; i < n; i++ {
+		p.Route = append(p.Route, d.I32())
+	}
+	p.Hop = d.I32()
+	p.Injected = d.I64()
+	p.Lag = d.I64()
+	p.PayloadType = d.U16()
+	p.Payload = append([]byte(nil), d.Blob()...)
+	return p
+}
+
+// Encode returns the frame body.
+func (m Data) Encode() []byte {
+	var e Enc
+	e.U16(m.Sender)
+	e.U64(m.Seq)
+	e.U64(m.TSeq)
+	e.U8(m.Kind)
+	e.I32(m.Pid)
+	e.I64(m.At)
+	e.I64(m.Lag)
+	e.I64(m.Fire)
+	appendPacketWire(&e, &m.Pkt)
 	return e.Bytes()
 }
 
@@ -248,31 +273,146 @@ func DecodeData(b []byte) (Data, error) {
 		Lag:    d.I64(),
 		Fire:   d.I64(),
 	}
-	p := &m.Pkt
-	p.Seq = d.U64()
-	p.Size = d.I32()
-	p.Src = d.I32()
-	p.Dst = d.I32()
-	n := d.Len(4)
-	for i := 0; i < n; i++ {
-		p.Route = append(p.Route, d.I32())
-	}
-	p.Hop = d.I32()
-	p.Injected = d.I64()
-	p.Lag = d.I64()
-	p.PayloadType = d.U16()
-	p.Payload = append([]byte(nil), d.Blob()...)
+	m.Pkt = decodePacketWire(d)
 	if err := d.Done(); err != nil {
 		return Data{}, err
 	}
-	if m.Kind != KindTunnel && m.Kind != KindDelivery {
-		return Data{}, fmt.Errorf("wire: unknown data kind %d", m.Kind)
+	if err := checkDataMsg(m.Kind, m.Pid, &m.Pkt); err != nil {
+		return Data{}, err
 	}
-	if m.Kind == KindTunnel && m.Pid < 0 {
-		return Data{}, fmt.Errorf("wire: tunnel message with pipe %d", m.Pid)
+	return m, nil
+}
+
+// checkDataMsg validates the structural invariants of one data message.
+func checkDataMsg(kind uint8, pid int32, p *PacketWire) error {
+	if kind != KindTunnel && kind != KindDelivery {
+		return fmt.Errorf("wire: unknown data kind %d", kind)
+	}
+	if kind == KindTunnel && pid < 0 {
+		return fmt.Errorf("wire: tunnel message with pipe %d", pid)
 	}
 	if p.Hop < 0 || int(p.Hop) > len(p.Route) {
-		return Data{}, fmt.Errorf("wire: hop %d outside route of %d pipes", p.Hop, len(p.Route))
+		return fmt.Errorf("wire: hop %d outside route of %d pipes", p.Hop, len(p.Route))
+	}
+	return nil
+}
+
+// DataMsg is one element of a DataBatch: a Data message minus the fields
+// the batch header carries for the whole run (Sender; the per-channel
+// sequence is implicit — element i of a batch is message TSeq0+i on the
+// sender→receiver channel, which is what keeps the dense-sequence barrier
+// accounting byte-for-byte identical to the unbatched plane).
+type DataMsg struct {
+	Seq  uint64 // the sender's outbox sequence (canonical-order tiebreak)
+	Kind uint8
+	Pid  int32
+	At   int64
+	Lag  int64
+	Fire int64
+	Pkt  PacketWire
+}
+
+// dataMsgMinBytes is the encoded size of a DataMsg with an empty route and
+// payload, used to bounds-check batch element counts before allocating.
+const dataMsgMinBytes = 37 + 50
+
+// Encode returns the element's encoding (one slot of a batch body).
+func (m DataMsg) Encode() []byte {
+	var e Enc
+	m.append(&e)
+	return e.Bytes()
+}
+
+func (m DataMsg) append(e *Enc) {
+	e.U64(m.Seq)
+	e.U8(m.Kind)
+	e.I32(m.Pid)
+	e.I64(m.At)
+	e.I64(m.Lag)
+	e.I64(m.Fire)
+	appendPacketWire(e, &m.Pkt)
+}
+
+func decodeDataMsg(d *Dec) DataMsg {
+	m := DataMsg{
+		Seq:  d.U64(),
+		Kind: d.U8(),
+		Pid:  d.I32(),
+		At:   d.I64(),
+		Lag:  d.I64(),
+		Fire: d.I64(),
+	}
+	m.Pkt = decodePacketWire(d)
+	return m
+}
+
+// DataBatch is a dense run of cross-core tunnel messages from one sender:
+// element i carries channel sequence TSeq0+i. The data plane coalesces each
+// window's messages per peer into one batch, chunked under the plane's
+// datagram bound, so the per-message frame and syscall cost of the
+// unbatched plane becomes per-window.
+type DataBatch struct {
+	Sender uint16
+	TSeq0  uint64 // channel sequence of element 0; dense, 1-based
+	Msgs   []DataMsg
+}
+
+// Encode returns the frame body.
+func (m DataBatch) Encode() []byte {
+	var e Enc
+	e.U16(m.Sender)
+	e.U64(m.TSeq0)
+	e.U32(uint32(len(m.Msgs)))
+	for _, x := range m.Msgs {
+		x.append(&e)
+	}
+	return e.Bytes()
+}
+
+// EncodeDataBatch assembles a batch frame body from pre-encoded elements
+// (DataMsg.Encode results). The data plane encodes each message once and
+// reuses the bytes across chunk boundaries.
+func EncodeDataBatch(sender uint16, tseq0 uint64, elems [][]byte) []byte {
+	n := 2 + 8 + 4
+	for _, el := range elems {
+		n += len(el)
+	}
+	var e Enc
+	e.b = make([]byte, 0, n)
+	e.U16(sender)
+	e.U64(tseq0)
+	e.U32(uint32(len(elems)))
+	for _, el := range elems {
+		e.b = append(e.b, el...)
+	}
+	return e.Bytes()
+}
+
+// DecodeDataBatch parses a TDataBatch body.
+func DecodeDataBatch(b []byte) (DataBatch, error) {
+	d := NewDec(b)
+	m := DataBatch{Sender: d.U16(), TSeq0: d.U64()}
+	n := d.Len(dataMsgMinBytes)
+	for i := 0; i < n; i++ {
+		m.Msgs = append(m.Msgs, decodeDataMsg(d))
+	}
+	if err := d.Done(); err != nil {
+		return DataBatch{}, err
+	}
+	if len(m.Msgs) == 0 {
+		return DataBatch{}, fmt.Errorf("wire: empty data batch")
+	}
+	if m.TSeq0 == 0 {
+		return DataBatch{}, fmt.Errorf("wire: data batch with zero channel sequence")
+	}
+	if m.TSeq0+uint64(len(m.Msgs)) < m.TSeq0 {
+		return DataBatch{}, fmt.Errorf("wire: data batch channel sequence overflow")
+	}
+	for i := range m.Msgs {
+		x := &m.Msgs[i]
+		if err := checkDataMsg(x.Kind, x.Pid, &x.Pkt); err != nil {
+			return DataBatch{}, err
+		}
 	}
 	return m, nil
 }

@@ -48,6 +48,7 @@ const (
 	TReport     uint8 = 13 // worker -> coordinator: final report (JSON body)
 	TError      uint8 = 14 // either direction: fatal error (text body)
 	TData       uint8 = 15 // worker -> worker: one cross-core tunnel message
+	TDataBatch  uint8 = 16 // worker -> worker: a dense run of tunnel messages
 )
 
 const headerBytes = 6 // u32 length + u8 version + u8 type

@@ -136,6 +136,89 @@ func TestDataRejectsCorruptStructure(t *testing.T) {
 	}
 }
 
+func TestDataBatchRoundTrip(t *testing.T) {
+	pw1, err := EncodePacket(&pipes.Packet{
+		Seq: 9, Size: 500, Src: 1, Dst: 2, Route: []pipes.ID{0, 3}, Hop: 1,
+		Injected: vtime.Time(50), Lag: vtime.Duration(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw2, err := EncodePacket(&pipes.Packet{Seq: 10, Size: 40, Src: 2, Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := DataBatch{
+		Sender: 3,
+		TSeq0:  17,
+		Msgs: []DataMsg{
+			{Seq: 100, Kind: KindTunnel, Pid: 3, At: 5, Fire: 6, Pkt: pw1},
+			{Seq: 101, Kind: KindDelivery, Pid: -1, At: 7, Lag: 1, Fire: 8, Pkt: pw2},
+		},
+	}
+	raw := b.Encode()
+	got, err := DecodeDataBatch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sender != b.Sender || got.TSeq0 != b.TSeq0 || len(got.Msgs) != len(b.Msgs) {
+		t.Fatalf("batch header round trip: %+v", got)
+	}
+	for i := range got.Msgs {
+		g, w := got.Msgs[i], b.Msgs[i]
+		if g.Seq != w.Seq || g.Kind != w.Kind || g.Pid != w.Pid || g.At != w.At || g.Lag != w.Lag || g.Fire != w.Fire {
+			t.Fatalf("element %d envelope round trip: %+v", i, g)
+		}
+		gp, err := g.Pkt.Packet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := w.Pkt.Packet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gp, wp) {
+			t.Fatalf("element %d packet round trip:\n got %+v\nwant %+v", i, gp, wp)
+		}
+	}
+	if !bytes.Equal(got.Encode(), raw) {
+		t.Fatal("batch re-encode not canonical")
+	}
+	// The raw-element assembler must agree with the struct encoder.
+	elems := make([][]byte, len(b.Msgs))
+	for i, m := range b.Msgs {
+		elems[i] = m.Encode()
+	}
+	if !bytes.Equal(EncodeDataBatch(b.Sender, b.TSeq0, elems), raw) {
+		t.Fatal("EncodeDataBatch diverges from DataBatch.Encode")
+	}
+}
+
+func TestDataBatchRejectsCorruptStructure(t *testing.T) {
+	pw, _ := EncodePacket(&pipes.Packet{Route: []pipes.ID{1}, Hop: 0})
+	ok := DataMsg{Seq: 1, Kind: KindDelivery, Pid: -1, Pkt: pw}
+	cases := []DataBatch{
+		{Sender: 0, TSeq0: 1},                                             // empty batch
+		{Sender: 0, TSeq0: 0, Msgs: []DataMsg{ok}},                        // zero channel seq
+		{TSeq0: 1, Msgs: []DataMsg{{Kind: 9, Pkt: pw}}},                   // unknown kind
+		{TSeq0: 1, Msgs: []DataMsg{{Kind: KindTunnel, Pid: -2, Pkt: pw}}}, // tunnel without pipe
+	}
+	for i, m := range cases {
+		if _, err := DecodeDataBatch(m.Encode()); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	raw := DataBatch{Sender: 1, TSeq0: 5, Msgs: []DataMsg{ok, ok}}.Encode()
+	if _, err := DecodeDataBatch(raw); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeDataBatch(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
 func TestUnregisteredPayloadErrors(t *testing.T) {
 	type private struct{ X int }
 	if _, err := EncodePacket(&pipes.Packet{Payload: private{1}}); err == nil {

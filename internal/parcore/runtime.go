@@ -329,17 +329,23 @@ func (r *Runtime) applyInbox(w *worker) {
 	w.inbox = w.inbox[:0]
 }
 
+// inprocSender is the in-process Sender: a per-peer batch moves as one
+// slice append into the target's inbox.
+type inprocSender struct{ r *Runtime }
+
+// Send implements Sender.
+func (s inprocSender) Send(target int, msgs []Msg) error {
+	s.r.workers[target].inbox = append(s.r.workers[target].inbox, msgs...)
+	s.r.stats.Messages += uint64(len(msgs))
+	return nil
+}
+
 // distributeOnly moves outboxes to inboxes without scheduling (the next
 // Exchange or DrainPass applies them).
 func (r *Runtime) distributeOnly() {
 	for _, src := range r.workers {
-		for tgt := range r.workers {
-			msgs := src.outbox.Take(tgt)
-			if len(msgs) == 0 {
-				continue
-			}
-			r.workers[tgt].inbox = append(r.workers[tgt].inbox, msgs...)
-			r.stats.Messages += uint64(len(msgs))
+		if err := src.outbox.Flush(inprocSender{r}); err != nil {
+			panic(err) // the in-process sender never fails
 		}
 	}
 }

@@ -269,11 +269,28 @@ func (o *Outbox) Handoff(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.T
 	})
 }
 
-// Take removes and returns the pending messages for one target shard.
-func (o *Outbox) Take(target int) []Msg {
-	msgs := o.pending[target]
-	o.pending[target] = nil
-	return msgs
+// Sender moves one peer's whole pending batch at a barrier. The data path
+// is batch-first: transports carry the slice as a unit — a slice append
+// in-process, one (or a few MTU-bounded) wire frames over sockets — so the
+// per-message cost of a window is paid once per (window, peer), not once
+// per packet.
+type Sender interface {
+	Send(target int, msgs []Msg) error
+}
+
+// Flush hands every non-empty per-peer batch to the sender, one Send call
+// per peer, in target order. The outbox is empty afterwards.
+func (o *Outbox) Flush(s Sender) error {
+	for t, msgs := range o.pending {
+		if len(msgs) == 0 {
+			continue
+		}
+		o.pending[t] = nil
+		if err := s.Send(t, msgs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SortMsgs orders msgs by the canonical barrier key (Fire, Sender, Seq), so
@@ -291,25 +308,42 @@ func SortMsgs(msgs []Msg) {
 	})
 }
 
-// ApplyMsgs sorts a batch canonically and schedules each message onto the
-// shard's scheduler at its fire time. A message firing before the shard's
-// clock is an earliest-output-time violation — the window algebra in Drive
-// is why it cannot happen — reported as an error so remote transports can
-// surface it instead of corrupting virtual time.
+// ApplyMsgs sorts a batch canonically and schedules it onto the shard's
+// scheduler, one event per distinct fire time: messages sharing a deadline
+// apply back-to-back inside a single activation (with the emulator's core
+// re-arm deferred to the end of the cluster, see emucore.BatchApply), so
+// the scheduler fires once per deadline cluster instead of once per
+// message. A message firing before the shard's clock is an
+// earliest-output-time violation — the window algebra in Drive is why it
+// cannot happen — reported as an error so remote transports can surface it
+// instead of corrupting virtual time.
 func ApplyMsgs(sched *vtime.Scheduler, emu *emucore.Emulator, msgs []Msg) error {
 	SortMsgs(msgs)
-	for _, m := range msgs {
-		m := m
-		if now := sched.Now(); m.Fire < now {
-			return fmt.Errorf("parcore: EOT violation: fire %v < now %v (pid %d)", m.Fire, now, m.Pid)
+	now := sched.Now()
+	for i := 0; i < len(msgs); {
+		fire := msgs[i].Fire
+		if fire < now {
+			return fmt.Errorf("parcore: EOT violation: fire %v < now %v (pid %d)", fire, now, msgs[i].Pid)
 		}
-		sched.At(m.Fire, func() {
-			if m.Pid >= 0 {
-				emu.TunnelIn(m.Pkt, m.Pid, m.At)
-			} else {
-				emu.CompleteDelivery(m.Pkt, m.Lag, m.At)
-			}
+		j := i + 1
+		for j < len(msgs) && msgs[j].Fire == fire {
+			j++
+		}
+		// Callers reuse the msgs backing array between barriers; the
+		// cluster needs a private copy to survive until its event fires.
+		cluster := append([]Msg(nil), msgs[i:j]...)
+		sched.At(fire, func() {
+			emu.BatchApply(func() {
+				for _, m := range cluster {
+					if m.Pid >= 0 {
+						emu.TunnelIn(m.Pkt, m.Pid, m.At)
+					} else {
+						emu.CompleteDelivery(m.Pkt, m.Lag, m.At)
+					}
+				}
+			})
 		})
+		i = j
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+package pipes
+
+// Dedicated heap tests, white-box: the pipe's queue is crafted directly so
+// Update can be driven through transitions the emulator only produces under
+// load — removal via a Forever deadline, in-place deadline increases and
+// decreases (re-sift down and up), and PopReady over tied deadlines.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"modelnet/internal/vtime"
+)
+
+// setDeadline forces p's next deadline to d (Forever = empty pipe).
+func setDeadline(p *Pipe, d vtime.Time) {
+	p.head, p.txHead = 0, 0
+	if d == vtime.Forever {
+		p.q = p.q[:0]
+		return
+	}
+	p.q = append(p.q[:0], entry{exit: d})
+}
+
+// bareWithDeadline builds a pipe the heap can track without going through
+// Enqueue (the heap touches only ID and NextDeadline).
+func bareWithDeadline(id ID, d vtime.Time) *Pipe {
+	p := &Pipe{id: id}
+	setDeadline(p, d)
+	return p
+}
+
+func TestHeapUpdateForeverRemoves(t *testing.T) {
+	h := NewHeap()
+	ps := make([]*Pipe, 5)
+	for i := range ps {
+		ps[i] = bareWithDeadline(ID(i), vtime.Time((i+1)*10))
+		h.Update(ps[i])
+	}
+	// Remove the minimum: the next-smallest must surface.
+	setDeadline(ps[0], vtime.Forever)
+	h.Update(ps[0])
+	if h.Len() != 4 || h.Min() != 20 {
+		t.Fatalf("after removing min: len %d min %v", h.Len(), h.Min())
+	}
+	// Removing an untracked pipe is a no-op.
+	h.Update(ps[0])
+	if h.Len() != 4 {
+		t.Fatalf("double removal changed len to %d", h.Len())
+	}
+	// Remove from the middle and the tail.
+	setDeadline(ps[2], vtime.Forever)
+	h.Update(ps[2])
+	setDeadline(ps[4], vtime.Forever)
+	h.Update(ps[4])
+	if h.Len() != 2 || h.Min() != 20 {
+		t.Fatalf("after middle+tail removal: len %d min %v", h.Len(), h.Min())
+	}
+	// Re-inserting a removed pipe works.
+	setDeadline(ps[0], 5)
+	h.Update(ps[0])
+	if h.Len() != 3 || h.Min() != 5 {
+		t.Fatalf("after re-insert: len %d min %v", h.Len(), h.Min())
+	}
+}
+
+func TestHeapUpdateResifts(t *testing.T) {
+	h := NewHeap()
+	ps := make([]*Pipe, 8)
+	for i := range ps {
+		ps[i] = bareWithDeadline(ID(i), vtime.Time((i+1)*100))
+		h.Update(ps[i])
+	}
+	// Increase the minimum past everything: it must sift down.
+	setDeadline(ps[0], 10_000)
+	h.Update(ps[0])
+	if h.Min() != 200 {
+		t.Fatalf("after increase: min %v, want 200", h.Min())
+	}
+	// Decrease a tail pipe below everything: it must sift up.
+	setDeadline(ps[7], 1)
+	h.Update(ps[7])
+	if h.Min() != 1 {
+		t.Fatalf("after decrease: min %v, want 1", h.Min())
+	}
+	// An equal-deadline update must not corrupt the heap.
+	setDeadline(ps[3], 400)
+	h.Update(ps[3])
+	// Drain: pops must come out in nondecreasing deadline order and cover
+	// every pipe exactly once.
+	seen := map[ID]bool{}
+	last := vtime.Time(-1)
+	for h.Len() > 0 {
+		now := h.Min()
+		if now < last {
+			t.Fatalf("heap order violated: %v after %v", now, last)
+		}
+		last = now
+		h.PopReady(now, func(p *Pipe) {
+			if seen[p.ID()] {
+				t.Fatalf("pipe %d popped twice", p.ID())
+			}
+			seen[p.ID()] = true
+			setDeadline(p, vtime.Forever)
+		})
+	}
+	if len(seen) != len(ps) {
+		t.Fatalf("drained %d of %d pipes", len(seen), len(ps))
+	}
+}
+
+func TestHeapPopReadyTies(t *testing.T) {
+	build := func() (*Heap, []*Pipe) {
+		h := NewHeap()
+		ps := make([]*Pipe, 9)
+		for i := range ps {
+			d := vtime.Time(50) // pipes 0..5 tie
+			if i >= 6 {
+				d = vtime.Time(100 + i) // 6..8 later
+			}
+			ps[i] = bareWithDeadline(ID(i), d)
+			h.Update(ps[i])
+		}
+		return h, ps
+	}
+	h, _ := build()
+	var order []ID
+	n := h.PopReady(50, func(p *Pipe) { order = append(order, p.ID()) })
+	if n != 6 || len(order) != 6 {
+		t.Fatalf("popped %d pipes (%v), want the 6 tied ones", n, order)
+	}
+	sorted := append([]ID(nil), order...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, id := range sorted {
+		if id != ID(i) {
+			t.Fatalf("tied pop covered %v, want pipes 0..5", order)
+		}
+	}
+	if h.Len() != 3 || h.Min() != 106 {
+		t.Fatalf("after tied pop: len %d min %v", h.Len(), h.Min())
+	}
+	// Tie order is deterministic: an identical build pops identically.
+	h2, _ := build()
+	var order2 []ID
+	h2.PopReady(50, func(p *Pipe) { order2 = append(order2, p.ID()) })
+	for i := range order {
+		if order[i] != order2[i] {
+			t.Fatalf("tie order not deterministic: %v vs %v", order, order2)
+		}
+	}
+}
+
+// Property: under arbitrary churn of insert/move/remove, Min always equals
+// the true minimum and membership matches a shadow map.
+func TestHeapChurnProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHeap()
+	ps := make([]*Pipe, 16)
+	for i := range ps {
+		ps[i] = bareWithDeadline(ID(i), vtime.Forever)
+	}
+	for step := 0; step < 5000; step++ {
+		p := ps[rng.Intn(len(ps))]
+		switch rng.Intn(4) {
+		case 0, 1: // set (insert or move, including decreases)
+			setDeadline(p, vtime.Time(rng.Intn(1000)+1))
+		case 2: // remove
+			setDeadline(p, vtime.Forever)
+		case 3: // equal re-update
+		}
+		h.Update(p)
+		want, live := vtime.Forever, 0
+		for _, q := range ps {
+			if d := q.NextDeadline(); d != vtime.Forever {
+				live++
+				if d < want {
+					want = d
+				}
+			}
+		}
+		if h.Min() != want || h.Len() != live {
+			t.Fatalf("step %d: min %v want %v, len %d want %d", step, h.Min(), want, h.Len(), live)
+		}
+	}
+}

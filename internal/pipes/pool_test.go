@@ -1,0 +1,55 @@
+package pipes
+
+import (
+	"testing"
+
+	"modelnet/internal/vtime"
+)
+
+func TestPacketPoolRecyclesZeroed(t *testing.T) {
+	var pool PacketPool
+	a := pool.Get()
+	*a = Packet{
+		Seq: 7, Size: 100, Src: 1, Dst: 2,
+		Route: []ID{1, 2, 3}, Hop: 2,
+		Injected: vtime.Time(5), Lag: vtime.Duration(3),
+		Payload: "held",
+	}
+	pool.Put(a)
+	if pool.Len() != 1 {
+		t.Fatalf("pool len %d", pool.Len())
+	}
+	b := pool.Get()
+	if b != a {
+		t.Fatal("pool did not reuse the descriptor")
+	}
+	if b.Seq != 0 || b.Size != 0 || b.Src != 0 || b.Dst != 0 || b.Route != nil ||
+		b.Hop != 0 || b.Injected != 0 || b.Lag != 0 || b.Payload != nil {
+		t.Fatalf("recycled descriptor not zeroed: %+v", b)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("pool len %d after Get", pool.Len())
+	}
+	// Get on an empty pool allocates.
+	c := pool.Get()
+	if c == a {
+		t.Fatal("empty pool returned a live descriptor")
+	}
+	// Put(nil) is a no-op.
+	pool.Put(nil)
+	if pool.Len() != 0 {
+		t.Fatal("nil Put entered the free list")
+	}
+}
+
+func TestPacketPoolBounded(t *testing.T) {
+	// A shard that receives more packets than it injects must not retain
+	// every surplus descriptor: past the cap, Put drops to the GC.
+	var pool PacketPool
+	for i := 0; i < maxPoolFree+10; i++ {
+		pool.Put(&Packet{})
+	}
+	if pool.Len() != maxPoolFree {
+		t.Fatalf("free list grew to %d, cap is %d", pool.Len(), maxPoolFree)
+	}
+}

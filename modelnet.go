@@ -152,6 +152,13 @@ type FederateOptions struct {
 	// CollectDeliveries records every delivery's virtual time in the
 	// report (the cross-mode determinism probe).
 	CollectDeliveries bool
+	// NoBatch reverts the data plane to one frame (and one syscall) per
+	// cross-core tunnel message. By default each window's messages per
+	// peer coalesce into MTU-bounded batch frames (CLI: -batch=0).
+	NoBatch bool
+	// MaxDatagram bounds one UDP data-plane frame in bytes; batches are
+	// chunked to fit. 0 means fednet.DefaultMaxDatagram.
+	MaxDatagram int
 }
 
 // FederationReport is a federated run's aggregated outcome.
@@ -185,6 +192,8 @@ func Federate(scenario string, params any, runFor Duration, opts Options) (*Fede
 		DataPlane:         fo.DataPlane,
 		Spawn:             fo.Spawn,
 		CollectDeliveries: fo.CollectDeliveries,
+		NoBatch:           fo.NoBatch,
+		MaxDatagram:       fo.MaxDatagram,
 	})
 }
 
