@@ -19,9 +19,15 @@
 //	modelnet -federate :9000 -cores 4        # coordinator, waits for workers
 //	modelnet -federate 127.0.0.1:0 -cores 4 -fedspawn   # self-contained demo
 //
-// A federated run drives a registered scenario (-fedscenario ring-cbr or
-// gnutella-ring) instead of the local TCP-flow workload, because the
-// workload itself must be distributed across the worker processes.
+// A federated run drives a registered scenario (-fedscenario ring-cbr,
+// gnutella-ring, cfs-ring, or webrepl-ring) instead of the local TCP-flow
+// workload, because the workload itself must be distributed across the
+// worker processes. cfs-ring federates the §5.1 CFS/DHash store (Chord +
+// block-fetch RPC, nested payload codecs); webrepl-ring federates the §5.2
+// replicated web service, whose netstack TCP segments — retransmissions
+// included — cross the worker processes:
+//
+//	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal -fedscenario cfs-ring -feddata tcp
 package main
 
 import (
@@ -241,6 +247,21 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			Degree: 4, TTL: 7,
 			WindowSec: duration, Seed: opts.Seed,
 		}
+	case experiments.ScenarioCFSRing:
+		params = experiments.CFSRingSpec{
+			Routers: 6, VNsPerRouter: 2,
+			FileKB: 256, WindowKB: 24,
+			Downloaders: []int{0, 7},
+			DurationSec: duration, Seed: opts.Seed,
+		}
+	case experiments.ScenarioWebReplRing:
+		params = experiments.WebReplRingSpec{
+			Routers: 6, VNsPerRouter: 3,
+			LossPct:  1.0,
+			TraceSec: duration * 0.5, DrainSec: duration * 0.5,
+			MinRate: 30, MaxRate: 60, MedianSize: 8 << 10,
+			Seed: opts.Seed,
+		}
 	default:
 		fatal(fmt.Errorf("-fedscenario %q: known scenarios are %v", scenario, fednet.Scenarios()))
 	}
@@ -261,10 +282,30 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 		fmt.Printf("shard %d: %d injected, %d delivered, %d tunnels in, %d tunnels out\n",
 			w.Shard, w.Totals.Injected, w.Totals.Delivered, w.TunnelsIn, w.TunnelsOut)
 	}
-	if scenario == experiments.ScenarioGnutella {
-		if g, err := experiments.GnutellaFederatedReport(rep); err == nil {
+	switch scenario {
+	case experiments.ScenarioGnutella:
+		if g, err := experiments.GnutellaFederatedReport(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
+		} else {
 			fmt.Printf("overlay: %d reachable from servent 0, %d forwarded, %d duplicates\n",
 				g.Reachable, g.Forwarded, g.Duplicates)
+		}
+	case experiments.ScenarioCFSRing:
+		if c, err := experiments.CFSFederatedReport(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
+		} else {
+			fmt.Printf("cfs    : %d blocks served\n", c.BlocksServed)
+			for _, d := range c.Downloads {
+				fmt.Printf("  node %2d: %d bytes in %d blocks (%d failed, %d hops) %.1f KB/s done=%v\n",
+					d.Node, d.Bytes, d.Blocks, d.Failed, d.Hops, d.SpeedKBps, d.Done)
+			}
+		}
+	case experiments.ScenarioWebReplRing:
+		if wr, err := experiments.WebReplFederatedReport(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
+		} else {
+			fmt.Printf("web    : %d requests (%d ok, %d failed), %d bytes served, %d retransmits (%d across core boundaries)\n",
+				wr.Requests, wr.OK, wr.Failed, wr.ServerBytes, wr.Retransmits, wr.CrossRetransmits)
 		}
 	}
 	acc := rep.Accuracy

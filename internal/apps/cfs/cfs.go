@@ -61,6 +61,9 @@ func NewPeer(h *netstack.Host, id chord.ID, ccfg chord.Config) (*Peer, error) {
 // Addr returns the peer's block-service endpoint.
 func (p *Peer) Addr() netstack.Endpoint { return p.rpc.Addr() }
 
+// Host returns the peer's network stack (and hence its scheduler).
+func (p *Peer) Host() *netstack.Host { return p.host }
+
 // StoreLocal inserts a block into this peer's store directly (used by the
 // offline striping step once ownership is known).
 func (p *Peer) StoreLocal(id chord.ID, size int) { p.store[id] = size }
@@ -98,33 +101,52 @@ func FileBlocks(name string, size int) []chord.ID {
 // (offline, by ring position — equivalent to inserting via Chord once the
 // ring is consistent). Returns blocks per peer for verification.
 func Stripe(peers []*Peer, name string, size int) map[*Peer]int {
+	ids := make([]chord.ID, len(peers))
+	for i, p := range peers {
+		ids[i] = p.Chord.ID()
+	}
 	blocks := FileBlocks(name, size)
 	counts := make(map[*Peer]int)
-	for i, b := range blocks {
-		owner := ownerOf(peers, b)
-		sz := BlockSize
-		if i == len(blocks)-1 && size%BlockSize != 0 {
-			sz = size % BlockSize
-		}
-		owner.StoreLocal(b, sz)
-		counts[owner]++
+	for i, owner := range BlockOwners(ids, blocks) {
+		p := peers[owner]
+		p.StoreLocal(blocks[i], BlockBytes(size, i, len(blocks)))
+		counts[p]++
 	}
 	return counts
 }
 
-func ownerOf(peers []*Peer, key chord.ID) *Peer {
-	var best *Peer
-	var min *Peer
-	for _, p := range peers {
-		id := p.Chord.ID()
-		if min == nil || id < min.Chord.ID() {
-			min = p
+// BlockBytes is the size of block i of a size-byte file striped into
+// len(FileBlocks) pieces (the last block may be short).
+func BlockBytes(size, i, blocks int) int {
+	if i == blocks-1 && size%BlockSize != 0 {
+		return size % BlockSize
+	}
+	return BlockSize
+}
+
+// BlockOwners maps each block onto the index of the peer owning it, given
+// only the population's ring positions. It is a pure function of its
+// arguments, so every process of a federated run derives the same striping
+// from the scenario parameters and stores only its homed peers' blocks.
+func BlockOwners(ids []chord.ID, blocks []chord.ID) []int {
+	owners := make([]int, len(blocks))
+	for i, b := range blocks {
+		owners[i] = ownerIndex(ids, b)
+	}
+	return owners
+}
+
+func ownerIndex(ids []chord.ID, key chord.ID) int {
+	best, min := -1, 0
+	for i, id := range ids {
+		if id < ids[min] {
+			min = i
 		}
-		if id >= key && (best == nil || id < best.Chord.ID()) {
-			best = p
+		if id >= key && (best < 0 || id < ids[best]) {
+			best = i
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return min
 	}
 	return best

@@ -90,11 +90,14 @@ func TestStripePlacement(t *testing.T) {
 		t.Fatalf("striped %d blocks", total)
 	}
 	// Every block lives at its ring owner.
+	ids := make([]chord.ID, len(cl.peers))
+	for i, p := range cl.peers {
+		ids[i] = p.Chord.ID()
+	}
 	blocks := FileBlocks("testfile", 1<<20)
-	for _, b := range blocks {
-		owner := ownerOf(cl.peers, b)
-		if !owner.HasBlock(b) {
-			t.Fatalf("block %x missing at owner", b)
+	for i, owner := range BlockOwners(ids, blocks) {
+		if !cl.peers[owner].HasBlock(blocks[i]) {
+			t.Fatalf("block %x missing at owner", blocks[i])
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package cfs
+
+// Federation codecs: CFS block fetches cross core-process boundaries
+// inside netstack's recursive RPC-frame payload (internal/fednet), so the
+// RPC bodies register codecs next to their types.
+
+import (
+	"fmt"
+
+	"modelnet/internal/apps/chord"
+	"modelnet/internal/fednet/wire"
+)
+
+func init() {
+	base := wire.PayloadApp + 20
+	wire.RegisterPayload(base+0, (*fetchReq)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			e.U64(uint64(v.(*fetchReq).Block))
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			return &fetchReq{Block: chord.ID(d.U64())}, d.Err()
+		},
+	})
+	wire.RegisterPayload(base+1, (*fetchResp)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			m := v.(*fetchResp)
+			e.Bool(m.OK)
+			e.I32(int32(m.Size))
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			ok, err := d.StrictBool()
+			if err != nil {
+				return nil, err
+			}
+			m := &fetchResp{OK: ok, Size: int(d.I32())}
+			if m.Size < 0 {
+				return nil, fmt.Errorf("cfs: fetch response with negative size %d", m.Size)
+			}
+			return m, d.Err()
+		},
+	})
+}

@@ -387,42 +387,71 @@ func (n *Node) fixFinger() {
 	})
 }
 
+// Bootstrap wires this node into a consistent ring offline — successor
+// list, predecessor, and fingers — from the full membership (every node's
+// Ref, in any order; the list must include this node). It is the per-node
+// half of BootstrapAll, usable when the other nodes live in different
+// processes: a federated scenario derives the same global Ref list on
+// every worker and bootstraps only its homed nodes.
+func (n *Node) Bootstrap(all []Ref) {
+	sorted := sortRefs(all)
+	k := len(sorted)
+	if k == 0 {
+		return
+	}
+	i := 0
+	for ; i < k; i++ {
+		if sorted[i].ID == n.id {
+			break
+		}
+	}
+	if i == k {
+		panic(fmt.Sprintf("chord: Bootstrap membership does not include node %016x", uint64(n.id)))
+	}
+	n.succs = n.succs[:0]
+	for s := 1; s <= n.cfg.SuccListLen && s < k+1; s++ {
+		n.succs = append(n.succs, sorted[(i+s)%k])
+	}
+	if len(n.succs) == 0 {
+		n.succs = []Ref{n.Ref()}
+	}
+	n.pred = sorted[(i-1+k)%k]
+	for f := 0; f < 64; f++ {
+		target := n.id + 1<<uint(f)
+		n.fingers[f] = successorOf(sorted, target)
+	}
+}
+
 // BootstrapAll wires a set of nodes into a consistent ring offline —
 // successors, predecessors, successor lists, and fingers — the "perfect
 // initialization" used when an experiment's subject is data transfer rather
 // than ring convergence.
 func BootstrapAll(nodes []*Node) {
-	if len(nodes) == 0 {
-		return
+	refs := make([]Ref, len(nodes))
+	for i, nd := range nodes {
+		refs[i] = nd.Ref()
 	}
-	sorted := append([]*Node(nil), nodes...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j].id < sorted[j-1].id; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	k := len(sorted)
-	for i, nd := range sorted {
-		nd.succs = nd.succs[:0]
-		for s := 1; s <= nd.cfg.SuccListLen && s < k+1; s++ {
-			nd.succs = append(nd.succs, sorted[(i+s)%k].Ref())
-		}
-		if len(nd.succs) == 0 {
-			nd.succs = []Ref{nd.Ref()}
-		}
-		nd.pred = sorted[(i-1+k)%k].Ref()
-		for f := 0; f < 64; f++ {
-			target := nd.id + 1<<uint(f)
-			nd.fingers[f] = successorOf(sorted, target)
-		}
+	for _, nd := range nodes {
+		nd.Bootstrap(refs)
 	}
 }
 
-func successorOf(sorted []*Node, key ID) Ref {
-	for _, nd := range sorted {
-		if nd.id >= key {
-			return nd.Ref()
+// sortRefs returns the refs in ascending ID order.
+func sortRefs(refs []Ref) []Ref {
+	sorted := append([]Ref(nil), refs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].ID < sorted[j-1].ID; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	return sorted[0].Ref()
+	return sorted
+}
+
+func successorOf(sorted []Ref, key ID) Ref {
+	for _, r := range sorted {
+		if r.ID >= key {
+			return r
+		}
+	}
+	return sorted[0]
 }

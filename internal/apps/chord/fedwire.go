@@ -1,0 +1,89 @@
+package chord
+
+// Federation codecs: Chord's RPC bodies cross core-process boundaries
+// inside netstack's recursive RPC-frame payload (internal/fednet), so each
+// body type registers a codec next to its definition. Any binary that can
+// run a Chord workload can then also federate it.
+
+import (
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
+)
+
+func putRef(e *wire.Enc, r Ref) {
+	e.U64(uint64(r.ID))
+	e.I32(int32(r.Addr.VN))
+	e.U16(r.Addr.Port)
+}
+
+func getRef(d *wire.Dec) Ref {
+	return Ref{
+		ID:   ID(d.U64()),
+		Addr: netstack.Endpoint{VN: pipes.VN(d.I32()), Port: d.U16()},
+	}
+}
+
+func init() {
+	base := wire.PayloadApp + 10
+	wire.RegisterPayload(base+0, (*findSuccReq)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			e.U64(uint64(v.(*findSuccReq).Key))
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			return &findSuccReq{Key: ID(d.U64())}, d.Err()
+		},
+	})
+	wire.RegisterPayload(base+1, (*findSuccResp)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			m := v.(*findSuccResp)
+			e.Bool(m.Found)
+			putRef(e, m.Next)
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			found, err := d.StrictBool()
+			if err != nil {
+				return nil, err
+			}
+			return &findSuccResp{Found: found, Next: getRef(d)}, d.Err()
+		},
+	})
+	wire.RegisterPayload(base+2, (*getStateReq)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error { return nil },
+		Dec: func(d *wire.Dec) (any, error) { return &getStateReq{}, nil },
+	})
+	wire.RegisterPayload(base+3, (*getStateResp)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			m := v.(*getStateResp)
+			putRef(e, m.Pred)
+			e.U32(uint32(len(m.Succs)))
+			for _, s := range m.Succs {
+				putRef(e, s)
+			}
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			m := &getStateResp{Pred: getRef(d)}
+			n := d.Len(14)
+			for i := 0; i < n; i++ {
+				m.Succs = append(m.Succs, getRef(d))
+			}
+			return m, d.Err()
+		},
+	})
+	wire.RegisterPayload(base+4, (*notifyReq)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			putRef(e, v.(*notifyReq).Cand)
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			return &notifyReq{Cand: getRef(d)}, d.Err()
+		},
+	})
+	wire.RegisterPayload(base+5, (*notifyOK)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error { return nil },
+		Dec: func(d *wire.Dec) (any, error) { return &notifyOK{}, nil },
+	})
+}

@@ -22,75 +22,55 @@ func getEndpoint(d *wire.Dec) netstack.Endpoint {
 
 func init() {
 	wire.RegisterPayload(wire.PayloadApp+0, (*ping)(nil), wire.PayloadCodec{
-		Enc: func(v any) ([]byte, error) {
+		Enc: func(e *wire.Enc, v any) error {
 			m := v.(*ping)
-			var e wire.Enc
 			e.U64(m.ID)
 			e.I32(int32(m.TTL))
-			putEndpoint(&e, m.Origin)
-			return e.Bytes(), nil
+			putEndpoint(e, m.Origin)
+			return nil
 		},
-		Dec: func(b []byte) (any, error) {
-			d := wire.NewDec(b)
+		Dec: func(d *wire.Dec) (any, error) {
 			m := &ping{ID: d.U64(), TTL: int(d.I32()), Origin: getEndpoint(d)}
-			if err := d.Done(); err != nil {
-				return nil, err
-			}
-			return m, nil
+			return m, d.Err()
 		},
 	})
 	wire.RegisterPayload(wire.PayloadApp+1, (*pong)(nil), wire.PayloadCodec{
-		Enc: func(v any) ([]byte, error) {
+		Enc: func(e *wire.Enc, v any) error {
 			m := v.(*pong)
-			var e wire.Enc
 			e.U64(m.ID)
-			putEndpoint(&e, m.From)
-			return e.Bytes(), nil
+			putEndpoint(e, m.From)
+			return nil
 		},
-		Dec: func(b []byte) (any, error) {
-			d := wire.NewDec(b)
+		Dec: func(d *wire.Dec) (any, error) {
 			m := &pong{ID: d.U64(), From: getEndpoint(d)}
-			if err := d.Done(); err != nil {
-				return nil, err
-			}
-			return m, nil
+			return m, d.Err()
 		},
 	})
 	wire.RegisterPayload(wire.PayloadApp+2, (*query)(nil), wire.PayloadCodec{
-		Enc: func(v any) ([]byte, error) {
+		Enc: func(e *wire.Enc, v any) error {
 			m := v.(*query)
-			var e wire.Enc
 			e.U64(m.ID)
 			e.I32(int32(m.TTL))
 			e.Str(m.Keyword)
-			putEndpoint(&e, m.Origin)
-			return e.Bytes(), nil
+			putEndpoint(e, m.Origin)
+			return nil
 		},
-		Dec: func(b []byte) (any, error) {
-			d := wire.NewDec(b)
+		Dec: func(d *wire.Dec) (any, error) {
 			m := &query{ID: d.U64(), TTL: int(d.I32()), Keyword: d.Str(), Origin: getEndpoint(d)}
-			if err := d.Done(); err != nil {
-				return nil, err
-			}
-			return m, nil
+			return m, d.Err()
 		},
 	})
 	wire.RegisterPayload(wire.PayloadApp+3, (*queryHit)(nil), wire.PayloadCodec{
-		Enc: func(v any) ([]byte, error) {
+		Enc: func(e *wire.Enc, v any) error {
 			m := v.(*queryHit)
-			var e wire.Enc
 			e.U64(m.ID)
 			e.Str(m.Keyword)
-			putEndpoint(&e, m.From)
-			return e.Bytes(), nil
+			putEndpoint(e, m.From)
+			return nil
 		},
-		Dec: func(b []byte) (any, error) {
-			d := wire.NewDec(b)
+		Dec: func(d *wire.Dec) (any, error) {
 			m := &queryHit{ID: d.U64(), Keyword: d.Str(), From: getEndpoint(d)}
-			if err := d.Done(); err != nil {
-				return nil, err
-			}
-			return m, nil
+			return m, d.Err()
 		},
 	})
 }

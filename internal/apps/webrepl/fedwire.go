@@ -1,0 +1,28 @@
+package webrepl
+
+// Federation codec: the web request rides a TCP message marker
+// (netstack.Segment.Msgs), so federated runs encode it through the
+// recursive payload registry when a segment crosses a core-process
+// boundary.
+
+import (
+	"fmt"
+
+	"modelnet/internal/fednet/wire"
+)
+
+func init() {
+	wire.RegisterPayload(wire.PayloadApp+30, (*request)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			e.I32(int32(v.(*request).Size))
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			m := &request{Size: int(d.I32())}
+			if m.Size < 0 {
+				return nil, fmt.Errorf("webrepl: request with negative size %d", m.Size)
+			}
+			return m, d.Err()
+		},
+	})
+}

@@ -25,6 +25,10 @@ type Server struct {
 	// PerRequestCPU delays each response by modeled server processing
 	// time; the paper measured ~10% CPU at full load, so default 0.
 	PerRequestCPU vtime.Duration
+	// OnConnClose, when non-nil, observes every server-side connection as
+	// it closes — the point where its final TCP counters (Retransmits,
+	// Timeouts, BytesSent) are complete.
+	OnConnClose func(c *netstack.Conn)
 
 	Requests uint64
 	BytesOut uint64
@@ -53,6 +57,11 @@ func NewServer(h *netstack.Host, port uint16) (*Server, error) {
 					respond()
 				}
 			},
+			OnClose: func(c *netstack.Conn, err error) {
+				if s.OnConnClose != nil {
+					s.OnConnClose(c)
+				}
+			},
 		}
 	})
 	if err != nil {
@@ -74,6 +83,10 @@ type Result struct {
 type Playback struct {
 	hosts  []*netstack.Host // client VN hosts, indexed by trace client id
 	target func(client int) netstack.Endpoint
+
+	// OnConnClose, when non-nil, observes every client-side connection as
+	// it closes (final TCP counters complete).
+	OnConnClose func(c *netstack.Conn)
 
 	Results []Result
 }
@@ -119,6 +132,9 @@ func (pb *Playback) issue(h *netstack.Host, tr traffic.TraceReq) {
 		},
 		OnClose: func(c *netstack.Conn, err error) {
 			finish(err == nil && got >= tr.Size)
+			if pb.OnConnClose != nil {
+				pb.OnConnClose(c)
+			}
 		},
 	})
 	c.WriteMsg(&request{Size: tr.Size}, requestWire)

@@ -10,6 +10,8 @@ package experiments
 // See DESIGN.md for the contract's scope.
 
 import (
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -201,6 +203,161 @@ func TestGnutellaFednetDeterminism(t *testing.T) {
 	if fed.Sync.Messages == 0 {
 		t.Error("federated gnutella exchanged no cross-core messages — the comparison is vacuous")
 	}
+}
+
+// fedPlanes are the (workers, data plane) points the federated TCP-workload
+// suite covers: both planes at 2, 3, and 4 worker processes.
+var fedPlanes = []struct {
+	cores int
+	plane string
+}{
+	{2, fednet.DataUDP},
+	{2, fednet.DataTCP},
+	{3, fednet.DataUDP},
+	{3, fednet.DataTCP},
+	{4, fednet.DataUDP},
+	{4, fednet.DataTCP},
+}
+
+// TestCFSRingFednetDeterminism extends the cross-mode contract to the CFS
+// workload: Chord lookups and block fetches ride RPC frames whose bodies
+// are nested payloads, so every cross-core packet exercises the recursive
+// codec layer.
+func TestCFSRingFednetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := CFSRingSpec{
+		Routers:      4,
+		VNsPerRouter: 3,
+		FileKB:       64,
+		WindowKB:     24,
+		Downloaders:  []int{0, 7},
+		DurationSec:  5,
+		Seed:         21,
+	}
+	seq, err := RunCFSRingLocal(spec, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.CFS.Downloads) != len(spec.Downloaders) {
+		t.Fatalf("expected %d downloads, got %+v", len(spec.Downloaders), seq.CFS.Downloads)
+	}
+	for _, d := range seq.CFS.Downloads {
+		if !d.Done || d.Failed > 0 || d.Bytes != spec.FileKB<<10 {
+			t.Errorf("download from node %d incomplete: %+v", d.Node, d)
+		}
+	}
+	par, err := RunCFSRingLocal(spec, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Totals != par.Totals {
+		t.Errorf("cfs-ring counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
+	}
+	if !reflect.DeepEqual(seq.CFS, par.CFS) {
+		t.Errorf("cfs-ring reports diverge:\n sequential %+v\n parallel   %+v", seq.CFS, par.CFS)
+	}
+	sameCDF(t, "cfs-ring seq vs par", seq.Deliveries, par.Deliveries)
+	for _, fp := range fedPlanes {
+		fed, err := RunCFSRingFederated(spec, fp.cores, fp.plane)
+		if err != nil {
+			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+		}
+		name := fmtPlane("cfs-ring", fp.cores, fp.plane)
+		if seq.Totals != fed.Totals {
+			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, seq.Totals, fed.Totals)
+		}
+		fedRep, err := CFSFederatedReport(fed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.CFS, fedRep) {
+			t.Errorf("%s: reports diverge:\n sequential %+v\n federated  %+v", name, seq.CFS, fedRep)
+		}
+		sameCDF(t, name, seq.Deliveries, sampleOf(fed))
+		if fed.Sync.Messages == 0 {
+			t.Errorf("%s: no cross-core messages — the comparison is vacuous", name)
+		}
+	}
+}
+
+// TestWebReplRingFednetDeterminism extends the contract to the web-replica
+// workload: real netstack TCP connections — handshakes, message markers,
+// retransmissions, RTO state — cross core-process boundaries as Segment
+// payloads, under link loss that guarantees retransmitted segments span
+// the cut.
+func TestWebReplRingFednetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := WebReplRingSpec{
+		Routers:      6,
+		VNsPerRouter: 3,
+		LossPct:      1.0,
+		TraceSec:     2,
+		MinRate:      30,
+		MaxRate:      60,
+		MedianSize:   8 << 10,
+		DrainSec:     6,
+		Seed:         31,
+	}
+	seq, err := RunWebReplRingLocal(spec, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Web.OK == 0 {
+		t.Fatalf("no requests completed: %+v", seq.Web)
+	}
+	if seq.Web.Retransmits == 0 {
+		t.Fatalf("lossy ring produced no TCP retransmissions — the workload is not exercising RTO state: %+v", seq.Web)
+	}
+	par, err := RunWebReplRingLocal(spec, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Totals != par.Totals {
+		t.Errorf("webrepl-ring counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
+	}
+	if seq.Web.Comparable() != par.Web.Comparable() {
+		t.Errorf("webrepl-ring reports diverge:\n sequential %+v\n parallel   %+v", seq.Web, par.Web)
+	}
+	sameCDF(t, "webrepl-ring seq vs par", seq.Deliveries, par.Deliveries)
+	crossRetransRuns := 0
+	for _, fp := range fedPlanes {
+		fed, err := RunWebReplRingFederated(spec, fp.cores, fp.plane)
+		if err != nil {
+			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+		}
+		name := fmtPlane("webrepl-ring", fp.cores, fp.plane)
+		if seq.Totals != fed.Totals {
+			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, seq.Totals, fed.Totals)
+		}
+		fedRep, err := WebReplFederatedReport(fed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Web.Comparable() != fedRep.Comparable() {
+			t.Errorf("%s: reports diverge:\n sequential %+v\n federated  %+v", name, seq.Web, fedRep)
+		}
+		sameCDF(t, name, seq.Deliveries, sampleOf(fed))
+		if fed.Sync.Messages == 0 {
+			t.Errorf("%s: no cross-core messages — the comparison is vacuous", name)
+		}
+		if fedRep.CrossRetransmits > 0 {
+			crossRetransRuns++
+		}
+	}
+	// The acceptance probe: TCP retransmission state survived a core
+	// boundary (a retransmitted segment was re-sent on a connection whose
+	// peer lives in another worker process).
+	if crossRetransRuns == 0 {
+		t.Error("no federated run retransmitted across a core boundary — the TCP-over-the-cut path went unexercised")
+	}
+}
+
+func fmtPlane(scenario string, cores int, plane string) string {
+	return fmt.Sprintf("%s seq vs fednet-%s-%d", scenario, plane, cores)
 }
 
 func TestCFSSeqParDeterminism(t *testing.T) {

@@ -1,6 +1,6 @@
 package experiments
 
-// Federated scenarios and the fednet scaling study. Two workloads register
+// Federated scenarios and the fednet scaling study. Four workloads register
 // with the federation runtime (internal/fednet):
 //
 //   - "ring-cbr": the parcore study's saturating CBR ring (UDP, nil
@@ -8,6 +8,12 @@ package experiments
 //   - "gnutella-ring": a gnutella ping flood over a ring of routers with
 //     jittered link latencies, exercising application payload codecs and
 //     bursty cross-core traffic.
+//   - "cfs-ring": the §5.1 CFS/DHash store spread over a ring — Chord
+//     lookups and block fetches ride the UDP RPC layer, whose frames nest
+//     application bodies (the recursive payload registry at work).
+//   - "webrepl-ring": the §5.2 web service under loss — real netstack TCP
+//     connections (handshakes, RTO/retransmit state, message markers)
+//     cross core-process boundaries as Segment payloads.
 //
 // Every scenario is a pure function of its parameters: the coordinator and
 // all three execution modes (sequential, in-process parallel, N-process
@@ -22,22 +28,29 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"modelnet"
+	"modelnet/internal/apps/cfs"
+	"modelnet/internal/apps/chord"
 	"modelnet/internal/apps/gnutella"
+	"modelnet/internal/apps/webrepl"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
 	"modelnet/internal/pipes"
 	"modelnet/internal/stats"
+	"modelnet/internal/traffic"
 	"modelnet/internal/vtime"
 )
 
 // Registered federation scenario names.
 const (
-	ScenarioRingCBR  = "ring-cbr"
-	ScenarioGnutella = "gnutella-ring"
+	ScenarioRingCBR     = "ring-cbr"
+	ScenarioGnutella    = "gnutella-ring"
+	ScenarioCFSRing     = "cfs-ring"
+	ScenarioWebReplRing = "webrepl-ring"
 )
 
 // ---------------------------------------------------------------------------
@@ -244,6 +257,345 @@ func (c GnutellaRingSpec) Install(n int, homed func(pipes.VN) bool,
 }
 
 // ---------------------------------------------------------------------------
+// cfs-ring
+
+// CFSRingSpec parameterizes the federated CFS workload: one CFS/DHash peer
+// per VN of a router ring, a file striped over the population by ring
+// position, and a set of nodes downloading it with a prefetch window. All
+// traffic is Chord + block-fetch RPC over the UDP stack; the RPC frames
+// nest their application bodies, so every cross-core packet exercises the
+// recursive payload codecs.
+type CFSRingSpec struct {
+	Routers      int     `json:"routers"`
+	VNsPerRouter int     `json:"vns_per_router"`
+	FileKB       int     `json:"file_kb"`
+	WindowKB     int     `json:"window_kb"`    // prefetch window (the Fig. 7 knob)
+	Downloaders  []int   `json:"downloaders"`  // VN indices that fetch the file
+	DurationSec  float64 `json:"duration_sec"` // total emulated time
+	Seed         int64   `json:"seed"`
+}
+
+const cfsRingFile = "cfs-ring-file"
+
+// Peers is the CFS population (one peer per VN).
+func (c CFSRingSpec) Peers() int { return c.Routers * c.VNsPerRouter }
+
+// RunFor is the virtual time a run of this spec must cover (downloads
+// finish well before; the remainder is steady-state Chord maintenance,
+// identical in every mode).
+func (c CFSRingSpec) RunFor() modelnet.Duration { return modelnet.Seconds(c.DurationSec) }
+
+// Topology builds the ring: fast core links, 10 Mb/s access links — the
+// block-transfer bottleneck, as in the §5.1 RON mesh.
+func (c CFSRingSpec) Topology() *modelnet.Graph {
+	ringAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(100), LatencySec: modelnet.Ms(5), QueuePkts: 200}
+	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 100}
+	return modelnet.Ring(c.Routers, c.VNsPerRouter, ringAttr, accessAttr)
+}
+
+// RingRefs derives the full Chord membership — IDs from the VN index,
+// endpoints from the default Chord port — identically on every process.
+func (c CFSRingSpec) RingRefs(n int) ([]chord.ID, []chord.Ref) {
+	ids := make([]chord.ID, n)
+	refs := make([]chord.Ref, n)
+	for v := 0; v < n; v++ {
+		ids[v] = chord.HashString(fmt.Sprintf("cfs-ring-%d", v))
+		refs[v] = chord.Ref{ID: ids[v], Addr: netstack.Endpoint{VN: pipes.VN(v), Port: 4000}}
+	}
+	return ids, refs
+}
+
+// CFSRingDownload is one downloader's outcome.
+type CFSRingDownload struct {
+	Node      int     `json:"node"`
+	Done      bool    `json:"done"`
+	Bytes     int     `json:"bytes"`
+	Blocks    int     `json:"blocks"`
+	Failed    int     `json:"failed"`
+	Hops      int     `json:"hops"` // total Chord lookup hops
+	SpeedKBps float64 `json:"speed_kbps"`
+}
+
+// CFSRingReport is the scenario's measurement, summed over the installing
+// process's peers.
+type CFSRingReport struct {
+	Downloads    []CFSRingDownload `json:"downloads"`
+	BlocksServed uint64            `json:"blocks_served"`
+}
+
+// Merge folds another process's report in, keeping downloads sorted.
+func (r *CFSRingReport) Merge(o CFSRingReport) {
+	r.Downloads = append(r.Downloads, o.Downloads...)
+	sort.Slice(r.Downloads, func(i, j int) bool { return r.Downloads[i].Node < r.Downloads[j].Node })
+	r.BlocksServed += o.BlocksServed
+}
+
+// Install builds the homed slice of the CFS deployment: peers with
+// offline-bootstrapped Chord state, the homed share of the striped file,
+// and the homed downloaders' fetches. The returned closure reports this
+// slice's results after the run.
+func (c CFSRingSpec) Install(n int, homed func(pipes.VN) bool,
+	host func(pipes.VN) *netstack.Host) (func() CFSRingReport, error) {
+	ids, refs := c.RingRefs(n)
+	blocks := cfs.FileBlocks(cfsRingFile, c.FileKB<<10)
+	owners := cfs.BlockOwners(ids, blocks)
+	peers := make(map[pipes.VN]*cfs.Peer)
+	for v := 0; v < n; v++ {
+		vn := pipes.VN(v)
+		if !homed(vn) {
+			continue
+		}
+		// Generous RPC budget: lookups queue behind block transfers.
+		p, err := cfs.NewPeer(host(vn), ids[v], chord.Config{RPCTimeout: 2 * vtime.Second, RPCRetries: 3})
+		if err != nil {
+			return nil, err
+		}
+		p.Chord.Bootstrap(refs)
+		peers[vn] = p
+	}
+	for i, o := range owners {
+		if p, ok := peers[pipes.VN(o)]; ok {
+			p.StoreLocal(blocks[i], cfs.BlockBytes(c.FileKB<<10, i, len(blocks)))
+		}
+	}
+	rep := &CFSRingReport{}
+	for k, dv := range c.Downloaders {
+		if dv < 0 || dv >= n {
+			return nil, fmt.Errorf("cfs-ring: downloader VN %d outside population of %d", dv, n)
+		}
+		p, ok := peers[pipes.VN(dv)]
+		if !ok {
+			continue
+		}
+		idx := len(rep.Downloads)
+		rep.Downloads = append(rep.Downloads, CFSRingDownload{Node: dv})
+		// Staggered starts keep the downloads from opening in the same
+		// nanosecond while still contending for the ring.
+		start := vtime.DurationOf(0.1) + vtime.Duration(k)*vtime.DurationOf(0.05)
+		p.Host().Scheduler().After(start, func() {
+			p.Fetch(blocks, c.WindowKB<<10, func(r cfs.FetchResult) {
+				d := &rep.Downloads[idx]
+				d.Done = true
+				d.Bytes = r.Bytes
+				d.Blocks = r.Blocks
+				d.Failed = r.Failed
+				d.Hops = r.LookupHops
+				d.SpeedKBps = r.SpeedKBps
+			})
+		})
+	}
+	return func() CFSRingReport {
+		// Idempotent snapshot: rep itself is never mutated, and downloads
+		// come out sorted by node so a merged federated report compares
+		// byte-for-byte with a sequential one regardless of Downloaders
+		// order or shard interleaving.
+		out := CFSRingReport{Downloads: append([]CFSRingDownload(nil), rep.Downloads...)}
+		sort.Slice(out.Downloads, func(i, j int) bool { return out.Downloads[i].Node < out.Downloads[j].Node })
+		for v := 0; v < n; v++ {
+			if p, ok := peers[pipes.VN(v)]; ok {
+				out.BlocksServed += p.BlocksServed
+			}
+		}
+		return out
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// webrepl-ring
+
+// WebReplRingSpec parameterizes the federated web-replica workload: VN
+// slot 0 of every router serves (webrepl.Server), the remaining VNs play a
+// synthesized request trace against the server diametrically across the
+// ring — so every connection's segments cross the cut under a contiguous
+// partition — over lossy ring links that force TCP retransmission and RTO
+// state to span core processes.
+type WebReplRingSpec struct {
+	Routers      int     `json:"routers"`
+	VNsPerRouter int     `json:"vns_per_router"` // slot 0 serves, the rest are clients
+	LossPct      float64 `json:"loss_pct"`       // ring-link loss percentage
+	TraceSec     float64 `json:"trace_sec"`
+	MinRate      float64 `json:"min_rate"` // requests/second, whole population
+	MaxRate      float64 `json:"max_rate"`
+	MedianSize   int     `json:"median_size"` // response bytes
+	DrainSec     float64 `json:"drain_sec"`   // settle time after the trace
+	Seed         int64   `json:"seed"`
+}
+
+// Clients is the trace-playing population (every non-server VN).
+func (c WebReplRingSpec) Clients() int { return c.Routers * (c.VNsPerRouter - 1) }
+
+// RunFor covers the trace plus drain.
+func (c WebReplRingSpec) RunFor() modelnet.Duration {
+	return modelnet.Seconds(c.TraceSec + c.DrainSec)
+}
+
+// Topology builds the ring with lossy core links: the access links stay
+// clean so drops land on the router-to-router pipes — exactly the
+// segments that cross core processes in a federated run. Per-link latency
+// jitter (as in gnutella-ring) keeps independent connections' packets from
+// colliding at a pipe in the same nanosecond, whose tie order the three
+// runtimes do not coordinate.
+func (c WebReplRingSpec) Topology() *modelnet.Graph {
+	ringAttr := modelnet.LinkAttrs{
+		BandwidthBps: modelnet.Mbps(20), LatencySec: modelnet.Ms(5),
+		QueuePkts: 50, LossRate: c.LossPct / 100,
+	}
+	accessAttr := modelnet.LinkAttrs{BandwidthBps: modelnet.Mbps(10), LatencySec: modelnet.Ms(1), QueuePkts: 50}
+	g := modelnet.Ring(c.Routers, c.VNsPerRouter, ringAttr, accessAttr)
+	latRng := rand.New(rand.NewSource(c.Seed ^ 0x3eb1a))
+	for i := range g.Links {
+		a := g.Links[i].Attr
+		a.LatencySec *= 0.8 + 0.4*latRng.Float64()
+		g.Links[i].Attr = a
+	}
+	return g
+}
+
+// serverVN is router r's serving VN; target maps a client VN to the
+// replica diametrically across the ring.
+func (c WebReplRingSpec) serverVN(r int) int { return r * c.VNsPerRouter }
+
+func (c WebReplRingSpec) target(clientVN int) netstack.Endpoint {
+	r := clientVN / c.VNsPerRouter
+	s := c.serverVN((r + c.Routers/2) % c.Routers)
+	return netstack.Endpoint{VN: pipes.VN(s), Port: 80}
+}
+
+// WebReplRingReport is the scenario's measurement. CrossRetransmits counts
+// retransmissions on connections whose peer lives on another core process;
+// it is necessarily zero outside federation, so cross-mode comparisons use
+// Comparable.
+type WebReplRingReport struct {
+	Requests         uint64 `json:"requests"`
+	OK               uint64 `json:"ok"`
+	Failed           uint64 `json:"failed"`
+	LatNsSum         uint64 `json:"lat_ns_sum"` // summed latency of OK requests
+	ServerRequests   uint64 `json:"server_requests"`
+	ServerBytes      uint64 `json:"server_bytes"`
+	Retransmits      uint64 `json:"retransmits"` // closed client+server conns
+	CrossRetransmits uint64 `json:"cross_retransmits,omitempty"`
+}
+
+// Merge folds another process's report in.
+func (r *WebReplRingReport) Merge(o WebReplRingReport) {
+	r.Requests += o.Requests
+	r.OK += o.OK
+	r.Failed += o.Failed
+	r.LatNsSum += o.LatNsSum
+	r.ServerRequests += o.ServerRequests
+	r.ServerBytes += o.ServerBytes
+	r.Retransmits += o.Retransmits
+	r.CrossRetransmits += o.CrossRetransmits
+}
+
+// Comparable strips the deployment-dependent fields, leaving what every
+// execution mode must agree on byte-for-byte.
+func (r WebReplRingReport) Comparable() WebReplRingReport {
+	r.CrossRetransmits = 0
+	return r
+}
+
+// Install builds the homed slice of the web deployment. cross, when
+// non-nil, reports whether a VN lives on a different core process — used
+// to attribute retransmissions to connections that span the cut; pass nil
+// outside federation. The returned closure reports this slice's results
+// after the run.
+func (c WebReplRingSpec) Install(n int, homed func(pipes.VN) bool,
+	host func(pipes.VN) *netstack.Host, cross func(pipes.VN) bool) (func() WebReplRingReport, error) {
+	if c.VNsPerRouter < 2 {
+		return nil, fmt.Errorf("webrepl-ring: need at least 2 VNs per router (1 server + clients), got %d", c.VNsPerRouter)
+	}
+	// Per-endpoint accumulators: callbacks run on the owning VN's core, so
+	// shared counters would race under the in-process parallel runtime.
+	// Everything is summed single-threaded in the report closure.
+	type connStats struct{ retrans, crossRetrans uint64 }
+	observe := func(st *connStats) func(conn *netstack.Conn) {
+		return func(conn *netstack.Conn) {
+			st.retrans += conn.Retransmits
+			if cross != nil && cross(conn.Remote.VN) {
+				st.crossRetrans += conn.Retransmits
+			}
+		}
+	}
+	var servers []*webrepl.Server
+	var serverStats []*connStats
+	for r := 0; r < c.Routers; r++ {
+		vn := pipes.VN(c.serverVN(r))
+		if !homed(vn) {
+			continue
+		}
+		srv, err := webrepl.NewServer(host(vn), 80)
+		if err != nil {
+			return nil, err
+		}
+		st := &connStats{}
+		srv.OnConnClose = observe(st)
+		servers = append(servers, srv)
+		serverStats = append(serverStats, st)
+	}
+	// The global trace, derived identically everywhere; client VNs are the
+	// non-server VNs in order.
+	clientVNs := make([]int, 0, c.Clients())
+	for v := 0; v < n; v++ {
+		if v%c.VNsPerRouter != 0 {
+			clientVNs = append(clientVNs, v)
+		}
+	}
+	reqs := traffic.Synthesize(traffic.TraceConfig{
+		Duration: vtime.DurationOf(c.TraceSec),
+		Clients:  len(clientVNs),
+		MinRate:  c.MinRate, MaxRate: c.MaxRate,
+		MedianSize: float64(c.MedianSize),
+		Seed:       c.Seed,
+	})
+	var playbacks []*webrepl.Playback
+	var playStats []*connStats
+	for ci, v := range clientVNs {
+		vn := pipes.VN(v)
+		if !homed(vn) {
+			continue
+		}
+		dst := c.target(v)
+		pb := webrepl.NewPlayback([]*netstack.Host{host(vn)},
+			func(int) netstack.Endpoint { return dst })
+		st := &connStats{}
+		pb.OnConnClose = observe(st)
+		var mine []traffic.TraceReq
+		for _, r := range reqs {
+			if r.Client == ci {
+				mine = append(mine, r)
+			}
+		}
+		pb.Run(mine)
+		playbacks = append(playbacks, pb)
+		playStats = append(playStats, st)
+	}
+	return func() WebReplRingReport {
+		var rep WebReplRingReport
+		for i, pb := range playbacks {
+			rep.Requests += uint64(len(pb.Results))
+			for _, r := range pb.Results {
+				if r.OK {
+					rep.OK++
+					rep.LatNsSum += uint64(r.Latency)
+				} else {
+					rep.Failed++
+				}
+			}
+			rep.Retransmits += playStats[i].retrans
+			rep.CrossRetransmits += playStats[i].crossRetrans
+		}
+		for i, srv := range servers {
+			rep.ServerRequests += srv.Requests
+			rep.ServerBytes += srv.BytesOut
+			rep.Retransmits += serverStats[i].retrans
+			rep.CrossRetransmits += serverStats[i].crossRetrans
+		}
+		return rep
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
 // scenario registration
 
 func init() {
@@ -288,12 +640,63 @@ func init() {
 			}, nil
 		},
 	})
+	fednet.Register(ScenarioCFSRing, fednet.Scenario{
+		Build: func(params json.RawMessage) (*modelnet.Graph, error) {
+			var c CFSRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			return c.Topology(), nil
+		},
+		Install: func(env *fednet.WorkerEnv, params json.RawMessage) (func() json.RawMessage, error) {
+			var c CFSRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			report, err := c.Install(env.NumVNs(), env.Homed, env.NewHost)
+			if err != nil {
+				return nil, err
+			}
+			return func() json.RawMessage {
+				b, _ := json.Marshal(report())
+				return b
+			}, nil
+		},
+	})
+	fednet.Register(ScenarioWebReplRing, fednet.Scenario{
+		Build: func(params json.RawMessage) (*modelnet.Graph, error) {
+			var c WebReplRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			return c.Topology(), nil
+		},
+		Install: func(env *fednet.WorkerEnv, params json.RawMessage) (func() json.RawMessage, error) {
+			var c WebReplRingSpec
+			if err := json.Unmarshal(params, &c); err != nil {
+				return nil, err
+			}
+			// Connections whose peer is homed on another shard span real
+			// sockets; their retransmissions are the TCP-across-the-cut
+			// probe.
+			cross := func(vn pipes.VN) bool { return !env.Homed(vn) }
+			report, err := c.Install(env.NumVNs(), env.Homed, env.NewHost, cross)
+			if err != nil {
+				return nil, err
+			}
+			return func() json.RawMessage {
+				b, _ := json.Marshal(report())
+				return b
+			}, nil
+		},
+	})
 }
 
 // ---------------------------------------------------------------------------
 // local (non-socket) runners, for cross-mode comparison
 
-// localRun is a mode-generic outcome.
+// localRun is a mode-generic outcome; the scenario-specific report lands
+// in the matching field.
 type localRun struct {
 	Totals     modelnet.Totals
 	Deliveries *stats.Sample
@@ -303,13 +706,16 @@ type localRun struct {
 	Messages   uint64
 	Lookahead  modelnet.Duration
 	Gnutella   GnutellaRingReport
+	CFS        CFSRingReport
+	Web        WebReplRingReport
 }
 
 // runLocal executes a registered-scenario-equivalent workload without
 // sockets: sequentially (parallel=false) or on the in-process parallel
-// runtime.
+// runtime. install returns a finisher that records the scenario's report
+// into the run after the clock stops.
 func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
-	install func(em *modelnet.Emulation) (func() GnutellaRingReport, error),
+	install func(em *modelnet.Emulation) (func(*localRun), error),
 	runFor modelnet.Duration) (*localRun, error) {
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(topo, modelnet.Options{
@@ -325,7 +731,7 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 		res.Deliveries.Add(at.Seconds())
 		mu.Unlock()
 	})
-	report, err := install(em)
+	finish, err := install(em)
 	if err != nil {
 		return nil, err
 	}
@@ -333,8 +739,8 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 	em.RunFor(runFor)
 	res.WallMS = float64(time.Since(begin).Microseconds()) / 1000
 	res.Totals = em.Totals()
-	if report != nil {
-		res.Gnutella = report()
+	if finish != nil {
+		finish(res)
 	}
 	if em.Par != nil {
 		st := em.Par.Stats()
@@ -344,13 +750,13 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 	return res, nil
 }
 
+func allHomed(pipes.VN) bool { return true }
+
 // RunRingCBRLocal runs the ring-cbr scenario without sockets.
 func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel,
-		func(em *modelnet.Emulation) (func() GnutellaRingReport, error) {
-			err := c.Install(em.NumVNs(),
-				func(pipes.VN) bool { return true },
-				em.NewHost, em.SchedulerOf)
+		func(em *modelnet.Emulation) (func(*localRun), error) {
+			err := c.Install(em.NumVNs(), allHomed, em.NewHost, em.SchedulerOf)
 			return nil, err
 		}, c.RunFor())
 }
@@ -358,10 +764,36 @@ func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error)
 // RunGnutellaRingLocal runs the gnutella-ring scenario without sockets.
 func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel,
-		func(em *modelnet.Emulation) (func() GnutellaRingReport, error) {
-			return c.Install(em.NumVNs(),
-				func(pipes.VN) bool { return true },
-				em.NewHost)
+		func(em *modelnet.Emulation) (func(*localRun), error) {
+			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
+			if err != nil {
+				return nil, err
+			}
+			return func(res *localRun) { res.Gnutella = report() }, nil
+		}, c.RunFor())
+}
+
+// RunCFSRingLocal runs the cfs-ring scenario without sockets.
+func RunCFSRingLocal(c CFSRingSpec, cores int, parallel bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel,
+		func(em *modelnet.Emulation) (func(*localRun), error) {
+			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
+			if err != nil {
+				return nil, err
+			}
+			return func(res *localRun) { res.CFS = report() }, nil
+		}, c.RunFor())
+}
+
+// RunWebReplRingLocal runs the webrepl-ring scenario without sockets.
+func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel,
+		func(em *modelnet.Emulation) (func(*localRun), error) {
+			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost, nil)
+			if err != nil {
+				return nil, err
+			}
+			return func(res *localRun) { res.Web = report() }, nil
 		}, c.RunFor())
 }
 
@@ -390,37 +822,88 @@ func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string) (
 	})
 }
 
-// GnutellaFederatedReport merges the per-worker scenario reports of a
-// federated gnutella-ring run.
-func GnutellaFederatedReport(rep *fednet.Report) (GnutellaRingReport, error) {
-	var out GnutellaRingReport
+// RunCFSRingFederated runs the cfs-ring scenario as a cores-process
+// federation over loopback.
+func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+	ideal := modelnet.IdealProfile()
+	return fednet.Run(fednet.Options{
+		Scenario: ScenarioCFSRing, Params: c,
+		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		RunFor: c.RunFor(), DataPlane: dataPlane,
+		Spawn: true, CollectDeliveries: true,
+	})
+}
+
+// RunWebReplRingFederated runs the webrepl-ring scenario as a
+// cores-process federation over loopback.
+func RunWebReplRingFederated(c WebReplRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+	ideal := modelnet.IdealProfile()
+	return fednet.Run(fednet.Options{
+		Scenario: ScenarioWebReplRing, Params: c,
+		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		RunFor: c.RunFor(), DataPlane: dataPlane,
+		Spawn: true, CollectDeliveries: true,
+	})
+}
+
+// mergeWorkerReports unmarshals and merges the per-worker scenario reports
+// of a federated run into out (any type with a Merge method, via the
+// merge callback).
+func mergeWorkerReports[T any](rep *fednet.Report, merge func(T)) error {
 	for _, w := range rep.Workers {
 		if len(w.Scenario) == 0 {
 			continue
 		}
-		var r GnutellaRingReport
+		var r T
 		if err := json.Unmarshal(w.Scenario, &r); err != nil {
-			return out, fmt.Errorf("shard %d scenario report: %w", w.Shard, err)
+			return fmt.Errorf("shard %d scenario report: %w", w.Shard, err)
 		}
-		out.Merge(r)
+		merge(r)
 	}
-	return out, nil
+	return nil
+}
+
+// GnutellaFederatedReport merges the per-worker scenario reports of a
+// federated gnutella-ring run.
+func GnutellaFederatedReport(rep *fednet.Report) (GnutellaRingReport, error) {
+	var out GnutellaRingReport
+	err := mergeWorkerReports(rep, out.Merge)
+	return out, err
+}
+
+// CFSFederatedReport merges the per-worker scenario reports of a federated
+// cfs-ring run.
+func CFSFederatedReport(rep *fednet.Report) (CFSRingReport, error) {
+	var out CFSRingReport
+	err := mergeWorkerReports(rep, out.Merge)
+	return out, err
+}
+
+// WebReplFederatedReport merges the per-worker scenario reports of a
+// federated webrepl-ring run.
+func WebReplFederatedReport(rep *fednet.Report) (WebReplRingReport, error) {
+	var out WebReplRingReport
+	err := mergeWorkerReports(rep, out.Merge)
+	return out, err
 }
 
 // ---------------------------------------------------------------------------
 // the fednet scaling study (mnbench -run fednet -> BENCH_fednet.json)
 
-// FednetConfig parameterizes the scaling study: the same ring workload
-// under the in-process parallel runtime and under real multi-process
-// federation at each core count.
+// FednetConfig parameterizes the scaling study: each scenario — the CBR
+// ring, the CFS store (nested RPC payloads), and the web replicas (TCP
+// segments) — under the in-process parallel runtime and under real
+// multi-process federation at each core count.
 type FednetConfig struct {
 	Ring      RingCBRSpec
+	CFS       CFSRingSpec
+	Web       WebReplRingSpec
 	Cores     []int
 	DataPlane string
 }
 
-// DefaultFednet is the full-scale study: the paper's 20×20 ring at 2 and 4
-// cores, over the UDP data plane.
+// DefaultFednet is the full-scale study: the paper's 20×20 ring plus the
+// two application workloads, at 2 and 4 cores, over the UDP data plane.
 func DefaultFednet() FednetConfig {
 	return FednetConfig{
 		Ring: RingCBRSpec{
@@ -431,26 +914,49 @@ func DefaultFednet() FednetConfig {
 			DurationSec:   10,
 			Seed:          11,
 		},
+		CFS: CFSRingSpec{
+			Routers:      8,
+			VNsPerRouter: 4,
+			FileKB:       1024,
+			WindowKB:     24,
+			Downloaders:  []int{0, 9, 17, 25},
+			DurationSec:  20,
+			Seed:         21,
+		},
+		Web: WebReplRingSpec{
+			Routers:      10,
+			VNsPerRouter: 4,
+			LossPct:      0.5,
+			TraceSec:     10,
+			MinRate:      40,
+			MaxRate:      80,
+			MedianSize:   8 << 10,
+			DrainSec:     10,
+			Seed:         31,
+		},
 		Cores:     []int{2, 4},
 		DataPlane: fednet.DataUDP,
 	}
 }
 
-// ScaledFednet shrinks the emulated duration for quick runs.
+// ScaledFednet shrinks the emulated durations for quick runs.
 func ScaledFednet(scale float64) FednetConfig {
 	cfg := DefaultFednet()
 	if scale < 1 {
 		cfg.Ring.DurationSec *= scale
+		cfg.CFS.DurationSec = 5 + (cfg.CFS.DurationSec-5)*scale
+		cfg.Web.TraceSec *= scale
 	}
 	return cfg
 }
 
 // FednetRow is one configuration's outcome.
 type FednetRow struct {
+	Scenario     string  `json:"scenario"`
 	Mode         string  `json:"mode"` // seq, inproc, fednet
 	Cores        int     `json:"cores"`
 	WallMS       float64 `json:"wall_ms"`
-	Speedup      float64 `json:"speedup"` // vs the sequential row
+	Speedup      float64 `json:"speedup"` // vs the scenario's sequential row
 	Delivered    uint64  `json:"delivered"`
 	Injected     uint64  `json:"injected"`
 	Drops        uint64  `json:"drops"`
@@ -465,48 +971,41 @@ type FednetRow struct {
 	LookaheadMS float64 `json:"lookahead_ms,omitempty"`
 }
 
-// FednetResult is the full study.
+// FednetResult is the full study. The three spec fields record each
+// scenario's exact parameters, so every row's dimensions are reproducible
+// from the JSON alone.
 type FednetResult struct {
-	Routers      int     `json:"routers"`
-	VNsPerRouter int     `json:"vns_per_router"`
-	DurationSec  float64 `json:"duration_sec"`
-	DataPlane    string  `json:"data_plane"`
+	Ring      RingCBRSpec     `json:"ring"`
+	CFS       CFSRingSpec     `json:"cfs"`
+	Web       WebReplRingSpec `json:"web"`
+	DataPlane string          `json:"data_plane"`
 	// HostCPUs bounds the achievable speedup; on a 1-CPU host the
 	// parallel and federated rows measure synchronization and socket
 	// overhead instead.
 	HostCPUs int         `json:"host_cpus"`
 	Rows     []FednetRow `json:"rows"`
 	// Deterministic reports whether every configuration produced
-	// identical conservation counters.
+	// identical conservation counters to its scenario's sequential run.
 	Deterministic bool `json:"deterministic"`
 }
 
-func totalsRow(mode string, cores int, t modelnet.Totals, wallMS float64) FednetRow {
+func totalsRow(scenario, mode string, cores int, t modelnet.Totals, wallMS float64) FednetRow {
 	return FednetRow{
-		Mode: mode, Cores: cores, WallMS: wallMS,
+		Scenario: scenario, Mode: mode, Cores: cores, WallMS: wallMS,
 		Delivered: t.Delivered, Injected: t.Injected,
 		Drops: t.PhysDrops + t.VirtualDrops,
 	}
 }
 
-// RunFednetScaling runs the study: a sequential baseline, then at each core
-// count the in-process parallel runtime and a real multi-process
-// federation.
-func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
-	res := &FednetResult{
-		Routers:      cfg.Ring.Routers,
-		VNsPerRouter: cfg.Ring.VNsPerRouter,
-		DurationSec:  cfg.Ring.DurationSec,
-		DataPlane:    cfg.DataPlane,
-		HostCPUs:     runtime.NumCPU(),
-
-		Deterministic: true,
-	}
-	seq, err := RunRingCBRLocal(cfg.Ring, 1, false)
+// runFednetScenario appends one scenario's seq/inproc/fednet rows.
+func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlane string,
+	local func(cores int, parallel bool) (*localRun, error),
+	federated func(cores int, dataPlane string) (*fednet.Report, error)) error {
+	seq, err := local(1, false)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	base := totalsRow("seq", 1, seq.Totals, seq.WallMS)
+	base := totalsRow(scenario, "seq", 1, seq.Totals, seq.WallMS)
 	base.Speedup = 1
 	res.Rows = append(res.Rows, base)
 	check := func(r FednetRow) FednetRow {
@@ -518,41 +1017,77 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 		}
 		return r
 	}
-	for _, k := range cfg.Cores {
+	for _, k := range cores {
 		if k < 2 {
 			continue
 		}
-		par, err := RunRingCBRLocal(cfg.Ring, k, true)
+		par, err := local(k, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := totalsRow("inproc", k, par.Totals, par.WallMS)
+		row := totalsRow(scenario, "inproc", k, par.Totals, par.WallMS)
 		row.Windows, row.SerialRounds, row.Messages = par.Windows, par.Serial, par.Messages
 		row.LookaheadMS = par.Lookahead.Seconds() * 1000
 		res.Rows = append(res.Rows, check(row))
 
-		fed, err := RunRingCBRFederated(cfg.Ring, k, cfg.DataPlane)
+		fed, err := federated(k, dataPlane)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		frow := totalsRow("fednet", k, fed.Totals, fed.WallMS)
+		frow := totalsRow(scenario, "fednet", k, fed.Totals, fed.WallMS)
 		frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
 		frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
 		frow.LookaheadMS = fed.Lookahead.Seconds() * 1000
 		res.Rows = append(res.Rows, check(frow))
+	}
+	return nil
+}
+
+// RunFednetScaling runs the study: per scenario, a sequential baseline,
+// then at each core count the in-process parallel runtime and a real
+// multi-process federation.
+func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
+	res := &FednetResult{
+		Ring:      cfg.Ring,
+		CFS:       cfg.CFS,
+		Web:       cfg.Web,
+		DataPlane: cfg.DataPlane,
+		HostCPUs:  runtime.NumCPU(),
+
+		Deterministic: true,
+	}
+	if err := runFednetScenario(res, ScenarioRingCBR, cfg.Cores, cfg.DataPlane,
+		func(k int, p bool) (*localRun, error) { return RunRingCBRLocal(cfg.Ring, k, p) },
+		func(k int, dp string) (*fednet.Report, error) { return RunRingCBRFederated(cfg.Ring, k, dp) },
+	); err != nil {
+		return nil, err
+	}
+	if err := runFednetScenario(res, ScenarioCFSRing, cfg.Cores, cfg.DataPlane,
+		func(k int, p bool) (*localRun, error) { return RunCFSRingLocal(cfg.CFS, k, p) },
+		func(k int, dp string) (*fednet.Report, error) { return RunCFSRingFederated(cfg.CFS, k, dp) },
+	); err != nil {
+		return nil, err
+	}
+	if err := runFednetScenario(res, ScenarioWebReplRing, cfg.Cores, cfg.DataPlane,
+		func(k int, p bool) (*localRun, error) { return RunWebReplRingLocal(cfg.Web, k, p) },
+		func(k int, dp string) (*fednet.Report, error) { return RunWebReplRingFederated(cfg.Web, k, dp) },
+	); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
 // PrintFednet renders the study.
 func PrintFednet(w io.Writer, res *FednetResult) {
-	fprintf(w, "Core federation scaling: %d×%d ring, %.1fs emulated, %s data plane (host CPUs: %d)\n",
-		res.Routers, res.VNsPerRouter, res.DurationSec, res.DataPlane, res.HostCPUs)
-	fprintf(w, "%8s %6s %9s %9s %10s %9s %8s %9s %9s %11s %10s\n",
-		"mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "lookahead")
+	fprintf(w, "Core federation scaling: ring-cbr %d×%d %.1fs + cfs-ring %d×%d + webrepl-ring %d×%d, %s data plane (host CPUs: %d)\n",
+		res.Ring.Routers, res.Ring.VNsPerRouter, res.Ring.DurationSec,
+		res.CFS.Routers, res.CFS.VNsPerRouter, res.Web.Routers, res.Web.VNsPerRouter,
+		res.DataPlane, res.HostCPUs)
+	fprintf(w, "%-13s %8s %6s %9s %9s %10s %9s %8s %9s %9s %11s %10s\n",
+		"scenario", "mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "lookahead")
 	for _, r := range res.Rows {
-		fprintf(w, "%8s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.1fms\n",
-			r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
+		fprintf(w, "%-13s %8s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.1fms\n",
+			r.Scenario, r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
 			r.Frames, float64(r.BytesOnWire)/1e6, r.LookaheadMS)
 	}
 	if !res.Deterministic {

@@ -193,18 +193,19 @@ type Data struct {
 	Pkt    PacketWire
 }
 
-// PacketWire is the on-the-wire form of pipes.Packet. The payload is
-// encoded through the payload registry; PayloadType 0 means nil.
+// PacketWire is the on-the-wire form of pipes.Packet. Payload is the
+// packet payload's complete registry encoding (EncodePayload: u16 type id
+// + codec body, nested payloads inline); a nil payload encodes as the two
+// bytes of PayloadNil.
 type PacketWire struct {
-	Seq         uint64
-	Size        int32
-	Src, Dst    int32
-	Route       []int32
-	Hop         int32
-	Injected    int64
-	Lag         int64
-	PayloadType uint16
-	Payload     []byte
+	Seq      uint64
+	Size     int32
+	Src, Dst int32
+	Route    []int32
+	Hop      int32
+	Injected int64
+	Lag      int64
+	Payload  []byte
 }
 
 // appendPacketWire encodes a packet descriptor into e.
@@ -220,7 +221,6 @@ func appendPacketWire(e *Enc, p *PacketWire) {
 	e.I32(p.Hop)
 	e.I64(p.Injected)
 	e.I64(p.Lag)
-	e.U16(p.PayloadType)
 	e.Blob(p.Payload)
 }
 
@@ -240,7 +240,6 @@ func decodePacketWire(d *Dec) PacketWire {
 	p.Hop = d.I32()
 	p.Injected = d.I64()
 	p.Lag = d.I64()
-	p.PayloadType = d.U16()
 	p.Payload = append([]byte(nil), d.Blob()...)
 	return p
 }
@@ -420,7 +419,7 @@ func DecodeDataBatch(b []byte) (DataBatch, error) {
 // EncodePacket converts a live packet to wire form, encoding its payload
 // through the registry.
 func EncodePacket(pkt *pipes.Packet) (PacketWire, error) {
-	pt, pb, err := EncodePayload(pkt.Payload)
+	pb, err := EncodePayload(pkt.Payload)
 	if err != nil {
 		return PacketWire{}, fmt.Errorf("wire: packet %d %v->%v: %w", pkt.Seq, pkt.Src, pkt.Dst, err)
 	}
@@ -438,15 +437,14 @@ func EncodePacket(pkt *pipes.Packet) (PacketWire, error) {
 		Injected: int64(pkt.Injected),
 		Lag:      int64(pkt.Lag),
 
-		PayloadType: pt,
-		Payload:     pb,
+		Payload: pb,
 	}, nil
 }
 
 // Packet reconstructs the live packet, decoding the payload through the
 // registry.
 func (p *PacketWire) Packet() (*pipes.Packet, error) {
-	payload, err := DecodePayload(p.PayloadType, p.Payload)
+	payload, err := DecodePayload(p.Payload)
 	if err != nil {
 		return nil, err
 	}

@@ -4,10 +4,18 @@ package wire
 // never touches them, §2.2). Crossing a process boundary makes the
 // reference real bytes, so every payload type that can ride a cross-core
 // packet registers a codec here. Registration normally happens in the
-// owning package's init (netstack datagrams in internal/fednet, application
-// messages in their app packages); a payload of an unregistered type fails
-// the encode with a descriptive error rather than silently corrupting the
-// federated run.
+// owning package's init (netstack datagrams, TCP segments, and RPC frames
+// in internal/netstack, application messages in their app packages); a
+// payload of an unregistered type fails the encode with a descriptive
+// error rather than silently corrupting the federated run.
+//
+// The registry is recursive: codecs run against a shared Enc/Dec context
+// and may call Enc.Payload / Dec.Payload re-entrantly for payloads that
+// contain payloads — a TCP segment whose message markers carry application
+// objects, an RPC frame whose body is an application request. Nesting is
+// self-delimiting (each codec consumes exactly what it wrote), canonical
+// (decode∘encode is the identity on bytes), and depth-bounded so corrupt
+// or cyclic input errors instead of exhausting the stack.
 
 import (
 	"fmt"
@@ -19,17 +27,30 @@ import (
 // 10-99 bundled applications, 100+ user payloads.
 const (
 	PayloadNil      uint16 = 0
-	PayloadDatagram uint16 = 1 // *netstack.Datagram (registered by internal/fednet)
+	PayloadDatagram uint16 = 1 // *netstack.Datagram
+	PayloadSegment  uint16 = 2 // *netstack.Segment (TCP)
+	PayloadRPC      uint16 = 3 // netstack's RPC frame (recursive body)
 
-	// PayloadApp is the first ID for application payloads.
+	// PayloadApp is the first ID for application payloads. Bundled apps
+	// each take a decade: gnutella 10+, chord 20+, cfs 30+, webrepl 40+.
 	PayloadApp uint16 = 10
 )
 
-// PayloadCodec converts one payload type to and from bytes. Enc receives
-// exactly the registered type; Dec must return it.
+// MaxPayloadDepth bounds payload nesting: a decode (or a pathological
+// object graph on encode) deeper than this errors instead of recursing
+// until the stack dies.
+const MaxPayloadDepth = 16
+
+// PayloadCodec converts one payload type to and from bytes within an
+// encoding context. Enc receives exactly the registered type and appends
+// its encoding; Dec must consume exactly the bytes Enc produced and return
+// the registered type. Codecs never call Dec.Done — the buffer's owner
+// does — and may call e.Payload / d.Payload for nested payloads. Decoders
+// must be strict (reject encodings their encoder would not emit) so the
+// codec stays canonical under the fuzz invariants.
 type PayloadCodec struct {
-	Enc func(v any) ([]byte, error)
-	Dec func(b []byte) (any, error)
+	Enc func(e *Enc, v any) error
+	Dec func(d *Dec) (any, error)
 }
 
 var payloadMu sync.RWMutex
@@ -56,11 +77,13 @@ func RegisterPayload(id uint16, sample any, c PayloadCodec) {
 	payloadByType[t] = id
 }
 
-// EncodePayload serializes v through its registered codec. nil encodes as
-// (PayloadNil, nil).
-func EncodePayload(v any) (uint16, []byte, error) {
+// Payload appends v's registry encoding (u16 type id + codec body),
+// dispatching on v's dynamic type. nil encodes as the id PayloadNil alone.
+// Codecs call this for nested payloads.
+func (e *Enc) Payload(v any) error {
 	if v == nil {
-		return PayloadNil, nil, nil
+		e.U16(PayloadNil)
+		return nil
 	}
 	t := reflect.TypeOf(v)
 	payloadMu.RLock()
@@ -68,17 +91,25 @@ func EncodePayload(v any) (uint16, []byte, error) {
 	c := payloadByID[id]
 	payloadMu.RUnlock()
 	if !ok {
-		return 0, nil, fmt.Errorf("payload type %v has no federation codec (wire.RegisterPayload)", t)
+		return fmt.Errorf("payload type %v has no federation codec (wire.RegisterPayload)", t)
 	}
-	b, err := c.Enc(v)
-	if err != nil {
-		return 0, nil, err
+	if e.payloadDepth >= MaxPayloadDepth {
+		return fmt.Errorf("wire: payload nesting deeper than %d encoding %v", MaxPayloadDepth, t)
 	}
-	return id, b, nil
+	e.payloadDepth++
+	e.U16(id)
+	err := c.Enc(e, v)
+	e.payloadDepth--
+	return err
 }
 
-// DecodePayload reverses EncodePayload.
-func DecodePayload(id uint16, b []byte) (any, error) {
+// Payload reads one registry encoding appended by Enc.Payload. Codecs call
+// this for nested payloads.
+func (d *Dec) Payload() (any, error) {
+	id := d.U16()
+	if d.err != nil {
+		return nil, d.err
+	}
 	if id == PayloadNil {
 		return nil, nil
 	}
@@ -88,5 +119,41 @@ func DecodePayload(id uint16, b []byte) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("wire: payload id %d has no registered codec", id)
 	}
-	return c.Dec(b)
+	if d.payloadDepth >= MaxPayloadDepth {
+		return nil, fmt.Errorf("wire: payload nesting deeper than %d", MaxPayloadDepth)
+	}
+	d.payloadDepth++
+	v, err := c.Dec(d)
+	d.payloadDepth--
+	if err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return v, nil
+}
+
+// EncodePayload serializes v through the registry into a standalone,
+// self-delimiting buffer.
+func EncodePayload(v any) ([]byte, error) {
+	var e Enc
+	if err := e.Payload(v); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload, requiring the buffer be consumed
+// exactly.
+func DecodePayload(b []byte) (any, error) {
+	d := NewDec(b)
+	v, err := d.Payload()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return v, nil
 }

@@ -1,0 +1,202 @@
+package wire_test
+
+// Fuzz and regression coverage for the recursive payload registry, from
+// outside the package so the netstack and application codecs are linked in
+// (package wire cannot import them — they import wire). The contract:
+// decoding arbitrary bytes through the registry never panics; a successful
+// decode re-encodes byte-identically (every registered codec is
+// canonical); and corrupt nested payloads error instead of panicking or
+// silently truncating.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/netstack"
+
+	// Register the application codecs so the fuzz corpus reaches their
+	// decoders through nested payloads.
+	_ "modelnet/internal/apps/cfs"
+	_ "modelnet/internal/apps/chord"
+	_ "modelnet/internal/apps/gnutella"
+	_ "modelnet/internal/apps/webrepl"
+)
+
+// mustEncode encodes a payload that is expected to have a codec.
+func mustEncode(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := wire.EncodePayload(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// seedSegment is a Segment exercising every field: flags, data bytes, and
+// nested message markers (a *Datagram is a registered payload usable as a
+// marker object from this package).
+func seedSegment() *netstack.Segment {
+	return &netstack.Segment{
+		SrcPort: 80, DstPort: 32768,
+		Seq: 1, Ack: 301, Len: 4,
+		HasACK: true, FIN: true,
+		Window: 64 << 10,
+		Data:   []byte{1, 2, 3, 4},
+		Msgs: []netstack.MsgMarker{
+			{End: 3, Obj: nil},
+			{End: 5, Obj: &netstack.Datagram{SrcPort: 9, DstPort: 10, Len: 7, Obj: nil}},
+		},
+	}
+}
+
+// rpcFrameBytes hand-assembles an RPC-frame payload (the type is
+// unexported in netstack): u16 id 3, u64 call id, bool, nested body.
+func rpcFrameBytes(callID uint64, isResp bool, body []byte) []byte {
+	var e wire.Enc
+	e.U16(3) // wire.PayloadRPC
+	e.U64(callID)
+	e.Bool(isResp)
+	return append(e.Bytes(), body...)
+}
+
+// chordFindSuccBytes hand-assembles a chord findSuccReq payload (id 20).
+func chordFindSuccBytes(key uint64) []byte {
+	var e wire.Enc
+	e.U16(20)
+	e.U64(key)
+	return e.Bytes()
+}
+
+// FuzzDecodePayload feeds arbitrary bytes through the recursive registry:
+// decoding never panics, and any successful decode must re-encode to
+// exactly the input bytes — canonicality across every registered codec,
+// including nested ones.
+func FuzzDecodePayload(f *testing.F) {
+	f.Add(mustEncode(f, (*netstack.Segment)(seedSegment())))
+	f.Add(mustEncode(f, &netstack.Segment{SrcPort: 1, DstPort: 2, SYN: true, Window: 100}))
+	f.Add(mustEncode(f, &netstack.Datagram{SrcPort: 5, DstPort: 6, Len: 100, Data: []byte("abc")}))
+	f.Add(rpcFrameBytes(7, false, chordFindSuccBytes(0xdeadbeef)))
+	f.Add(rpcFrameBytes(8, true, mustEncode(f, &netstack.Datagram{Len: 1})))
+	f.Add(chordFindSuccBytes(1))
+	f.Add([]byte{0, 0})  // nil payload
+	f.Add([]byte{2, 0})  // truncated segment
+	f.Add([]byte{20, 0}) // truncated chord request
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := wire.DecodePayload(b)
+		if err != nil {
+			return
+		}
+		back, err := wire.EncodePayload(v)
+		if err != nil {
+			t.Fatalf("decoded payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(back, b) {
+			t.Fatalf("payload decode/encode not canonical:\n in  %x\n out %x", b, back)
+		}
+	})
+}
+
+// TestSegmentPayloadRoundTrip pins the full Segment codec shape, nested
+// marker object included.
+func TestSegmentPayloadRoundTrip(t *testing.T) {
+	seg := seedSegment()
+	b := mustEncode(t, seg)
+	v, err := wire.DecodePayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*netstack.Segment)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if got.SrcPort != seg.SrcPort || got.DstPort != seg.DstPort || got.Seq != seg.Seq ||
+		got.Ack != seg.Ack || got.Len != seg.Len || got.Window != seg.Window ||
+		got.SYN != seg.SYN || got.HasACK != seg.HasACK || got.FIN != seg.FIN || got.RST != seg.RST {
+		t.Fatalf("header round trip: %+v", got)
+	}
+	if !bytes.Equal(got.Data, seg.Data) {
+		t.Fatalf("data round trip: %x", got.Data)
+	}
+	if len(got.Msgs) != 2 || got.Msgs[0].End != 3 || got.Msgs[0].Obj != nil || got.Msgs[1].End != 5 {
+		t.Fatalf("markers round trip: %+v", got.Msgs)
+	}
+	dg, ok := got.Msgs[1].Obj.(*netstack.Datagram)
+	if !ok || dg.SrcPort != 9 || dg.DstPort != 10 || dg.Len != 7 {
+		t.Fatalf("nested marker object round trip: %+v", got.Msgs[1].Obj)
+	}
+}
+
+// TestCorruptNestedPayloadErrors truncates and corrupts a nested encoding
+// at every byte position: each variant must error (or decode to something
+// that re-encodes differently — impossible for a canonical codec), never
+// panic, never silently succeed as the original.
+func TestCorruptNestedPayloadErrors(t *testing.T) {
+	orig := mustEncode(t, seedSegment())
+	for cut := 0; cut < len(orig); cut++ {
+		if v, err := wire.DecodePayload(orig[:cut]); err == nil {
+			// A strict prefix that still decodes would mean the codec
+			// ignores trailing structure; canonicality forbids it.
+			back, _ := wire.EncodePayload(v)
+			if bytes.Equal(back, orig) {
+				t.Fatalf("truncation at %d decoded as the original", cut)
+			}
+		}
+	}
+	rpc := rpcFrameBytes(9, false, chordFindSuccBytes(3))
+	for cut := 0; cut < len(rpc); cut++ {
+		if _, err := wire.DecodePayload(rpc[:cut]); err == nil {
+			t.Fatalf("truncated rpc frame at %d accepted", cut)
+		}
+	}
+	// An RPC frame whose nested body names an unregistered payload id.
+	bad := rpcFrameBytes(10, false, []byte{0xfe, 0xff})
+	if _, err := wire.DecodePayload(bad); err == nil {
+		t.Fatal("nested unregistered payload id accepted")
+	}
+}
+
+// TestUnregisteredMarkerObjFailsAtEncode is the loud-failure regression: a
+// Segment whose MsgMarker.Obj has no codec must fail at the *sender's*
+// encode with the offending type name — not at the remote decoder, where
+// the type is unknowable.
+func TestUnregisteredMarkerObjFailsAtEncode(t *testing.T) {
+	type notRegistered struct{ X int }
+	seg := &netstack.Segment{
+		SrcPort: 1, DstPort: 2, Seq: 10, Len: 3, HasACK: true,
+		Msgs: []netstack.MsgMarker{{End: 13, Obj: &notRegistered{X: 7}}},
+	}
+	_, err := wire.EncodePayload(seg)
+	if err == nil {
+		t.Fatal("segment with unregistered marker object encoded")
+	}
+	if !strings.Contains(err.Error(), "notRegistered") {
+		t.Fatalf("error does not name the offending type: %v", err)
+	}
+	if !strings.Contains(err.Error(), "wire.RegisterPayload") {
+		t.Fatalf("error does not point at the registration hook: %v", err)
+	}
+}
+
+// TestPayloadDepthBounded pins the recursion guard: a legitimate but
+// pathologically deep object graph errors at encode, and a hand-built
+// deeply nested encoding errors at decode — neither panics.
+func TestPayloadDepthBounded(t *testing.T) {
+	deep := &netstack.Datagram{Len: 1}
+	for i := 0; i < wire.MaxPayloadDepth+1; i++ {
+		deep = &netstack.Datagram{Len: 1, Obj: deep}
+	}
+	if _, err := wire.EncodePayload(deep); err == nil {
+		t.Fatal("over-deep object graph encoded")
+	}
+	// Nest RPC frames beyond the bound on the wire.
+	b := []byte{0, 0} // innermost: nil
+	for i := 0; i < wire.MaxPayloadDepth+1; i++ {
+		b = rpcFrameBytes(uint64(i), false, b)
+	}
+	if _, err := wire.DecodePayload(b); err == nil {
+		t.Fatal("over-deep encoding decoded")
+	}
+}

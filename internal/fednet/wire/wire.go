@@ -23,8 +23,11 @@ import (
 )
 
 // Version is the protocol version; peers with a different version are
-// rejected at the first frame.
-const Version = 1
+// rejected at the first frame. Version 2 made the payload registry
+// recursive: packet payloads travel as one self-delimiting registry
+// encoding (u16 id + body, nested payloads inline) instead of a flat
+// (type, blob) pair.
+const Version = 2
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -104,7 +107,10 @@ func ParseFrame(b []byte) (typ uint8, body []byte, err error) {
 }
 
 // Enc is an append-only little-endian encoder.
-type Enc struct{ b []byte }
+type Enc struct {
+	b            []byte
+	payloadDepth int
+}
 
 // Bytes returns the encoded buffer.
 func (e *Enc) Bytes() []byte { return e.b }
@@ -155,9 +161,10 @@ func (e *Enc) Str(v string) {
 // reading past the end sets the error and returns zero values, so codecs
 // can decode unconditionally and check once.
 type Dec struct {
-	b   []byte
-	off int
-	err error
+	b            []byte
+	off          int
+	err          error
+	payloadDepth int
 }
 
 // NewDec returns a decoder over b.
@@ -196,6 +203,20 @@ func (d *Dec) U8() uint8 {
 
 // Bool reads a boolean byte; any nonzero value is true.
 func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// StrictBool reads a boolean byte accepting only the canonical encodings 0
+// and 1. Payload codecs use it: under the canonicality contract a decoder
+// must reject any byte its encoder would not emit.
+func (d *Dec) StrictBool() (bool, error) {
+	switch b := d.U8(); b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("wire: non-canonical boolean byte %d", b)
+	}
+}
 
 // U16 reads a uint16.
 func (d *Dec) U16() uint16 {

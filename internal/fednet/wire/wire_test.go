@@ -224,7 +224,7 @@ func TestUnregisteredPayloadErrors(t *testing.T) {
 	if _, err := EncodePacket(&pipes.Packet{Payload: private{1}}); err == nil {
 		t.Fatal("unregistered payload encoded")
 	}
-	if _, err := DecodePayload(0xfffe, nil); err == nil {
+	if _, err := DecodePayload([]byte{0xfe, 0xff}); err == nil {
 		t.Fatal("unregistered payload id decoded")
 	}
 }

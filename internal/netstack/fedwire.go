@@ -1,0 +1,188 @@
+package netstack
+
+// Federation codecs for the transport layer, registered next to the types
+// so any binary that can run a netstack workload can also federate it
+// (mirroring the app packages' fedwire files). Payloads travel by
+// reference inside one process; crossing a core-process boundary
+// (internal/fednet) turns them into these encodings.
+//
+// The registry is recursive (wire.Enc.Payload / wire.Dec.Payload): a
+// Datagram's Obj, a Segment's MsgMarker objects, and an RPC frame's Body
+// are application payloads encoded inline through the registry, each by
+// its own codec. Decoders are strict — an encoding the encoder would not
+// emit (flag bits, non-canonical booleans, length mismatches, unordered
+// markers) errors instead of round-tripping differently — which is what
+// keeps the codecs canonical under the wire package's fuzz invariants.
+
+import (
+	"fmt"
+
+	"modelnet/internal/fednet/wire"
+)
+
+// segment flag bits.
+const (
+	segSYN = 1 << iota
+	segACK
+	segFIN
+	segRST
+)
+
+func init() {
+	wire.RegisterPayload(wire.PayloadDatagram, (*Datagram)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			dg := v.(*Datagram)
+			e.U16(dg.SrcPort)
+			e.U16(dg.DstPort)
+			e.I32(int32(dg.Len))
+			e.Blob(dg.Data)
+			if err := e.Payload(dg.Obj); err != nil {
+				return fmt.Errorf("datagram %d->%d: %w", dg.SrcPort, dg.DstPort, err)
+			}
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			dg := &Datagram{
+				SrcPort: d.U16(),
+				DstPort: d.U16(),
+				Len:     int(d.I32()),
+			}
+			if data := d.Blob(); len(data) > 0 {
+				dg.Data = append([]byte(nil), data...)
+			}
+			obj, err := d.Payload()
+			if err != nil {
+				return nil, err
+			}
+			if dg.Len < 0 {
+				return nil, fmt.Errorf("netstack: datagram with negative length %d", dg.Len)
+			}
+			dg.Obj = obj
+			return dg, nil
+		},
+	})
+
+	wire.RegisterPayload(wire.PayloadSegment, (*Segment)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			s := v.(*Segment)
+			// Enforce at the sender what the strict decoder rejects, so a
+			// malformed segment fails here — with connection context —
+			// rather than at the remote worker's decoder.
+			if s.Data != nil && len(s.Data) != s.Len {
+				return fmt.Errorf("segment %v: carries %d data bytes but Len %d", s, len(s.Data), s.Len)
+			}
+			for i := 1; i < len(s.Msgs); i++ {
+				if s.Msgs[i].End <= s.Msgs[i-1].End {
+					return fmt.Errorf("segment %v: message markers out of order (%d after %d)", s, s.Msgs[i].End, s.Msgs[i-1].End)
+				}
+			}
+			e.U16(s.SrcPort)
+			e.U16(s.DstPort)
+			e.U64(s.Seq)
+			e.U64(s.Ack)
+			e.I32(int32(s.Len))
+			var fl uint8
+			if s.SYN {
+				fl |= segSYN
+			}
+			if s.HasACK {
+				fl |= segACK
+			}
+			if s.FIN {
+				fl |= segFIN
+			}
+			if s.RST {
+				fl |= segRST
+			}
+			e.U8(fl)
+			e.I32(int32(s.Window))
+			if s.Data != nil {
+				e.U8(1)
+				e.Blob(s.Data)
+			} else {
+				e.U8(0)
+			}
+			e.U32(uint32(len(s.Msgs)))
+			for _, m := range s.Msgs {
+				e.U64(m.End)
+				if err := e.Payload(m.Obj); err != nil {
+					return fmt.Errorf("segment %v: message marker at stream offset %d: %w", s, m.End, err)
+				}
+			}
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			s := &Segment{
+				SrcPort: d.U16(),
+				DstPort: d.U16(),
+				Seq:     d.U64(),
+				Ack:     d.U64(),
+				Len:     int(d.I32()),
+			}
+			fl := d.U8()
+			if fl&^uint8(segSYN|segACK|segFIN|segRST) != 0 {
+				return nil, fmt.Errorf("netstack: segment with unknown flag bits %#x", fl)
+			}
+			s.SYN = fl&segSYN != 0
+			s.HasACK = fl&segACK != 0
+			s.FIN = fl&segFIN != 0
+			s.RST = fl&segRST != 0
+			s.Window = int(d.I32())
+			hasData, err := d.StrictBool()
+			if err != nil {
+				return nil, err
+			}
+			if hasData {
+				b := d.Blob()
+				s.Data = make([]byte, len(b))
+				copy(s.Data, b)
+			}
+			n := d.Len(10) // u64 end + at least the u16 nil payload id
+			for i := 0; i < n; i++ {
+				end := d.U64()
+				obj, err := d.Payload()
+				if err != nil {
+					return nil, err
+				}
+				if len(s.Msgs) > 0 && end <= s.Msgs[len(s.Msgs)-1].End {
+					return nil, fmt.Errorf("netstack: segment markers out of order (%d after %d)", end, s.Msgs[len(s.Msgs)-1].End)
+				}
+				s.Msgs = append(s.Msgs, MsgMarker{End: end, Obj: obj})
+			}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if s.Len < 0 || s.Window < 0 {
+				return nil, fmt.Errorf("netstack: segment with negative length %d or window %d", s.Len, s.Window)
+			}
+			if hasData && len(s.Data) != s.Len {
+				return nil, fmt.Errorf("netstack: segment carries %d data bytes but Len %d", len(s.Data), s.Len)
+			}
+			return s, nil
+		},
+	})
+
+	wire.RegisterPayload(wire.PayloadRPC, (*rpcFrame)(nil), wire.PayloadCodec{
+		Enc: func(e *wire.Enc, v any) error {
+			f := v.(*rpcFrame)
+			e.U64(f.ID)
+			e.Bool(f.IsResp)
+			if err := e.Payload(f.Body); err != nil {
+				return fmt.Errorf("rpc frame %d: %w", f.ID, err)
+			}
+			return nil
+		},
+		Dec: func(d *wire.Dec) (any, error) {
+			f := &rpcFrame{ID: d.U64()}
+			isResp, err := d.StrictBool()
+			if err != nil {
+				return nil, err
+			}
+			f.IsResp = isResp
+			if f.Body, err = d.Payload(); err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
+	})
+}
