@@ -19,8 +19,17 @@
 //	modelnet -federate :9000 -cores 4        # coordinator, waits for workers
 //	modelnet -federate 127.0.0.1:0 -cores 4 -fedspawn   # self-contained demo
 //
+// Live edge ingress/egress (internal/edge) lets real processes exchange
+// datagrams with a federated run through a worker-hosted gateway, paced in
+// real time:
+//
+//	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal \
+//	    -fedscenario live-ring -duration 10 -edge-listen 127.0.0.1:9123 -edge-map 0>6:7
+//	modelnet edge -listen 127.0.0.1:5000 -gateway 127.0.0.1:9123   # local-app forwarder
+//	# then, from any terminal: nc -u 127.0.0.1 5000
+//
 // A federated run drives a registered scenario (-fedscenario ring-cbr,
-// gnutella-ring, cfs-ring, or webrepl-ring) instead of the local TCP-flow
+// gnutella-ring, cfs-ring, webrepl-ring, or live-ring) instead of the local TCP-flow
 // workload, because the workload itself must be distributed across the
 // worker processes. cfs-ring federates the §5.1 CFS/DHash store (Chord +
 // block-fetch RPC, nested payload codecs); webrepl-ring federates the §5.2
@@ -34,11 +43,16 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"modelnet"
+	"modelnet/internal/edge"
 	"modelnet/internal/experiments"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
@@ -49,6 +63,10 @@ func main() {
 	fednet.MaybeRunWorker() // -fedspawn re-execs this binary as its workers
 	if len(os.Args) > 1 && os.Args[1] == "core" {
 		coreMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "edge" {
+		edgeMain(os.Args[2:])
 		return
 	}
 	gmlPath := flag.String("gml", "", "target topology in GML (default: the paper's ring)")
@@ -68,6 +86,10 @@ func main() {
 	fedScenario := flag.String("fedscenario", experiments.ScenarioRingCBR, "with -federate: registered scenario to run")
 	fedBatch := flag.Bool("batch", true, "with -federate: coalesce each window's tunnel messages per peer into batch frames (-batch=0 = one frame per message)")
 	fedMaxDgram := flag.Int("fedmaxdgram", 0, "with -federate: UDP data-plane datagram bound in bytes (0 = default)")
+	edgeListen := flag.String("edge-listen", "", "with -federate: live edge gateway UDP address (implies -realtime)")
+	edgeMap := flag.String("edge-map", "", "with -edge-listen: mappings 'vn>dstvn:dstport' or 'vn@peerip:port>dstvn:dstport', comma-separated")
+	realTime := flag.Bool("realtime", false, "with -federate: pace window release against the wall clock (virtual ns = wall ns)")
+	pace := flag.Duration("pace", 0, "with -realtime: pacing quantum (0 = 1ms; the paper's 10 kHz timer is 100µs)")
 	flag.Parse()
 
 	spec := modelnet.DistillSpec{}
@@ -93,7 +115,11 @@ func main() {
 	}
 
 	if *federate != "" {
-		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, opts)
+		live := liveOptions{
+			EdgeListen: *edgeListen, EdgeMap: *edgeMap,
+			RealTime: *realTime || *edgeListen != "", Pace: *pace,
+		}
+		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, live, opts)
 		return
 	}
 
@@ -221,14 +247,163 @@ func coreMain(args []string) {
 	}
 }
 
+// liveOptions carry the CLI's live edge knobs into federateMain.
+type liveOptions struct {
+	EdgeListen string
+	EdgeMap    string
+	RealTime   bool
+	Pace       time.Duration
+}
+
+// parseEdgeMaps parses the -edge-map syntax: comma-separated
+// "vn>dstvn:dstport" (dynamic: first unknown real source claims the VN) or
+// "vn@peerip:port>dstvn:dstport" (static external endpoint).
+func parseEdgeMaps(s string) ([]edge.GatewayMap, error) {
+	var maps []edge.GatewayMap
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(part, ">")
+		if !ok {
+			return nil, fmt.Errorf("-edge-map %q: want vn[@peer]>dstvn:dstport", part)
+		}
+		var m edge.GatewayMap
+		vnStr, peer, hasPeer := strings.Cut(lhs, "@")
+		if hasPeer {
+			m.Peer = peer
+		}
+		// Strict parsing: a typo'd entry must fail loudly, not be
+		// partially accepted (Sscanf would ignore trailing garbage).
+		vn, err := strconv.Atoi(vnStr)
+		if err != nil {
+			return nil, fmt.Errorf("-edge-map %q: bad ingress VN %q", part, vnStr)
+		}
+		m.VN = vn
+		dstVN, dstPort, ok := strings.Cut(rhs, ":")
+		if !ok {
+			return nil, fmt.Errorf("-edge-map %q: bad destination %q (want dstvn:dstport)", part, rhs)
+		}
+		if m.DstVN, err = strconv.Atoi(dstVN); err != nil {
+			return nil, fmt.Errorf("-edge-map %q: bad destination VN %q", part, dstVN)
+		}
+		port, err := strconv.ParseUint(dstPort, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("-edge-map %q: bad destination port %q", part, dstPort)
+		}
+		m.DstPort = uint16(port)
+		maps = append(maps, m)
+	}
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("-edge-listen needs at least one -edge-map entry")
+	}
+	return maps, nil
+}
+
+// edgeMain is the local-app forwarder: it binds a plain local UDP port and
+// relays datagrams between whatever unmodified application sends there
+// (netcat, a game client, a measurement probe) and a federated run's edge
+// gateway — so the app needs no knowledge of ModelNet at all, just a
+// localhost address to talk to. The first local sender becomes the relay's
+// peer; replies from the gateway go back to it.
+func edgeMain(args []string) {
+	fs := flag.NewFlagSet("modelnet edge", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "local UDP address the application talks to")
+	gateway := fs.String("gateway", "", "the federated run's edge gateway address (printed by -edge-listen)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: modelnet edge -listen 127.0.0.1:5000 -gateway host:port")
+		fmt.Fprintln(os.Stderr, "forwards a local application's UDP socket into a live federated run's edge gateway")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if *gateway == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	local, err := net.ListenUDP("udp", mustUDPAddr(*listen))
+	if err != nil {
+		fatal(err)
+	}
+	up, err := net.DialUDP("udp", nil, mustUDPAddr(*gateway))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("modelnet edge: forwarding %s <-> gateway %s\n", local.LocalAddr(), *gateway)
+
+	// The relay must outlive gateway hiccups: a connected UDP socket
+	// surfaces ICMP port-unreachable (gateway not yet up, or the run
+	// ended) as ECONNREFUSED on the next read/write, which is transient —
+	// log and carry on rather than cutting off the local application.
+	transient := func(op string, err error) {
+		fmt.Fprintf(os.Stderr, "modelnet edge: %s: %v (gateway down? continuing)\n", op, err)
+	}
+	var mu sync.Mutex
+	var app *net.UDPAddr
+	go func() { // gateway -> app
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := up.Read(buf)
+			if err != nil {
+				transient("gateway read", err)
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			mu.Lock()
+			dst := app
+			mu.Unlock()
+			if dst != nil {
+				_, _ = local.WriteToUDP(buf[:n], dst)
+			}
+		}
+	}()
+	buf := make([]byte, 64<<10) // app -> gateway
+	for {
+		n, raddr, err := local.ReadFromUDP(buf)
+		if err != nil {
+			fatal(err) // our own listening socket failing is not transient
+		}
+		mu.Lock()
+		app = raddr
+		mu.Unlock()
+		if _, err := up.Write(buf[:n]); err != nil {
+			transient("gateway write", err)
+		}
+	}
+}
+
+func mustUDPAddr(s string) *net.UDPAddr {
+	a, err := net.ResolveUDPAddr("udp", s)
+	if err != nil {
+		fatal(err)
+	}
+	return a
+}
+
 // federateMain coordinates a multi-process run of a registered scenario.
-func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, opts Options) {
+func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, live liveOptions, opts Options) {
 	opts.Federate = &modelnet.FederateOptions{
 		Listen:      listen,
 		DataPlane:   dataPlane,
 		Spawn:       spawn,
 		NoBatch:     noBatch,
 		MaxDatagram: maxDgram,
+		RealTime:    live.RealTime,
+		Pace:        modelnet.Duration(live.Pace),
+	}
+	if live.EdgeListen != "" {
+		maps, err := parseEdgeMaps(live.EdgeMap)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Federate.Edge = &edge.GatewayConfig{Listen: live.EdgeListen, Maps: maps}
+		opts.Federate.OnLive = func(addrs []string) {
+			for shard, a := range addrs {
+				if a != "" {
+					fmt.Printf("live   : shard %d gateway on %s (run window %gs)\n", shard, a, duration)
+				}
+			}
+		}
 	}
 	if opts.Cores < 2 {
 		opts.Cores = 2
@@ -262,11 +437,24 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			MinRate: 30, MaxRate: 60, MedianSize: 8 << 10,
 			Seed: opts.Seed,
 		}
+	case experiments.ScenarioLiveRing:
+		params = experiments.LiveRingSpec{
+			Routers: 6, VNsPerRouter: 2,
+			EchoVN: 6, EchoPort: 7,
+			DurationSec: duration, Seed: opts.Seed,
+		}
 	default:
 		fatal(fmt.Errorf("-fedscenario %q: known scenarios are %v", scenario, fednet.Scenarios()))
 	}
 	begin := time.Now()
-	rep, err := modelnet.Federate(scenario, params, modelnet.Seconds(duration+5), opts)
+	// Synthetic scenarios get settle time after the injection window; a
+	// real-time run's deadline IS its wall-clock duration, so padding it
+	// would keep live users waiting for five silent seconds.
+	runFor := modelnet.Seconds(duration + 5)
+	if opts.Federate.RealTime {
+		runFor = modelnet.Seconds(duration)
+	}
+	rep, err := modelnet.Federate(scenario, params, runFor, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -307,6 +495,17 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			fmt.Printf("web    : %d requests (%d ok, %d failed), %d bytes served, %d retransmits (%d across core boundaries)\n",
 				wr.Requests, wr.OK, wr.Failed, wr.ServerBytes, wr.Retransmits, wr.CrossRetransmits)
 		}
+	case experiments.ScenarioLiveRing:
+		if lr, err := experiments.LiveRingFederatedReport(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
+		} else {
+			fmt.Printf("live   : %d pings echoed in-emulation\n", lr.Echoed)
+		}
+	}
+	if opts.Federate.Edge != nil {
+		e := rep.Edge
+		fmt.Printf("edge   : %d in / %d out real datagrams (%d oversize, %d unmapped, %d evictions)\n",
+			e.IngressPkts, e.EgressPkts, e.Oversize, e.Unmapped, e.Evictions)
 	}
 	acc := rep.Accuracy
 	fmt.Printf("accuracy: %v\n", &acc)

@@ -1,0 +1,16 @@
+// Package bind implements ModelNet's Binding phase (§2.1–2.2): deciding
+// what runs where, and how packets find their way.
+//
+//   - Bind assigns VNs to edge nodes and cores and builds the routing
+//     table: the precomputed all-pairs matrix (BuildMatrix), the bounded
+//     LRU route cache (NewCache), or the per-stub-cluster hierarchical
+//     tables (BuildHier) — the paper's three storage alternatives.
+//   - POD is the pipe ownership directory: which core owns each pipe, and
+//     therefore when a multi-core emulation must tunnel a packet's
+//     descriptor to a peer core.
+//   - GatewayTable is the live-edge analog of the VN binding: it maps the
+//     real five-tuples arriving at an edge gateway (internal/edge) onto
+//     ingress VNs, statically pinned or dynamically claimed with LRU
+//     eviction, so unmodified external processes can impersonate virtual
+//     nodes at one narrow, explicitly brokered boundary.
+package bind

@@ -1,8 +1,7 @@
-// Package bind implements ModelNet's Binding phase (§2.1–2.2): assigning
-// VNs to edge nodes, precomputing shortest-path routes between all pairs of
-// VNs into a routing matrix, and building the pipe ownership directory (POD)
-// that multi-core emulations use to tunnel packets between cores.
 package bind
+
+// Route computation: all-pairs shortest paths into a routing matrix, plus
+// the bounded route cache (the paper's O(n lg n) storage alternative).
 
 import (
 	"container/heap"

@@ -1,15 +1,11 @@
-// Package edge models the physical edge machines that host VNs (§4.2).
-// Multiplexing several VNs onto one machine trades scale for accuracy: the
-// shared CPU, kernel per-packet costs, and context-switch/cache effects cap
-// the aggregate throughput the hosted processes can generate.
-//
-// The model is structural where it matters (a single serialized CPU, a
-// serialized NIC with a bounded backlog) and calibrated where the paper
-// only gives end-to-end measurements: the efficiency factor eff(n) captures
-// the context-switch and cache degradation the paper measures as the
-// 76→65 instructions/byte break-even slide between nprog=1 and nprog=100
-// (Fig. 6); see DESIGN.md.
 package edge
+
+// The edge-machine model: structural where it matters (a single serialized
+// CPU, a serialized NIC with a bounded backlog) and calibrated where the
+// paper only gives end-to-end measurements — the efficiency factor eff(n)
+// captures the context-switch and cache degradation the paper measures as
+// the 76→65 instructions/byte break-even slide between nprog=1 and
+// nprog=100 (Fig. 6); see DESIGN.md.
 
 import (
 	"math"

@@ -239,9 +239,9 @@ func TestNICBacklogMeasuresNICQueueingNotCPU(t *testing.T) {
 	// never trip the backlog bound, however deep the CPU queue gets.
 	sched := vtime.NewScheduler()
 	cfg := DefaultMachineConfig()
-	cfg.LinkBps = 8e6                            // 1 ms per 1000 B packet
-	cfg.KernelPerPacket = 2e6                    // 2 ms of kernel CPU per send
-	cfg.NICBacklog = vtime.Duration(1)           // 1 ns: any NIC queueing at all drops
+	cfg.LinkBps = 8e6                  // 1 ms per 1000 B packet
+	cfg.KernelPerPacket = 2e6          // 2 ms of kernel CPU per send
+	cfg.NICBacklog = vtime.Duration(1) // 1 ns: any NIC queueing at all drops
 	cfg.OverheadBase, cfg.OverheadShare, cfg.OverheadLog = 0, 0, 0
 	m := NewMachine(sched, cfg)
 	m.AddProcess()

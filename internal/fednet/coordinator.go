@@ -13,6 +13,7 @@ import (
 
 	"modelnet/internal/assign"
 	"modelnet/internal/distill"
+	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
 	"modelnet/internal/parcore"
@@ -74,6 +75,24 @@ type Options struct {
 	// time; the merged sample lands in Report.Deliveries (the cross-mode
 	// determinism probe).
 	CollectDeliveries bool
+
+	// Edge, when non-nil, is the live edge gateway lease distributed to
+	// every worker: real UDP sockets at the emulation's boundary, mapped
+	// onto ingress VNs (internal/edge). Each worker instantiates only the
+	// mappings homed on its shard; the bound real addresses are reported
+	// through OnLive. Live runs usually also want RealTime.
+	Edge *edge.GatewayConfig
+	// RealTime slaves window release to the wall clock (parcore.Pacing):
+	// virtual nanoseconds map 1:1 onto wall nanoseconds, the paper's
+	// 10 kHz-timer role. Required for live edge traffic to experience
+	// emulated delays in real time; requires a finite RunFor.
+	RealTime bool
+	// Pace is the real-time pacing quantum (0 = parcore.DefaultPaceQuantum).
+	Pace vtime.Duration
+	// OnLive, when non-nil, runs once every worker is set up — before the
+	// clock starts — with each shard's gateway address ("" for shards
+	// without one). This is how a live client learns where to send.
+	OnLive func(gatewayAddrs []string)
 	// Timeout bounds every blocking protocol step (default
 	// DefaultTimeout).
 	Timeout time.Duration
@@ -106,6 +125,12 @@ func (o *Options) defaults() error {
 	if o.Timeout <= 0 {
 		o.Timeout = DefaultTimeout
 	}
+	if o.RealTime && o.RunFor <= 0 {
+		return fmt.Errorf("fednet: RealTime pacing needs a finite RunFor (a paced run's only exit is its deadline)")
+	}
+	if o.Edge != nil && len(o.Edge.Maps) == 0 {
+		return fmt.Errorf("fednet: Edge gateway lease has no mappings")
+	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
 	}
@@ -136,6 +161,11 @@ type Report struct {
 	// WallMS is the coordinator-measured wall-clock time of the Run
 	// phase (excluding topology build and worker setup).
 	WallMS float64
+	// GatewayAddrs are the per-shard live gateway addresses ("" for
+	// shards without one) and Edge the merged gateway counters, when the
+	// run carried a gateway lease.
+	GatewayAddrs []string
+	Edge         edge.GatewayStats
 	// Deliveries merges the per-worker delivery-time samples (seconds),
 	// when CollectDeliveries was set. Order is by shard, then by each
 	// shard's delivery order; sort before comparing across modes.
@@ -229,6 +259,7 @@ func Run(opts Options) (*Report, error) {
 			NoBatch: opts.NoBatch, MaxDatagram: opts.MaxDatagram,
 			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
+			Edge: opts.Edge,
 		})
 		if err != nil {
 			return nil, err
@@ -243,14 +274,39 @@ func Run(opts Options) (*Report, error) {
 	}
 	tr := &coordTransport{conns: conns, timeout: opts.Timeout}
 	tr.init(opts.Cores)
+	gatewayAddrs := make([]string, opts.Cores)
 	for i := range conns {
-		if typ, body, err := tr.read(i); err != nil {
+		typ, body, err := tr.read(i)
+		if err != nil {
 			return nil, err
-		} else if typ != wire.TSetupAck {
+		}
+		if typ != wire.TSetupAck {
 			return nil, fmt.Errorf("fednet: shard %d: expected setup ack, got frame type %d (%q)", i, typ, body)
+		}
+		if len(body) > 0 {
+			var ack setupAck
+			if err := json.Unmarshal(body, &ack); err != nil {
+				return nil, fmt.Errorf("fednet: shard %d setup ack: %w", i, err)
+			}
+			gatewayAddrs[i] = ack.GatewayAddr
 		}
 	}
 	opts.Log("fednet: all %d shards up, running", opts.Cores)
+	if opts.Edge != nil {
+		live := 0
+		for i, a := range gatewayAddrs {
+			if a != "" {
+				live++
+				opts.Log("fednet: shard %d gateway listening on %s", i, a)
+			}
+		}
+		if live == 0 {
+			return nil, fmt.Errorf("fednet: gateway lease granted but no worker homes a mapped ingress VN")
+		}
+	}
+	if opts.OnLive != nil {
+		opts.OnLive(append([]string(nil), gatewayAddrs...))
+	}
 
 	deadline := vtime.Forever
 	if opts.RunFor > 0 {
@@ -258,10 +314,16 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep := &Report{
 		Cores: opts.Cores, DataPlane: opts.DataPlane,
-		Cut: asn.CutStats(dist.Graph),
+		Cut:          asn.CutStats(dist.Graph),
+		GatewayAddrs: gatewayAddrs,
 	}
+	var pace *parcore.Pacing
 	begin := time.Now()
-	if err := parcore.Drive(tr, &rep.Sync, deadline); err != nil {
+	if opts.RealTime {
+		pace = &parcore.Pacing{Quantum: opts.Pace}
+		tr.paceEpoch = begin
+	}
+	if err := parcore.DrivePaced(tr, &rep.Sync, deadline, pace); err != nil {
 		return nil, err
 	}
 	rep.WallMS = float64(time.Since(begin).Microseconds()) / 1000
@@ -296,6 +358,9 @@ func Run(opts Options) (*Report, error) {
 		rep.Totals.InFlight += wr.Totals.InFlight
 		rep.Accuracy.Merge(wr.Accuracy)
 		rep.Deliveries = append(rep.Deliveries, wr.Deliveries...)
+		if wr.Edge != nil {
+			rep.Edge.Merge(*wr.Edge)
+		}
 	}
 	// CutStats' minimum cut latency is the cluster-granularity analog of
 	// parcore.Runtime.Lookahead.
@@ -356,6 +421,16 @@ type coordTransport struct {
 
 	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
 	messages uint64
+	// floor is the maximum virtual clock any worker has reported: the
+	// flush round broadcasts it so live edge gateways can stamp ingress
+	// admissions at a time no peer shard has already passed. Under
+	// real-time pacing it additionally tracks the wall clock (paceEpoch
+	// set), so an ingress stamp is never earlier than its arrival's wall
+	// time even when the emulation lags the wall clock — which is what
+	// makes an external observer's measured delays respect the model
+	// unconditionally.
+	floor     vtime.Time
+	paceEpoch time.Time // zero unless the run is wall-clock paced
 }
 
 func (t *coordTransport) init(k int) {
@@ -427,6 +502,9 @@ func (t *coordTransport) collectCounts(want uint8) error {
 		if err != nil {
 			return err
 		}
+		if vtime.Time(m.Now) > t.floor {
+			t.floor = vtime.Time(m.Now)
+		}
 		if err := t.update(i, m.Sent); err != nil {
 			return err
 		}
@@ -438,8 +516,15 @@ func (t *coordTransport) collectCounts(want uint8) error {
 // message onto the sockets and settles the expectation counters, then a
 // sync round has every worker await, apply, and report bounds.
 func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
+	floor := t.floor
+	if !t.paceEpoch.IsZero() {
+		if w := vtime.Time(time.Since(t.paceEpoch)); w > floor {
+			floor = w
+		}
+	}
+	flushBody := wire.Flush{Floor: int64(floor)}.Encode()
 	for i := range t.conns {
-		if err := wire.WriteFrame(t.conns[i], wire.TFlush, nil); err != nil {
+		if err := wire.WriteFrame(t.conns[i], wire.TFlush, flushBody); err != nil {
 			return nil, err
 		}
 	}
@@ -503,6 +588,9 @@ func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
 		m, err := wire.DecodeDrainDone(body)
 		if err != nil {
 			return false, err
+		}
+		if vtime.Time(m.Counts.Now) > t.floor {
+			t.floor = vtime.Time(m.Counts.Now)
 		}
 		if err := t.update(i, m.Counts.Sent); err != nil {
 			return false, err

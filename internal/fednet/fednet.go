@@ -1,29 +1,7 @@
-// Package fednet is the multi-process core federation runtime: it runs each
-// parcore shard in its own OS process — and hence, with remote workers, on
-// its own machine — connected by real sockets, the deployment shape of the
-// paper's core cluster (emulated core routers on separate physical machines
-// exchanging cross-core packets as tunnel traffic).
-//
-// A federated run has one coordinator and Cores workers:
-//
-//   - The coordinator (Run) builds the target topology, distills it, and
-//     partitions the pipes; it then distributes the distilled topology,
-//     assignment, and scenario over a TCP control plane and drives the same
-//     conservative synchronization loop as the in-process runtime
-//     (parcore.Drive) through a socket-backed parcore.Transport.
-//   - Each worker (Worker, usually entered via the `modelnet core`
-//     subcommand or the self-exec spawn helper) deterministically rebuilds
-//     its shard — binding, shard emulator, homed VN hosts, workload — from
-//     the distributed state, and exchanges cross-core tunnel messages with
-//     its peers directly over a UDP (or TCP-fallback) data plane.
-//
-// The scheduler never learns whether its peer is a goroutine or a socket:
-// parcore.Drive sees only the Transport. That is what extends PR 1's
-// determinism contract to federation — with the same seed, a 1-process
-// sequential run, an N-goroutine parallel run, and an N-process federated
-// run produce identical counters and delivery times (under an event-exact
-// profile; see DESIGN.md §Federation for the contract's scope).
 package fednet
+
+// Scenario registry, worker environment, and the shared control-plane
+// message bodies (setup, hello, reports).
 
 import (
 	"encoding/json"
@@ -32,6 +10,7 @@ import (
 	"sync"
 
 	"modelnet/internal/bind"
+	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/netstack"
 	"modelnet/internal/pipes"
@@ -170,6 +149,17 @@ type setup struct {
 	NoBatch bool `json:"no_batch,omitempty"`
 	// MaxDatagram bounds one UDP data-plane frame; 0 = DefaultMaxDatagram.
 	MaxDatagram int `json:"max_datagram,omitempty"`
+
+	// Edge is the gateway lease: each worker instantiates the mappings
+	// whose ingress VN is homed on its shard and reports the real socket
+	// address it bound in its setup ack. Nil = no live edge.
+	Edge *edge.GatewayConfig `json:"edge,omitempty"`
+}
+
+// setupAck is a worker's setup acknowledgment body: the real address of
+// its live edge gateway, when the lease gave it one ("" otherwise).
+type setupAck struct {
+	GatewayAddr string `json:"gateway_addr,omitempty"`
 }
 
 // hello is a worker's join frame body: the data-plane endpoints it listens
@@ -194,4 +184,6 @@ type WorkerReport struct {
 	BytesOnWire uint64          `json:"bytes_on_wire"`
 	Deliveries  []float64       `json:"deliveries,omitempty"`
 	Scenario    json.RawMessage `json:"scenario,omitempty"`
+	// Edge counts this worker's live gateway traffic, when it hosted one.
+	Edge *edge.GatewayStats `json:"edge,omitempty"`
 }

@@ -87,6 +87,7 @@ func DecodeWindowAll(b []byte) {
 	_, _ = DecodeReady(b)
 	_, _ = DecodeDrain(b)
 	_, _ = DecodeDrainDone(b)
+	_, _ = DecodeFlush(b)
 	_, _, _ = DecodeAssignment(b)
 }
 

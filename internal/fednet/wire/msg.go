@@ -31,6 +31,33 @@ func DecodeWindow(b []byte) (Window, error) {
 	return m, d.Done()
 }
 
+// Flush asks a worker to push its outbox onto the data plane. Floor is the
+// maximum virtual clock over all shards at this barrier: a live edge
+// gateway (internal/edge) stamps its queued real-world arrivals at
+// max(local clock, Floor), so an ingress event — and every cross-core
+// message it later causes — can never fire before a peer shard's present.
+type Flush struct {
+	Floor int64
+}
+
+// Encode returns the frame body.
+func (m Flush) Encode() []byte {
+	var e Enc
+	e.I64(m.Floor)
+	return e.Bytes()
+}
+
+// DecodeFlush parses a TFlush body. An empty body (the pre-live protocol)
+// decodes as a zero floor.
+func DecodeFlush(b []byte) (Flush, error) {
+	if len(b) == 0 {
+		return Flush{}, nil
+	}
+	d := NewDec(b)
+	m := Flush{Floor: d.I64()}
+	return m, d.Done()
+}
+
 // Counts reports a worker's cumulative per-peer message counters: Sent[j]
 // is the total number of data-plane messages this worker has ever sent to
 // shard j. Cumulative counters make barrier accounting independent of when

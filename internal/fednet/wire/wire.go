@@ -26,8 +26,10 @@ import (
 // rejected at the first frame. Version 2 made the payload registry
 // recursive: packet payloads travel as one self-delimiting registry
 // encoding (u16 id + body, nested payloads inline) instead of a flat
-// (type, blob) pair.
-const Version = 2
+// (type, blob) pair. Version 3 gave the TFlush frame a body (the global
+// clock floor live edge gateways stamp ingress admissions with) and the
+// TSetupAck frame a JSON body (the worker's gateway lease report).
+const Version = 3
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -37,9 +39,9 @@ const MaxFrame = 64 << 20
 // travels worker<->worker on the data plane.
 const (
 	THello      uint8 = 1  // worker -> coordinator: join (JSON body)
-	TSetup      uint8 = 2  // coordinator -> worker: config + topology + assignment
-	TSetupAck   uint8 = 3  // worker -> coordinator: data-plane mesh established
-	TFlush      uint8 = 4  // coordinator -> worker: flush outbox to peers
+	TSetup      uint8 = 2  // coordinator -> worker: config + topology + assignment (incl. any gateway lease)
+	TSetupAck   uint8 = 3  // worker -> coordinator: mesh + gateway up (JSON body)
+	TFlush      uint8 = 4  // coordinator -> worker: flush outbox to peers (body: clock floor for live ingress)
 	TFlushDone  uint8 = 5  // worker -> coordinator: cumulative sent counts
 	TSync       uint8 = 6  // coordinator -> worker: await + apply inbox
 	TReady      uint8 = 7  // worker -> coordinator: bounds after apply

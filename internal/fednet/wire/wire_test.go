@@ -79,6 +79,18 @@ func TestSyncMessageRoundTrips(t *testing.T) {
 	if err != nil || !dd.Progressed || dd.Counts.Now != 8 || len(dd.Counts.Sent) != 1 {
 		t.Fatalf("draindone: %+v, %v", dd, err)
 	}
+	fl, err := DecodeFlush(Flush{Floor: 123456789}.Encode())
+	if err != nil || fl.Floor != 123456789 {
+		t.Fatalf("flush: %+v, %v", fl, err)
+	}
+	// An empty flush body is the pre-live protocol: floor zero.
+	fl, err = DecodeFlush(nil)
+	if err != nil || fl.Floor != 0 {
+		t.Fatalf("empty flush: %+v, %v", fl, err)
+	}
+	if _, err := DecodeFlush([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated flush body should error")
+	}
 }
 
 func TestDataRoundTrip(t *testing.T) {

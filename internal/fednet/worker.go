@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"modelnet/internal/bind"
+	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
 	"modelnet/internal/netstack"
@@ -76,6 +77,7 @@ type workerState struct {
 	outbox *parcore.Outbox
 	col    *collector
 	dp     *dataPlane
+	gw     *edge.Gateway // live edge gateway; nil without a homed lease
 
 	sent       []uint64 // cumulative messages sent per peer shard
 	deliveries []float64
@@ -138,7 +140,17 @@ func (w *workerState) run() error {
 	w.opts.Log("fednet worker: shard %d/%d up (%s data plane, %d VNs homed)",
 		w.cfg.Shard, w.cfg.Cores, w.cfg.DataPlane, w.homedVNs())
 	defer w.dp.close()
-	if err := w.send(wire.TSetupAck, nil); err != nil {
+	var ack setupAck
+	if w.gw != nil {
+		ack.GatewayAddr = w.gw.Addr()
+		defer w.gw.Close()
+		w.opts.Log("fednet worker: shard %d live gateway on %s", w.cfg.Shard, ack.GatewayAddr)
+	}
+	ackBody, err := json.Marshal(ack)
+	if err != nil {
+		return err
+	}
+	if err := w.send(wire.TSetupAck, ackBody); err != nil {
 		return err
 	}
 	return w.serve()
@@ -231,6 +243,15 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	if err != nil {
 		return fmt.Errorf("fednet: scenario %q install: %w", cfg.Scenario, err)
 	}
+	// The gateway lease: bind a real socket only if this shard homes at
+	// least one mapped ingress VN (the gateway opens after the scenario so
+	// the scenario's own ports are already claimed).
+	if cfg.Edge != nil && cfg.Edge.HomedMaps(w.env.Homed) > 0 {
+		w.gw, err = edge.NewGateway(*cfg.Edge, w.env.Homed, w.env.NewHost, w.sched)
+		if err != nil {
+			return fmt.Errorf("fednet: shard %d gateway: %w", cfg.Shard, err)
+		}
+	}
 	return nil
 }
 
@@ -280,6 +301,17 @@ func (w *workerState) serve() error {
 		}
 		switch typ {
 		case wire.TFlush:
+			// Barrier edge: admit any live real-world arrivals before the
+			// flush, stamped no earlier than the coordinator's clock floor.
+			// The injections become ordinary scheduler events, so the
+			// bounds reported at the sync step already account for them.
+			if w.gw != nil {
+				m, err := wire.DecodeFlush(body)
+				if err != nil {
+					return err
+				}
+				w.gw.Admit(vtime.Time(m.Floor))
+			}
 			if err := w.flushOutbox(); err != nil {
 				return err
 			}
@@ -359,6 +391,10 @@ func (w *workerState) finish() error {
 	}
 	cs := w.emu.CoreStats(w.cfg.Shard)
 	rep.TunnelsIn, rep.TunnelsOut = cs.TunnelsIn, cs.TunnelsOut
+	if w.gw != nil {
+		st := w.gw.Stats()
+		rep.Edge = &st
+	}
 	if w.report != nil {
 		rep.Scenario = w.report()
 	}

@@ -1,48 +1,7 @@
-// Package parcore is the parallel core-cluster runtime: it runs each
-// emulated core router on its own goroutine with its own virtual-time
-// scheduler, synchronized conservatively so that results are deterministic
-// and — under an event-exact profile — identical to the sequential
-// single-scheduler emulation.
-//
-// The paper's scalability argument (§3.3) is that emulation capacity grows
-// with the number of core routers as long as cross-core transitions stay
-// cheap. The sequential reproduction partitions pipes across cores but
-// still drives everything from one scheduler, so extra cores buy nothing.
-// Here the partition becomes real concurrency:
-//
-//   - Each shard is an emucore.NewShard emulator owning the pipes its core
-//     was assigned (the POD), plus the netstack hosts of the VNs homed on
-//     it. A VN's home is the core owning its access pipes, so injection and
-//     delivery never cross cores.
-//   - Cross-core packet transitions are explicit tunnel messages (§2.2
-//     core-to-core tunnels) exchanged at synchronization barriers.
-//   - Synchronization is conservative, in the null-message/time-window
-//     style: all shards repeatedly agree on a horizon H no earlier than any
-//     future tunnel message, then process their own events with timestamps
-//     below H in parallel. The horizon is derived from each shard's next
-//     event time plus its lookahead — the minimum latency of its cut pipes
-//     (see assign.CutStats) — because a packet must spend that latency
-//     inside a cut pipe before it can surface on a peer core.
-//
-// Under an ideal profile shards run eagerly (emucore.Eager): a handoff is
-// emitted the moment its packet enters a cut pipe, timestamped with the
-// pipe's exact future exit, so the horizon genuinely advances by the full
-// lookahead each round instead of stalling on the next actual crossing.
-//
-// Determinism: barriers exchange messages in a canonical order (fire time,
-// sender shard, sender sequence number), and each shard's window is a
-// single-threaded deterministic event loop, so a run's outcome depends only
-// on the seed — never on goroutine timing. Under an event-exact profile the
-// outcome also matches the sequential mode packet-for-packet, except where
-// two packets from different shards interact at the same pipe in the same
-// nanosecond (the modes may then order them differently; counters of such
-// ties are unaffected, per-packet attribution can differ). See DESIGN.md.
-//
-// The synchronization algebra itself lives in Drive, behind the Transport
-// interface: this file is the in-process transport (shards as goroutines,
-// barriers as slice moves). internal/fednet implements the same contract
-// over real sockets, one OS process per shard.
 package parcore
+
+// The in-process deployment: Runtime hosts the shards as goroutines and
+// implements Transport with slice moves at the barriers.
 
 import (
 	"fmt"

@@ -12,6 +12,7 @@ package parcore
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"modelnet/internal/bind"
 	"modelnet/internal/emucore"
@@ -68,6 +69,61 @@ type Transport interface {
 // deadline == vtime.Forever it returns at global quiescence without the
 // final clock-advancing window. st accumulates synchronization counters.
 func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
+	return drive(tr, st, deadline, nil)
+}
+
+// DefaultPaceQuantum is the default real-time pacing window. The paper's
+// core wakes on a 10 kHz hardware timer (a 100 µs quantum); the default
+// here is coarser because each window costs a full barrier round over the
+// control plane — tighten it on fast links if ingress timestamp error
+// matters more than barrier overhead.
+const DefaultPaceQuantum = vtime.Millisecond
+
+// Pacing slaves window release to the wall clock: virtual nanoseconds map
+// one-to-one onto wall nanoseconds since the drive started, and a window
+// ending at virtual time B is released only once the wall clock has
+// reached B. This is the role the paper's 10 kHz timer plays in the
+// in-kernel core — it is what lets real, unmodified processes at the edge
+// (internal/edge gateways) exchange live traffic with the emulation, since
+// their packets experience emulated delays in actual wall time.
+//
+// A paced drive does not stop at quiescence: an externally driven run has
+// no way to know that more traffic is coming, so it idles forward in
+// quantum-sized windows until the (finite) deadline.
+type Pacing struct {
+	// Quantum bounds how far one window may run ahead of the wall clock;
+	// it is also the idle cadence and the ingress timestamp granularity.
+	// 0 means DefaultPaceQuantum.
+	Quantum vtime.Duration
+}
+
+// DrivePaced is Drive under real-time pacing (nil pace = plain Drive).
+// The deadline must be finite: a paced run's only exit is its deadline.
+func DrivePaced(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error {
+	if pace != nil && deadline == vtime.Forever {
+		return fmt.Errorf("parcore: a paced drive needs a finite deadline")
+	}
+	return drive(tr, st, deadline, pace)
+}
+
+func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error {
+	var start time.Time
+	quantum := vtime.Duration(0)
+	if pace != nil {
+		quantum = pace.Quantum
+		if quantum <= 0 {
+			quantum = DefaultPaceQuantum
+		}
+		start = time.Now()
+	}
+	// wallNow is the wall clock in virtual units; sleepUntil releases a
+	// window bound no earlier than its wall time.
+	wallNow := func() vtime.Time { return vtime.Time(time.Since(start)) }
+	sleepUntil := func(t vtime.Time) {
+		if d := t.Sub(wallNow()); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+	}
 	prevBound := vtime.Time(-1)
 	for {
 		bs, err := tr.Exchange()
@@ -84,7 +140,31 @@ func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
 			}
 		}
 		if minNext > deadline || minNext == vtime.Forever {
-			break
+			if pace == nil {
+				break
+			}
+			// Paced and locally quiescent: live ingress may still arrive
+			// at any wall instant, so idle forward one quantum at a time
+			// (each loop's Exchange gives the workers a barrier to admit
+			// newly arrived traffic at) until the wall clock covers the
+			// deadline.
+			if wallNow() >= deadline {
+				break
+			}
+			bound := wallNow().Add(quantum)
+			if bound > deadline {
+				bound = deadline
+			}
+			if bound < prevBound {
+				bound = prevBound
+			}
+			sleepUntil(bound)
+			if err := tr.Window(bound); err != nil {
+				return err
+			}
+			st.Windows++
+			prevBound = bound
+			continue
 		}
 		// An unconstrained horizon (no shard can ever emit a cross-shard
 		// message from its current state) must not clamp clocks to the
@@ -95,7 +175,11 @@ func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
 		}
 		if bound < minNext || bound < prevBound {
 			// The horizon excludes the very next event: lookahead is zero
-			// or consumed. Drain time minNext serially, deterministically.
+			// or consumed. Drain time minNext serially, deterministically
+			// (paced runs first let the wall clock catch up to it).
+			if pace != nil {
+				sleepUntil(minNext)
+			}
 			for {
 				progressed, err := tr.DrainPass(minNext)
 				if err != nil {
@@ -110,6 +194,20 @@ func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
 				prevBound = minNext
 			}
 			continue
+		}
+		if pace != nil {
+			// Slave window release to the wall clock: never run more than
+			// one quantum ahead, and never release a bound before its wall
+			// time. When the emulation lags the wall clock (slow barriers,
+			// heavy windows) the cap is already behind and the run simply
+			// proceeds flat out.
+			if target := wallNow().Add(quantum); target < bound {
+				bound = target
+			}
+			if bound < prevBound {
+				bound = prevBound
+			}
+			sleepUntil(bound)
 		}
 		if err := tr.Window(bound); err != nil {
 			return err

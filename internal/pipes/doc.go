@@ -1,0 +1,16 @@
+// Package pipes implements ModelNet's emulated links: each pipe has a
+// bandwidth, a propagation latency, a random loss rate, and a bounded packet
+// queue with a configurable discipline (drop-tail FIFO by default, RED
+// optionally). Packets move through pipes by reference; pipe processing
+// never copies packet data (§2).
+//
+// A packet first waits in the pipe's transmission queue for earlier packets
+// to drain at the pipe's bandwidth, then rides the delay line for the pipe's
+// latency — the delay line holds up to a bandwidth-delay product when the
+// link is fully utilized, exactly as in dummynet.
+//
+// The package also supplies the data-path plumbing the emulation core
+// leans on: Packet descriptors (recycled through a PacketPool free list so
+// steady-state emulation allocates nothing per packet) and the pipe Heap
+// the §2.2 scheduler loop pops ready deadlines from.
+package pipes

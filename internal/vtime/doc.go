@@ -1,0 +1,19 @@
+// Package vtime provides the virtual-time discrete-event substrate that the
+// entire emulator runs on.
+//
+// The paper's ModelNet core runs in real time off a 10 kHz hardware timer at
+// the kernel's highest priority. In Go, wall-clock scheduling would attribute
+// GC pauses and goroutine scheduling jitter to the network under test, so
+// this reproduction runs the whole system in virtual time: a deterministic
+// event loop whose clock advances only when events fire. Delay accuracy then
+// depends only on the model (tick quantization, CPU budgets), never on the
+// host.
+//
+// Virtual time can still be slaved back to the wall clock when a run must
+// interact with the outside world: the parallel runtime's real-time pacing
+// mode (parcore.Pacing) releases scheduler windows so that one virtual
+// nanosecond elapses per wall nanosecond, which is how live edge traffic
+// (internal/edge) experiences emulated delays in real time. The scheduler
+// itself stays oblivious — pacing is a property of who calls RunUntil, not
+// of the event loop.
+package vtime

@@ -1,13 +1,3 @@
-// Package vtime provides the virtual-time discrete-event substrate that the
-// entire emulator runs on.
-//
-// The paper's ModelNet core runs in real time off a 10 kHz hardware timer at
-// the kernel's highest priority. In Go, wall-clock scheduling would attribute
-// GC pauses and goroutine scheduling jitter to the network under test, so
-// this reproduction runs the whole system in virtual time: a deterministic
-// event loop whose clock advances only when events fire. Delay accuracy then
-// depends only on the model (tick quantization, CPU budgets), never on the
-// host.
 package vtime
 
 import (

@@ -33,6 +33,7 @@ import (
 	"modelnet/internal/assign"
 	"modelnet/internal/bind"
 	"modelnet/internal/distill"
+	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
@@ -159,6 +160,20 @@ type FederateOptions struct {
 	// MaxDatagram bounds one UDP data-plane frame in bytes; batches are
 	// chunked to fit. 0 means fednet.DefaultMaxDatagram.
 	MaxDatagram int
+	// Edge is the live edge gateway lease (internal/edge): real UDP
+	// sockets on the workers, mapped onto ingress VNs, so unmodified
+	// external processes can exchange packets with the emulated core.
+	// Live runs usually also want RealTime. See DESIGN.md §4.
+	Edge *edge.GatewayConfig
+	// RealTime slaves window release to the wall clock (virtual ns = wall
+	// ns, the paper's 10 kHz-timer role); requires a finite run duration.
+	RealTime bool
+	// Pace is the real-time pacing quantum (0 = parcore.DefaultPaceQuantum).
+	Pace Duration
+	// OnLive, when set, runs once all workers are up — before the clock
+	// starts — with each shard's gateway address ("" for shards without
+	// one).
+	OnLive func(gatewayAddrs []string)
 }
 
 // FederationReport is a federated run's aggregated outcome.
@@ -194,6 +209,10 @@ func Federate(scenario string, params any, runFor Duration, opts Options) (*Fede
 		CollectDeliveries: fo.CollectDeliveries,
 		NoBatch:           fo.NoBatch,
 		MaxDatagram:       fo.MaxDatagram,
+		Edge:              fo.Edge,
+		RealTime:          fo.RealTime,
+		Pace:              fo.Pace,
+		OnLive:            fo.OnLive,
 	})
 }
 
