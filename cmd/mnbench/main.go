@@ -8,8 +8,8 @@
 // The parcore step additionally records its rows in BENCH_parcore.json
 // (override the path with -parcorejson); the fednet step — which spawns
 // real worker processes from this binary and covers the ring-cbr,
-// cfs-ring, and webrepl-ring scenarios — records BENCH_fednet.json
-// (-fednetjson).
+// cfs-ring, webrepl-ring, and flaky-edge (link dynamics) scenarios —
+// records BENCH_fednet.json (-fednetjson).
 //
 // At -scale 1 (default) the workloads match the paper's parameters: full
 // runs take minutes of wall-clock time because they emulate hundreds of

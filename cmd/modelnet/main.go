@@ -4,13 +4,21 @@
 //
 //	modelnet [-gml topo.gml] [-distill hop|e2e|walkin|walkout] [-walkin N]
 //	         [-cores K] [-parallel] [-flows F] [-duration 10] [-ideal]
-//	         [-out distilled.gml]
+//	         [-dynamics script] [-trace LINK=NAME,...] [-out distilled.gml]
 //
 // Without -gml it synthesizes the paper's §4.1 ring (20 routers × 20 VNs).
 // The workload is F random-pair bulk TCP flows; the tool reports phase
 // statistics, per-flow goodput, core utilization, and emulation accuracy.
 // With -parallel each emulated core router runs on its own goroutine
 // (internal/parcore).
+//
+// Link dynamics (internal/dynamics) schedule parameter changes as
+// virtual-time events. -dynamics takes a scripted timeline
+// ("3@2s loss=0.05; 3@5s down; 3@8s up; reroute=100ms"); -trace replays a
+// capacity trace on chosen pipes ("0=wifi,1=trace.txt" — bundled names lte,
+// satellite, wifi, or a file of "time_s bandwidth_mbps [latency_ms]"
+// lines). Both also apply to federated runs, shipped bit-exactly to every
+// worker in the setup frame.
 //
 // Federation (internal/fednet) spreads the core routers across OS
 // processes:
@@ -29,7 +37,7 @@
 //	# then, from any terminal: nc -u 127.0.0.1 5000
 //
 // A federated run drives a registered scenario (-fedscenario ring-cbr,
-// gnutella-ring, cfs-ring, webrepl-ring, or live-ring) instead of the local TCP-flow
+// gnutella-ring, cfs-ring, webrepl-ring, flaky-edge, or live-ring) instead of the local TCP-flow
 // workload, because the workload itself must be distributed across the
 // worker processes. cfs-ring federates the §5.1 CFS/DHash store (Chord +
 // block-fetch RPC, nested payload codecs); webrepl-ring federates the §5.2
@@ -37,6 +45,12 @@
 // included — cross the worker processes:
 //
 //	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal -fedscenario cfs-ring -feddata tcp
+//
+// flaky-edge is the link-dynamics scenario: the webrepl workload over ring
+// links replaying the wifi trace, with one ring link failing and recovering
+// mid-run (routes reconverge); it derives its own dynamics spec:
+//
+//	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal -fedscenario flaky-edge
 package main
 
 import (
@@ -52,6 +66,7 @@ import (
 	"time"
 
 	"modelnet"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/edge"
 	"modelnet/internal/experiments"
 	"modelnet/internal/fednet"
@@ -78,6 +93,8 @@ func main() {
 	flows := flag.Int("flows", 50, "random-pair bulk TCP flows")
 	duration := flag.Float64("duration", 10, "virtual seconds to run")
 	ideal := flag.Bool("ideal", false, "ideal (event-exact, infinite-capacity) core")
+	dynScript := flag.String("dynamics", "", "link-dynamics script: 'LINK@TIME action...' clauses, ';'-separated (actions bw=MBPS lat=DUR loss=FRAC down up; globals reroute=DUR, noreroute)")
+	traceFlag := flag.String("trace", "", "replay capacity traces on pipes: LINK=SOURCE entries, comma-separated (SOURCE: bundled lte/satellite/wifi, or a trace file)")
 	seed := flag.Int64("seed", 1, "random seed")
 	outPath := flag.String("out", "", "write the distilled topology as GML")
 	federate := flag.String("federate", "", "coordinate a multi-process federation listening on this address")
@@ -113,6 +130,11 @@ func main() {
 		p := modelnet.IdealProfile()
 		opts.Profile = &p
 	}
+	dyn, err := dynamicsFromFlags(*dynScript, *traceFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Dynamics = dyn
 
 	if *federate != "" {
 		live := liveOptions{
@@ -147,6 +169,14 @@ func main() {
 		mode = fmt.Sprintf("parallel ×%d", em.Par.Cores())
 	}
 	fmt.Printf("bind   : routing over %d VNs (%s run phase)\n", em.Binding.NumVNs(), mode)
+	if opts.Dynamics != nil {
+		steps := 0
+		for _, p := range opts.Dynamics.Profiles {
+			steps += len(p.Steps)
+		}
+		fmt.Printf("dynamics: %d link profiles, %d steps (reroute=%v)\n",
+			len(opts.Dynamics.Profiles), steps, opts.Dynamics.Reroute)
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -372,6 +402,53 @@ func edgeMain(args []string) {
 	}
 }
 
+// dynamicsFromFlags builds the link-dynamics spec the -dynamics script and
+// -trace replay flags describe (either may be empty; nil when both are).
+func dynamicsFromFlags(script, traces string) (*modelnet.DynamicsSpec, error) {
+	var spec *modelnet.DynamicsSpec
+	if script != "" {
+		s, err := dynamics.ParseScript(script)
+		if err != nil {
+			return nil, err
+		}
+		spec = s
+	}
+	if traces == "" {
+		return spec, nil
+	}
+	if spec == nil {
+		spec = &modelnet.DynamicsSpec{}
+	}
+	for _, part := range strings.Split(traces, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		linkStr, src, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-trace %q: want LINK=SOURCE", part)
+		}
+		link, err := strconv.Atoi(linkStr)
+		if err != nil || link < 0 {
+			return nil, fmt.Errorf("-trace %q: bad link %q", part, linkStr)
+		}
+		text, ok := dynamics.BundledTrace(src)
+		if !ok {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				return nil, fmt.Errorf("-trace %q: not a bundled trace and %v", part, err)
+			}
+			text = string(data)
+		}
+		p, err := dynamics.TraceProfile(link, text)
+		if err != nil {
+			return nil, fmt.Errorf("-trace %q: %w", part, err)
+		}
+		spec.Profiles = append(spec.Profiles, p)
+	}
+	return spec, nil
+}
+
 func mustUDPAddr(s string) *net.UDPAddr {
 	a, err := net.ResolveUDPAddr("udp", s)
 	if err != nil {
@@ -437,6 +514,28 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			MinRate: 30, MaxRate: 60, MedianSize: 8 << 10,
 			Seed: opts.Seed,
 		}
+	case experiments.ScenarioFlakyEdge:
+		c := experiments.FlakyEdgeSpec{
+			Web: experiments.WebReplRingSpec{
+				Routers: 6, VNsPerRouter: 3,
+				LossPct:  0.5,
+				TraceSec: duration * 0.4, DrainSec: duration * 0.6,
+				MinRate: 30, MaxRate: 60, MedianSize: 8 << 10,
+				Seed: opts.Seed,
+			},
+			Trace:    "wifi",
+			FailLink: 2,
+			FailSec:  duration * 0.2, RecoverSec: duration * 0.5,
+			RerouteDelaySec: 0.25,
+		}
+		// The scenario derives its own dynamics (trace replay plus the
+		// scripted failure); they ship to the workers in the setup frame.
+		dyn, err := c.Dynamics()
+		if err != nil {
+			fatal(err)
+		}
+		opts.Dynamics = dyn
+		params = c
 	case experiments.ScenarioLiveRing:
 		params = experiments.LiveRingSpec{
 			Routers: 6, VNsPerRouter: 2,
@@ -493,6 +592,13 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
 		} else {
 			fmt.Printf("web    : %d requests (%d ok, %d failed), %d bytes served, %d retransmits (%d across core boundaries)\n",
+				wr.Requests, wr.OK, wr.Failed, wr.ServerBytes, wr.Retransmits, wr.CrossRetransmits)
+		}
+	case experiments.ScenarioFlakyEdge:
+		if wr, err := experiments.FlakyEdgeFederatedReport(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "modelnet: scenario report:", err)
+		} else {
+			fmt.Printf("flaky  : %d requests (%d ok, %d failed), %d bytes served, %d retransmits (%d across core boundaries)\n",
 				wr.Requests, wr.OK, wr.Failed, wr.ServerBytes, wr.Retransmits, wr.CrossRetransmits)
 		}
 	case experiments.ScenarioLiveRing:

@@ -1,0 +1,100 @@
+package dynamics
+
+// The federation codec for a Spec. It lives here rather than in
+// fednet/wire because the engine depends on routing (for reconvergence),
+// and wire must stay import-light — it is linked into every process that
+// touches a socket. The encoding uses wire's fixed-width little-endian
+// cursors and is bit-exact: float64 fields travel as raw bits, so every
+// worker replays the coordinator's exact step values, and decode→encode is
+// the identity on every accepted input (the fuzz tests pin this).
+
+import (
+	"fmt"
+
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/vtime"
+)
+
+// Encode serializes a spec for the federation setup frame:
+//
+//	u8 flags (bit0 = reroute) | i64 rerouteDelay | u32 nProfiles
+//	per profile: i32 link | i64 loop | u32 nSteps
+//	per step:    i64 at | f64 bandwidth | i64 latency | f64 loss | u8 down | u8 up
+//
+// A nil spec encodes to nil; callers ship that as an empty blob meaning
+// "no dynamics".
+func Encode(s *Spec) []byte {
+	if s == nil {
+		return nil
+	}
+	var e wire.Enc
+	flags := uint8(0)
+	if s.Reroute {
+		flags |= 1
+	}
+	e.U8(flags)
+	e.I64(int64(s.RerouteDelay))
+	e.U32(uint32(len(s.Profiles)))
+	for _, p := range s.Profiles {
+		e.I32(int32(p.Link))
+		e.I64(int64(p.Loop))
+		e.U32(uint32(len(p.Steps)))
+		for _, st := range p.Steps {
+			e.I64(int64(st.At))
+			e.F64(st.Bandwidth)
+			e.I64(int64(st.Latency))
+			e.F64(st.Loss)
+			e.Bool(st.Down)
+			e.Bool(st.Up)
+		}
+	}
+	return e.Bytes()
+}
+
+// Decode parses Encode output and re-validates the spec's structural
+// invariants (the link range is checked later, against the decoded
+// topology). Booleans are strict: the decoder rejects any byte the encoder
+// would not emit.
+func Decode(b []byte) (*Spec, error) {
+	d := wire.NewDec(b)
+	flags := d.U8()
+	s := &Spec{
+		Reroute:      flags&1 != 0,
+		RerouteDelay: vtime.Duration(d.I64()),
+	}
+	nProfiles := d.Len(16)
+	for i := 0; i < nProfiles; i++ {
+		p := Profile{
+			Link: int(d.I32()),
+			Loop: vtime.Duration(d.I64()),
+		}
+		nSteps := d.Len(34)
+		for j := 0; j < nSteps; j++ {
+			st := Step{
+				At:        vtime.Duration(d.I64()),
+				Bandwidth: d.F64(),
+				Latency:   vtime.Duration(d.I64()),
+				Loss:      d.F64(),
+			}
+			var err error
+			if st.Down, err = d.StrictBool(); err != nil {
+				return nil, err
+			}
+			if st.Up, err = d.StrictBool(); err != nil {
+				return nil, err
+			}
+			p.Steps = append(p.Steps, st)
+		}
+		s.Profiles = append(s.Profiles, p)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("dynamics: flags %#x has unknown bits", flags)
+	}
+	if err := s.Validate(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

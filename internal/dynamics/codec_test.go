@@ -1,0 +1,104 @@
+package dynamics
+
+// The codec tests follow fednet/wire's fuzz discipline: decoding arbitrary
+// bytes never panics and never silently succeeds on a structurally invalid
+// spec, and every accepted input round-trips byte-identically. The seed
+// corpus runs on every `go test ./...`.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"modelnet/internal/vtime"
+)
+
+// codecSeed is a spec exercising every field: a looping trace profile, a
+// fail/recover pair, and a custom reroute delay.
+func codecSeed() *Spec {
+	bw := At(0)
+	bw.Bandwidth = 6e6
+	bw.Latency = 45 * vtime.Millisecond
+	lossy := At(250 * vtime.Millisecond)
+	lossy.Loss = 0.05
+	down := At(100 * vtime.Millisecond)
+	down.Down = true
+	up := At(400 * vtime.Millisecond)
+	up.Up = true
+	return &Spec{
+		Profiles: []Profile{
+			{Link: 0, Steps: []Step{bw, lossy}, Loop: 500 * vtime.Millisecond},
+			{Link: 3, Steps: []Step{down, up}},
+		},
+		Reroute:      true,
+		RerouteDelay: 20 * vtime.Millisecond,
+	}
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	spec := codecSeed()
+	b := Encode(spec)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("decoded spec differs:\ngot  %+v\nwant %+v", got, spec)
+	}
+	if !bytes.Equal(Encode(got), b) {
+		t.Fatal("re-encode not byte-identical")
+	}
+	if Encode(nil) != nil {
+		t.Fatal("nil spec must encode to nil (empty setup blob)")
+	}
+}
+
+func TestCodecRejectsCorruptStructure(t *testing.T) {
+	good := Encode(codecSeed())
+	cases := map[string]func([]byte) []byte{
+		"truncated":     func(b []byte) []byte { return b[:len(b)-3] },
+		"trailing":      func(b []byte) []byte { return append(b, 0) },
+		"unknown flags": func(b []byte) []byte { b[0] |= 0x80; return b },
+		"bool byte 2":   func(b []byte) []byte { b[len(b)-1] = 2; return b },
+		"empty input":   func(b []byte) []byte { return nil },
+		"profile count": func(b []byte) []byte { b[9] = 0xff; return b },
+		"down and up":   func(b []byte) []byte { b[len(b)-2] = 1; b[len(b)-1] = 1; return b },
+		"unsorted steps": func(b []byte) []byte {
+			s := codecSeed()
+			s.Profiles[1].Steps[0].At = vtime.Second // after the Up step
+			return Encode(s)
+		},
+		"negative reroute delay": func(b []byte) []byte {
+			s := codecSeed()
+			s.RerouteDelay = -vtime.Millisecond
+			return Encode(s)
+		},
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), good...))
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: corrupt spec accepted", name)
+		}
+	}
+}
+
+// FuzzCodec checks the codec end to end: arbitrary bytes never panic, and
+// a spec that decodes must re-encode byte-identically and pass Validate —
+// the decoder accepts nothing the engine would later reject.
+func FuzzCodec(f *testing.F) {
+	f.Add(Encode(codecSeed()))
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(s), b) {
+			t.Fatalf("decode/encode not canonical for %x", b)
+		}
+		if err := s.Validate(0); err != nil {
+			t.Fatalf("decoder accepted an invalid spec: %v", err)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package dynamics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"modelnet/internal/vtime"
+)
+
+// ParseScript parses the declarative fault-injection timeline the CLI's
+// -dynamics flag carries: semicolon-separated clauses of the form
+//
+//	LINK@TIME action [action...]
+//
+// where TIME is a Go duration ("2s", "500ms") from the start of the run and
+// each action is one of
+//
+//	bw=MBPS      set the link rate (Mb/s; 0 = infinite)
+//	lat=DUR      set the one-way latency (Go duration)
+//	loss=FRAC    set the random loss rate, [0,1)
+//	down         fail the link
+//	up           recover the link
+//
+// plus the global clauses "reroute=DUR" (reconvergence delay; reroute is on
+// by default whenever any down/up step appears) and "noreroute". Example:
+//
+//	3@2s loss=0.05; 3@5s down; 3@8s up; reroute=100ms
+func ParseScript(text string) (*Spec, error) {
+	spec := &Spec{}
+	byLink := map[int][]Step{}
+	var links []int
+	sawFail := false
+	noReroute := false
+	for _, rawClause := range strings.Split(text, ";") {
+		clause := strings.TrimSpace(rawClause)
+		if clause == "" {
+			continue
+		}
+		if clause == "noreroute" {
+			noReroute = true
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "reroute="); ok {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("dynamics script %q: bad reroute delay", clause)
+			}
+			spec.RerouteDelay = vtime.Duration(d)
+			continue
+		}
+		head, rest, ok := strings.Cut(clause, " ")
+		if !ok {
+			return nil, fmt.Errorf("dynamics script %q: want 'LINK@TIME action...'", clause)
+		}
+		linkStr, timeStr, ok := strings.Cut(head, "@")
+		if !ok {
+			return nil, fmt.Errorf("dynamics script %q: want LINK@TIME, got %q", clause, head)
+		}
+		link, err := strconv.Atoi(linkStr)
+		if err != nil || link < 0 {
+			return nil, fmt.Errorf("dynamics script %q: bad link %q", clause, linkStr)
+		}
+		at, err := time.ParseDuration(timeStr)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("dynamics script %q: bad time %q", clause, timeStr)
+		}
+		st := At(vtime.Duration(at))
+		for _, action := range strings.Fields(rest) {
+			switch key, val, _ := strings.Cut(action, "="); key {
+			case "down":
+				st.Down = true
+				sawFail = true
+			case "up":
+				st.Up = true
+				sawFail = true
+			case "bw":
+				mbps, err := strconv.ParseFloat(val, 64)
+				if err != nil || mbps < 0 {
+					return nil, fmt.Errorf("dynamics script %q: bad bw %q", clause, val)
+				}
+				st.Bandwidth = mbps * 1e6
+			case "lat":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("dynamics script %q: bad lat %q", clause, val)
+				}
+				st.Latency = vtime.Duration(d)
+			case "loss":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f < 0 || f >= 1 {
+					return nil, fmt.Errorf("dynamics script %q: bad loss %q", clause, val)
+				}
+				st.Loss = f
+			default:
+				return nil, fmt.Errorf("dynamics script %q: unknown action %q", clause, action)
+			}
+		}
+		if _, seen := byLink[link]; !seen {
+			links = append(links, link)
+		}
+		byLink[link] = append(byLink[link], st)
+	}
+	sort.Ints(links)
+	for _, link := range links {
+		steps := byLink[link]
+		sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+		spec.Profiles = append(spec.Profiles, Profile{Link: link, Steps: steps})
+	}
+	if len(spec.Profiles) == 0 {
+		return nil, fmt.Errorf("dynamics script %q has no steps", text)
+	}
+	spec.Reroute = sawFail && !noReroute
+	if err := spec.Validate(0); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,149 @@
+package dynamics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"modelnet/internal/vtime"
+)
+
+// ParseTrace parses the text capacity-trace format:
+//
+//	# comment
+//	period 2.0              # optional: replay cycle length, seconds
+//	0.00  12.0  45          # time_s  bandwidth_mbps  [latency_ms]
+//	0.25   6.0  60
+//	...
+//
+// Each data line is a step at time_s (seconds from cycle start) setting the
+// link rate to bandwidth_mbps and — when the third column is present — the
+// one-way latency to latency_ms. Lines must be sorted by time. The returned
+// period is 0 when the trace has no period directive (play once); a
+// directive must be at least the last step time.
+func ParseTrace(text string) ([]Step, vtime.Duration, error) {
+	var steps []Step
+	period := vtime.Duration(0)
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "period" {
+			if len(fields) != 2 {
+				return nil, 0, fmt.Errorf("trace line %d: want 'period seconds'", ln+1)
+			}
+			sec, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || sec <= 0 {
+				return nil, 0, fmt.Errorf("trace line %d: bad period %q", ln+1, fields[1])
+			}
+			period = vtime.DurationOf(sec)
+			continue
+		}
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, 0, fmt.Errorf("trace line %d: want 'time_s bandwidth_mbps [latency_ms]', got %q", ln+1, strings.TrimSpace(line))
+		}
+		tSec, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || tSec < 0 {
+			return nil, 0, fmt.Errorf("trace line %d: bad time %q", ln+1, fields[0])
+		}
+		mbps, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || mbps < 0 {
+			return nil, 0, fmt.Errorf("trace line %d: bad bandwidth %q", ln+1, fields[1])
+		}
+		st := At(vtime.DurationOf(tSec))
+		st.Bandwidth = mbps * 1e6
+		if len(fields) == 3 {
+			latMS, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || latMS < 0 {
+				return nil, 0, fmt.Errorf("trace line %d: bad latency %q", ln+1, fields[2])
+			}
+			st.Latency = vtime.DurationOf(latMS / 1e3)
+		}
+		if n := len(steps); n > 0 && st.At < steps[n-1].At {
+			return nil, 0, fmt.Errorf("trace line %d: time %v before previous step", ln+1, st.At)
+		}
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil, 0, fmt.Errorf("trace has no steps")
+	}
+	if period > 0 && period <= steps[len(steps)-1].At {
+		return nil, 0, fmt.Errorf("trace period %v not after last step %v", period, steps[len(steps)-1].At)
+	}
+	return steps, period, nil
+}
+
+// TraceProfile parses a trace and binds it to one link, looping with the
+// trace's period (or playing once if it has none).
+func TraceProfile(link int, text string) (Profile, error) {
+	steps, period, err := ParseTrace(text)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{Link: link, Steps: steps, Loop: period}, nil
+}
+
+// BundledTrace resolves a bundled sample trace by name ("lte", "satellite",
+// "wifi"); ok is false for unknown names.
+func BundledTrace(name string) (string, bool) {
+	switch name {
+	case "lte":
+		return TraceLTE, true
+	case "satellite", "sat":
+		return TraceSatellite, true
+	case "wifi":
+		return TraceWifi, true
+	}
+	return "", false
+}
+
+// The bundled sample traces: short synthetic cycles in the shape of the
+// delivery-slot traces cellular emulators replay. Content is a compile-time
+// constant, so every process — coordinator, worker, test — replays exactly
+// the same steps without touching the filesystem.
+const (
+	// TraceLTE is a bursty cellular downlink: deep capacity swings with
+	// latency inflating as the rate collapses.
+	TraceLTE = `# synthetic LTE downlink capacity trace
+period 2.0
+0.00  24.0   42
+0.25  16.0   48
+0.50   6.0   65
+0.75   1.8  110
+1.00   4.0   80
+1.25  12.0   55
+1.50  20.0   45
+1.75   9.0   60
+`
+
+	// TraceSatellite is a GEO satellite link: stable but thin rate under
+	// half-second propagation delay.
+	TraceSatellite = `# synthetic GEO satellite trace
+period 3.0
+0.0   8.0  520
+0.6   5.0  540
+1.2   2.5  590
+1.8   4.0  560
+2.4   7.0  525
+`
+
+	// TraceWifi is a busy 802.11 cell: high nominal rate, contention dips,
+	// and latencies that cross below typical wired-core values — the case
+	// that forces lookahead to be derived from the profile's floor.
+	TraceWifi = `# synthetic 802.11 contention trace
+period 1.6
+0.0  50.0    2
+0.2  30.0    4
+0.4  12.0    9
+0.6   5.0   12
+0.8  18.0    7
+1.0  40.0    3
+1.2  25.0    5
+1.4  10.0    8
+`
+)

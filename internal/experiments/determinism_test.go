@@ -356,6 +356,105 @@ func TestWebReplRingFednetDeterminism(t *testing.T) {
 	}
 }
 
+// TestFlakyEdgeFednetDeterminism extends the contract to link dynamics:
+// every ring link replays the bundled wifi contention trace (so pipe
+// parameters are functions of virtual time and shard lookahead must come
+// from the profile's latency floor) while a cut ring link fails mid-run,
+// blackholes traffic until routes reconverge, and later recovers. All
+// three runtimes must agree on the conservation counters, the delivery
+// CDF, the scenario report, and the per-pipe drop vector — including the
+// drops charged to the failed pipe itself.
+func TestFlakyEdgeFednetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	base := FlakyEdgeSpec{
+		Web: WebReplRingSpec{
+			Routers:      6,
+			VNsPerRouter: 3,
+			LossPct:      0.5,
+			TraceSec:     1.5,
+			MinRate:      30,
+			MaxRate:      60,
+			MedianSize:   8 << 10,
+			DrainSec:     4.5,
+			Seed:         42,
+		},
+		Trace:           "wifi",
+		FailSec:         0.6,
+		RecoverSec:      2.4,
+		RerouteDelaySec: 0.25,
+	}
+	// The failed link crosses the k-core partition, so the spec differs per
+	// worker count; sequential and in-process runs use the same spec as the
+	// federation they are compared against.
+	type localPair struct {
+		spec FlakyEdgeSpec
+		seq  *localRun
+	}
+	locals := map[int]localPair{}
+	for _, fp := range fedPlanes {
+		lp, ok := locals[fp.cores]
+		if !ok {
+			spec := base
+			fail, err := spec.CutFailLink(fp.cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.FailLink = fail
+			seq, err := RunFlakyEdgeLocal(spec, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Web.OK == 0 {
+				t.Fatalf("%d cores: no requests completed: %+v", fp.cores, seq.Web)
+			}
+			if seq.PipeDrops[spec.FailLink] == 0 {
+				t.Errorf("%d cores: failed link %d dropped nothing — the blackhole went unexercised", fp.cores, spec.FailLink)
+			}
+			par, err := RunFlakyEdgeLocal(spec, fp.cores, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("flaky-edge seq vs inproc-%d", fp.cores)
+			if seq.Totals != par.Totals {
+				t.Errorf("%s: counters diverge:\n sequential %+v\n parallel   %+v", name, seq.Totals, par.Totals)
+			}
+			if seq.Web.Comparable() != par.Web.Comparable() {
+				t.Errorf("%s: reports diverge:\n sequential %+v\n parallel   %+v", name, seq.Web, par.Web)
+			}
+			if !reflect.DeepEqual(seq.PipeDrops, par.PipeDrops) {
+				t.Errorf("%s: per-pipe drops diverge:\n sequential %v\n parallel   %v", name, seq.PipeDrops, par.PipeDrops)
+			}
+			sameCDF(t, name, seq.Deliveries, par.Deliveries)
+			lp = localPair{spec: spec, seq: seq}
+			locals[fp.cores] = lp
+		}
+		fed, err := RunFlakyEdgeFederated(lp.spec, fp.cores, fp.plane)
+		if err != nil {
+			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+		}
+		name := fmtPlane("flaky-edge", fp.cores, fp.plane)
+		if lp.seq.Totals != fed.Totals {
+			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, lp.seq.Totals, fed.Totals)
+		}
+		fedRep, err := FlakyEdgeFederatedReport(fed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.seq.Web.Comparable() != fedRep.Comparable() {
+			t.Errorf("%s: reports diverge:\n sequential %+v\n federated  %+v", name, lp.seq.Web, fedRep)
+		}
+		if !reflect.DeepEqual(lp.seq.PipeDrops, fed.PipeDrops) {
+			t.Errorf("%s: per-pipe drops diverge:\n sequential %v\n federated  %v", name, lp.seq.PipeDrops, fed.PipeDrops)
+		}
+		sameCDF(t, name, lp.seq.Deliveries, sampleOf(fed))
+		if fed.Sync.Messages == 0 {
+			t.Errorf("%s: no cross-core messages — the comparison is vacuous", name)
+		}
+	}
+}
+
 func fmtPlane(scenario string, cores int, plane string) string {
 	return fmt.Sprintf("%s seq vs fednet-%s-%d", scenario, plane, cores)
 }

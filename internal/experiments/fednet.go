@@ -37,6 +37,7 @@ import (
 	"modelnet/internal/apps/chord"
 	"modelnet/internal/apps/gnutella"
 	"modelnet/internal/apps/webrepl"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
 	"modelnet/internal/pipes"
@@ -700,6 +701,7 @@ func init() {
 type localRun struct {
 	Totals     modelnet.Totals
 	Deliveries *stats.Sample
+	PipeDrops  []uint64 // per-pipe drop vector, indexed by pipe ID
 	WallMS     float64
 	Windows    uint64
 	Serial     uint64
@@ -712,14 +714,18 @@ type localRun struct {
 
 // runLocal executes a registered-scenario-equivalent workload without
 // sockets: sequentially (parallel=false) or on the in-process parallel
-// runtime. install returns a finisher that records the scenario's report
-// into the run after the clock stops.
+// runtime. dyn, when non-nil, is the link-dynamics spec the run replays —
+// the same value a federated run would ship in its setup frame. install
+// returns a finisher that records the scenario's report into the run after
+// the clock stops.
 func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
+	dyn *dynamics.Spec,
 	install func(em *modelnet.Emulation) (func(*localRun), error),
 	runFor modelnet.Duration) (*localRun, error) {
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(topo, modelnet.Options{
 		Cores: cores, Parallel: parallel, Profile: &ideal, Seed: seed,
+		Dynamics: dyn,
 	})
 	if err != nil {
 		return nil, err
@@ -739,6 +745,7 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 	em.RunFor(runFor)
 	res.WallMS = float64(time.Since(begin).Microseconds()) / 1000
 	res.Totals = em.Totals()
+	res.PipeDrops = em.PipeDrops()
 	if finish != nil {
 		finish(res)
 	}
@@ -754,7 +761,7 @@ func allHomed(pipes.VN) bool { return true }
 
 // RunRingCBRLocal runs the ring-cbr scenario without sockets.
 func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel,
+	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			err := c.Install(em.NumVNs(), allHomed, em.NewHost, em.SchedulerOf)
 			return nil, err
@@ -763,7 +770,7 @@ func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error)
 
 // RunGnutellaRingLocal runs the gnutella-ring scenario without sockets.
 func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel,
+	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
 			if err != nil {
@@ -775,7 +782,7 @@ func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localR
 
 // RunCFSRingLocal runs the cfs-ring scenario without sockets.
 func RunCFSRingLocal(c CFSRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel,
+	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
 			if err != nil {
@@ -787,7 +794,7 @@ func RunCFSRingLocal(c CFSRingSpec, cores int, parallel bool) (*localRun, error)
 
 // RunWebReplRingLocal runs the webrepl-ring scenario without sockets.
 func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel,
+	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost, nil)
 			if err != nil {
@@ -898,6 +905,7 @@ type FednetConfig struct {
 	Ring      RingCBRSpec
 	CFS       CFSRingSpec
 	Web       WebReplRingSpec
+	Flaky     FlakyEdgeSpec
 	Cores     []int
 	DataPlane string
 }
@@ -934,6 +942,24 @@ func DefaultFednet() FednetConfig {
 			DrainSec:     10,
 			Seed:         31,
 		},
+		Flaky: FlakyEdgeSpec{
+			Web: WebReplRingSpec{
+				Routers:      10,
+				VNsPerRouter: 4,
+				LossPct:      0.5,
+				TraceSec:     6,
+				MinRate:      40,
+				MaxRate:      80,
+				MedianSize:   8 << 10,
+				DrainSec:     8,
+				Seed:         41,
+			},
+			Trace:           "wifi",
+			FailLink:        3,
+			FailSec:         2,
+			RecoverSec:      7,
+			RerouteDelaySec: 0.25,
+		},
 		Cores:     []int{2, 4},
 		DataPlane: fednet.DataUDP,
 	}
@@ -946,6 +972,10 @@ func ScaledFednet(scale float64) FednetConfig {
 		cfg.Ring.DurationSec *= scale
 		cfg.CFS.DurationSec = 5 + (cfg.CFS.DurationSec-5)*scale
 		cfg.Web.TraceSec *= scale
+		cfg.Flaky.Web.TraceSec *= scale
+		cfg.Flaky.Web.DrainSec *= scale
+		cfg.Flaky.FailSec *= scale
+		cfg.Flaky.RecoverSec *= scale
 	}
 	return cfg
 }
@@ -978,6 +1008,7 @@ type FednetResult struct {
 	Ring      RingCBRSpec     `json:"ring"`
 	CFS       CFSRingSpec     `json:"cfs"`
 	Web       WebReplRingSpec `json:"web"`
+	Flaky     FlakyEdgeSpec   `json:"flaky"`
 	DataPlane string          `json:"data_plane"`
 	// HostCPUs bounds the achievable speedup; on a 1-CPU host the
 	// parallel and federated rows measure synchronization and socket
@@ -1051,6 +1082,7 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 		Ring:      cfg.Ring,
 		CFS:       cfg.CFS,
 		Web:       cfg.Web,
+		Flaky:     cfg.Flaky,
 		DataPlane: cfg.DataPlane,
 		HostCPUs:  runtime.NumCPU(),
 
@@ -1074,14 +1106,21 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 	); err != nil {
 		return nil, err
 	}
+	if err := runFednetScenario(res, ScenarioFlakyEdge, cfg.Cores, cfg.DataPlane,
+		func(k int, p bool) (*localRun, error) { return RunFlakyEdgeLocal(cfg.Flaky, k, p) },
+		func(k int, dp string) (*fednet.Report, error) { return RunFlakyEdgeFederated(cfg.Flaky, k, dp) },
+	); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // PrintFednet renders the study.
 func PrintFednet(w io.Writer, res *FednetResult) {
-	fprintf(w, "Core federation scaling: ring-cbr %d×%d %.1fs + cfs-ring %d×%d + webrepl-ring %d×%d, %s data plane (host CPUs: %d)\n",
+	fprintf(w, "Core federation scaling: ring-cbr %d×%d %.1fs + cfs-ring %d×%d + webrepl-ring %d×%d + flaky-edge %d×%d/%s, %s data plane (host CPUs: %d)\n",
 		res.Ring.Routers, res.Ring.VNsPerRouter, res.Ring.DurationSec,
 		res.CFS.Routers, res.CFS.VNsPerRouter, res.Web.Routers, res.Web.VNsPerRouter,
+		res.Flaky.Web.Routers, res.Flaky.Web.VNsPerRouter, res.Flaky.Trace,
 		res.DataPlane, res.HostCPUs)
 	fprintf(w, "%-13s %8s %6s %9s %9s %10s %9s %8s %9s %9s %11s %10s\n",
 		"scenario", "mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "lookahead")

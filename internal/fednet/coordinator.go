@@ -13,6 +13,7 @@ import (
 
 	"modelnet/internal/assign"
 	"modelnet/internal/distill"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
@@ -47,6 +48,12 @@ type Options struct {
 	// RunFor is the virtual time to emulate. Zero or negative runs to
 	// global quiescence.
 	RunFor vtime.Duration
+
+	// Dynamics, when non-nil, is the link-dynamics spec: the coordinator
+	// validates it against the distilled topology and ships it bit-exact
+	// to every worker, which replays it against its own pipe set exactly
+	// as the sequential and in-process modes do.
+	Dynamics *dynamics.Spec
 
 	// Listen is the control-plane address (default "127.0.0.1:0"; use
 	// ":port" to accept workers from other machines).
@@ -170,6 +177,10 @@ type Report struct {
 	// when CollectDeliveries was set. Order is by shard, then by each
 	// shard's delivery order; sort before comparing across modes.
 	Deliveries []float64
+	// PipeDrops sums the workers' per-pipe drop counters elementwise,
+	// indexed by pipe ID — comparable across execution modes (each mode
+	// materializes every pipe, so the vector shape is mode-independent).
+	PipeDrops []uint64
 	// Workers holds each worker's full report, by shard.
 	Workers []WorkerReport
 }
@@ -252,6 +263,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	topoBin := wire.EncodeTopology(dist.Graph)
 	asnBin := wire.EncodeAssignment(asn.Owner, asn.Cores)
+	if err := opts.Dynamics.Validate(dist.Graph.NumLinks()); err != nil {
+		return nil, fmt.Errorf("fednet: %w", err)
+	}
+	dynBin := dynamics.Encode(opts.Dynamics)
 	for i, c := range conns {
 		cfgJSON, err := json.Marshal(setup{
 			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
@@ -268,6 +283,7 @@ func Run(opts Options) (*Report, error) {
 		e.Blob(cfgJSON)
 		e.Blob(topoBin)
 		e.Blob(asnBin)
+		e.Blob(dynBin) // empty = no dynamics
 		if err := wire.WriteFrame(c, wire.TSetup, e.Bytes()); err != nil {
 			return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
 		}
@@ -312,9 +328,21 @@ func Run(opts Options) (*Report, error) {
 	if opts.RunFor > 0 {
 		deadline = vtime.Time(0).Add(opts.RunFor)
 	}
+	// Cut describes the partition the run synchronized under, so when link
+	// dynamics can lower a cut pipe's latency mid-run the stats are taken
+	// over the profile floors — the same rule the workers derive their
+	// window bounds from (parcore.ComputeSyncFloor).
+	cutGraph := dist.Graph
+	if opts.Dynamics != nil {
+		cutGraph = dist.Graph.Clone()
+		for i := range cutGraph.Links {
+			l := &cutGraph.Links[i]
+			l.Attr.LatencySec = opts.Dynamics.FloorLatency(l.ID, vtime.DurationOf(l.Attr.LatencySec)).Seconds()
+		}
+	}
 	rep := &Report{
 		Cores: opts.Cores, DataPlane: opts.DataPlane,
-		Cut:          asn.CutStats(dist.Graph),
+		Cut:          asn.CutStats(cutGraph),
 		GatewayAddrs: gatewayAddrs,
 	}
 	var pace *parcore.Pacing
@@ -358,6 +386,12 @@ func Run(opts Options) (*Report, error) {
 		rep.Totals.InFlight += wr.Totals.InFlight
 		rep.Accuracy.Merge(wr.Accuracy)
 		rep.Deliveries = append(rep.Deliveries, wr.Deliveries...)
+		if len(wr.PipeDrops) > len(rep.PipeDrops) {
+			rep.PipeDrops = append(rep.PipeDrops, make([]uint64, len(wr.PipeDrops)-len(rep.PipeDrops))...)
+		}
+		for p, n := range wr.PipeDrops {
+			rep.PipeDrops[p] += n
+		}
 		if wr.Edge != nil {
 			rep.Edge.Merge(*wr.Edge)
 		}

@@ -180,10 +180,12 @@ type WorkerReport struct {
 	// Frames and BytesOnWire price the worker's share of the data plane:
 	// frames written (= syscalls on the UDP plane) and bytes including
 	// framing. With batching, Frames is far below the message count.
-	Frames      uint64          `json:"frames"`
-	BytesOnWire uint64          `json:"bytes_on_wire"`
-	Deliveries  []float64       `json:"deliveries,omitempty"`
-	Scenario    json.RawMessage `json:"scenario,omitempty"`
+	Frames      uint64    `json:"frames"`
+	BytesOnWire uint64    `json:"bytes_on_wire"`
+	Deliveries  []float64 `json:"deliveries,omitempty"`
+	// PipeDrops is the per-pipe drop count vector, indexed by pipe ID.
+	PipeDrops []uint64        `json:"pipe_drops,omitempty"`
+	Scenario  json.RawMessage `json:"scenario,omitempty"`
 	// Edge counts this worker's live gateway traffic, when it hosted one.
 	Edge *edge.GatewayStats `json:"edge,omitempty"`
 }

@@ -29,7 +29,9 @@ import (
 // (type, blob) pair. Version 3 gave the TFlush frame a body (the global
 // clock floor live edge gateways stamp ingress admissions with) and the
 // TSetupAck frame a JSON body (the worker's gateway lease report).
-const Version = 3
+// Version 4 added a fourth blob to the TSetup frame: the link-dynamics
+// spec (dynamics.Encode), empty when the run has none.
+const Version = 4
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.

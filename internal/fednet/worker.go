@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"modelnet/internal/bind"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
@@ -172,6 +173,7 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	cfgJSON := d.Blob()
 	topoBin := d.Blob()
 	asnBin := d.Blob()
+	dynBin := d.Blob()
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("fednet: setup frame: %w", err)
 	}
@@ -189,6 +191,12 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	owner, cores, err := wire.DecodeAssignment(asnBin)
 	if err != nil {
 		return fmt.Errorf("fednet: setup assignment: %w", err)
+	}
+	var dyn *dynamics.Spec
+	if len(dynBin) > 0 {
+		if dyn, err = dynamics.Decode(dynBin); err != nil {
+			return fmt.Errorf("fednet: setup dynamics: %w", err)
+		}
 	}
 	if cores != cfg.Cores || len(owner) != g.NumLinks() {
 		return fmt.Errorf("fednet: assignment covers %d pipes on %d cores, topology has %d links and setup %d cores",
@@ -208,12 +216,18 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 		return fmt.Errorf("fednet: bind: %w", err)
 	}
 	homes := parcore.Homes(g, b, pod, cores)
-	w.sync = parcore.ComputeSync(g, b, pod, homes, cores)[cfg.Shard]
+	w.sync = parcore.ComputeSyncFloor(g, b, pod, homes, cores, dyn.LatencyFloorFunc())[cfg.Shard]
 	w.sched = vtime.NewScheduler()
 	w.outbox = parcore.NewOutbox(cfg.Shard, cores, w.sched)
 	w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
 	if err != nil {
 		return fmt.Errorf("fednet: shard emulator: %w", err)
+	}
+	// Attach dynamics before the scenario installs its workload, so the
+	// step events precede same-time workload events in the scheduler's
+	// tie-break — identically to the sequential and in-process modes.
+	if _, err := dynamics.Attach(w.sched, w.emu, dyn); err != nil {
+		return fmt.Errorf("fednet: dynamics: %w", err)
 	}
 	if cfg.CollectDeliveries {
 		w.emu.OnDeliver = func(_ *pipes.Packet, at vtime.Time) {
@@ -388,6 +402,10 @@ func (w *workerState) finish() error {
 		Frames:      w.dp.frames,
 		BytesOnWire: w.dp.bytes,
 		Deliveries:  w.deliveries,
+		PipeDrops:   make([]uint64, w.emu.NumPipes()),
+	}
+	for i := range rep.PipeDrops {
+		rep.PipeDrops[i] = w.emu.Pipe(pipes.ID(i)).TotalDrops()
 	}
 	cs := w.emu.CoreStats(w.cfg.Shard)
 	rep.TunnelsIn, rep.TunnelsOut = cs.TunnelsIn, cs.TunnelsOut

@@ -8,6 +8,7 @@ import (
 
 	"modelnet/internal/assign"
 	"modelnet/internal/bind"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/emucore"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
@@ -64,6 +65,11 @@ type Config struct {
 	// Required when the shared table mutates on lookup (the LRU route
 	// cache); leave nil for read-only tables (matrix, hierarchical).
 	NewTable func() bind.Table
+	// Dynamics, when non-nil, is attached to every shard: each shard
+	// replays the full spec against its own (complete) pipe set, exactly
+	// as the sequential mode does, and shard lookahead is derived from the
+	// spec's per-link latency floor.
+	Dynamics *dynamics.Spec
 }
 
 // New builds the parallel runtime: one shard emulator per assignment core,
@@ -88,19 +94,27 @@ func New(cfg Config) (*Runtime, error) {
 		}
 		w.outbox = NewOutbox(i, k, w.sched)
 		bi := b
-		if cfg.NewTable != nil {
+		// A shard needs a private binding when the table mutates: on
+		// lookup (LRU cache) or via dynamics reroutes (SetTable swaps the
+		// binding's table in place per shard).
+		if cfg.NewTable != nil || (cfg.Dynamics != nil && cfg.Dynamics.Reroute) {
 			cp := *b
-			cp.Table = cfg.NewTable()
+			if cfg.NewTable != nil {
+				cp.Table = cfg.NewTable()
+			}
 			bi = &cp
 		}
 		emu, err := emucore.NewShard(w.sched, g, bi, pod, cfg.Profile, cfg.Seed, i, r.homes, w.outbox.Handoff)
 		if err != nil {
 			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
 		}
+		if _, err := dynamics.Attach(w.sched, emu, cfg.Dynamics); err != nil {
+			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
+		}
 		w.emu = emu
 		r.workers[i] = w
 	}
-	for i, s := range ComputeSync(g, b, pod, r.homes, k) {
+	for i, s := range ComputeSyncFloor(g, b, pod, r.homes, k, cfg.Dynamics.LatencyFloorFunc()) {
 		r.workers[i].sync = s
 	}
 	return r, nil

@@ -260,6 +260,17 @@ func Homes(g *topology.Graph, b *bind.Binding, pod *bind.POD, k int) []int {
 // routes) or the pipe terminates at a VN homed elsewhere — the resulting
 // lookahead, and the ingress-crossing flag.
 func ComputeSync(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, k int) []ShardSync {
+	return ComputeSyncFloor(g, b, pod, homes, k, nil)
+}
+
+// ComputeSyncFloor is ComputeSync with a latency floor: when floor is
+// non-nil, each border pipe contributes floor(link, initialLatency) to its
+// shard's lookahead instead of the initial latency. Runs with link dynamics
+// must pass dynamics.Spec.LatencyFloorFunc here — a trace can drop a cut
+// pipe's latency below its bind-time value mid-run, and a lookahead derived
+// from the initial latency would then release windows a cross-shard message
+// can still land inside.
+func ComputeSyncFloor(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, k int, floor func(topology.LinkID, vtime.Duration) vtime.Duration) []ShardSync {
 	sync := make([]ShardSync, k)
 	for _, l := range g.Links {
 		o := pod.Owner(pipes.ID(l.ID)) % k
@@ -280,6 +291,9 @@ func ComputeSync(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int,
 		}
 		s := &sync[o]
 		lat := vtime.DurationOf(l.Attr.LatencySec)
+		if floor != nil {
+			lat = floor(l.ID, lat)
+		}
 		if len(s.BorderPipes) == 0 || lat < s.Lookahead {
 			s.Lookahead = lat
 		}

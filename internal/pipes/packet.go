@@ -51,6 +51,13 @@ const (
 	DropRandomLoss
 	// DropRED is an early drop by the RED policy.
 	DropRED
+	// DropLinkDown means the pipe was administratively down (link failure
+	// injected by internal/dynamics): new packets blackhole while packets
+	// already inside the pipe drain on their original schedule.
+	DropLinkDown
+
+	// numDropReasons sizes per-reason counters.
+	numDropReasons
 )
 
 func (r DropReason) String() string {
@@ -63,6 +70,8 @@ func (r DropReason) String() string {
 		return "loss"
 	case DropRED:
 		return "red"
+	case DropLinkDown:
+		return "down"
 	}
 	return "unknown"
 }

@@ -2,6 +2,7 @@ package pipes
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"modelnet/internal/vtime"
@@ -12,13 +13,25 @@ import (
 const DefaultQueuePkts = 50
 
 // Params are the emulation parameters of one pipe. They may be changed
-// while the emulation runs (dynamic network characteristics, §4.3).
+// while the emulation runs (dynamic network characteristics, §4.3);
+// internal/dynamics schedules such changes as virtual-time events.
+//
+// A BandwidthBps that is zero, negative, +Inf, or NaN means "infinite
+// bandwidth": transmission takes no time and only Latency delays the packet.
+// This is the only sane reading of the zero value and makes trace gaps and
+// hand-built Params safe by construction (a division by zero would otherwise
+// produce +Inf/NaN exit times that poison the pipe heap).
 type Params struct {
-	BandwidthBps float64        // link rate, bits per second
+	BandwidthBps float64        // link rate, bits per second (<=0/Inf/NaN = infinite)
 	Latency      vtime.Duration // one-way propagation delay
 	LossRate     float64        // [0,1) random drop probability
 	QueuePkts    int            // transmission queue capacity in packets
 	RED          *REDParams     // nil = drop-tail FIFO
+	// Down administratively fails the link: every new packet is dropped
+	// with DropLinkDown while in-flight packets drain on their original
+	// schedule — the paper's link-failure semantics, driven by
+	// internal/dynamics.
+	Down bool
 }
 
 func (p Params) queueCap() int {
@@ -47,12 +60,13 @@ type Pipe struct {
 	txHead int     // index of first entry with txDone > now (lazily advanced)
 
 	lastTxDone vtime.Time // when the transmitter becomes free
+	lastExit   vtime.Time // latest exit handed out; keeps the delay line FIFO
 	rng        *rand.Rand
 	red        redState
 
 	// Stats.
 	Accepted  uint64
-	Drops     [4]uint64 // indexed by DropReason
+	Drops     [numDropReasons]uint64 // indexed by DropReason
 	BytesIn   uint64
 	BytesOut  uint64
 	Delivered uint64
@@ -98,6 +112,13 @@ func (p *Pipe) advanceTx(now vtime.Time) {
 // *emulated* ("virtual") drops: the target network would have dropped the
 // packet too.
 func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
+	// A failed link blackholes everything offered to it, before any other
+	// policy: no medium, no loss process, no queue.
+	if p.params.Down {
+		p.Drops[DropLinkDown]++
+		return DropLinkDown, 0
+	}
+
 	// Random loss first: it models lossy media, independent of queueing.
 	if p.params.LossRate > 0 && p.rng.Float64() < p.params.LossRate {
 		p.Drops[DropRandomLoss]++
@@ -122,12 +143,27 @@ func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
 	if p.lastTxDone > txStart {
 		txStart = p.lastTxDone
 	}
-	txTime := vtime.Duration(float64(pkt.Size*8) / p.params.BandwidthBps * float64(vtime.Second))
-	if txTime < 0 {
-		txTime = 0
+	txTime := vtime.Duration(0)
+	if bw := p.params.BandwidthBps; bw > 0 && !math.IsInf(bw, 1) {
+		txTime = vtime.Duration(float64(pkt.Size*8) / bw * float64(vtime.Second))
+		// Guard the conversion, not just the sign: a NaN bandwidth (or a
+		// float overflow) yields a NaN/huge txTime whose comparisons are
+		// all false, which would corrupt lastTxDone for every later packet.
+		if !(txTime > 0) || !(txTime < vtime.Duration(math.MaxInt64)) {
+			txTime = 0
+		}
 	}
 	txDone := txStart.Add(txTime)
 	exit := txDone.Add(p.params.Latency)
+	// The delay line is FIFO, as in dummynet: when a latency cut (dynamics)
+	// would let this packet leave before an earlier one, it instead exits
+	// right behind it. Without this, packets exit out of FIFO order and
+	// execution modes that forward each packet at its own exit time diverge
+	// from the sequential head-of-line dequeuer.
+	if exit < p.lastExit {
+		exit = p.lastExit
+	}
+	p.lastExit = exit
 	p.lastTxDone = txDone
 	p.q = append(p.q, entry{pkt: pkt, txDone: txDone, exit: exit})
 	p.Accepted++
@@ -199,7 +235,7 @@ func (p *Pipe) compact() {
 
 // TotalDrops reports the sum of all emulated drops.
 func (p *Pipe) TotalDrops() uint64 {
-	return p.Drops[DropOverflow] + p.Drops[DropRandomLoss] + p.Drops[DropRED]
+	return p.Drops[DropOverflow] + p.Drops[DropRandomLoss] + p.Drops[DropRED] + p.Drops[DropLinkDown]
 }
 
 func (p *Pipe) String() string {

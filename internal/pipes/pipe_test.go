@@ -1,6 +1,7 @@
 package pipes
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -143,6 +144,136 @@ func TestSetParamsAffectsNewPackets(t *testing.T) {
 	}
 	if e2 != vtime.Time(3*vtime.Millisecond) {
 		t.Errorf("e2 = %v, want 3ms", e2)
+	}
+}
+
+// Zero, negative, NaN, and +Inf bandwidth all mean "infinite bandwidth":
+// transmission is instantaneous and only latency delays the packet. The
+// naive division would yield +Inf or NaN exit times; NaN in particular
+// escapes a plain `txTime < 0` clamp because NaN comparisons are false.
+func TestPipeDegenerateBandwidth(t *testing.T) {
+	lat := 10 * vtime.Millisecond
+	for _, bw := range []float64{0, -5e6, math.NaN(), math.Inf(1)} {
+		p := New(0, Params{BandwidthBps: bw, Latency: lat, QueuePkts: 10}, 1)
+		r, exit := p.Enqueue(pkt(1500), vtime.Time(vtime.Millisecond))
+		if r != DropNone {
+			t.Fatalf("bw=%v: dropped: %v", bw, r)
+		}
+		want := vtime.Time(11 * vtime.Millisecond) // arrival + latency only
+		if exit != want {
+			t.Errorf("bw=%v: exit = %v, want %v", bw, exit, want)
+		}
+		// The pipe must stay usable: a second packet also transmits
+		// instantly (no poisoned lastTxDone).
+		if _, exit2 := p.Enqueue(pkt(1500), vtime.Time(vtime.Millisecond)); exit2 != want {
+			t.Errorf("bw=%v: second exit = %v, want %v", bw, exit2, want)
+		}
+		if n := p.DequeueReady(want, func(*Packet, vtime.Time) {}); n != 2 {
+			t.Errorf("bw=%v: delivered %d of 2", bw, n)
+		}
+	}
+}
+
+// The documented SetParams contract: in-flight packets keep the schedule
+// they were assigned on entry — a parameter change never reschedules them.
+func TestSetParamsKeepsInFlightSchedule(t *testing.T) {
+	p := New(0, mkParams(8, 10*vtime.Millisecond, 10), 1)
+	_, e1 := p.Enqueue(pkt(1000), 0) // tx 1ms, exit 11ms
+	_, e2 := p.Enqueue(pkt(1000), 0) // tx done 2ms, exit 12ms
+	// Slash bandwidth and latency while both packets are inside.
+	p.SetParams(mkParams(0.001, 500*vtime.Millisecond, 10))
+	if d := p.NextDeadline(); d != e1 {
+		t.Errorf("deadline moved after SetParams: %v, want %v", d, e1)
+	}
+	var exits []vtime.Time
+	p.DequeueReady(vtime.Forever-1, func(_ *Packet, at vtime.Time) { exits = append(exits, at) })
+	if len(exits) != 2 || exits[0] != e1 || exits[1] != e2 {
+		t.Errorf("exits = %v, want [%v %v]", exits, e1, e2)
+	}
+}
+
+// A latency cut mid-queue must not let a later packet exit the pipe before
+// an earlier one: the delay line is FIFO (as in dummynet), so the later
+// packet's exit clamps to the earlier packet's. Execution modes that forward
+// each packet at its own exit time (eager cross-shard handoff) and the
+// sequential head-of-line dequeuer only agree under this invariant.
+func TestSetParamsLatencyCutKeepsFIFO(t *testing.T) {
+	p := New(0, mkParams(8, 10*vtime.Millisecond, 10), 1)
+	_, e1 := p.Enqueue(pkt(1000), 0) // tx 1ms, exit 11ms
+	p.SetParams(mkParams(8, 1*vtime.Millisecond, 10))
+	_, e2 := p.Enqueue(pkt(1000), 0) // would exit 3ms; clamps to 11ms
+	if e2 < e1 {
+		t.Fatalf("latency cut reordered exits: e2 %v < e1 %v", e2, e1)
+	}
+	if e2 != e1 {
+		t.Errorf("e2 = %v, want clamped to e1 %v", e2, e1)
+	}
+	// A third packet after the backlog exits under the new latency, still
+	// in order: txStart 2ms, tx 1ms, +1ms latency = 4ms, clamped to 11ms.
+	_, e3 := p.Enqueue(pkt(1000), 0)
+	if e3 != e1 {
+		t.Errorf("e3 = %v, want clamped to %v", e3, e1)
+	}
+	// Deliveries pop in FIFO order at their exact (clamped) exits.
+	var exits []vtime.Time
+	p.DequeueReady(vtime.Forever-1, func(_ *Packet, at vtime.Time) { exits = append(exits, at) })
+	if len(exits) != 3 || exits[0] != e1 || exits[1] != e2 || exits[2] != e3 {
+		t.Errorf("exits = %v, want [%v %v %v]", exits, e1, e2, e3)
+	}
+}
+
+// When bandwidth drops mid-queue, lastTxDone (set under the old rate) still
+// serializes the next packet: its transmission starts when the queued bytes
+// finish at the old rate, and proceeds at the new rate.
+func TestSetParamsLastTxDoneOnBandwidthDrop(t *testing.T) {
+	p := New(0, mkParams(8, 0, 10), 1)
+	p.Enqueue(pkt(1000), 0) // tx done at 1ms (8 Mb/s)
+	p.Enqueue(pkt(1000), 0) // tx done at 2ms
+	p.SetParams(mkParams(2, 0, 10))
+	// New packet waits for the old-rate backlog (2ms), then takes 4ms at
+	// the new 2 Mb/s: exit 6ms.
+	_, e3 := p.Enqueue(pkt(1000), 0)
+	if want := vtime.Time(6 * vtime.Millisecond); e3 != want {
+		t.Errorf("e3 = %v, want %v", e3, want)
+	}
+	// And lastTxDone was advanced under the new rate for the one after.
+	_, e4 := p.Enqueue(pkt(1000), 0)
+	if want := vtime.Time(10 * vtime.Millisecond); e4 != want {
+		t.Errorf("e4 = %v, want %v", e4, want)
+	}
+}
+
+// A down link blackholes new packets but lets in-flight ones drain on their
+// original schedule; recovery restores normal service.
+func TestPipeLinkDown(t *testing.T) {
+	up := mkParams(8, 10*vtime.Millisecond, 10)
+	p := New(0, up, 1)
+	_, e1 := p.Enqueue(pkt(1000), 0)
+	down := up
+	down.Down = true
+	p.SetParams(down)
+	if r, _ := p.Enqueue(pkt(1000), 0); r != DropLinkDown {
+		t.Fatalf("enqueue on down link: %v, want DropLinkDown", r)
+	}
+	if p.Drops[DropLinkDown] != 1 || p.TotalDrops() != 1 {
+		t.Errorf("drop counters: down=%d total=%d", p.Drops[DropLinkDown], p.TotalDrops())
+	}
+	// The in-flight packet still exits on schedule.
+	if n := p.DequeueReady(e1, func(*Packet, vtime.Time) {}); n != 1 {
+		t.Fatalf("in-flight packet did not drain: %d", n)
+	}
+	// Recovery: the link carries traffic again, transmitter idle.
+	p.SetParams(up)
+	now := vtime.Time(20 * vtime.Millisecond)
+	r, exit := p.Enqueue(pkt(1000), now)
+	if r != DropNone {
+		t.Fatalf("enqueue after recovery: %v", r)
+	}
+	if want := now.Add(11 * vtime.Millisecond); exit != want {
+		t.Errorf("post-recovery exit = %v, want %v", exit, want)
+	}
+	if s := DropLinkDown.String(); s != "down" {
+		t.Errorf("DropLinkDown.String() = %q", s)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"modelnet/internal/assign"
 	"modelnet/internal/bind"
 	"modelnet/internal/distill"
+	"modelnet/internal/dynamics"
 	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet"
@@ -65,6 +66,14 @@ type (
 	Totals = emucore.Totals
 	// DistillSpec selects the accuracy/scalability tradeoff of §4.1.
 	DistillSpec = distill.Spec
+	// DynamicsSpec describes virtual-time link dynamics (§4.3): trace
+	// replay, scripted failure/recovery, route reconvergence.
+	DynamicsSpec = dynamics.Spec
+	// DynamicsProfile is one link's timeline of parameter steps.
+	DynamicsProfile = dynamics.Profile
+	// DynamicsStep is a single scheduled parameter change; use
+	// dynamics.Unchanged semantics via the Parse helpers below.
+	DynamicsStep = dynamics.Step
 )
 
 // Distillation modes (§4.1).
@@ -101,6 +110,16 @@ var (
 	IdealProfile   = emucore.IdealProfile
 )
 
+// Link-dynamics constructors re-exported from internal/dynamics: a
+// scripted fault timeline ("3@2s loss=0.05; 3@5s down; 3@8s up;
+// reroute=100ms"), a capacity trace for one link ("time_s bw_mbps
+// [lat_ms]" lines), and the bundled lte/satellite/wifi sample traces.
+var (
+	ParseScript  = dynamics.ParseScript
+	TraceProfile = dynamics.TraceProfile
+	BundledTrace = dynamics.BundledTrace
+)
+
 // Options configure an emulation.
 type Options struct {
 	// Distill selects the distillation mode; zero value = hop-by-hop.
@@ -131,6 +150,11 @@ type Options struct {
 	// Totals, OnDeliver, SchedulerOf) and keep application callbacks on
 	// their own host's scheduler.
 	Parallel bool
+	// Dynamics, when non-nil, schedules link-parameter changes — trace
+	// replay, scripted failures, recovery with route reconvergence — as
+	// virtual-time events (internal/dynamics). The same spec applies
+	// bit-exactly in sequential, parallel, and federated runs.
+	Dynamics *dynamics.Spec
 	// Federate configures multi-process federation (internal/fednet):
 	// each core router runs in its own OS process — on its own machine,
 	// with remote workers — and the determinism contract above extends
@@ -203,6 +227,7 @@ func Federate(scenario string, params any, runFor Duration, opts Options) (*Fede
 		Hierarchical: opts.HierarchicalRoutes,
 
 		RunFor:            runFor,
+		Dynamics:          opts.Dynamics,
 		Listen:            fo.Listen,
 		DataPlane:         fo.DataPlane,
 		Spawn:             fo.Spawn,
@@ -290,6 +315,7 @@ func Run(target *Graph, opts Options) (*Emulation, error) {
 			Profile:    prof,
 			Seed:       opts.Seed,
 			NewTable:   newTable,
+			Dynamics:   opts.Dynamics,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("modelnet: run: %w", err)
@@ -301,6 +327,9 @@ func Run(target *Graph, opts Options) (*Emulation, error) {
 	emu, err := emucore.New(sched, dist.Graph, b, asn.POD(), prof, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("modelnet: run: %w", err)
+	}
+	if _, err := dynamics.Attach(sched, emu, opts.Dynamics); err != nil {
+		return nil, fmt.Errorf("modelnet: dynamics: %w", err)
 	}
 	em.Sched = sched
 	em.Emu = emu
@@ -378,6 +407,26 @@ func (e *Emulation) Totals() emucore.Totals {
 		return e.Par.Totals()
 	}
 	return e.Emu.Totals()
+}
+
+// PipeDrops returns the per-pipe drop count vector, indexed by pipe ID
+// (summed elementwise across shards in parallel mode). It is comparable
+// across execution modes and against FederationReport.PipeDrops.
+func (e *Emulation) PipeDrops() []uint64 {
+	drops := make([]uint64, e.Distilled.Graph.NumLinks())
+	sum := func(emu *emucore.Emulator) {
+		for i := range drops {
+			drops[i] += emu.Pipe(pipes.ID(i)).TotalDrops()
+		}
+	}
+	if e.Par != nil {
+		for i := 0; i < e.Par.Cores(); i++ {
+			sum(e.Par.ShardEmu(i))
+		}
+	} else {
+		sum(e.Emu)
+	}
+	return drops
 }
 
 // AccuracyStats returns the delay-accuracy tracker (merged across cores in
