@@ -71,6 +71,7 @@ import (
 	"modelnet/internal/experiments"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
+	"modelnet/internal/pipes"
 	"modelnet/internal/traffic"
 )
 
@@ -107,6 +108,9 @@ func main() {
 	edgeMap := flag.String("edge-map", "", "with -edge-listen: mappings 'vn>dstvn:dstport' or 'vn@peerip:port>dstvn:dstport', comma-separated")
 	realTime := flag.Bool("realtime", false, "with -federate: pace window release against the wall clock (virtual ns = wall ns)")
 	pace := flag.Duration("pace", 0, "with -realtime: pacing quantum (0 = 1ms; the paper's 10 kHz timer is 100µs)")
+	traceOut := flag.String("trace-out", "", "record a virtual-time packet trace and write it here (.json = Chrome trace-event, .jsonl = JSON lines, other = canonical binary)")
+	profileOut := flag.String("profile-out", "", "write the run's wall-clock/barrier profile as JSON")
+	metricsListen := flag.String("metrics-listen", "", "with -federate: serve live run metrics over HTTP on this address (Prometheus text at /metrics, JSON at /metrics.json)")
 	flag.Parse()
 
 	spec := modelnet.DistillSpec{}
@@ -135,13 +139,15 @@ func main() {
 		fatal(err)
 	}
 	opts.Dynamics = dyn
+	opts.Trace = *traceOut != ""
+	obsOut := obsOptions{TraceOut: *traceOut, ProfileOut: *profileOut, MetricsListen: *metricsListen}
 
 	if *federate != "" {
 		live := liveOptions{
 			EdgeListen: *edgeListen, EdgeMap: *edgeMap,
 			RealTime: *realTime || *edgeListen != "", Pace: *pace,
 		}
-		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, live, opts)
+		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, live, obsOut, opts)
 		return
 	}
 
@@ -213,7 +219,9 @@ func main() {
 			traffic.StartBulk(src, netstack.Endpoint{VN: dst.VN(), Port: 80}, traffic.Unbounded)
 		})
 	}
+	begin := time.Now()
 	em.RunFor(modelnet.Seconds(*duration))
+	wallMS := float64(time.Since(begin).Nanoseconds()) / 1e6
 
 	var rates []float64
 	for _, s := range sinks {
@@ -233,6 +241,7 @@ func main() {
 	tot := em.Totals()
 	fmt.Printf("core   : %d pkts delivered, %d physical drops, %d virtual drops\n",
 		tot.Delivered, tot.PhysDrops, tot.VirtualDrops)
+	fmt.Printf("drops  : %s\n", dropSummary(em.DropsByReason()))
 	if em.Par != nil {
 		st := em.Par.Stats()
 		fmt.Printf("sync   : %d windows, %d serial rounds, %d cross-core messages, lookahead %v\n",
@@ -249,6 +258,48 @@ func main() {
 	}
 	acc := em.AccuracyStats()
 	fmt.Printf("accuracy: %v\n", &acc)
+	if obsOut.TraceOut != "" {
+		tr := em.TraceData()
+		if err := tr.WriteFile(obsOut.TraceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace  : %d events -> %s\n", len(tr.Events), obsOut.TraceOut)
+	}
+	if obsOut.ProfileOut != "" {
+		rp := em.RunProfile()
+		rp.WallMS = wallMS
+		if err := rp.WriteFile(obsOut.ProfileOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile: %s mode breakdown -> %s\n", rp.Mode, obsOut.ProfileOut)
+	}
+}
+
+// dropSummary renders the unified drop-taxonomy vector (indexed by
+// pipes.DropReason), skipping empty slots.
+func dropSummary(drops []uint64) string {
+	var b strings.Builder
+	for r, n := range drops {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", pipes.DropReason(r), n)
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// edgeSummary is the gateway-stats line of the federation report. It prints
+// every run — zeros included — so a silently dead live edge is visible, not
+// hidden behind the lease being unset.
+func edgeSummary(e edge.GatewayStats) string {
+	return fmt.Sprintf("%d in / %d out real datagrams (%d oversize, %d unmapped, %d queue drops, %d evictions)",
+		e.IngressPkts, e.EgressPkts, e.Oversize, e.Unmapped, e.QueueDrops, e.Evictions)
 }
 
 // coreMain is the worker subcommand: one process, one federated shard.
@@ -283,6 +334,13 @@ type liveOptions struct {
 	EdgeMap    string
 	RealTime   bool
 	Pace       time.Duration
+}
+
+// obsOptions carry the CLI's observability knobs (internal/obs).
+type obsOptions struct {
+	TraceOut      string
+	ProfileOut    string
+	MetricsListen string
 }
 
 // parseEdgeMaps parses the -edge-map syntax: comma-separated
@@ -458,15 +516,16 @@ func mustUDPAddr(s string) *net.UDPAddr {
 }
 
 // federateMain coordinates a multi-process run of a registered scenario.
-func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, live liveOptions, opts Options) {
+func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, live liveOptions, obsOut obsOptions, opts Options) {
 	opts.Federate = &modelnet.FederateOptions{
-		Listen:      listen,
-		DataPlane:   dataPlane,
-		Spawn:       spawn,
-		NoBatch:     noBatch,
-		MaxDatagram: maxDgram,
-		RealTime:    live.RealTime,
-		Pace:        modelnet.Duration(live.Pace),
+		Listen:        listen,
+		DataPlane:     dataPlane,
+		Spawn:         spawn,
+		NoBatch:       noBatch,
+		MaxDatagram:   maxDgram,
+		RealTime:      live.RealTime,
+		Pace:          modelnet.Duration(live.Pace),
+		MetricsListen: obsOut.MetricsListen,
 	}
 	if live.EdgeListen != "" {
 		maps, err := parseEdgeMaps(live.EdgeMap)
@@ -608,13 +667,27 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 			fmt.Printf("live   : %d pings echoed in-emulation\n", lr.Echoed)
 		}
 	}
-	if opts.Federate.Edge != nil {
-		e := rep.Edge
-		fmt.Printf("edge   : %d in / %d out real datagrams (%d oversize, %d unmapped, %d evictions)\n",
-			e.IngressPkts, e.EgressPkts, e.Oversize, e.Unmapped, e.Evictions)
-	}
+	fmt.Printf("drops  : %s\n", dropSummary(rep.DropsByReason))
+	fmt.Printf("edge   : %s\n", edgeSummary(rep.Edge))
+	p := rep.Sync.Profile
+	fmt.Printf("profile: compute %.0f ms, barrier %.0f ms (flush %.0f ms), serial %.0f ms, idle %.0f ms\n",
+		float64(p.ComputeWallNs)/1e6, float64(p.BarrierWallNs)/1e6, float64(p.FlushWallNs)/1e6,
+		float64(p.SerialWallNs)/1e6, float64(p.IdleWallNs)/1e6)
 	acc := rep.Accuracy
 	fmt.Printf("accuracy: %v\n", &acc)
+	if obsOut.TraceOut != "" && rep.Trace != nil {
+		if err := rep.Trace.WriteFile(obsOut.TraceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace  : %d events -> %s\n", len(rep.Trace.Events), obsOut.TraceOut)
+	}
+	if obsOut.ProfileOut != "" {
+		rp := rep.RunProfile()
+		if err := rp.WriteFile(obsOut.ProfileOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile: fednet mode breakdown -> %s\n", obsOut.ProfileOut)
+	}
 }
 
 // Options is shortened locally for federateMain's signature.

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"modelnet/internal/edge"
+	"modelnet/internal/pipes"
+)
+
+// The federation report prints its gateway and drop lines every run; these
+// pin the rendering so the report format does not silently regress.
+
+func TestDropSummary(t *testing.T) {
+	if got := dropSummary(nil); got != "none" {
+		t.Fatalf("empty vector: %q", got)
+	}
+	drops := make([]uint64, pipes.NumDropReasons)
+	if got := dropSummary(drops); got != "none" {
+		t.Fatalf("all-zero vector: %q", got)
+	}
+	drops[pipes.DropBacklog] = 12
+	drops[pipes.DropLinkDown] = 3
+	drops[pipes.DropGatewayReject] = 1
+	want := "backlog=12, link-down=3, gateway-reject=1"
+	if got := dropSummary(drops); got != want {
+		t.Fatalf("dropSummary = %q, want %q", got, want)
+	}
+}
+
+func TestEdgeSummary(t *testing.T) {
+	// Zero stats must still render — the line is printed every run so a
+	// dead live edge is visible, not hidden behind the lease being unset.
+	if got := edgeSummary(edge.GatewayStats{}); got != "0 in / 0 out real datagrams (0 oversize, 0 unmapped, 0 queue drops, 0 evictions)" {
+		t.Fatalf("zero stats: %q", got)
+	}
+	got := edgeSummary(edge.GatewayStats{
+		IngressPkts: 10, EgressPkts: 8,
+		Oversize: 1, Unmapped: 2, QueueDrops: 3, Evictions: 4,
+	})
+	want := "10 in / 8 out real datagrams (1 oversize, 2 unmapped, 3 queue drops, 4 evictions)"
+	if got != want {
+		t.Fatalf("edgeSummary = %q, want %q", got, want)
+	}
+}

@@ -232,6 +232,12 @@ func (e *Engine) apply(link int, st Step) {
 	}
 	e.emu.SetPipeParams(id, params)
 	e.Applied++
+	if e.emu.Shard() <= 0 {
+		// Every shard applies every step; record it once, on the shard that
+		// exists in all modes (the sequential emulator or shard 0), so the
+		// trace stays mode-invariant.
+		e.emu.Trace.DynStep(e.sched.Now(), link)
+	}
 }
 
 // Down reports whether the engine currently considers the link failed.
@@ -245,6 +251,9 @@ func (e *Engine) Down(link topology.LinkID) bool { return e.down[link] }
 // failing route lookup; that is the unreachable-partition semantics.
 func (e *Engine) reroute() {
 	e.Reroutes++
+	if e.emu.Shard() <= 0 {
+		e.emu.Trace.Reroute(e.sched.Now()) // once per mode, as in apply
+	}
 	g := e.emu.Graph()
 	if len(e.down) > 0 {
 		g = g.Clone()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"modelnet/internal/bind"
+	"modelnet/internal/obs"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
@@ -69,6 +70,11 @@ type Emulator struct {
 	// hook is installed per shard and may be invoked concurrently across
 	// shards; implementations must be safe for that.
 	OnDeliver func(pkt *pipes.Packet, at vtime.Time)
+	// Trace, when non-nil, records virtual-time packet events (internal/obs).
+	// Set it before the workload is installed; every hook is nil-safe, so a
+	// disabled trace costs one branch per event. Dynamics engines attached
+	// to this emulator record their steps through it too.
+	Trace *obs.Tracer
 }
 
 // core is one emulated core router: a pipe heap plus CPU/NIC occupancy.
@@ -274,6 +280,22 @@ type Totals struct {
 	InFlight     int
 }
 
+// DropsByReason sums the per-reason virtual drop counters over every pipe
+// (the unified pipes.DropReason taxonomy, indexable by reason), folding
+// route-lookup rejections into the DropUnreachable slot. Gateway-side
+// reasons (oversize, gateway-reject) are counted by the live edge and
+// merged at the report layer.
+func (e *Emulator) DropsByReason() []uint64 {
+	out := make([]uint64, pipes.NumDropReasons)
+	for _, p := range e.pipes {
+		for r, n := range p.Drops {
+			out[r] += n
+		}
+	}
+	out[pipes.DropUnreachable] += e.NoRoute
+	return out
+}
+
 // Totals returns the current conservation counters.
 func (e *Emulator) Totals() Totals {
 	t := Totals{Injected: e.Injected, Delivered: e.Delivered, NoRoute: e.NoRoute}
@@ -295,6 +317,7 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 	route, ok := e.binding.Table.Lookup(src, dst)
 	if !ok {
 		e.NoRoute++
+		e.Trace.Unreachable(e.sched.Now(), src, dst, size, e.Trace.NextTID(src))
 		return false
 	}
 	now := e.sched.Now()
@@ -305,15 +328,22 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 		c = e.cores[e.shard]
 	}
 
+	// The trace ID is minted before physical admission: the routed-injection
+	// sequence per source VN is identical in every execution mode, while
+	// admission outcomes are per-core wall effects.
+	tid := e.Trace.NextTID(src)
+
 	// Physical admission: NIC receive ring, then CPU (interrupt handling
 	// is starved when the emulation runs behind).
 	if !c.admitRx(e, now, size) {
 		c.PhysDropsNIC++
+		e.Trace.PhysDrop(now, obs.PhysNICRx, tid, src, dst, size)
 		e.dropHook(nil, "nic-rx")
 		return false
 	}
 	if !c.admitCPU(e, now, e.prof.CPU.PerPacket) {
 		c.PhysDropsCPU++
+		e.Trace.PhysDrop(now, obs.PhysCPU, tid, src, dst, size)
 		e.dropHook(nil, "cpu")
 		return false
 	}
@@ -328,6 +358,7 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 		Dst:      dst,
 		Route:    route,
 		Injected: now,
+		Trace:    tid,
 		Payload:  payload,
 	}
 	if len(route) == 0 {
@@ -355,6 +386,7 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		cur.forceCPU(e, now, e.prof.CPU.TunnelTx)
 		if !cur.admitTx(e, now, wire) {
 			cur.PhysDropsTx++
+			e.Trace.PhysDrop(now, obs.PhysTunnelTx, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 			e.dropHook(pkt, "tunnel-tx")
 			e.pool.Put(pkt)
 			return
@@ -362,17 +394,20 @@ func (e *Emulator) enqueue(cur *core, pkt *pipes.Packet, pid pipes.ID, at vtime.
 		cur.TunnelsOut++
 		cur.TunnelTxBytes += uint64(wire)
 		if e.shard >= 0 && ownerIdx != e.shard {
+			e.Trace.Handoff(at, ownerIdx, pid, pkt)
 			e.handoff(ownerIdx, pkt, pid, at, 0)
 			return
 		}
 		if !owner.admitRx(e, now, wire) {
 			owner.PhysDropsNIC++
+			e.Trace.PhysDrop(now, obs.PhysTunnelRx, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 			e.dropHook(pkt, "tunnel-rx")
 			e.pool.Put(pkt)
 			return
 		}
 		if !owner.admitCPU(e, now, e.prof.CPU.TunnelRx) {
 			owner.PhysDropsCPU++
+			e.Trace.PhysDrop(now, obs.PhysTunnelCPU, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 			e.dropHook(pkt, "tunnel-cpu")
 			e.pool.Put(pkt)
 			return
@@ -398,10 +433,12 @@ func (e *Emulator) wireSize(pkt *pipes.Packet) int {
 func (e *Emulator) localEnqueue(c *core, pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
 	reason, exit := e.pipes[pid].Enqueue(pkt, at)
 	if reason != pipes.DropNone {
+		e.Trace.PipeDrop(at, pid, pkt, reason)
 		e.dropHook(pkt, "pipe-"+reason.String())
 		e.pool.Put(pkt)
 		return
 	}
+	e.Trace.PipeEnqueue(at, pid, pkt)
 	c.heap.Update(e.pipes[pid])
 	e.scheduleCore(c)
 	if e.eager {
@@ -428,6 +465,7 @@ func (e *Emulator) preEmit(c *core, pkt *pipes.Packet, exit vtime.Time) {
 		cp.Hop = next
 		c.TunnelsOut++
 		c.TunnelTxBytes += uint64(e.wireSize(pkt))
+		e.Trace.Handoff(exit, tgt, npid, cp)
 		e.handoff(tgt, cp, npid, exit, 0)
 		return
 	}
@@ -436,6 +474,7 @@ func (e *Emulator) preEmit(c *core, pkt *pipes.Packet, exit vtime.Time) {
 		// Lag is zero by construction (eager mode has no quantization).
 		cp := e.pool.Get()
 		*cp = *pkt
+		e.Trace.Handoff(exit, home, -1, cp)
 		e.handoff(home, cp, -1, exit, 0)
 	}
 }
@@ -449,12 +488,14 @@ func (e *Emulator) TunnelIn(pkt *pipes.Packet, pid pipes.ID, at vtime.Time) {
 	wire := e.wireSize(pkt)
 	if !c.admitRx(e, now, wire) {
 		c.PhysDropsNIC++
+		e.Trace.PhysDrop(now, obs.PhysTunnelRx, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 		e.dropHook(pkt, "tunnel-rx")
 		e.pool.Put(pkt)
 		return
 	}
 	if !c.admitCPU(e, now, e.prof.CPU.TunnelRx) {
 		c.PhysDropsCPU++
+		e.Trace.PhysDrop(now, obs.PhysTunnelCPU, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 		e.dropHook(pkt, "tunnel-cpu")
 		e.pool.Put(pkt)
 		return
@@ -483,6 +524,7 @@ func (e *Emulator) runCore(c *core) {
 // shard were already pre-emitted at enqueue time (see preEmit) and are
 // ignored here.
 func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
+	e.Trace.PipeDequeue(exactExit, pkt.Route[pkt.Hop], pkt)
 	c.forceCPU(e, now, e.prof.CPU.PerHop)
 	pkt.Hop++
 	if pkt.Hop < len(pkt.Route) {
@@ -513,12 +555,14 @@ func (e *Emulator) advance(c *core, pkt *pipes.Packet, exactExit, now vtime.Time
 func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time) {
 	if !c.admitTx(e, now, pkt.Size) {
 		c.PhysDropsTx++
+		e.Trace.PhysDrop(now, obs.PhysEdgeTx, pkt.Trace, pkt.Src, pkt.Dst, pkt.Size)
 		e.dropHook(pkt, "edge-tx")
 		e.pool.Put(pkt)
 		return
 	}
 	lag := pkt.Lag + now.Sub(exactExit)
 	if e.shard >= 0 && e.homes[pkt.Dst] != e.shard {
+		e.Trace.Handoff(now, e.homes[pkt.Dst], -1, pkt)
 		e.handoff(e.homes[pkt.Dst], pkt, -1, now, lag)
 		return
 	}
@@ -531,6 +575,7 @@ func (e *Emulator) finish(c *core, pkt *pipes.Packet, exactExit, now vtime.Time)
 // return: hooks and delivery functions must not retain it.
 func (e *Emulator) CompleteDelivery(pkt *pipes.Packet, lag vtime.Duration, at vtime.Time) {
 	e.Delivered++
+	e.Trace.Deliver(at, pkt)
 	e.Accuracy.Record(lag, len(pkt.Route))
 	if e.OnDeliver != nil {
 		e.OnDeliver(pkt, at)

@@ -127,11 +127,11 @@ func TestRingFednetDeterminism(t *testing.T) {
 		t.Skip("spawns worker subprocesses")
 	}
 	spec := fednetRingSpec()
-	seq, err := RunRingCBRLocal(spec, 1, false)
+	seq, err := RunRingCBRLocal(spec, 1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunRingCBRLocal(spec, 4, true)
+	par, err := RunRingCBRLocal(spec, 4, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestGnutellaFednetDeterminism(t *testing.T) {
 		WindowSec:    8,
 		Seed:         15,
 	}
-	seq, err := RunGnutellaRingLocal(spec, 1, false)
+	seq, err := RunGnutellaRingLocal(spec, 1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunGnutellaRingLocal(spec, 4, true)
+	par, err := RunGnutellaRingLocal(spec, 4, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestCFSRingFednetDeterminism(t *testing.T) {
 		DurationSec:  5,
 		Seed:         21,
 	}
-	seq, err := RunCFSRingLocal(spec, 1, false)
+	seq, err := RunCFSRingLocal(spec, 1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestCFSRingFednetDeterminism(t *testing.T) {
 			t.Errorf("download from node %d incomplete: %+v", d.Node, d)
 		}
 	}
-	par, err := RunCFSRingLocal(spec, 4, true)
+	par, err := RunCFSRingLocal(spec, 4, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +302,7 @@ func TestWebReplRingFednetDeterminism(t *testing.T) {
 		DrainSec:     6,
 		Seed:         31,
 	}
-	seq, err := RunWebReplRingLocal(spec, 1, false)
+	seq, err := RunWebReplRingLocal(spec, 1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestWebReplRingFednetDeterminism(t *testing.T) {
 	if seq.Web.Retransmits == 0 {
 		t.Fatalf("lossy ring produced no TCP retransmissions — the workload is not exercising RTO state: %+v", seq.Web)
 	}
-	par, err := RunWebReplRingLocal(spec, 4, true)
+	par, err := RunWebReplRingLocal(spec, 4, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestFlakyEdgeFednetDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			spec.FailLink = fail
-			seq, err := RunFlakyEdgeLocal(spec, 1, false)
+			seq, err := RunFlakyEdgeLocal(spec, 1, false, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -412,7 +412,7 @@ func TestFlakyEdgeFednetDeterminism(t *testing.T) {
 			if seq.PipeDrops[spec.FailLink] == 0 {
 				t.Errorf("%d cores: failed link %d dropped nothing — the blackhole went unexercised", fp.cores, spec.FailLink)
 			}
-			par, err := RunFlakyEdgeLocal(spec, fp.cores, true)
+			par, err := RunFlakyEdgeLocal(spec, fp.cores, true, false)
 			if err != nil {
 				t.Fatal(err)
 			}

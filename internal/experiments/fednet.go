@@ -40,6 +40,7 @@ import (
 	"modelnet/internal/dynamics"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
+	"modelnet/internal/obs"
 	"modelnet/internal/pipes"
 	"modelnet/internal/stats"
 	"modelnet/internal/traffic"
@@ -702,11 +703,14 @@ type localRun struct {
 	Totals     modelnet.Totals
 	Deliveries *stats.Sample
 	PipeDrops  []uint64 // per-pipe drop vector, indexed by pipe ID
+	Drops      []uint64 // unified drop-taxonomy vector (pipes.DropReason)
 	WallMS     float64
 	Windows    uint64
 	Serial     uint64
 	Messages   uint64
 	Lookahead  modelnet.Duration
+	Drive      obs.DriveProfile // wall-clock breakdown (zero in seq mode)
+	Trace      *obs.Trace       // packet trace, when requested
 	Gnutella   GnutellaRingReport
 	CFS        CFSRingReport
 	Web        WebReplRingReport
@@ -718,14 +722,14 @@ type localRun struct {
 // the same value a federated run would ship in its setup frame. install
 // returns a finisher that records the scenario's report into the run after
 // the clock stops.
-func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
+func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel, trace bool,
 	dyn *dynamics.Spec,
 	install func(em *modelnet.Emulation) (func(*localRun), error),
 	runFor modelnet.Duration) (*localRun, error) {
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(topo, modelnet.Options{
 		Cores: cores, Parallel: parallel, Profile: &ideal, Seed: seed,
-		Dynamics: dyn,
+		Dynamics: dyn, Trace: trace,
 	})
 	if err != nil {
 		return nil, err
@@ -746,6 +750,10 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 	res.WallMS = float64(time.Since(begin).Microseconds()) / 1000
 	res.Totals = em.Totals()
 	res.PipeDrops = em.PipeDrops()
+	res.Drops = em.DropsByReason()
+	if trace {
+		res.Trace = em.TraceData()
+	}
 	if finish != nil {
 		finish(res)
 	}
@@ -753,6 +761,7 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 		st := em.Par.Stats()
 		res.Windows, res.Serial, res.Messages = st.Windows, st.SerialRounds, st.Messages
 		res.Lookahead = em.Par.Lookahead()
+		res.Drive = st.Profile
 	}
 	return res, nil
 }
@@ -760,8 +769,8 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel bool,
 func allHomed(pipes.VN) bool { return true }
 
 // RunRingCBRLocal runs the ring-cbr scenario without sockets.
-func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
+func RunRingCBRLocal(c RingCBRSpec, cores int, parallel, trace bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			err := c.Install(em.NumVNs(), allHomed, em.NewHost, em.SchedulerOf)
 			return nil, err
@@ -769,8 +778,8 @@ func RunRingCBRLocal(c RingCBRSpec, cores int, parallel bool) (*localRun, error)
 }
 
 // RunGnutellaRingLocal runs the gnutella-ring scenario without sockets.
-func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
+func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
 			if err != nil {
@@ -781,8 +790,8 @@ func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel bool) (*localR
 }
 
 // RunCFSRingLocal runs the cfs-ring scenario without sockets.
-func RunCFSRingLocal(c CFSRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
+func RunCFSRingLocal(c CFSRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
 			if err != nil {
@@ -793,8 +802,8 @@ func RunCFSRingLocal(c CFSRingSpec, cores int, parallel bool) (*localRun, error)
 }
 
 // RunWebReplRingLocal runs the webrepl-ring scenario without sockets.
-func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel bool) (*localRun, error) {
-	return runLocal(c.Topology(), c.Seed, cores, parallel, nil,
+func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost, nil)
 			if err != nil {
@@ -999,6 +1008,12 @@ type FednetRow struct {
 	Frames      uint64  `json:"frames,omitempty"`
 	BytesOnWire uint64  `json:"bytes_on_wire,omitempty"`
 	LookaheadMS float64 `json:"lookahead_ms,omitempty"`
+	// Barrier breakdown (internal/obs): where the drive loop's wall time
+	// went. Not omitempty — a zero is a measurement (the seq rows have no
+	// barrier), not a missing column.
+	ComputeWallNs uint64 `json:"compute_wall_ns"`
+	BarrierWallNs uint64 `json:"barrier_wall_ns"`
+	FlushWallNs   uint64 `json:"flush_wall_ns"`
 }
 
 // FednetResult is the full study. The three spec fields record each
@@ -1059,6 +1074,8 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 		row := totalsRow(scenario, "inproc", k, par.Totals, par.WallMS)
 		row.Windows, row.SerialRounds, row.Messages = par.Windows, par.Serial, par.Messages
 		row.LookaheadMS = par.Lookahead.Seconds() * 1000
+		row.ComputeWallNs, row.BarrierWallNs, row.FlushWallNs =
+			par.Drive.ComputeWallNs, par.Drive.BarrierWallNs, par.Drive.FlushWallNs
 		res.Rows = append(res.Rows, check(row))
 
 		fed, err := federated(k, dataPlane)
@@ -1069,6 +1086,8 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 		frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
 		frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
 		frow.LookaheadMS = fed.Lookahead.Seconds() * 1000
+		frow.ComputeWallNs, frow.BarrierWallNs, frow.FlushWallNs =
+			fed.Sync.Profile.ComputeWallNs, fed.Sync.Profile.BarrierWallNs, fed.Sync.Profile.FlushWallNs
 		res.Rows = append(res.Rows, check(frow))
 	}
 	return nil
@@ -1089,25 +1108,25 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 		Deterministic: true,
 	}
 	if err := runFednetScenario(res, ScenarioRingCBR, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunRingCBRLocal(cfg.Ring, k, p) },
+		func(k int, p bool) (*localRun, error) { return RunRingCBRLocal(cfg.Ring, k, p, false) },
 		func(k int, dp string) (*fednet.Report, error) { return RunRingCBRFederated(cfg.Ring, k, dp) },
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioCFSRing, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunCFSRingLocal(cfg.CFS, k, p) },
+		func(k int, p bool) (*localRun, error) { return RunCFSRingLocal(cfg.CFS, k, p, false) },
 		func(k int, dp string) (*fednet.Report, error) { return RunCFSRingFederated(cfg.CFS, k, dp) },
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioWebReplRing, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunWebReplRingLocal(cfg.Web, k, p) },
+		func(k int, p bool) (*localRun, error) { return RunWebReplRingLocal(cfg.Web, k, p, false) },
 		func(k int, dp string) (*fednet.Report, error) { return RunWebReplRingFederated(cfg.Web, k, dp) },
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioFlakyEdge, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunFlakyEdgeLocal(cfg.Flaky, k, p) },
+		func(k int, p bool) (*localRun, error) { return RunFlakyEdgeLocal(cfg.Flaky, k, p, false) },
 		func(k int, dp string) (*fednet.Report, error) { return RunFlakyEdgeFederated(cfg.Flaky, k, dp) },
 	); err != nil {
 		return nil, err

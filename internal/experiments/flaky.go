@@ -161,12 +161,12 @@ func init() {
 
 // RunFlakyEdgeLocal runs the flaky-edge scenario without sockets,
 // sequentially or on the in-process parallel runtime.
-func RunFlakyEdgeLocal(c FlakyEdgeSpec, cores int, parallel bool) (*localRun, error) {
+func RunFlakyEdgeLocal(c FlakyEdgeSpec, cores int, parallel, trace bool) (*localRun, error) {
 	dyn, err := c.Dynamics()
 	if err != nil {
 		return nil, err
 	}
-	return runLocal(c.Topology(), c.Web.Seed, cores, parallel, dyn,
+	return runLocal(c.Topology(), c.Web.Seed, cores, parallel, trace, dyn,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Web.Install(em.NumVNs(), allHomed, em.NewHost, nil)
 			if err != nil {

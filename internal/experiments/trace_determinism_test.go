@@ -1,0 +1,170 @@
+package experiments
+
+// The observability layer's determinism contract (internal/obs): with
+// Options.Trace set, the canonical encoding of the recorded packet trace —
+// the mode-invariant events (pipe enqueue/dequeue/drop, delivery,
+// unreachable injections, dynamics steps, reroutes), content-sorted and
+// stripped of merge metadata — must be byte-identical across the
+// sequential, in-process parallel, and multi-process federated execution
+// modes. Handoffs and physical-capacity drops are deployment properties
+// and are deliberately outside the canonical form; the contract holds
+// under event-exact profiles, like the counter contract it extends.
+
+import (
+	"bytes"
+	"testing"
+
+	"modelnet"
+	"modelnet/internal/fednet"
+	"modelnet/internal/obs"
+)
+
+// canonOf returns a trace's canonical bytes, failing on an empty trace.
+func canonOf(t *testing.T, name string, tr *obs.Trace) []byte {
+	t.Helper()
+	if tr == nil {
+		t.Fatalf("%s: no trace recorded", name)
+	}
+	b := tr.CanonicalBytes()
+	if len(tr.Canonical()) == 0 {
+		t.Fatalf("%s: trace has no canonical events", name)
+	}
+	return b
+}
+
+func sameTrace(t *testing.T, name string, want, got []byte) {
+	t.Helper()
+	if !bytes.Equal(want, got) {
+		wt, werr := obs.DecodeCanonical(want)
+		gt, gerr := obs.DecodeCanonical(got)
+		if werr != nil || gerr != nil {
+			t.Fatalf("%s: canonical traces differ and decode failed (%v, %v)", name, werr, gerr)
+		}
+		if len(wt.Events) != len(gt.Events) {
+			t.Fatalf("%s: canonical traces differ: %d vs %d events", name, len(wt.Events), len(gt.Events))
+		}
+		for i := range wt.Events {
+			if wt.Events[i] != gt.Events[i] {
+				t.Fatalf("%s: canonical traces diverge at event %d:\n want %+v\n got  %+v",
+					name, i, wt.Events[i], gt.Events[i])
+			}
+		}
+		t.Fatalf("%s: canonical traces differ (same events, different bytes?)", name)
+	}
+}
+
+func TestRingCBRTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := fednetRingSpec()
+	seq, err := RunRingCBRLocal(spec, 1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonOf(t, "ring seq", seq.Trace)
+	par, err := RunRingCBRLocal(spec, 4, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "ring seq vs inproc", want, canonOf(t, "ring inproc", par.Trace))
+	ideal := modelnet.IdealProfile()
+	for _, plane := range []string{fednet.DataUDP, fednet.DataTCP} {
+		fed, err := fednet.Run(fednet.Options{
+			Scenario: ScenarioRingCBR, Params: spec,
+			Cores: 2, Seed: spec.Seed, Profile: &ideal,
+			RunFor: spec.RunFor(), DataPlane: plane,
+			Spawn: true, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("fednet over %s: %v", plane, err)
+		}
+		name := fmtPlane("ring trace", 2, plane)
+		sameTrace(t, name, want, canonOf(t, name, fed.Trace))
+	}
+}
+
+func TestFlakyEdgeTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	spec := FlakyEdgeSpec{
+		Web: WebReplRingSpec{
+			Routers:      6,
+			VNsPerRouter: 3,
+			LossPct:      0.5,
+			TraceSec:     1.5,
+			MinRate:      30,
+			MaxRate:      60,
+			MedianSize:   8 << 10,
+			DrainSec:     4.5,
+			Seed:         42,
+		},
+		Trace:           "wifi",
+		FailSec:         0.6,
+		RecoverSec:      2.4,
+		RerouteDelaySec: 0.25,
+	}
+	fail, err := spec.CutFailLink(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FailLink = fail
+	seq, err := RunFlakyEdgeLocal(spec, 1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonOf(t, "flaky seq", seq.Trace)
+	// The canonical stream must contain the dynamics and drop events this
+	// scenario exists to produce — an empty taxonomy would make the
+	// byte-comparison vacuous.
+	kinds := map[obs.Kind]int{}
+	for _, ev := range seq.Trace.Canonical() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindEnqueue, obs.KindDequeue, obs.KindDeliver, obs.KindDrop, obs.KindDynStep, obs.KindReroute} {
+		if kinds[k] == 0 {
+			t.Errorf("flaky seq trace has no %v events", k)
+		}
+	}
+	par, err := RunFlakyEdgeLocal(spec, 2, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "flaky seq vs inproc", want, canonOf(t, "flaky inproc", par.Trace))
+	dyn, err := spec.Dynamics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := modelnet.IdealProfile()
+	for _, plane := range []string{fednet.DataUDP, fednet.DataTCP} {
+		fed, err := fednet.Run(fednet.Options{
+			Scenario: ScenarioFlakyEdge, Params: spec,
+			Cores: 2, Seed: spec.Web.Seed, Profile: &ideal,
+			RunFor: spec.RunFor(), DataPlane: plane,
+			Dynamics: dyn,
+			Spawn:    true, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("fednet over %s: %v", plane, err)
+		}
+		name := fmtPlane("flaky trace", 2, plane)
+		sameTrace(t, name, want, canonOf(t, name, fed.Trace))
+		// The federated run must also surface the unified drop taxonomy.
+		if !equalU64(seq.Drops, fed.DropsByReason) {
+			t.Errorf("%s: drops-by-reason diverge:\n sequential %v\n federated  %v", name, seq.Drops, fed.DropsByReason)
+		}
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

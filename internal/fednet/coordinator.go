@@ -17,6 +17,7 @@ import (
 	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
+	"modelnet/internal/obs"
 	"modelnet/internal/parcore"
 	"modelnet/internal/vtime"
 )
@@ -105,6 +106,15 @@ type Options struct {
 	Timeout time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
+
+	// Trace has every worker record a virtual-time packet trace and stream
+	// it back over wire.TTrace; the merged result lands in Report.Trace.
+	Trace bool
+	// MetricsListen, when non-empty, binds a live metrics HTTP endpoint
+	// (obs.Metrics: Prometheus text at /metrics) on the coordinator at the
+	// given host:port, and has every worker bind one on loopback; worker
+	// addresses land in Report.WorkerMetricsAddrs.
+	MetricsListen string
 }
 
 func (o *Options) defaults() error {
@@ -181,8 +191,35 @@ type Report struct {
 	// indexed by pipe ID — comparable across execution modes (each mode
 	// materializes every pipe, so the vector shape is mode-independent).
 	PipeDrops []uint64
+	// DropsByReason sums the workers' unified drop-taxonomy vectors
+	// (indexed by pipes.DropReason), gateway rejections included.
+	DropsByReason []uint64
+	// Trace is the merged packet trace, when Options.Trace was set.
+	Trace *obs.Trace
+	// MetricsAddr and WorkerMetricsAddrs are the bound metrics endpoints,
+	// when Options.MetricsListen was set.
+	MetricsAddr        string
+	WorkerMetricsAddrs []string
 	// Workers holds each worker's full report, by shard.
 	Workers []WorkerReport
+}
+
+// RunProfile flattens the report's synchronization profile into the
+// -profile-out artifact shape.
+func (r *Report) RunProfile() obs.RunProfile {
+	p := obs.RunProfile{
+		Mode:         "fednet",
+		Cores:        r.Cores,
+		WallMS:       r.WallMS,
+		Windows:      r.Sync.Windows,
+		SerialRounds: r.Sync.SerialRounds,
+		Messages:     r.Sync.Messages,
+		Drive:        r.Sync.Profile,
+	}
+	for _, w := range r.Workers {
+		p.Shards = append(p.Shards, w.Profile)
+	}
+	return p
 }
 
 // Run executes a federated emulation end to end and aggregates the worker
@@ -274,7 +311,7 @@ func Run(opts Options) (*Report, error) {
 			NoBatch: opts.NoBatch, MaxDatagram: opts.MaxDatagram,
 			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
-			Edge: opts.Edge,
+			Edge: opts.Edge, Trace: opts.Trace, Metrics: opts.MetricsListen != "",
 		})
 		if err != nil {
 			return nil, err
@@ -288,9 +325,22 @@ func Run(opts Options) (*Report, error) {
 			return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
 		}
 	}
-	tr := &coordTransport{conns: conns, timeout: opts.Timeout}
+	var metrics *obs.Metrics
+	var metricsAddr string
+	if opts.MetricsListen != "" {
+		metrics = obs.NewMetrics("coordinator", -1)
+		addr, closeMetrics, err := metrics.Serve(opts.MetricsListen)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: metrics listen %s: %w", opts.MetricsListen, err)
+		}
+		defer closeMetrics() //nolint:errcheck
+		metricsAddr = addr
+		opts.Log("fednet: coordinator metrics on http://%s/metrics", addr)
+	}
+	tr := &coordTransport{conns: conns, timeout: opts.Timeout, metrics: metrics}
 	tr.init(opts.Cores)
 	gatewayAddrs := make([]string, opts.Cores)
+	workerMetrics := make([]string, opts.Cores)
 	for i := range conns {
 		typ, body, err := tr.read(i)
 		if err != nil {
@@ -305,6 +355,10 @@ func Run(opts Options) (*Report, error) {
 				return nil, fmt.Errorf("fednet: shard %d setup ack: %w", i, err)
 			}
 			gatewayAddrs[i] = ack.GatewayAddr
+			workerMetrics[i] = ack.MetricsAddr
+			if ack.MetricsAddr != "" {
+				opts.Log("fednet: shard %d metrics on http://%s/metrics", i, ack.MetricsAddr)
+			}
 		}
 	}
 	opts.Log("fednet: all %d shards up, running", opts.Cores)
@@ -342,8 +396,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep := &Report{
 		Cores: opts.Cores, DataPlane: opts.DataPlane,
-		Cut:          asn.CutStats(cutGraph),
-		GatewayAddrs: gatewayAddrs,
+		Cut:                asn.CutStats(cutGraph),
+		GatewayAddrs:       gatewayAddrs,
+		MetricsAddr:        metricsAddr,
+		WorkerMetricsAddrs: workerMetrics,
 	}
 	var pace *parcore.Pacing
 	begin := time.Now()
@@ -363,10 +419,24 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	rep.Workers = make([]WorkerReport, opts.Cores)
+	var traceEvents []obs.Event
 	for i := range conns {
-		typ, body, err := tr.read(i)
-		if err != nil {
-			return nil, err
+		// A worker streams zero or more TTrace chunks, then its TReport.
+		var typ uint8
+		var body []byte
+		for {
+			typ, body, err = tr.read(i)
+			if err != nil {
+				return nil, err
+			}
+			if typ != wire.TTrace {
+				break
+			}
+			evs, err := decodeTraceChunk(body)
+			if err != nil {
+				return nil, fmt.Errorf("fednet: shard %d: %w", i, err)
+			}
+			traceEvents = append(traceEvents, evs...)
 		}
 		if typ != wire.TReport {
 			return nil, fmt.Errorf("fednet: shard %d: expected report, got frame type %d", i, typ)
@@ -392,9 +462,18 @@ func Run(opts Options) (*Report, error) {
 		for p, n := range wr.PipeDrops {
 			rep.PipeDrops[p] += n
 		}
+		if len(wr.DropsByReason) > len(rep.DropsByReason) {
+			rep.DropsByReason = append(rep.DropsByReason, make([]uint64, len(wr.DropsByReason)-len(rep.DropsByReason))...)
+		}
+		for r, n := range wr.DropsByReason {
+			rep.DropsByReason[r] += n
+		}
 		if wr.Edge != nil {
 			rep.Edge.Merge(*wr.Edge)
 		}
+	}
+	if opts.Trace {
+		rep.Trace = obs.FromEvents(traceEvents)
 	}
 	// CutStats' minimum cut latency is the cluster-granularity analog of
 	// parcore.Runtime.Lookahead.
@@ -452,6 +531,14 @@ func acceptWorkers(ln net.Listener, opts Options) ([]net.Conn, []hello, error) {
 type coordTransport struct {
 	conns   []net.Conn
 	timeout time.Duration
+
+	// metrics, when non-nil, is the coordinator's live endpoint; it is
+	// updated at barrier boundaries (the only points where worker-reported
+	// state is coherent).
+	metrics *obs.Metrics
+	// flushWallNs accumulates the wall time of Exchange's flush half, so
+	// parcore's drive profile can split barrier cost into flush vs sync.
+	flushWallNs uint64
 
 	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
 	messages uint64
@@ -550,6 +637,7 @@ func (t *coordTransport) collectCounts(want uint8) error {
 // message onto the sockets and settles the expectation counters, then a
 // sync round has every worker await, apply, and report bounds.
 func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
+	f0 := time.Now()
 	floor := t.floor
 	if !t.paceEpoch.IsZero() {
 		if w := vtime.Time(time.Since(t.paceEpoch)); w > floor {
@@ -565,6 +653,7 @@ func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
 	if err := t.collectCounts(wire.TFlushDone); err != nil {
 		return nil, err
 	}
+	t.flushWallNs += uint64(time.Since(f0))
 	for i := range t.conns {
 		if err := wire.WriteFrame(t.conns[i], wire.TSync, wire.Sync{Expect: t.expectFor(i)}.Encode()); err != nil {
 			return nil, err
@@ -588,6 +677,10 @@ func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
 	return bs, nil
 }
 
+// FlushWallNs reports the accumulated wall time of flush rounds; parcore's
+// drive profiler subtracts it from the barrier total.
+func (t *coordTransport) FlushWallNs() uint64 { return t.flushWallNs }
+
 // Window implements parcore.Transport: all workers run their shards
 // concurrently — this is where federation buys real parallelism.
 func (t *coordTransport) Window(bound vtime.Time) error {
@@ -596,7 +689,16 @@ func (t *coordTransport) Window(bound vtime.Time) error {
 			return err
 		}
 	}
-	return t.collectCounts(wire.TWindowDone)
+	if err := t.collectCounts(wire.TWindowDone); err != nil {
+		return err
+	}
+	t.metrics.AddWindows(1)
+	t.metrics.SetVTime(int64(t.floor))
+	t.metrics.SetMessages(t.messages)
+	if !t.paceEpoch.IsZero() {
+		t.metrics.SetLag(int64(time.Since(t.paceEpoch)) - int64(t.floor))
+	}
+	return nil
 }
 
 // DrainPass implements parcore.Transport. Turns within a pass are
@@ -631,5 +733,8 @@ func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
 		}
 		progressed = progressed || m.Progressed
 	}
+	t.metrics.AddSerialRounds(1)
+	t.metrics.SetVTime(int64(t.floor))
+	t.metrics.SetMessages(t.messages)
 	return progressed, nil
 }

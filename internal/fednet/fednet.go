@@ -13,6 +13,7 @@ import (
 	"modelnet/internal/edge"
 	"modelnet/internal/emucore"
 	"modelnet/internal/netstack"
+	"modelnet/internal/obs"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
@@ -154,12 +155,21 @@ type setup struct {
 	// whose ingress VN is homed on its shard and reports the real socket
 	// address it bound in its setup ack. Nil = no live edge.
 	Edge *edge.GatewayConfig `json:"edge,omitempty"`
+
+	// Trace has the worker record a virtual-time packet trace and stream
+	// it to the coordinator (wire.TTrace) before its final report.
+	Trace bool `json:"trace,omitempty"`
+	// Metrics has the worker bind a loopback metrics endpoint and report
+	// its address in the setup ack.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // setupAck is a worker's setup acknowledgment body: the real address of
-// its live edge gateway, when the lease gave it one ("" otherwise).
+// its live edge gateway, when the lease gave it one ("" otherwise), and of
+// its metrics endpoint, when the setup asked for one.
 type setupAck struct {
 	GatewayAddr string `json:"gateway_addr,omitempty"`
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 // hello is a worker's join frame body: the data-plane endpoints it listens
@@ -184,8 +194,14 @@ type WorkerReport struct {
 	BytesOnWire uint64    `json:"bytes_on_wire"`
 	Deliveries  []float64 `json:"deliveries,omitempty"`
 	// PipeDrops is the per-pipe drop count vector, indexed by pipe ID.
-	PipeDrops []uint64        `json:"pipe_drops,omitempty"`
-	Scenario  json.RawMessage `json:"scenario,omitempty"`
+	PipeDrops []uint64 `json:"pipe_drops,omitempty"`
+	// DropsByReason is the unified drop taxonomy vector (indexed by
+	// pipes.DropReason), with this worker's gateway rejections folded into
+	// the oversize and gateway-reject slots.
+	DropsByReason []uint64        `json:"drops_by_reason,omitempty"`
+	Scenario      json.RawMessage `json:"scenario,omitempty"`
+	// Profile is the worker's wall-clock / lookahead-utilization breakdown.
+	Profile obs.ShardProfile `json:"profile"`
 	// Edge counts this worker's live gateway traffic, when it hosted one.
 	Edge *edge.GatewayStats `json:"edge,omitempty"`
 }

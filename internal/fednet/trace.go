@@ -1,0 +1,65 @@
+package fednet
+
+// TTrace frame bodies: workers stream their recorded obs.Events to the
+// coordinator in chunks after TFinish, before the final TReport. The codec
+// lives here rather than in wire because wire stays ignorant of obs; the
+// frame type (wire.TTrace) and version bump are the protocol's.
+
+import (
+	"fmt"
+
+	"modelnet/internal/fednet/wire"
+	"modelnet/internal/obs"
+)
+
+// traceRecordBytes is one encoded event: VT i64, TID u64, Seq u64,
+// Shard i32, Pipe i32, Src i32, Dst i32, Size i32, Kind u8, Arg u8.
+const traceRecordBytes = 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 + 1 + 1
+
+// traceChunkEvents bounds one TTrace frame to a few MB.
+const traceChunkEvents = 64 << 10
+
+// encodeTraceChunk encodes one chunk of trace events.
+func encodeTraceChunk(evs []obs.Event) []byte {
+	var e wire.Enc
+	e.U32(uint32(len(evs)))
+	for i := range evs {
+		ev := &evs[i]
+		e.I64(ev.VT)
+		e.U64(ev.TID)
+		e.U64(ev.Seq)
+		e.I32(ev.Shard)
+		e.I32(ev.Pipe)
+		e.I32(ev.Src)
+		e.I32(ev.Dst)
+		e.I32(ev.Size)
+		e.U8(uint8(ev.Kind))
+		e.U8(ev.Arg)
+	}
+	return e.Bytes()
+}
+
+// decodeTraceChunk parses a TTrace body.
+func decodeTraceChunk(b []byte) ([]obs.Event, error) {
+	d := wire.NewDec(b)
+	n := d.Len(traceRecordBytes)
+	evs := make([]obs.Event, n)
+	for i := range evs {
+		evs[i] = obs.Event{
+			VT:    d.I64(),
+			TID:   d.U64(),
+			Seq:   d.U64(),
+			Shard: d.I32(),
+			Pipe:  d.I32(),
+			Src:   d.I32(),
+			Dst:   d.I32(),
+			Size:  d.I32(),
+			Kind:  obs.Kind(d.U8()),
+			Arg:   d.U8(),
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("fednet: trace chunk: %w", err)
+	}
+	return evs, nil
+}

@@ -232,6 +232,7 @@ type PacketWire struct {
 	Hop      int32
 	Injected int64
 	Lag      int64
+	Trace    uint64 // mode-invariant trace ID; 0 when tracing is off
 	Payload  []byte
 }
 
@@ -248,6 +249,7 @@ func appendPacketWire(e *Enc, p *PacketWire) {
 	e.I32(p.Hop)
 	e.I64(p.Injected)
 	e.I64(p.Lag)
+	e.U64(p.Trace)
 	e.Blob(p.Payload)
 }
 
@@ -267,6 +269,7 @@ func decodePacketWire(d *Dec) PacketWire {
 	p.Hop = d.I32()
 	p.Injected = d.I64()
 	p.Lag = d.I64()
+	p.Trace = d.U64()
 	p.Payload = append([]byte(nil), d.Blob()...)
 	return p
 }
@@ -340,7 +343,7 @@ type DataMsg struct {
 
 // dataMsgMinBytes is the encoded size of a DataMsg with an empty route and
 // payload, used to bounds-check batch element counts before allocating.
-const dataMsgMinBytes = 37 + 50
+const dataMsgMinBytes = 37 + 58
 
 // Encode returns the element's encoding (one slot of a batch body).
 func (m DataMsg) Encode() []byte {
@@ -463,6 +466,7 @@ func EncodePacket(pkt *pipes.Packet) (PacketWire, error) {
 		Hop:      int32(pkt.Hop),
 		Injected: int64(pkt.Injected),
 		Lag:      int64(pkt.Lag),
+		Trace:    pkt.Trace,
 
 		Payload: pb,
 	}, nil
@@ -488,6 +492,7 @@ func (p *PacketWire) Packet() (*pipes.Packet, error) {
 		Hop:      int(p.Hop),
 		Injected: vtime.Time(p.Injected),
 		Lag:      vtime.Duration(p.Lag),
+		Trace:    p.Trace,
 		Payload:  payload,
 	}, nil
 }

@@ -31,7 +31,10 @@ import (
 // TSetupAck frame a JSON body (the worker's gateway lease report).
 // Version 4 added a fourth blob to the TSetup frame: the link-dynamics
 // spec (dynamics.Encode), empty when the run has none.
-const Version = 4
+// Version 5 added the observability layer: a Trace u64 (the mode-invariant
+// packet trace ID) in every PacketWire, and the TTrace frame streaming a
+// worker's recorded trace events to the coordinator before its TReport.
+const Version = 5
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -56,6 +59,7 @@ const (
 	TError      uint8 = 14 // either direction: fatal error (text body)
 	TData       uint8 = 15 // worker -> worker: one cross-core tunnel message
 	TDataBatch  uint8 = 16 // worker -> worker: a dense run of tunnel messages
+	TTrace      uint8 = 17 // worker -> coordinator: a chunk of trace events (before TReport)
 )
 
 const headerBytes = 6 // u32 length + u8 version + u8 type

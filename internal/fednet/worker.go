@@ -17,6 +17,7 @@ import (
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet/wire"
 	"modelnet/internal/netstack"
+	"modelnet/internal/obs"
 	"modelnet/internal/parcore"
 	"modelnet/internal/pipes"
 	"modelnet/internal/vtime"
@@ -83,6 +84,12 @@ type workerState struct {
 	sent       []uint64 // cumulative messages sent per peer shard
 	deliveries []float64
 	report     func() json.RawMessage
+
+	tracer       *obs.Tracer      // non-nil when the setup asked for a trace
+	prof         obs.ShardProfile // wall-time and lookahead-utilization breakdown
+	metrics      *obs.Metrics     // non-nil when the setup asked for live metrics
+	metricsAddr  string
+	closeMetrics func() error
 }
 
 // readControl reads one control frame under the liveness timeout,
@@ -146,6 +153,10 @@ func (w *workerState) run() error {
 		ack.GatewayAddr = w.gw.Addr()
 		defer w.gw.Close()
 		w.opts.Log("fednet worker: shard %d live gateway on %s", w.cfg.Shard, ack.GatewayAddr)
+	}
+	if w.metrics != nil {
+		ack.MetricsAddr = w.metricsAddr
+		defer w.closeMetrics() //nolint:errcheck
 	}
 	ackBody, err := json.Marshal(ack)
 	if err != nil {
@@ -222,6 +233,19 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
 	if err != nil {
 		return fmt.Errorf("fednet: shard emulator: %w", err)
+	}
+	w.prof.Shard = cfg.Shard
+	if cfg.Trace {
+		w.tracer = obs.NewTracer(cfg.Shard)
+		w.emu.Trace = w.tracer
+	}
+	if cfg.Metrics {
+		w.metrics = obs.NewMetrics("worker", cfg.Shard)
+		addr, closeFn, err := w.metrics.Serve("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("fednet: shard %d metrics: %w", cfg.Shard, err)
+		}
+		w.metricsAddr, w.closeMetrics = addr, closeFn
 	}
 	// Attach dynamics before the scenario installs its workload, so the
 	// step events precede same-time workload events in the scheduler's
@@ -315,6 +339,7 @@ func (w *workerState) serve() error {
 		}
 		switch typ {
 		case wire.TFlush:
+			t0 := time.Now()
 			// Barrier edge: admit any live real-world arrivals before the
 			// flush, stamped no earlier than the coordinator's clock floor.
 			// The injections become ordinary scheduler events, so the
@@ -329,6 +354,8 @@ func (w *workerState) serve() error {
 			if err := w.flushOutbox(); err != nil {
 				return err
 			}
+			w.prof.FlushWallNs += uint64(time.Since(t0))
+			w.updateMetrics()
 			if err := w.send(wire.TFlushDone, w.counts().Encode()); err != nil {
 				return err
 			}
@@ -337,13 +364,17 @@ func (w *workerState) serve() error {
 			if err != nil {
 				return err
 			}
+			t0 := time.Now()
 			msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
 			if err != nil {
 				return err
 			}
+			t1 := time.Now()
+			w.prof.WaitWallNs += uint64(t1.Sub(t0))
 			if err := parcore.ApplyMsgs(w.sched, w.emu, msgs); err != nil {
 				return err
 			}
+			w.prof.ApplyWallNs += uint64(time.Since(t1))
 			b := parcore.ShardBounds(w.sched, w.emu, w.sync)
 			if err := w.send(wire.TReady, wire.Ready{Next: int64(b.Next), Safe: int64(b.Safe)}.Encode()); err != nil {
 				return err
@@ -353,10 +384,20 @@ func (w *workerState) serve() error {
 			if err != nil {
 				return err
 			}
+			t0 := time.Now()
+			f0 := w.sched.Fired()
 			w.sched.RunUntil(vtime.Time(m.Bound))
+			w.prof.RunWallNs += uint64(time.Since(t0))
+			w.prof.Windows++
+			if fired := w.sched.Fired() - f0; fired > 0 {
+				w.prof.ActiveWindows++
+				w.prof.EventsFired += fired
+			}
 			if err := w.flushOutbox(); err != nil {
 				return err
 			}
+			w.metrics.AddWindows(1)
+			w.updateMetrics()
 			if err := w.send(wire.TWindowDone, w.counts().Encode()); err != nil {
 				return err
 			}
@@ -365,6 +406,7 @@ func (w *workerState) serve() error {
 			if err != nil {
 				return err
 			}
+			t0 := time.Now()
 			msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
 			if err != nil {
 				return err
@@ -373,13 +415,18 @@ func (w *workerState) serve() error {
 				return err
 			}
 			progressed := false
+			f0 := w.sched.Fired()
 			if w.sched.NextEventTime() <= vtime.Time(m.T) {
 				w.sched.RunUntil(vtime.Time(m.T))
 				progressed = true
 			}
+			w.prof.DrainWallNs += uint64(time.Since(t0))
+			w.prof.EventsFired += w.sched.Fired() - f0
 			if err := w.flushOutbox(); err != nil {
 				return err
 			}
+			w.metrics.AddSerialRounds(1)
+			w.updateMetrics()
 			dd := wire.DrainDone{Progressed: progressed, Counts: w.counts()}
 			if err := w.send(wire.TDrainDone, dd.Encode()); err != nil {
 				return err
@@ -392,7 +439,25 @@ func (w *workerState) serve() error {
 	}
 }
 
-// finish builds and sends the worker's final report.
+// updateMetrics refreshes the live endpoint from worker state. Called only
+// at barrier boundaries on the serve goroutine: the data-plane counters are
+// plain fields owned by that goroutine, so this is the one safe place to
+// snapshot them into the endpoint's atomics.
+func (w *workerState) updateMetrics() {
+	if w.metrics == nil {
+		return
+	}
+	w.metrics.SetVTime(int64(w.sched.Now()))
+	w.metrics.SetPlane(w.dp.frames, w.dp.bytes)
+	if w.gw != nil {
+		st := w.gw.Stats()
+		w.metrics.SetGateway(st.IngressPkts, st.IngressBytes, st.EgressPkts, st.EgressBytes,
+			st.Oversize+st.Unmapped+st.QueueDrops)
+	}
+}
+
+// finish builds and sends the worker's final report, preceded by any
+// recorded trace events streamed as TTrace chunks.
 func (w *workerState) finish() error {
 	rep := WorkerReport{
 		Shard:       w.cfg.Shard,
@@ -403,18 +468,36 @@ func (w *workerState) finish() error {
 		BytesOnWire: w.dp.bytes,
 		Deliveries:  w.deliveries,
 		PipeDrops:   make([]uint64, w.emu.NumPipes()),
+		Profile:     w.prof,
 	}
 	for i := range rep.PipeDrops {
 		rep.PipeDrops[i] = w.emu.Pipe(pipes.ID(i)).TotalDrops()
 	}
+	rep.DropsByReason = w.emu.DropsByReason()
 	cs := w.emu.CoreStats(w.cfg.Shard)
 	rep.TunnelsIn, rep.TunnelsOut = cs.TunnelsIn, cs.TunnelsOut
 	if w.gw != nil {
 		st := w.gw.Stats()
 		rep.Edge = &st
+		// Fold the gateway's rejections into the unified drop taxonomy.
+		rep.DropsByReason[pipes.DropOversize] += st.Oversize
+		rep.DropsByReason[pipes.DropGatewayReject] += st.Unmapped + st.QueueDrops
 	}
 	if w.report != nil {
 		rep.Scenario = w.report()
+	}
+	if w.tracer != nil {
+		evs := w.tracer.Events()
+		for len(evs) > 0 {
+			n := len(evs)
+			if n > traceChunkEvents {
+				n = traceChunkEvents
+			}
+			if err := w.send(wire.TTrace, encodeTraceChunk(evs[:n])); err != nil {
+				return err
+			}
+			evs = evs[n:]
+		}
 	}
 	body, err := json.Marshal(rep)
 	if err != nil {

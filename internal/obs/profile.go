@@ -1,0 +1,105 @@
+package obs
+
+// Sync/barrier profiling types. parcore's conservative loop and the fednet
+// coordinator fill a DriveProfile (where the driver's wall-clock went);
+// each shard fills a ShardProfile (where its wall-clock went, and how much
+// of the granted lookahead it actually used). RunProfile is the flat JSON
+// artifact the CLI writes for -profile-out.
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// DriveProfile is the wall-clock breakdown of one conservative
+// synchronization loop (parcore.Drive / DrivePaced), from the driver's
+// point of view.
+type DriveProfile struct {
+	// BarrierWallNs is time in Exchange: flushing outboxes, applying
+	// inboxes, and collecting bounds (the barrier itself).
+	BarrierWallNs uint64 `json:"barrier_wall_ns"`
+	// ComputeWallNs is time in Window calls: shards running events.
+	ComputeWallNs uint64 `json:"compute_wall_ns"`
+	// SerialWallNs is time in DrainPass rounds (zero/exhausted lookahead).
+	SerialWallNs uint64 `json:"serial_wall_ns"`
+	// IdleWallNs is pacing sleep: the loop idling so virtual time does not
+	// outrun the wall (real-time runs only).
+	IdleWallNs uint64 `json:"idle_wall_ns"`
+	// FlushWallNs is the flush share of BarrierWallNs, when the transport
+	// distinguishes it (the federated coordinator's flush round; the
+	// in-process outbox moves).
+	FlushWallNs uint64 `json:"flush_wall_ns"`
+}
+
+// Add accumulates q into p.
+func (p *DriveProfile) Add(q DriveProfile) {
+	p.BarrierWallNs += q.BarrierWallNs
+	p.ComputeWallNs += q.ComputeWallNs
+	p.SerialWallNs += q.SerialWallNs
+	p.IdleWallNs += q.IdleWallNs
+	p.FlushWallNs += q.FlushWallNs
+}
+
+// ShardProfile is one shard's wall-clock and lookahead-utilization
+// breakdown across a run.
+type ShardProfile struct {
+	Shard int `json:"shard"`
+	// Wall-clock per activity: flushing the outbox, waiting for inbound
+	// messages (federated collector waits), applying inboxes, running
+	// windows, and serial drain turns.
+	FlushWallNs uint64 `json:"flush_wall_ns"`
+	WaitWallNs  uint64 `json:"wait_wall_ns"`
+	ApplyWallNs uint64 `json:"apply_wall_ns"`
+	RunWallNs   uint64 `json:"run_wall_ns"`
+	DrainWallNs uint64 `json:"drain_wall_ns"`
+	// Windows counts windows granted to the shard; ActiveWindows those in
+	// which it actually fired at least one event. Their ratio is the
+	// shard's lookahead utilization: how often the granted horizon covered
+	// real work rather than forced idling.
+	Windows       uint64 `json:"windows"`
+	ActiveWindows uint64 `json:"active_windows"`
+	// EventsFired counts scheduler events fired during windows and drains.
+	EventsFired uint64 `json:"events_fired"`
+}
+
+// LookaheadUtilization reports ActiveWindows/Windows (0 with no windows).
+func (p ShardProfile) LookaheadUtilization() float64 {
+	if p.Windows == 0 {
+		return 0
+	}
+	return float64(p.ActiveWindows) / float64(p.Windows)
+}
+
+// Add accumulates q's counters into p (keeping p's Shard).
+func (p *ShardProfile) Add(q ShardProfile) {
+	p.FlushWallNs += q.FlushWallNs
+	p.WaitWallNs += q.WaitWallNs
+	p.ApplyWallNs += q.ApplyWallNs
+	p.RunWallNs += q.RunWallNs
+	p.DrainWallNs += q.DrainWallNs
+	p.Windows += q.Windows
+	p.ActiveWindows += q.ActiveWindows
+	p.EventsFired += q.EventsFired
+}
+
+// RunProfile is the -profile-out artifact: one run's synchronization
+// profile across the driver and every shard.
+type RunProfile struct {
+	Mode         string         `json:"mode"`  // "seq", "parallel", "fednet"
+	Cores        int            `json:"cores"` // shard count (1 = sequential)
+	WallMS       float64        `json:"wall_ms"`
+	Windows      uint64         `json:"windows"`
+	SerialRounds uint64         `json:"serial_rounds"`
+	Messages     uint64         `json:"messages"`
+	Drive        DriveProfile   `json:"drive"`
+	Shards       []ShardProfile `json:"shards,omitempty"`
+}
+
+// WriteFile writes the profile as indented JSON.
+func (p *RunProfile) WriteFile(path string) error {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

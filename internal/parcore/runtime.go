@@ -5,11 +5,13 @@ package parcore
 
 import (
 	"fmt"
+	"time"
 
 	"modelnet/internal/assign"
 	"modelnet/internal/bind"
 	"modelnet/internal/dynamics"
 	"modelnet/internal/emucore"
+	"modelnet/internal/obs"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
@@ -29,6 +31,11 @@ type worker struct {
 	// Static synchronization inputs (computed at construction).
 	sync ShardSync
 
+	// prof is the shard's wall-clock / lookahead-utilization profile;
+	// tracer its (optional) packet tracer.
+	prof   obs.ShardProfile
+	tracer *obs.Tracer
+
 	cmd  chan vtime.Time
 	done chan struct{}
 }
@@ -41,17 +48,21 @@ type SyncStats struct {
 	Windows      uint64 // parallel windows executed
 	SerialRounds uint64 // serial drain rounds (zero/exhausted lookahead)
 	Messages     uint64 // cross-shard messages exchanged
+	// Profile is the loop's wall-clock breakdown (compute vs barrier-wait
+	// vs serial drain vs pacing idle vs flush).
+	Profile obs.DriveProfile
 }
 
 // Runtime is a parallel core cluster ready to run.
 type Runtime struct {
-	graph   *topology.Graph
-	binding *bind.Binding
-	pod     *bind.POD
-	workers []*worker
-	homes   []int // VN -> shard
-	now     vtime.Time
-	stats   SyncStats
+	graph       *topology.Graph
+	binding     *bind.Binding
+	pod         *bind.POD
+	workers     []*worker
+	homes       []int // VN -> shard
+	now         vtime.Time
+	stats       SyncStats
+	flushWallNs uint64 // cumulative outbox-distribution time (flushProfiler)
 }
 
 // Config assembles a Runtime.
@@ -70,6 +81,8 @@ type Config struct {
 	// as the sequential mode does, and shard lookahead is derived from the
 	// spec's per-link latency floor.
 	Dynamics *dynamics.Spec
+	// Trace enables per-shard packet tracing (merge with Runtime.Trace).
+	Trace bool
 }
 
 // New builds the parallel runtime: one shard emulator per assignment core,
@@ -107,6 +120,11 @@ func New(cfg Config) (*Runtime, error) {
 		emu, err := emucore.NewShard(w.sched, g, bi, pod, cfg.Profile, cfg.Seed, i, r.homes, w.outbox.Handoff)
 		if err != nil {
 			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
+		}
+		w.prof.Shard = i
+		if cfg.Trace {
+			w.tracer = obs.NewTracer(i)
+			emu.Trace = w.tracer
 		}
 		if _, err := dynamics.Attach(w.sched, emu, cfg.Dynamics); err != nil {
 			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
@@ -173,6 +191,30 @@ func (r *Runtime) Lookahead() vtime.Duration {
 // Stats reports synchronization counters for the run so far.
 func (r *Runtime) Stats() SyncStats { return r.stats }
 
+// ShardProfiles snapshots every shard's wall-clock/lookahead profile.
+func (r *Runtime) ShardProfiles() []obs.ShardProfile {
+	out := make([]obs.ShardProfile, len(r.workers))
+	for i, w := range r.workers {
+		out[i] = w.prof
+	}
+	return out
+}
+
+// Trace merges the per-shard packet tracers into one deterministic trace,
+// or returns nil when the runtime was built without Config.Trace.
+func (r *Runtime) Trace() *obs.Trace {
+	tracers := make([]*obs.Tracer, 0, len(r.workers))
+	for _, w := range r.workers {
+		if w.tracer != nil {
+			tracers = append(tracers, w.tracer)
+		}
+	}
+	if len(tracers) == 0 {
+		return nil
+	}
+	return obs.Merge(tracers...)
+}
+
 // Now reports the cluster's virtual time: the deadline of the last run, or
 // the latest shard clock after RunToCompletion.
 func (r *Runtime) Now() vtime.Time { return r.now }
@@ -215,7 +257,15 @@ func (r *Runtime) RunUntil(deadline vtime.Time) {
 		w := w
 		go func() {
 			for bound := range w.cmd {
+				t0 := time.Now()
+				f0 := w.sched.Fired()
 				w.sched.RunUntil(bound)
+				w.prof.RunWallNs += uint64(time.Since(t0))
+				w.prof.Windows++
+				if df := w.sched.Fired() - f0; df > 0 {
+					w.prof.ActiveWindows++
+					w.prof.EventsFired += df
+				}
 				w.done <- struct{}{}
 			}
 		}()
@@ -257,11 +307,16 @@ func (t inproc) Exchange() ([]Bounds, error) {
 	r.distributeOnly()
 	bs := make([]Bounds, len(r.workers))
 	for i, w := range r.workers {
+		t0 := time.Now()
 		r.applyInbox(w)
+		w.prof.ApplyWallNs += uint64(time.Since(t0))
 		bs[i] = w.bounds()
 	}
 	return bs, nil
 }
+
+// FlushWallNs implements flushProfiler: cumulative outbox-move time.
+func (t inproc) FlushWallNs() uint64 { return t.r.flushWallNs }
 
 // Window implements Transport: run every shard concurrently up to bound
 // (inclusive).
@@ -281,9 +336,15 @@ func (t inproc) DrainPass(tt vtime.Time) (bool, error) {
 	r := t.r
 	progressed := false
 	for _, w := range r.workers {
+		t0 := time.Now()
 		r.applyInbox(w)
+		w.prof.ApplyWallNs += uint64(time.Since(t0))
 		if w.sched.NextEventTime() <= tt {
+			t0 = time.Now()
+			f0 := w.sched.Fired()
 			w.sched.RunUntil(tt)
+			w.prof.DrainWallNs += uint64(time.Since(t0))
+			w.prof.EventsFired += w.sched.Fired() - f0
 			progressed = true
 		}
 	}
@@ -316,9 +377,11 @@ func (s inprocSender) Send(target int, msgs []Msg) error {
 // distributeOnly moves outboxes to inboxes without scheduling (the next
 // Exchange or DrainPass applies them).
 func (r *Runtime) distributeOnly() {
+	t0 := time.Now()
 	for _, src := range r.workers {
 		if err := src.outbox.Flush(inprocSender{r}); err != nil {
 			panic(err) // the in-process sender never fails
 		}
 	}
+	r.flushWallNs += uint64(time.Since(t0))
 }

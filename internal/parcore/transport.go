@@ -116,17 +116,30 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 		}
 		start = time.Now()
 	}
+	// The wall-time profile: every loop activity is attributed to one
+	// DriveProfile bucket (the flush share of the barrier is reported by
+	// the transport itself, see flushProfiler).
+	prof := &st.Profile
+	defer func() {
+		if fp, ok := tr.(flushProfiler); ok {
+			prof.FlushWallNs = fp.FlushWallNs()
+		}
+	}()
 	// wallNow is the wall clock in virtual units; sleepUntil releases a
 	// window bound no earlier than its wall time.
 	wallNow := func() vtime.Time { return vtime.Time(time.Since(start)) }
 	sleepUntil := func(t vtime.Time) {
 		if d := t.Sub(wallNow()); d > 0 {
+			t0 := time.Now()
 			time.Sleep(time.Duration(d))
+			prof.IdleWallNs += uint64(time.Since(t0))
 		}
 	}
 	prevBound := vtime.Time(-1)
 	for {
+		t0 := time.Now()
 		bs, err := tr.Exchange()
+		prof.BarrierWallNs += uint64(time.Since(t0))
 		if err != nil {
 			return err
 		}
@@ -159,7 +172,10 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 				bound = prevBound
 			}
 			sleepUntil(bound)
-			if err := tr.Window(bound); err != nil {
+			t0 = time.Now()
+			err := tr.Window(bound)
+			prof.ComputeWallNs += uint64(time.Since(t0))
+			if err != nil {
 				return err
 			}
 			st.Windows++
@@ -181,7 +197,9 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 				sleepUntil(minNext)
 			}
 			for {
+				t0 = time.Now()
 				progressed, err := tr.DrainPass(minNext)
+				prof.SerialWallNs += uint64(time.Since(t0))
 				if err != nil {
 					return err
 				}
@@ -209,7 +227,10 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 			}
 			sleepUntil(bound)
 		}
-		if err := tr.Window(bound); err != nil {
+		t0 = time.Now()
+		err = tr.Window(bound)
+		prof.ComputeWallNs += uint64(time.Since(t0))
+		if err != nil {
 			return err
 		}
 		st.Windows++
@@ -218,12 +239,21 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 	if deadline == vtime.Forever {
 		return nil
 	}
-	if err := tr.Window(deadline); err != nil { // advance all clocks to the deadline
+	t0 := time.Now()
+	err := tr.Window(deadline) // advance all clocks to the deadline
+	prof.ComputeWallNs += uint64(time.Since(t0))
+	if err != nil {
 		return err
 	}
 	st.Windows++
 	return nil
 }
+
+// flushProfiler is implemented by transports that can split the flush
+// (outbox distribution) share out of their barrier time. FlushWallNs is
+// cumulative over the transport's lifetime; drive copies it into the
+// profile when the loop exits.
+type flushProfiler interface{ FlushWallNs() uint64 }
 
 // ShardSync holds one shard's static synchronization inputs, derived from
 // the assignment by ComputeSync.

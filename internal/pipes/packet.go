@@ -34,19 +34,30 @@ type Packet struct {
 	Injected vtime.Time
 	Lag      vtime.Duration
 
+	// Trace is the packet's mode-invariant trace ID (src VN in the high 32
+	// bits, the per-source injection ordinal in the low 32), minted by the
+	// observability tracer at injection. Zero when tracing is disabled.
+	// Unlike Seq — which embeds the injecting shard and so differs across
+	// execution modes — Trace identifies the same packet in every mode.
+	Trace uint64
+
 	// Payload carries protocol state (a TCP segment, an RPC frame, ...) by
 	// reference.
 	Payload any
 }
 
-// DropReason classifies why a packet was dropped by a pipe.
+// DropReason classifies why a packet was dropped. It is the unified drop
+// taxonomy: pipe-level admission reasons (backlog, loss, RED, link-down),
+// the route-lookup rejection (unreachable), and the live-edge gateway
+// rejections (oversize, gateway-reject) share one enum so reports and
+// traces count every loss the same way.
 type DropReason int
 
 const (
 	// DropNone means the packet was accepted.
 	DropNone DropReason = iota
-	// DropOverflow is a congestion-related queue overflow (tail drop).
-	DropOverflow
+	// DropBacklog is a congestion-related queue overflow (tail drop).
+	DropBacklog
 	// DropRandomLoss is the pipe's configured random loss.
 	DropRandomLoss
 	// DropRED is an early drop by the RED policy.
@@ -55,23 +66,42 @@ const (
 	// injected by internal/dynamics): new packets blackhole while packets
 	// already inside the pipe drain on their original schedule.
 	DropLinkDown
+	// DropUnreachable means route lookup found no path for the
+	// destination; the packet never reached a pipe.
+	DropUnreachable
+	// DropOversize means a live-edge ingress datagram exceeded the
+	// gateway's datagram bound.
+	DropOversize
+	// DropGatewayReject means the live-edge gateway rejected a datagram
+	// for any other reason (unmapped flow, ingress queue full).
+	DropGatewayReject
 
 	// numDropReasons sizes per-reason counters.
 	numDropReasons
 )
 
+// NumDropReasons is the size of a complete per-reason drop counter vector
+// (indexable by DropReason).
+const NumDropReasons = int(numDropReasons)
+
 func (r DropReason) String() string {
 	switch r {
 	case DropNone:
 		return "none"
-	case DropOverflow:
-		return "overflow"
+	case DropBacklog:
+		return "backlog"
 	case DropRandomLoss:
 		return "loss"
 	case DropRED:
 		return "red"
 	case DropLinkDown:
-		return "down"
+		return "link-down"
+	case DropUnreachable:
+		return "unreachable"
+	case DropOversize:
+		return "oversize"
+	case DropGatewayReject:
+		return "gateway-reject"
 	}
 	return "unknown"
 }

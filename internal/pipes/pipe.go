@@ -133,8 +133,8 @@ func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
 		}
 	}
 	if qlen >= p.params.queueCap() {
-		p.Drops[DropOverflow]++
-		return DropOverflow, 0
+		p.Drops[DropBacklog]++
+		return DropBacklog, 0
 	}
 
 	// Time to drain every earlier queued byte plus this packet at the
@@ -235,7 +235,11 @@ func (p *Pipe) compact() {
 
 // TotalDrops reports the sum of all emulated drops.
 func (p *Pipe) TotalDrops() uint64 {
-	return p.Drops[DropOverflow] + p.Drops[DropRandomLoss] + p.Drops[DropRED] + p.Drops[DropLinkDown]
+	var n uint64
+	for _, d := range p.Drops {
+		n += d
+	}
+	return n
 }
 
 func (p *Pipe) String() string {

@@ -70,15 +70,15 @@ func TestPipeOverflow(t *testing.T) {
 	p := New(0, mkParams(1, 0, 3), 1)
 	drops := 0
 	for i := 0; i < 10; i++ {
-		if r, _ := p.Enqueue(pkt(1500), 0); r == DropOverflow {
+		if r, _ := p.Enqueue(pkt(1500), 0); r == DropBacklog {
 			drops++
 		}
 	}
 	if drops != 7 {
 		t.Errorf("drops = %d, want 7 (cap 3)", drops)
 	}
-	if p.Drops[DropOverflow] != 7 {
-		t.Errorf("stat drops = %d", p.Drops[DropOverflow])
+	if p.Drops[DropBacklog] != 7 {
+		t.Errorf("stat drops = %d", p.Drops[DropBacklog])
 	}
 }
 
@@ -87,7 +87,7 @@ func TestPipeQueueDrains(t *testing.T) {
 	p := New(0, mkParams(12, 0, 2), 1) // 1500B = 1ms at 12Mb/s
 	p.Enqueue(pkt(1500), 0)
 	p.Enqueue(pkt(1500), 0)
-	if r, _ := p.Enqueue(pkt(1500), 0); r != DropOverflow {
+	if r, _ := p.Enqueue(pkt(1500), 0); r != DropBacklog {
 		t.Fatal("third packet at t=0 should overflow")
 	}
 	// At t=1ms the first tx is done; one slot frees.
@@ -272,7 +272,7 @@ func TestPipeLinkDown(t *testing.T) {
 	if want := now.Add(11 * vtime.Millisecond); exit != want {
 		t.Errorf("post-recovery exit = %v, want %v", exit, want)
 	}
-	if s := DropLinkDown.String(); s != "down" {
+	if s := DropLinkDown.String(); s != "link-down" {
 		t.Errorf("DropLinkDown.String() = %q", s)
 	}
 }
@@ -361,7 +361,7 @@ func TestREDDropsEarly(t *testing.T) {
 		switch r, _ := p.Enqueue(pkt(1500), now); r {
 		case DropRED:
 			redDrops++
-		case DropOverflow:
+		case DropBacklog:
 			overflow++
 		}
 	}

@@ -38,6 +38,7 @@ import (
 	"modelnet/internal/emucore"
 	"modelnet/internal/fednet"
 	"modelnet/internal/netstack"
+	"modelnet/internal/obs"
 	"modelnet/internal/parcore"
 	"modelnet/internal/pipes"
 	"modelnet/internal/topology"
@@ -155,6 +156,13 @@ type Options struct {
 	// virtual-time events (internal/dynamics). The same spec applies
 	// bit-exactly in sequential, parallel, and federated runs.
 	Dynamics *dynamics.Spec
+	// Trace records a virtual-time packet trace (internal/obs): every pipe
+	// enqueue/dequeue/drop/delivery, dynamics step, and cross-core handoff,
+	// stamped in virtual ns. Retrieve it with Emulation.TraceData (or
+	// FederationReport.Trace in federated runs). Under an event-exact
+	// profile the trace's canonical form is byte-identical across the
+	// sequential, parallel, and federated modes.
+	Trace bool
 	// Federate configures multi-process federation (internal/fednet):
 	// each core router runs in its own OS process — on its own machine,
 	// with remote workers — and the determinism contract above extends
@@ -198,6 +206,11 @@ type FederateOptions struct {
 	// starts — with each shard's gateway address ("" for shards without
 	// one).
 	OnLive func(gatewayAddrs []string)
+	// MetricsListen, when non-empty, serves live run metrics over HTTP
+	// (Prometheus text at /metrics, JSON at /metrics.json) on the
+	// coordinator at this address; each worker additionally binds a
+	// loopback endpoint and reports it in FederationReport.
+	MetricsListen string
 }
 
 // FederationReport is a federated run's aggregated outcome.
@@ -228,6 +241,8 @@ func Federate(scenario string, params any, runFor Duration, opts Options) (*Fede
 
 		RunFor:            runFor,
 		Dynamics:          opts.Dynamics,
+		Trace:             opts.Trace,
+		MetricsListen:     fo.MetricsListen,
 		Listen:            fo.Listen,
 		DataPlane:         fo.DataPlane,
 		Spawn:             fo.Spawn,
@@ -256,7 +271,8 @@ type Emulation struct {
 	Emu        *emucore.Emulator
 	Par        *parcore.Runtime
 
-	hosts map[VN]*Host
+	hosts  map[VN]*Host
+	tracer *obs.Tracer // sequential-mode trace recorder (Options.Trace)
 }
 
 // Run executes the Create→Distill→Assign→Bind phases over the target
@@ -316,6 +332,7 @@ func Run(target *Graph, opts Options) (*Emulation, error) {
 			Seed:       opts.Seed,
 			NewTable:   newTable,
 			Dynamics:   opts.Dynamics,
+			Trace:      opts.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("modelnet: run: %w", err)
@@ -327,6 +344,10 @@ func Run(target *Graph, opts Options) (*Emulation, error) {
 	emu, err := emucore.New(sched, dist.Graph, b, asn.POD(), prof, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("modelnet: run: %w", err)
+	}
+	if opts.Trace {
+		em.tracer = obs.NewTracer(-1)
+		emu.Trace = em.tracer
 	}
 	if _, err := dynamics.Attach(sched, emu, opts.Dynamics); err != nil {
 		return nil, fmt.Errorf("modelnet: dynamics: %w", err)
@@ -427,6 +448,52 @@ func (e *Emulation) PipeDrops() []uint64 {
 		sum(e.Emu)
 	}
 	return drops
+}
+
+// DropsByReason returns the unified drop taxonomy vector, indexed by
+// pipes.DropReason (summed across shards in parallel mode). It is
+// comparable across execution modes and against
+// FederationReport.DropsByReason.
+func (e *Emulation) DropsByReason() []uint64 {
+	if e.Par == nil {
+		return e.Emu.DropsByReason()
+	}
+	drops := make([]uint64, pipes.NumDropReasons)
+	for i := 0; i < e.Par.Cores(); i++ {
+		for r, n := range e.Par.ShardEmu(i).DropsByReason() {
+			drops[r] += n
+		}
+	}
+	return drops
+}
+
+// TraceData returns the recorded packet trace (Options.Trace), merged
+// across shards in parallel mode; nil when tracing was off.
+func (e *Emulation) TraceData() *obs.Trace {
+	if e.Par != nil {
+		return e.Par.Trace()
+	}
+	if e.tracer == nil {
+		return nil
+	}
+	return obs.Merge(e.tracer)
+}
+
+// RunProfile returns the run's wall-clock breakdown. In sequential mode
+// only the mode and core count are meaningful; in parallel mode it carries
+// the drive loop's barrier/compute/flush split and per-shard
+// lookahead-utilization counters.
+func (e *Emulation) RunProfile() obs.RunProfile {
+	if e.Par == nil {
+		return obs.RunProfile{Mode: "sequential", Cores: 1}
+	}
+	st := e.Par.Stats()
+	return obs.RunProfile{
+		Mode: "parallel", Cores: e.Par.Cores(),
+		Windows: st.Windows, SerialRounds: st.SerialRounds, Messages: st.Messages,
+		Drive:  st.Profile,
+		Shards: e.Par.ShardProfiles(),
+	}
 }
 
 // AccuracyStats returns the delay-accuracy tracker (merged across cores in
