@@ -91,6 +91,7 @@ func main() {
 	walkOut := flag.Int("walkout", 1, "walk-out frontier sets")
 	cores := flag.Int("cores", 1, "emulated core routers")
 	parallel := flag.Bool("parallel", false, "run each core router on its own goroutine (internal/parcore)")
+	syncMode := flag.String("sync", "adaptive", "parallel/federated synchronization algebra: adaptive (horizon-driven per-shard grants) or fixed (uniform static-lookahead windows)")
 	flows := flag.Int("flows", 50, "random-pair bulk TCP flows")
 	duration := flag.Float64("duration", 10, "virtual seconds to run")
 	ideal := flag.Bool("ideal", false, "ideal (event-exact, infinite-capacity) core")
@@ -130,6 +131,11 @@ func main() {
 		fatal(fmt.Errorf("unknown -distill %q", *distillMode))
 	}
 	opts := modelnet.Options{Distill: spec, Cores: *cores, Seed: *seed, Parallel: *parallel}
+	sm, err := modelnet.ParseSyncMode(*syncMode)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Sync = sm
 	if *ideal {
 		p := modelnet.IdealProfile()
 		opts.Profile = &p
@@ -243,9 +249,9 @@ func main() {
 		tot.Delivered, tot.PhysDrops, tot.VirtualDrops)
 	fmt.Printf("drops  : %s\n", dropSummary(em.DropsByReason()))
 	if em.Par != nil {
-		st := em.Par.Stats()
-		fmt.Printf("sync   : %d windows, %d serial rounds, %d cross-core messages, lookahead %v\n",
-			st.Windows, st.SerialRounds, st.Messages, em.Par.Lookahead())
+		rp := em.RunProfile()
+		rp.WallMS = wallMS
+		fmt.Printf("sync   : %s\n", rp.SyncLine())
 		for c := 0; c < em.Par.Cores(); c++ {
 			cs := em.Par.ShardEmu(c).CoreStats(c)
 			fmt.Printf("core %d : %d pkts in, %d tunnels out\n", c, cs.PktsIn, cs.TunnelsOut)
@@ -620,8 +626,9 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 	fmt.Printf("run    : %d injected, %d delivered, %d phys drops, %d virtual drops (%.0f ms wall, %.0f ms total)\n",
 		rep.Totals.Injected, rep.Totals.Delivered, rep.Totals.PhysDrops, rep.Totals.VirtualDrops,
 		rep.WallMS, float64(time.Since(begin).Milliseconds()))
-	fmt.Printf("sync   : %d windows, %d serial rounds, %d tunnel messages over sockets, lookahead %v (cut: %d pipes)\n",
-		rep.Sync.Windows, rep.Sync.SerialRounds, rep.Sync.Messages, rep.Lookahead, rep.Cut.CutPipes)
+	srp := rep.RunProfile()
+	fmt.Printf("sync   : %s (cut: %d pipes, floor %v)\n",
+		srp.SyncLine(), rep.Cut.CutPipes, rep.Lookahead)
 	fmt.Printf("wire   : %d data-plane frames, %.1f MB on the wire (%.1f messages/frame)\n",
 		rep.Frames, float64(rep.BytesOnWire)/1e6, float64(rep.Sync.Messages)/float64(max(rep.Frames, 1)))
 	for _, w := range rep.Workers {

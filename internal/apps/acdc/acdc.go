@@ -115,7 +115,9 @@ func NewNode(h *netstack.Host, id int, members []netstack.Endpoint, cost func(a,
 		}
 	}
 	sortByCost(n.cheapest, func(p int) float64 { return cost(p, id) })
-	n.ticker = vtime.NewTicker(h.Scheduler(), cfg.EvalEvery, n.evaluate)
+	// The probe/adapt round talks only through this member's RPC endpoint,
+	// so its pending tick carries the host VN's owner claim.
+	n.ticker = vtime.NewTaggedTicker(h.Scheduler(), int32(h.VN()), cfg.EvalEvery, n.evaluate)
 	return n, nil
 }
 
@@ -152,7 +154,8 @@ func (n *Node) SetParent(parent int) {
 // phase-lock).
 func (n *Node) Start() {
 	phase := vtime.Duration(n.rng.Int63n(int64(n.cfg.EvalEvery)))
-	n.host.Scheduler().After(phase, n.ticker.Start)
+	sched := n.host.Scheduler()
+	sched.AtTagged(sched.Now().Add(phase), int32(n.host.VN()), n.ticker.Start)
 }
 
 // Stop halts adaptation.

@@ -151,8 +151,10 @@ func NewNode(h *netstack.Host, id ID, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.rpc = rpc
-	n.stabilizer = vtime.NewTicker(n.sched, cfg.StabilizeEvery, n.stabilize)
-	n.fixer = vtime.NewTicker(n.sched, cfg.FixFingerEvery, n.fixFinger)
+	// Both maintenance loops talk to the ring only through this node's own
+	// RPC endpoint, so their pending ticks carry the host VN's owner claim.
+	n.stabilizer = vtime.NewTaggedTicker(n.sched, int32(h.VN()), cfg.StabilizeEvery, n.stabilize)
+	n.fixer = vtime.NewTaggedTicker(n.sched, int32(h.VN()), cfg.FixFingerEvery, n.fixFinger)
 	return n, nil
 }
 

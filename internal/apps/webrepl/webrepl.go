@@ -52,7 +52,10 @@ func NewServer(h *netstack.Host, port uint16) (*Server, error) {
 					c.Close()
 				}
 				if s.PerRequestCPU > 0 {
-					h.Scheduler().After(s.PerRequestCPU, respond)
+					// The response goes out through this server's host
+					// only: price the delay with its VN's owner claim.
+					sched := h.Scheduler()
+					sched.AtTagged(sched.Now().Add(s.PerRequestCPU), int32(h.VN()), respond)
 				} else {
 					respond()
 				}
@@ -105,7 +108,11 @@ func (pb *Playback) Run(reqs []traffic.TraceReq) {
 	for _, r := range reqs {
 		r := r
 		h := pb.hosts[r.Client%len(pb.hosts)]
-		h.Scheduler().At(r.At, func() { pb.issue(h, r) })
+		// A request dials from h and only h, so the far-future trace entry
+		// carries h's owner claim: a shard whose only pending work is trace
+		// playback can be granted a window all the way to the request plus
+		// its VN's crossing distance.
+		h.Scheduler().AtTagged(r.At, int32(h.VN()), func() { pb.issue(h, r) })
 	}
 }
 

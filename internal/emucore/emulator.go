@@ -363,8 +363,11 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 	}
 	if len(route) == 0 {
 		// Loopback: no pipes to traverse. Deliver asynchronously so the
-		// sender's call stack never reenters its own receive path.
-		e.sched.At(now, func() { e.finish(c, pkt, now, now) })
+		// sender's call stack never reenters its own receive path. The
+		// delivery's consequences run on dst's host and nowhere else, so the
+		// event carries dst's owner claim — an untagged loopback would pin
+		// the shard's adaptive horizon to the frontier minimum.
+		e.sched.AtTagged(now, int32(dst), func() { e.finish(c, pkt, now, now) })
 		return true
 	}
 	e.enqueue(c, pkt, route[0], now)
@@ -746,6 +749,56 @@ func (e *Emulator) NextPipeDeadline() vtime.Time {
 		return e.cores[0].heap.Min()
 	}
 	return e.cores[e.shard].heap.Min()
+}
+
+// NextAppEventTime reports the time of the shard's earliest scheduled event
+// other than its own core activation, or vtime.Forever when none is pending.
+// Core activations are pipe exits — the adaptive horizon bounds those through
+// the occupied-pipe scan, so excluding the activation here lets application
+// timers, applied cross-shard clusters, and dynamics steps be priced with
+// their own (injection/frontier) crossing distance instead of the pipe one.
+func (e *Emulator) NextAppEventTime() vtime.Time {
+	c := e.cores[0]
+	if e.shard >= 0 {
+		c = e.cores[e.shard]
+	}
+	if c.pendingAt == vtime.Forever {
+		return e.sched.NextEventTime()
+	}
+	return e.sched.NextEventTimeExcept(c.pendingID)
+}
+
+// ScanAppEvents visits every pending scheduler event other than the shard's
+// own core activation, with its time and owner claim (the VN tag from
+// vtime.Scheduler.AtTagged, or vtime.NoTag). Core activations are pipe
+// exits — the adaptive horizon bounds those through the occupied-pipe scan —
+// so excluding the activation here lets application timers, applied
+// cross-shard clusters, and dynamics steps be priced individually: a tagged
+// event with the owning VN's crossing distance, an untagged one with the
+// shard-wide (injection/frontier) minimum. O(pending).
+func (e *Emulator) ScanAppEvents(visit func(at vtime.Time, vn int32)) {
+	c := e.cores[0]
+	if e.shard >= 0 {
+		c = e.cores[e.shard]
+	}
+	skip := c.pendingID
+	hasPending := c.pendingAt != vtime.Forever
+	e.sched.ScanPending(func(at vtime.Time, tag int32, id vtime.EventID) {
+		if hasPending && id == skip {
+			return
+		}
+		visit(at, tag)
+	})
+}
+
+// ScanOccupied visits every occupied pipe owned by this shard with its
+// exact (unquantized) exit deadline, in unspecified order. O(occupied).
+func (e *Emulator) ScanOccupied(visit func(pipes.ID, vtime.Time)) {
+	c := e.cores[0]
+	if e.shard >= 0 {
+		c = e.cores[e.shard]
+	}
+	c.heap.Scan(visit)
 }
 
 // CPUUtilization reports core i's cumulative CPU busy fraction since t0.

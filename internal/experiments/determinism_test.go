@@ -131,27 +131,32 @@ func TestRingFednetDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunRingCBRLocal(spec, 4, true, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fed, err := RunRingCBRFederated(spec, 2, fednet.DataUDP)
-	if err != nil {
-		t.Fatal(err)
-	}
 	if seq.Totals.Delivered == 0 {
 		t.Fatal("ring run delivered nothing")
 	}
-	if seq.Totals != par.Totals {
-		t.Errorf("ring counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
+	for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+		par, err := RunRingCBRLocal(spec, 4, true, false, WithSync(sm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Totals != par.Totals {
+			t.Errorf("ring counters diverge (%s):\n sequential %+v\n parallel   %+v", sm, seq.Totals, par.Totals)
+		}
+		sameCDF(t, "ring seq vs par "+sm.String(), seq.Deliveries, par.Deliveries)
 	}
-	if seq.Totals != fed.Totals {
-		t.Errorf("ring counters diverge:\n sequential %+v\n federated  %+v", seq.Totals, fed.Totals)
-	}
-	sameCDF(t, "ring seq vs par", seq.Deliveries, par.Deliveries)
-	sameCDF(t, "ring seq vs fednet", seq.Deliveries, sampleOf(fed))
-	if fed.Sync.Messages == 0 {
-		t.Error("federated ring exchanged no cross-core messages — the comparison is vacuous")
+	for _, fp := range fedPlanes {
+		fed, err := RunRingCBRFederated(spec, fp.cores, fp.plane, WithSync(fp.sync))
+		if err != nil {
+			t.Fatalf("%d workers over %s (%s): %v", fp.cores, fp.plane, fp.sync, err)
+		}
+		name := fmtPlane("ring", fp.cores, fp.plane, fp.sync)
+		if seq.Totals != fed.Totals {
+			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, seq.Totals, fed.Totals)
+		}
+		sameCDF(t, name, seq.Deliveries, sampleOf(fed))
+		if fed.Sync.Messages == 0 {
+			t.Errorf("%s: no cross-core messages — the comparison is vacuous", name)
+		}
 	}
 }
 
@@ -205,18 +210,28 @@ func TestGnutellaFednetDeterminism(t *testing.T) {
 	}
 }
 
-// fedPlanes are the (workers, data plane) points the federated TCP-workload
-// suite covers: both planes at 2, 3, and 4 worker processes.
+// fedPlanes are the (workers, data plane, sync algebra) points the federated
+// suite covers: both planes at 2, 3, and 4 worker processes, each under the
+// adaptive grant algebra and the fixed-lookahead baseline. Window boundaries
+// differ between the two algebras; counters, reports, and delivery CDFs must
+// not.
 var fedPlanes = []struct {
 	cores int
 	plane string
+	sync  modelnet.SyncMode
 }{
-	{2, fednet.DataUDP},
-	{2, fednet.DataTCP},
-	{3, fednet.DataUDP},
-	{3, fednet.DataTCP},
-	{4, fednet.DataUDP},
-	{4, fednet.DataTCP},
+	{2, fednet.DataUDP, modelnet.SyncAdaptive},
+	{2, fednet.DataUDP, modelnet.SyncFixed},
+	{2, fednet.DataTCP, modelnet.SyncAdaptive},
+	{2, fednet.DataTCP, modelnet.SyncFixed},
+	{3, fednet.DataUDP, modelnet.SyncAdaptive},
+	{3, fednet.DataUDP, modelnet.SyncFixed},
+	{3, fednet.DataTCP, modelnet.SyncAdaptive},
+	{3, fednet.DataTCP, modelnet.SyncFixed},
+	{4, fednet.DataUDP, modelnet.SyncAdaptive},
+	{4, fednet.DataUDP, modelnet.SyncFixed},
+	{4, fednet.DataTCP, modelnet.SyncAdaptive},
+	{4, fednet.DataTCP, modelnet.SyncFixed},
 }
 
 // TestCFSRingFednetDeterminism extends the cross-mode contract to the CFS
@@ -248,23 +263,25 @@ func TestCFSRingFednetDeterminism(t *testing.T) {
 			t.Errorf("download from node %d incomplete: %+v", d.Node, d)
 		}
 	}
-	par, err := RunCFSRingLocal(spec, 4, true, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if seq.Totals != par.Totals {
-		t.Errorf("cfs-ring counters diverge:\n sequential %+v\n parallel   %+v", seq.Totals, par.Totals)
-	}
-	if !reflect.DeepEqual(seq.CFS, par.CFS) {
-		t.Errorf("cfs-ring reports diverge:\n sequential %+v\n parallel   %+v", seq.CFS, par.CFS)
-	}
-	sameCDF(t, "cfs-ring seq vs par", seq.Deliveries, par.Deliveries)
-	for _, fp := range fedPlanes {
-		fed, err := RunCFSRingFederated(spec, fp.cores, fp.plane)
+	for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+		par, err := RunCFSRingLocal(spec, 4, true, false, WithSync(sm))
 		if err != nil {
-			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+			t.Fatal(err)
 		}
-		name := fmtPlane("cfs-ring", fp.cores, fp.plane)
+		if seq.Totals != par.Totals {
+			t.Errorf("cfs-ring counters diverge (%s):\n sequential %+v\n parallel   %+v", sm, seq.Totals, par.Totals)
+		}
+		if !reflect.DeepEqual(seq.CFS, par.CFS) {
+			t.Errorf("cfs-ring reports diverge (%s):\n sequential %+v\n parallel   %+v", sm, seq.CFS, par.CFS)
+		}
+		sameCDF(t, "cfs-ring seq vs par "+sm.String(), seq.Deliveries, par.Deliveries)
+	}
+	for _, fp := range fedPlanes {
+		fed, err := RunCFSRingFederated(spec, fp.cores, fp.plane, WithSync(fp.sync))
+		if err != nil {
+			t.Fatalf("%d workers over %s (%s): %v", fp.cores, fp.plane, fp.sync, err)
+		}
+		name := fmtPlane("cfs-ring", fp.cores, fp.plane, fp.sync)
 		if seq.Totals != fed.Totals {
 			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, seq.Totals, fed.Totals)
 		}
@@ -325,11 +342,11 @@ func TestWebReplRingFednetDeterminism(t *testing.T) {
 	sameCDF(t, "webrepl-ring seq vs par", seq.Deliveries, par.Deliveries)
 	crossRetransRuns := 0
 	for _, fp := range fedPlanes {
-		fed, err := RunWebReplRingFederated(spec, fp.cores, fp.plane)
+		fed, err := RunWebReplRingFederated(spec, fp.cores, fp.plane, WithSync(fp.sync))
 		if err != nil {
-			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+			t.Fatalf("%d workers over %s (%s): %v", fp.cores, fp.plane, fp.sync, err)
 		}
-		name := fmtPlane("webrepl-ring", fp.cores, fp.plane)
+		name := fmtPlane("webrepl-ring", fp.cores, fp.plane, fp.sync)
 		if seq.Totals != fed.Totals {
 			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, seq.Totals, fed.Totals)
 		}
@@ -412,29 +429,31 @@ func TestFlakyEdgeFednetDeterminism(t *testing.T) {
 			if seq.PipeDrops[spec.FailLink] == 0 {
 				t.Errorf("%d cores: failed link %d dropped nothing — the blackhole went unexercised", fp.cores, spec.FailLink)
 			}
-			par, err := RunFlakyEdgeLocal(spec, fp.cores, true, false)
-			if err != nil {
-				t.Fatal(err)
+			for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+				par, err := RunFlakyEdgeLocal(spec, fp.cores, true, false, WithSync(sm))
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("flaky-edge seq vs inproc-%d/%s", fp.cores, sm)
+				if seq.Totals != par.Totals {
+					t.Errorf("%s: counters diverge:\n sequential %+v\n parallel   %+v", name, seq.Totals, par.Totals)
+				}
+				if seq.Web.Comparable() != par.Web.Comparable() {
+					t.Errorf("%s: reports diverge:\n sequential %+v\n parallel   %+v", name, seq.Web, par.Web)
+				}
+				if !reflect.DeepEqual(seq.PipeDrops, par.PipeDrops) {
+					t.Errorf("%s: per-pipe drops diverge:\n sequential %v\n parallel   %v", name, seq.PipeDrops, par.PipeDrops)
+				}
+				sameCDF(t, name, seq.Deliveries, par.Deliveries)
 			}
-			name := fmt.Sprintf("flaky-edge seq vs inproc-%d", fp.cores)
-			if seq.Totals != par.Totals {
-				t.Errorf("%s: counters diverge:\n sequential %+v\n parallel   %+v", name, seq.Totals, par.Totals)
-			}
-			if seq.Web.Comparable() != par.Web.Comparable() {
-				t.Errorf("%s: reports diverge:\n sequential %+v\n parallel   %+v", name, seq.Web, par.Web)
-			}
-			if !reflect.DeepEqual(seq.PipeDrops, par.PipeDrops) {
-				t.Errorf("%s: per-pipe drops diverge:\n sequential %v\n parallel   %v", name, seq.PipeDrops, par.PipeDrops)
-			}
-			sameCDF(t, name, seq.Deliveries, par.Deliveries)
 			lp = localPair{spec: spec, seq: seq}
 			locals[fp.cores] = lp
 		}
-		fed, err := RunFlakyEdgeFederated(lp.spec, fp.cores, fp.plane)
+		fed, err := RunFlakyEdgeFederated(lp.spec, fp.cores, fp.plane, WithSync(fp.sync))
 		if err != nil {
-			t.Fatalf("%d workers over %s: %v", fp.cores, fp.plane, err)
+			t.Fatalf("%d workers over %s (%s): %v", fp.cores, fp.plane, fp.sync, err)
 		}
-		name := fmtPlane("flaky-edge", fp.cores, fp.plane)
+		name := fmtPlane("flaky-edge", fp.cores, fp.plane, fp.sync)
 		if lp.seq.Totals != fed.Totals {
 			t.Errorf("%s: counters diverge:\n sequential %+v\n federated  %+v", name, lp.seq.Totals, fed.Totals)
 		}
@@ -455,8 +474,8 @@ func TestFlakyEdgeFednetDeterminism(t *testing.T) {
 	}
 }
 
-func fmtPlane(scenario string, cores int, plane string) string {
-	return fmt.Sprintf("%s seq vs fednet-%s-%d", scenario, plane, cores)
+func fmtPlane(scenario string, cores int, plane string, sm modelnet.SyncMode) string {
+	return fmt.Sprintf("%s seq vs fednet-%s-%d/%s", scenario, plane, cores, sm)
 }
 
 func TestCFSSeqParDeterminism(t *testing.T) {

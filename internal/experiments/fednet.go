@@ -123,15 +123,16 @@ func (c RingCBRSpec) Install(n int, homed func(pipes.VN) bool,
 		size := c.PacketBytes
 		sc := sched(vn)
 		// Injection stops before the deadline so the run drains: every
-		// offered packet is delivered or dropped by the end.
+		// offered packet is delivered or dropped by the end. Each pacing
+		// event sends only from its own VN, so it carries that owner claim.
 		var send func()
 		send = func() {
 			s.SendTo(dst, size, nil)
 			if next := sc.Now().Add(period + jitter); next < sendEnd {
-				sc.After(period+jitter, send)
+				sc.AtTagged(next, int32(vn), send)
 			}
 		}
-		sc.After(starts[v], send)
+		sc.AtTagged(sc.Now().Add(starts[v]), int32(vn), send)
 	}
 	return nil
 }
@@ -347,12 +348,20 @@ func (c CFSRingSpec) Install(n int, homed func(pipes.VN) bool,
 		if !homed(vn) {
 			continue
 		}
-		// Generous RPC budget: lookups queue behind block transfers.
-		p, err := cfs.NewPeer(host(vn), ids[v], chord.Config{RPCTimeout: 2 * vtime.Second, RPCRetries: 3})
+		// Generous RPC budget: lookups queue behind block transfers. The
+		// maintenance periods are era-typical (Chord deployments stabilized
+		// on tens of seconds); with every peer bootstrapped at t=0 the
+		// tickers fire in synchronized sparse bursts, which is what makes
+		// the post-download tail of the run mostly idle.
+		p, err := cfs.NewPeer(host(vn), ids[v], chord.Config{
+			RPCTimeout: 2 * vtime.Second, RPCRetries: 3,
+			StabilizeEvery: 15 * vtime.Second, FixFingerEvery: 15 * vtime.Second,
+		})
 		if err != nil {
 			return nil, err
 		}
 		p.Chord.Bootstrap(refs)
+		p.Chord.StartMaintenance()
 		peers[vn] = p
 	}
 	for i, o := range owners {
@@ -372,9 +381,11 @@ func (c CFSRingSpec) Install(n int, homed func(pipes.VN) bool,
 		idx := len(rep.Downloads)
 		rep.Downloads = append(rep.Downloads, CFSRingDownload{Node: dv})
 		// Staggered starts keep the downloads from opening in the same
-		// nanosecond while still contending for the ring.
+		// nanosecond while still contending for the ring. The fetch issues
+		// RPCs only from the downloader's own host, hence the owner claim.
 		start := vtime.DurationOf(0.1) + vtime.Duration(k)*vtime.DurationOf(0.05)
-		p.Host().Scheduler().After(start, func() {
+		sc := p.Host().Scheduler()
+		sc.AtTagged(sc.Now().Add(start), int32(dv), func() {
 			p.Fetch(blocks, c.WindowKB<<10, func(r cfs.FetchResult) {
 				d := &rep.Downloads[idx]
 				d.Done = true
@@ -708,12 +719,37 @@ type localRun struct {
 	Windows    uint64
 	Serial     uint64
 	Messages   uint64
-	Lookahead  modelnet.Duration
-	Drive      obs.DriveProfile // wall-clock breakdown (zero in seq mode)
-	Trace      *obs.Trace       // packet trace, when requested
-	Gnutella   GnutellaRingReport
-	CFS        CFSRingReport
-	Web        WebReplRingReport
+	Sync       modelnet.SyncMode
+	// GrantMin/Mean/Max summarize the effective per-window grant spans the
+	// algebra handed out (the adaptive analog of the static lookahead).
+	GrantMin, GrantMean, GrantMax modelnet.Duration
+	Drive                         obs.DriveProfile // wall-clock breakdown (zero in seq mode)
+	Trace                         *obs.Trace       // packet trace, when requested
+	Gnutella                      GnutellaRingReport
+	CFS                           CFSRingReport
+	Web                           WebReplRingReport
+}
+
+// RunOpt tweaks a local or federated scenario run beyond the positional
+// knobs every runner takes.
+type RunOpt func(*runOpts)
+
+type runOpts struct {
+	sync modelnet.SyncMode
+}
+
+// WithSync selects the synchronization algebra for parallel and federated
+// runs: modelnet.SyncAdaptive (the default) or modelnet.SyncFixed.
+func WithSync(m modelnet.SyncMode) RunOpt {
+	return func(o *runOpts) { o.sync = m }
+}
+
+func applyRunOpts(opts []RunOpt) runOpts {
+	var o runOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // runLocal executes a registered-scenario-equivalent workload without
@@ -725,11 +761,12 @@ type localRun struct {
 func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel, trace bool,
 	dyn *dynamics.Spec,
 	install func(em *modelnet.Emulation) (func(*localRun), error),
-	runFor modelnet.Duration) (*localRun, error) {
+	runFor modelnet.Duration, opts ...RunOpt) (*localRun, error) {
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(topo, modelnet.Options{
 		Cores: cores, Parallel: parallel, Profile: &ideal, Seed: seed,
-		Dynamics: dyn, Trace: trace,
+		Sync: o.sync, Dynamics: dyn, Trace: trace,
 	})
 	if err != nil {
 		return nil, err
@@ -760,7 +797,8 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel, trace bool,
 	if em.Par != nil {
 		st := em.Par.Stats()
 		res.Windows, res.Serial, res.Messages = st.Windows, st.SerialRounds, st.Messages
-		res.Lookahead = em.Par.Lookahead()
+		res.Sync = em.Par.Mode()
+		res.GrantMin, res.GrantMean, res.GrantMax = st.GrantMin(), st.GrantMean(), st.GrantMax()
 		res.Drive = st.Profile
 	}
 	return res, nil
@@ -769,16 +807,16 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel, trace bool,
 func allHomed(pipes.VN) bool { return true }
 
 // RunRingCBRLocal runs the ring-cbr scenario without sockets.
-func RunRingCBRLocal(c RingCBRSpec, cores int, parallel, trace bool) (*localRun, error) {
+func RunRingCBRLocal(c RingCBRSpec, cores int, parallel, trace bool, opts ...RunOpt) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			err := c.Install(em.NumVNs(), allHomed, em.NewHost, em.SchedulerOf)
 			return nil, err
-		}, c.RunFor())
+		}, c.RunFor(), opts...)
 }
 
 // RunGnutellaRingLocal runs the gnutella-ring scenario without sockets.
-func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel, trace bool, opts ...RunOpt) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
@@ -786,11 +824,11 @@ func RunGnutellaRingLocal(c GnutellaRingSpec, cores int, parallel, trace bool) (
 				return nil, err
 			}
 			return func(res *localRun) { res.Gnutella = report() }, nil
-		}, c.RunFor())
+		}, c.RunFor(), opts...)
 }
 
 // RunCFSRingLocal runs the cfs-ring scenario without sockets.
-func RunCFSRingLocal(c CFSRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+func RunCFSRingLocal(c CFSRingSpec, cores int, parallel, trace bool, opts ...RunOpt) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost)
@@ -798,11 +836,11 @@ func RunCFSRingLocal(c CFSRingSpec, cores int, parallel, trace bool) (*localRun,
 				return nil, err
 			}
 			return func(res *localRun) { res.CFS = report() }, nil
-		}, c.RunFor())
+		}, c.RunFor(), opts...)
 }
 
 // RunWebReplRingLocal runs the webrepl-ring scenario without sockets.
-func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel, trace bool) (*localRun, error) {
+func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel, trace bool, opts ...RunOpt) (*localRun, error) {
 	return runLocal(c.Topology(), c.Seed, cores, parallel, trace, nil,
 		func(em *modelnet.Emulation) (func(*localRun), error) {
 			report, err := c.Install(em.NumVNs(), allHomed, em.NewHost, nil)
@@ -810,17 +848,18 @@ func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel, trace bool) (*l
 				return nil, err
 			}
 			return func(res *localRun) { res.Web = report() }, nil
-		}, c.RunFor())
+		}, c.RunFor(), opts...)
 }
 
 // RunRingCBRFederated runs the ring-cbr scenario as a cores-process
 // federation over loopback (workers spawned from this binary; the caller's
 // main or TestMain must call fednet.MaybeRunWorker).
-func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string) (*fednet.Report, error) {
+func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	return fednet.Run(fednet.Options{
 		Scenario: ScenarioRingCBR, Params: c,
-		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
 	})
@@ -828,11 +867,12 @@ func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string) (*fednet.Re
 
 // RunGnutellaRingFederated runs the gnutella-ring scenario as a
 // cores-process federation over loopback.
-func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	return fednet.Run(fednet.Options{
 		Scenario: ScenarioGnutella, Params: c,
-		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
 	})
@@ -840,11 +880,12 @@ func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string) (
 
 // RunCFSRingFederated runs the cfs-ring scenario as a cores-process
 // federation over loopback.
-func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	return fednet.Run(fednet.Options{
 		Scenario: ScenarioCFSRing, Params: c,
-		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
 	})
@@ -852,11 +893,12 @@ func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string) (*fednet.Re
 
 // RunWebReplRingFederated runs the webrepl-ring scenario as a
 // cores-process federation over loopback.
-func RunWebReplRingFederated(c WebReplRingSpec, cores int, dataPlane string) (*fednet.Report, error) {
+func RunWebReplRingFederated(c WebReplRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	return fednet.Run(fednet.Options{
 		Scenario: ScenarioWebReplRing, Params: c,
-		Cores: cores, Seed: c.Seed, Profile: &ideal,
+		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
 	})
@@ -1005,9 +1047,18 @@ type FednetRow struct {
 	// Frames and BytesOnWire price the data plane of a fednet row: frames
 	// written to real sockets (= syscalls on the UDP plane) and bytes
 	// including framing. With batching, Frames ≪ Messages.
-	Frames      uint64  `json:"frames,omitempty"`
-	BytesOnWire uint64  `json:"bytes_on_wire,omitempty"`
-	LookaheadMS float64 `json:"lookahead_ms,omitempty"`
+	Frames      uint64 `json:"frames,omitempty"`
+	BytesOnWire uint64 `json:"bytes_on_wire,omitempty"`
+	// Sync names the synchronization algebra of a parallel/federated row
+	// ("adaptive" or "fixed"); the grant columns are the effective
+	// per-window grant spans it handed out — min/mean/max over every
+	// (shard, window) pair. Under the fixed algebra the spans collapse to
+	// the static lookahead cadence; under the adaptive one they report how
+	// far past it the cluster's queue horizon let each shard run.
+	Sync        string  `json:"sync,omitempty"`
+	GrantMinMS  float64 `json:"grant_min_ms,omitempty"`
+	GrantMeanMS float64 `json:"grant_mean_ms,omitempty"`
+	GrantMaxMS  float64 `json:"grant_max_ms,omitempty"`
 	// Barrier breakdown (internal/obs): where the drive loop's wall time
 	// went. Not omitempty — a zero is a measurement (the seq rows have no
 	// barrier), not a missing column.
@@ -1043,10 +1094,13 @@ func totalsRow(scenario, mode string, cores int, t modelnet.Totals, wallMS float
 	}
 }
 
-// runFednetScenario appends one scenario's seq/inproc/fednet rows.
+// runFednetScenario appends one scenario's rows: the sequential baseline,
+// then at each core count an in-process and a federated run under each
+// synchronization algebra (adaptive and the fixed baseline), every one
+// checked against the sequential counters.
 func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlane string,
-	local func(cores int, parallel bool) (*localRun, error),
-	federated func(cores int, dataPlane string) (*fednet.Report, error)) error {
+	local func(cores int, parallel bool, opts ...RunOpt) (*localRun, error),
+	federated func(cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error)) error {
 	seq, err := local(1, false)
 	if err != nil {
 		return err
@@ -1067,28 +1121,36 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 		if k < 2 {
 			continue
 		}
-		par, err := local(k, true)
-		if err != nil {
-			return err
-		}
-		row := totalsRow(scenario, "inproc", k, par.Totals, par.WallMS)
-		row.Windows, row.SerialRounds, row.Messages = par.Windows, par.Serial, par.Messages
-		row.LookaheadMS = par.Lookahead.Seconds() * 1000
-		row.ComputeWallNs, row.BarrierWallNs, row.FlushWallNs =
-			par.Drive.ComputeWallNs, par.Drive.BarrierWallNs, par.Drive.FlushWallNs
-		res.Rows = append(res.Rows, check(row))
+		for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+			par, err := local(k, true, WithSync(sm))
+			if err != nil {
+				return err
+			}
+			row := totalsRow(scenario, "inproc", k, par.Totals, par.WallMS)
+			row.Windows, row.SerialRounds, row.Messages = par.Windows, par.Serial, par.Messages
+			row.Sync = par.Sync.String()
+			row.GrantMinMS = par.GrantMin.Seconds() * 1000
+			row.GrantMeanMS = par.GrantMean.Seconds() * 1000
+			row.GrantMaxMS = par.GrantMax.Seconds() * 1000
+			row.ComputeWallNs, row.BarrierWallNs, row.FlushWallNs =
+				par.Drive.ComputeWallNs, par.Drive.BarrierWallNs, par.Drive.FlushWallNs
+			res.Rows = append(res.Rows, check(row))
 
-		fed, err := federated(k, dataPlane)
-		if err != nil {
-			return err
+			fed, err := federated(k, dataPlane, WithSync(sm))
+			if err != nil {
+				return err
+			}
+			frow := totalsRow(scenario, "fednet", k, fed.Totals, fed.WallMS)
+			frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
+			frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
+			frow.Sync = fed.SyncMode.String()
+			frow.GrantMinMS = fed.Sync.GrantMin().Seconds() * 1000
+			frow.GrantMeanMS = fed.Sync.GrantMean().Seconds() * 1000
+			frow.GrantMaxMS = fed.Sync.GrantMax().Seconds() * 1000
+			frow.ComputeWallNs, frow.BarrierWallNs, frow.FlushWallNs =
+				fed.Sync.Profile.ComputeWallNs, fed.Sync.Profile.BarrierWallNs, fed.Sync.Profile.FlushWallNs
+			res.Rows = append(res.Rows, check(frow))
 		}
-		frow := totalsRow(scenario, "fednet", k, fed.Totals, fed.WallMS)
-		frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
-		frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
-		frow.LookaheadMS = fed.Lookahead.Seconds() * 1000
-		frow.ComputeWallNs, frow.BarrierWallNs, frow.FlushWallNs =
-			fed.Sync.Profile.ComputeWallNs, fed.Sync.Profile.BarrierWallNs, fed.Sync.Profile.FlushWallNs
-		res.Rows = append(res.Rows, check(frow))
 	}
 	return nil
 }
@@ -1108,26 +1170,42 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 		Deterministic: true,
 	}
 	if err := runFednetScenario(res, ScenarioRingCBR, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunRingCBRLocal(cfg.Ring, k, p, false) },
-		func(k int, dp string) (*fednet.Report, error) { return RunRingCBRFederated(cfg.Ring, k, dp) },
+		func(k int, p bool, opts ...RunOpt) (*localRun, error) {
+			return RunRingCBRLocal(cfg.Ring, k, p, false, opts...)
+		},
+		func(k int, dp string, opts ...RunOpt) (*fednet.Report, error) {
+			return RunRingCBRFederated(cfg.Ring, k, dp, opts...)
+		},
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioCFSRing, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunCFSRingLocal(cfg.CFS, k, p, false) },
-		func(k int, dp string) (*fednet.Report, error) { return RunCFSRingFederated(cfg.CFS, k, dp) },
+		func(k int, p bool, opts ...RunOpt) (*localRun, error) {
+			return RunCFSRingLocal(cfg.CFS, k, p, false, opts...)
+		},
+		func(k int, dp string, opts ...RunOpt) (*fednet.Report, error) {
+			return RunCFSRingFederated(cfg.CFS, k, dp, opts...)
+		},
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioWebReplRing, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunWebReplRingLocal(cfg.Web, k, p, false) },
-		func(k int, dp string) (*fednet.Report, error) { return RunWebReplRingFederated(cfg.Web, k, dp) },
+		func(k int, p bool, opts ...RunOpt) (*localRun, error) {
+			return RunWebReplRingLocal(cfg.Web, k, p, false, opts...)
+		},
+		func(k int, dp string, opts ...RunOpt) (*fednet.Report, error) {
+			return RunWebReplRingFederated(cfg.Web, k, dp, opts...)
+		},
 	); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioFlakyEdge, cfg.Cores, cfg.DataPlane,
-		func(k int, p bool) (*localRun, error) { return RunFlakyEdgeLocal(cfg.Flaky, k, p, false) },
-		func(k int, dp string) (*fednet.Report, error) { return RunFlakyEdgeFederated(cfg.Flaky, k, dp) },
+		func(k int, p bool, opts ...RunOpt) (*localRun, error) {
+			return RunFlakyEdgeLocal(cfg.Flaky, k, p, false, opts...)
+		},
+		func(k int, dp string, opts ...RunOpt) (*fednet.Report, error) {
+			return RunFlakyEdgeFederated(cfg.Flaky, k, dp, opts...)
+		},
 	); err != nil {
 		return nil, err
 	}
@@ -1141,12 +1219,12 @@ func PrintFednet(w io.Writer, res *FednetResult) {
 		res.CFS.Routers, res.CFS.VNsPerRouter, res.Web.Routers, res.Web.VNsPerRouter,
 		res.Flaky.Web.Routers, res.Flaky.Web.VNsPerRouter, res.Flaky.Trace,
 		res.DataPlane, res.HostCPUs)
-	fprintf(w, "%-13s %8s %6s %9s %9s %10s %9s %8s %9s %9s %11s %10s\n",
-		"scenario", "mode", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "lookahead")
+	fprintf(w, "%-13s %8s %6s %9s %9s %9s %10s %9s %8s %9s %9s %11s %22s\n",
+		"scenario", "mode", "sync", "cores", "wall ms", "speedup", "delivered", "windows", "serial", "messages", "frames", "wire MB", "grant min/mean/max ms")
 	for _, r := range res.Rows {
-		fprintf(w, "%-13s %8s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.1fms\n",
-			r.Scenario, r.Mode, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
-			r.Frames, float64(r.BytesOnWire)/1e6, r.LookaheadMS)
+		fprintf(w, "%-13s %8s %6s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.2f/%.2f/%.2f\n",
+			r.Scenario, r.Mode, r.Sync, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
+			r.Frames, float64(r.BytesOnWire)/1e6, r.GrantMinMS, r.GrantMeanMS, r.GrantMaxMS)
 	}
 	if !res.Deterministic {
 		fprintf(w, "  WARNING: configurations disagreed on emulation counters\n")

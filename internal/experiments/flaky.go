@@ -161,7 +161,7 @@ func init() {
 
 // RunFlakyEdgeLocal runs the flaky-edge scenario without sockets,
 // sequentially or on the in-process parallel runtime.
-func RunFlakyEdgeLocal(c FlakyEdgeSpec, cores int, parallel, trace bool) (*localRun, error) {
+func RunFlakyEdgeLocal(c FlakyEdgeSpec, cores int, parallel, trace bool, opts ...RunOpt) (*localRun, error) {
 	dyn, err := c.Dynamics()
 	if err != nil {
 		return nil, err
@@ -173,20 +173,21 @@ func RunFlakyEdgeLocal(c FlakyEdgeSpec, cores int, parallel, trace bool) (*local
 				return nil, err
 			}
 			return func(res *localRun) { res.Web = report() }, nil
-		}, c.RunFor())
+		}, c.RunFor(), opts...)
 }
 
 // RunFlakyEdgeFederated runs the flaky-edge scenario as a cores-process
 // federation over loopback, shipping the dynamics spec in the setup frame.
-func RunFlakyEdgeFederated(c FlakyEdgeSpec, cores int, dataPlane string) (*fednet.Report, error) {
+func RunFlakyEdgeFederated(c FlakyEdgeSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
 	dyn, err := c.Dynamics()
 	if err != nil {
 		return nil, err
 	}
+	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
 	return fednet.Run(fednet.Options{
 		Scenario: ScenarioFlakyEdge, Params: c,
-		Cores: cores, Seed: c.Web.Seed, Profile: &ideal,
+		Cores: cores, Seed: c.Web.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Dynamics: dyn,
 		Spawn:    true, CollectDeliveries: true,

@@ -70,17 +70,19 @@ func TestRingCBRTraceDeterminism(t *testing.T) {
 	sameTrace(t, "ring seq vs inproc", want, canonOf(t, "ring inproc", par.Trace))
 	ideal := modelnet.IdealProfile()
 	for _, plane := range []string{fednet.DataUDP, fednet.DataTCP} {
-		fed, err := fednet.Run(fednet.Options{
-			Scenario: ScenarioRingCBR, Params: spec,
-			Cores: 2, Seed: spec.Seed, Profile: &ideal,
-			RunFor: spec.RunFor(), DataPlane: plane,
-			Spawn: true, Trace: true,
-		})
-		if err != nil {
-			t.Fatalf("fednet over %s: %v", plane, err)
+		for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+			fed, err := fednet.Run(fednet.Options{
+				Scenario: ScenarioRingCBR, Params: spec,
+				Cores: 2, Seed: spec.Seed, Profile: &ideal,
+				RunFor: spec.RunFor(), DataPlane: plane,
+				Spawn: true, Trace: true, Sync: sm,
+			})
+			if err != nil {
+				t.Fatalf("fednet over %s (%s): %v", plane, sm, err)
+			}
+			name := fmtPlane("ring trace", 2, plane, sm)
+			sameTrace(t, name, want, canonOf(t, name, fed.Trace))
 		}
-		name := fmtPlane("ring trace", 2, plane)
-		sameTrace(t, name, want, canonOf(t, name, fed.Trace))
 	}
 }
 
@@ -138,21 +140,23 @@ func TestFlakyEdgeTraceDeterminism(t *testing.T) {
 	}
 	ideal := modelnet.IdealProfile()
 	for _, plane := range []string{fednet.DataUDP, fednet.DataTCP} {
-		fed, err := fednet.Run(fednet.Options{
-			Scenario: ScenarioFlakyEdge, Params: spec,
-			Cores: 2, Seed: spec.Web.Seed, Profile: &ideal,
-			RunFor: spec.RunFor(), DataPlane: plane,
-			Dynamics: dyn,
-			Spawn:    true, Trace: true,
-		})
-		if err != nil {
-			t.Fatalf("fednet over %s: %v", plane, err)
-		}
-		name := fmtPlane("flaky trace", 2, plane)
-		sameTrace(t, name, want, canonOf(t, name, fed.Trace))
-		// The federated run must also surface the unified drop taxonomy.
-		if !equalU64(seq.Drops, fed.DropsByReason) {
-			t.Errorf("%s: drops-by-reason diverge:\n sequential %v\n federated  %v", name, seq.Drops, fed.DropsByReason)
+		for _, sm := range []modelnet.SyncMode{modelnet.SyncAdaptive, modelnet.SyncFixed} {
+			fed, err := fednet.Run(fednet.Options{
+				Scenario: ScenarioFlakyEdge, Params: spec,
+				Cores: 2, Seed: spec.Web.Seed, Profile: &ideal,
+				RunFor: spec.RunFor(), DataPlane: plane,
+				Dynamics: dyn,
+				Spawn:    true, Trace: true, Sync: sm,
+			})
+			if err != nil {
+				t.Fatalf("fednet over %s (%s): %v", plane, sm, err)
+			}
+			name := fmtPlane("flaky trace", 2, plane, sm)
+			sameTrace(t, name, want, canonOf(t, name, fed.Trace))
+			// The federated run must also surface the unified drop taxonomy.
+			if !equalU64(seq.Drops, fed.DropsByReason) {
+				t.Errorf("%s: drops-by-reason diverge:\n sequential %v\n federated  %v", name, seq.Drops, fed.DropsByReason)
+			}
 		}
 	}
 }

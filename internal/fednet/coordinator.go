@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"modelnet/internal/assign"
+	"modelnet/internal/bind"
 	"modelnet/internal/distill"
 	"modelnet/internal/dynamics"
 	"modelnet/internal/edge"
@@ -49,6 +50,15 @@ type Options struct {
 	// RunFor is the virtual time to emulate. Zero or negative runs to
 	// global quiescence.
 	RunFor vtime.Duration
+
+	// Sync selects the synchronization algebra: adaptive per-shard window
+	// grants derived from the cluster's queue horizon (the default), or the
+	// fixed uniform-lookahead windows kept as the measurement baseline and
+	// escape hatch (CLI: -sync=fixed). Local-only runs additionally fuse the
+	// three per-window control round trips (flush, sync, window) into one
+	// TStep round; live-edge and real-time runs keep the split protocol,
+	// because gateway admission must precede the bounds grants derive from.
+	Sync parcore.SyncMode
 
 	// Dynamics, when non-nil, is the link-dynamics spec: the coordinator
 	// validates it against the distilled topology and ships it bit-exact
@@ -172,9 +182,11 @@ type Report struct {
 	// Sync.Messages; the unbatched plane has Frames == Sync.Messages.
 	Frames      uint64
 	BytesOnWire uint64
-	// Lookahead and Cut describe the partition the run synchronized under.
+	// Lookahead and Cut describe the partition the run synchronized under;
+	// SyncMode is the algebra the coordinator drove with.
 	Lookahead vtime.Duration
 	Cut       assign.CutStats
+	SyncMode  parcore.SyncMode
 	// WallMS is the coordinator-measured wall-clock time of the Run
 	// phase (excluding topology build and worker setup).
 	WallMS float64
@@ -214,6 +226,10 @@ func (r *Report) RunProfile() obs.RunProfile {
 		Windows:      r.Sync.Windows,
 		SerialRounds: r.Sync.SerialRounds,
 		Messages:     r.Sync.Messages,
+		SyncMode:     r.SyncMode.String(),
+		GrantMinMS:   r.Sync.GrantMin().Seconds() * 1000,
+		GrantMeanMS:  r.Sync.GrantMean().Seconds() * 1000,
+		GrantMaxMS:   r.Sync.GrantMax().Seconds() * 1000,
 		Drive:        r.Sync.Profile,
 	}
 	for _, w := range r.Workers {
@@ -304,6 +320,26 @@ func Run(opts Options) (*Report, error) {
 		return nil, fmt.Errorf("fednet: %w", err)
 	}
 	dynBin := dynamics.Encode(opts.Dynamics)
+	// The piggybacked protocol and the adaptive algebra both need the
+	// reaction-chain matrix, which the coordinator derives from the same
+	// bind/plan computation every worker performs on its copy of the state.
+	piggy := opts.Edge == nil && !opts.RealTime
+	var chain [][]vtime.Duration
+	if piggy || opts.Sync == parcore.SyncAdaptive {
+		pod := bind.NewPOD(asn.Owner, asn.Cores)
+		bnd, err := bind.Bind(dist.Graph, bind.Options{
+			EdgeNodes:    opts.EdgeNodes,
+			Cores:        asn.Cores,
+			RouteCache:   opts.RouteCache,
+			Hierarchical: opts.Hierarchical,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fednet: bind: %w", err)
+		}
+		homes := parcore.Homes(dist.Graph, bnd, pod, opts.Cores)
+		syncs := parcore.ComputeSyncPlan(dist.Graph, bnd, pod, homes, opts.Cores, opts.Dynamics.LatencyFloorFunc())
+		chain = parcore.ChainMatrix(syncs)
+	}
 	for i, c := range conns {
 		cfgJSON, err := json.Marshal(setup{
 			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
@@ -312,6 +348,7 @@ func Run(opts Options) (*Report, error) {
 			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
 			Edge: opts.Edge, Trace: opts.Trace, Metrics: opts.MetricsListen != "",
+			Sync: opts.Sync.String(),
 		})
 		if err != nil {
 			return nil, err
@@ -337,7 +374,7 @@ func Run(opts Options) (*Report, error) {
 		metricsAddr = addr
 		opts.Log("fednet: coordinator metrics on http://%s/metrics", addr)
 	}
-	tr := &coordTransport{conns: conns, timeout: opts.Timeout, metrics: metrics}
+	tr := &coordTransport{conns: conns, timeout: opts.Timeout, metrics: metrics, piggy: piggy, chain: chain}
 	tr.init(opts.Cores)
 	gatewayAddrs := make([]string, opts.Cores)
 	workerMetrics := make([]string, opts.Cores)
@@ -407,7 +444,9 @@ func Run(opts Options) (*Report, error) {
 		pace = &parcore.Pacing{Quantum: opts.Pace}
 		tr.paceEpoch = begin
 	}
-	if err := parcore.DrivePaced(tr, &rep.Sync, deadline, pace); err != nil {
+	if err := parcore.DriveWith(tr, &rep.Sync, deadline, parcore.DriveOpts{
+		Pace: pace, Mode: opts.Sync, Chain: chain,
+	}); err != nil {
 		return nil, err
 	}
 	rep.WallMS = float64(time.Since(begin).Microseconds()) / 1000
@@ -478,6 +517,7 @@ func Run(opts Options) (*Report, error) {
 	// CutStats' minimum cut latency is the cluster-granularity analog of
 	// parcore.Runtime.Lookahead.
 	rep.Lookahead = rep.Cut.Lookahead
+	rep.SyncMode = opts.Sync
 	if err := waitWorkers(spawned); err != nil {
 		return nil, err
 	}
@@ -540,6 +580,29 @@ type coordTransport struct {
 	// parcore's drive profile can split barrier cost into flush vs sync.
 	flushWallNs uint64
 
+	// piggy selects the fused TStep protocol: flush + sync + window in one
+	// control round trip per window instead of three. Window performs the
+	// round; Exchange consumes the bounds it saved. Live-edge and real-time
+	// runs keep the split rounds — a gateway must admit real-world arrivals
+	// before the bounds its grants derive from are computed.
+	piggy bool
+	// chain is the reaction-chain matrix (parcore.DriveOpts.Chain); the
+	// piggy protocol compensates pre-apply bounds with it.
+	chain [][]vtime.Duration
+	// saved holds each worker's bounds from the last TStepDone round; nil
+	// when stale (before the first barrier, after a drain), which forces a
+	// bounds-only step. Saved bounds predate the application of messages
+	// still in flight toward the worker — Exchange compensates.
+	saved []parcore.Bounds
+	// lastGrants[j] is the last bound worker j ran (or drained) through: by
+	// earliest-output-time safety, no message still in flight toward j can
+	// fire before it.
+	lastGrants []vtime.Time
+	// acked[j] sums the expectation vector last sent to worker j; every
+	// message counted there has been awaited and applied. The gap to the
+	// senders' cumulative counters is j's in-flight message count.
+	acked []uint64
+
 	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
 	messages uint64
 	// floor is the maximum virtual clock any worker has reported: the
@@ -559,6 +622,38 @@ func (t *coordTransport) init(k int) {
 	for i := range t.sent {
 		t.sent[i] = make([]uint64, k)
 	}
+	t.lastGrants = make([]vtime.Time, k)
+	t.acked = make([]uint64, k)
+}
+
+func sumCounts(v []uint64) uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// inflight reports how many data-plane messages addressed to worker j have
+// been reported sent but not yet covered by an expectation round.
+func (t *coordTransport) inflight(j int) uint64 {
+	var s uint64
+	for i := range t.conns {
+		s += t.sent[i][j]
+	}
+	return s - t.acked[j]
+}
+
+// fedSatAdd offsets t by d, saturating at Forever (parcore's satAdd).
+func fedSatAdd(t vtime.Time, d vtime.Duration) vtime.Time {
+	if t == vtime.Forever || d == 0 {
+		return t
+	}
+	s := t.Add(d)
+	if s < t {
+		return vtime.Forever
+	}
+	return s
 }
 
 // expectFor is the channel-prefix vector worker i must have received:
@@ -633,10 +728,25 @@ func (t *coordTransport) collectCounts(want uint8) error {
 	return nil
 }
 
-// Exchange implements parcore.Transport: a flush round moves every pending
-// message onto the sockets and settles the expectation counters, then a
-// sync round has every worker await, apply, and report bounds.
+// Exchange implements parcore.Transport. On the split protocol a flush
+// round moves every pending message onto the sockets and settles the
+// expectation counters, then a sync round has every worker await, apply,
+// and report bounds. On the piggy protocol the bounds were already reported
+// by the last step round; Exchange compensates them for in-flight traffic
+// and returns without touching the network (a bounds-only step round fills
+// in when no bounds are saved yet).
 func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
+	if t.piggy {
+		if t.saved == nil {
+			// First barrier or post-drain: run a bounds-only step. It also
+			// settles every reported send — the expectation vector covers
+			// them all — so the bounds it returns need no compensation.
+			if err := t.stepRound(nil); err != nil {
+				return nil, err
+			}
+		}
+		return t.compensated(), nil
+	}
 	f0 := time.Now()
 	floor := t.floor
 	if !t.paceEpoch.IsZero() {
@@ -655,9 +765,11 @@ func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
 	}
 	t.flushWallNs += uint64(time.Since(f0))
 	for i := range t.conns {
-		if err := wire.WriteFrame(t.conns[i], wire.TSync, wire.Sync{Expect: t.expectFor(i)}.Encode()); err != nil {
+		expect := t.expectFor(i)
+		if err := wire.WriteFrame(t.conns[i], wire.TSync, wire.Sync{Expect: expect}.Encode()); err != nil {
 			return nil, err
 		}
+		t.acked[i] = sumCounts(expect)
 	}
 	bs := make([]parcore.Bounds, len(t.conns))
 	for i := range t.conns {
@@ -672,9 +784,126 @@ func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
 		if err != nil {
 			return nil, err
 		}
-		bs[i] = parcore.Bounds{Next: vtime.Time(m.Next), Safe: vtime.Time(m.Safe)}
+		bs[i] = boundsOf(m.Next, m.Safe, m.SafeTo, len(t.conns))
 	}
 	return bs, nil
+}
+
+// boundsOf assembles a parcore.Bounds from wire integers; a SafeTo vector
+// of the wrong arity (a fixed-algebra worker reports none) is dropped.
+func boundsOf(next, safe int64, safeTo []int64, k int) parcore.Bounds {
+	b := parcore.Bounds{Next: vtime.Time(next), Safe: vtime.Time(safe)}
+	if len(safeTo) == k {
+		b.SafeTo = make([]vtime.Time, k)
+		for j, s := range safeTo {
+			b.SafeTo[j] = vtime.Time(s)
+		}
+	}
+	return b
+}
+
+// stepRound is one fused barrier round: every worker awaits its expectation
+// prefix, applies its inbox, runs through its grant (nil grants: bounds
+// only), flushes its outbox, and replies with counts plus its post-step
+// bounds, which land in saved.
+func (t *coordTransport) stepRound(grants []vtime.Time) error {
+	k := len(t.conns)
+	for i := 0; i < k; i++ {
+		g := int64(-1)
+		if grants != nil {
+			g = int64(grants[i])
+		}
+		expect := t.expectFor(i)
+		body := wire.Step{Floor: int64(t.floor), Grant: g, Expect: expect}.Encode()
+		if err := wire.WriteFrame(t.conns[i], wire.TStep, body); err != nil {
+			return err
+		}
+		t.acked[i] = sumCounts(expect)
+	}
+	if t.saved == nil {
+		t.saved = make([]parcore.Bounds, k)
+	}
+	for i := 0; i < k; i++ {
+		typ, body, err := t.read(i)
+		if err != nil {
+			return err
+		}
+		if typ != wire.TStepDone {
+			return fmt.Errorf("fednet: shard %d: expected step-done, got frame type %d", i, typ)
+		}
+		m, err := wire.DecodeStepDone(body)
+		if err != nil {
+			return err
+		}
+		if vtime.Time(m.Counts.Now) > t.floor {
+			t.floor = vtime.Time(m.Counts.Now)
+		}
+		if err := t.update(i, m.Counts.Sent); err != nil {
+			return err
+		}
+		t.saved[i] = boundsOf(m.Next, m.Safe, m.SafeTo, k)
+	}
+	return nil
+}
+
+// compensated returns the saved bounds adjusted for in-flight messages. A
+// step's bounds predate the application of anything still in flight toward
+// that worker; by earliest-output-time safety such a message fires no
+// earlier than the worker's last grant, so the worker's bounds are lowered
+// to that floor — its next event may be the application itself, and the
+// emissions that application provokes toward peer l can fire no earlier
+// than floor + chain[j][l].
+func (t *coordTransport) compensated() []parcore.Bounds {
+	k := len(t.conns)
+	bs := make([]parcore.Bounds, k)
+	for j := 0; j < k; j++ {
+		b := t.saved[j]
+		if b.SafeTo != nil {
+			b.SafeTo = append([]vtime.Time(nil), b.SafeTo...)
+		}
+		if t.inflight(j) > 0 {
+			fl := t.lastGrants[j]
+			if b.Next > fl {
+				b.Next = fl
+			}
+			if b.SafeTo != nil {
+				for l := 0; l < k; l++ {
+					if l == j {
+						continue
+					}
+					if v := fedSatAdd(fl, t.chain[j][l]); v < b.SafeTo[l] {
+						b.SafeTo[l] = v
+					}
+				}
+				s := vtime.Forever
+				for _, v := range b.SafeTo {
+					if v < s {
+						s = v
+					}
+				}
+				b.Safe = s
+			} else {
+				mc := vtime.Duration(0)
+				if t.chain != nil {
+					first := true
+					for l := 0; l < k; l++ {
+						if l == j {
+							continue
+						}
+						if first || t.chain[j][l] < mc {
+							mc = t.chain[j][l]
+							first = false
+						}
+					}
+				}
+				if v := fedSatAdd(fl, mc); v < b.Safe {
+					b.Safe = v
+				}
+			}
+		}
+		bs[j] = b
+	}
+	return bs
 }
 
 // FlushWallNs reports the accumulated wall time of flush rounds; parcore's
@@ -682,15 +911,28 @@ func (t *coordTransport) Exchange() ([]parcore.Bounds, error) {
 func (t *coordTransport) FlushWallNs() uint64 { return t.flushWallNs }
 
 // Window implements parcore.Transport: all workers run their shards
-// concurrently — this is where federation buys real parallelism.
-func (t *coordTransport) Window(bound vtime.Time) error {
-	for i := range t.conns {
-		if err := wire.WriteFrame(t.conns[i], wire.TWindow, wire.Window{Bound: int64(bound)}.Encode()); err != nil {
+// concurrently, shard i through grants[i] — this is where federation buys
+// real parallelism. On the piggy protocol the window rides the fused step
+// round (one control round trip covers await, apply, run, and flush).
+func (t *coordTransport) Window(grants []vtime.Time) error {
+	if t.piggy {
+		if err := t.stepRound(grants); err != nil {
+			return err
+		}
+	} else {
+		for i := range t.conns {
+			if err := wire.WriteFrame(t.conns[i], wire.TWindow, wire.Window{Bound: int64(grants[i])}.Encode()); err != nil {
+				return err
+			}
+		}
+		if err := t.collectCounts(wire.TWindowDone); err != nil {
 			return err
 		}
 	}
-	if err := t.collectCounts(wire.TWindowDone); err != nil {
-		return err
+	for i, g := range grants {
+		if g > t.lastGrants[i] {
+			t.lastGrants[i] = g
+		}
 	}
 	t.metrics.AddWindows(1)
 	t.metrics.SetVTime(int64(t.floor))
@@ -707,10 +949,12 @@ func (t *coordTransport) Window(bound vtime.Time) error {
 // previous pass only, exactly like the in-process transport.
 func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
 	for i := range t.conns {
-		body := wire.Drain{T: int64(tt), Expect: t.expectFor(i)}.Encode()
+		expect := t.expectFor(i)
+		body := wire.Drain{T: int64(tt), Expect: expect}.Encode()
 		if err := wire.WriteFrame(t.conns[i], wire.TDrain, body); err != nil {
 			return false, err
 		}
+		t.acked[i] = sumCounts(expect)
 	}
 	progressed := false
 	for i := range t.conns {
@@ -732,6 +976,14 @@ func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
 			return false, err
 		}
 		progressed = progressed || m.Progressed
+	}
+	// Drain turns run events, so any saved step bounds are stale; the next
+	// Exchange re-derives them with a bounds-only step.
+	t.saved = nil
+	for j := range t.lastGrants {
+		if tt > t.lastGrants[j] {
+			t.lastGrants[j] = tt
+		}
 	}
 	t.metrics.AddSerialRounds(1)
 	t.metrics.SetVTime(int64(t.floor))

@@ -35,7 +35,13 @@ type collector struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	channels []channelBuf
-	err      error
+	// closed[j] is sender j's latest flush close marker (the cumulative
+	// channel count its last completed flush reached). Purely diagnostic:
+	// when a wait times out, a channel whose close marker covers the
+	// expectation but whose contiguous prefix does not has lost a datagram
+	// in transit, and the error can say so.
+	closed []uint64
+	err    error
 }
 
 // channelBuf is one sender→me channel. Sequences are dense and 1-based,
@@ -49,7 +55,7 @@ type channelBuf struct {
 }
 
 func newCollector(k int) *collector {
-	c := &collector{channels: make([]channelBuf, k)}
+	c := &collector{channels: make([]channelBuf, k), closed: make([]uint64, k)}
 	for j := range c.channels {
 		c.channels[j].buffered = map[uint64]parcore.Msg{}
 	}
@@ -88,6 +94,15 @@ func (c *collector) add(m parcore.Msg, tseq uint64) {
 	c.cond.Broadcast()
 }
 
+// noteClose records sender j's flush close marker (monotone cumulative).
+func (c *collector) noteClose(sender int, close uint64) {
+	c.mu.Lock()
+	if sender >= 0 && sender < len(c.closed) && close > c.closed[sender] {
+		c.closed[sender] = close
+	}
+	c.mu.Unlock()
+}
+
 func (c *collector) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -121,7 +136,17 @@ func (c *collector) wait(expect []uint64, timeout time.Duration) ([]parcore.Msg,
 	deadline := time.AfterFunc(timeout, func() {
 		c.mu.Lock()
 		if !done && c.err == nil {
-			c.err = fmt.Errorf("fednet: data plane: timed out after %v awaiting peer messages (lost datagram?)", timeout)
+			// The close markers turn a silent stall into a diagnosis: a
+			// sender whose last flush covered the expectation but whose
+			// contiguous prefix fell short lost a datagram in transit.
+			detail := ""
+			for j, want := range expect {
+				if ch := &c.channels[j]; ch.contig < want && c.closed[j] >= want {
+					detail = fmt.Sprintf("; shard %d closed its flush at %d but only %d arrived contiguously — datagram lost in transit (use the tcp data plane)", j, c.closed[j], ch.contig)
+					break
+				}
+			}
+			c.err = fmt.Errorf("fednet: data plane: timed out after %v awaiting peer messages%s", timeout, detail)
 		}
 		c.mu.Unlock()
 		c.cond.Broadcast()
@@ -368,6 +393,9 @@ func (dp *dataPlane) deliverFrame(typ uint8, body []byte) error {
 			}
 			dp.col.add(m, b.TSeq0+uint64(i))
 		}
+		if b.Close != 0 {
+			dp.col.noteClose(int(b.Sender), b.Close)
+		}
 		return nil
 	default:
 		return fmt.Errorf("fednet: unexpected data-plane frame type %d", typ)
@@ -467,8 +495,8 @@ func (dp *dataPlane) send(j int, m parcore.Msg, tseq uint64) error {
 }
 
 // batchOverhead is the fixed cost of one batched frame: the frame header
-// plus the batch header (sender u16, tseq0 u64, count u32).
-const batchOverhead = 6 + 2 + 8 + 4
+// plus the batch header (sender u16, tseq0 u64, close u64, count u32).
+const batchOverhead = 6 + 2 + 8 + 8 + 4
 
 // chunkBatch partitions pre-encoded batch elements into [start, end)
 // ranges such that each range's frame fits under limit. With strict set
@@ -516,8 +544,14 @@ func (dp *dataPlane) sendBatch(j int, msgs []parcore.Msg, tseq0 uint64) error {
 	if err != nil {
 		return err
 	}
-	for _, r := range ranges {
-		body := wire.EncodeDataBatch(uint16(dp.shard), tseq0+uint64(r[0]), elems[r[0]:r[1]])
+	for ri, r := range ranges {
+		// The final chunk carries the flush close marker: the cumulative
+		// channel count this flush reached.
+		close := uint64(0)
+		if ri == len(ranges)-1 {
+			close = tseq0 + uint64(len(msgs)) - 1
+		}
+		body := wire.EncodeDataBatch(uint16(dp.shard), tseq0+uint64(r[0]), close, elems[r[0]:r[1]])
 		if err := dp.write(j, wire.AppendFrame(nil, wire.TDataBatch, body)); err != nil {
 			return err
 		}

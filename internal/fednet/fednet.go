@@ -145,6 +145,11 @@ type setup struct {
 	Params            json.RawMessage `json:"params,omitempty"`
 	CollectDeliveries bool            `json:"collect_deliveries,omitempty"`
 
+	// Sync is the synchronization algebra ("adaptive" or "fixed"); a worker
+	// under the adaptive algebra computes its crossing-distance tables and
+	// reports per-peer SafeTo bounds. Empty = adaptive.
+	Sync string `json:"sync,omitempty"`
+
 	// NoBatch reverts the data plane to one frame per tunnel message (the
 	// pre-batching behavior); zero value = batching on.
 	NoBatch bool `json:"no_batch,omitempty"`

@@ -31,9 +31,15 @@ func fuzzSeeds(f *testing.F) {
 		{Seq: 9, Kind: KindTunnel, Pid: 3, At: 5, Fire: 6, Pkt: pw},
 		{Seq: 10, Kind: KindDelivery, Pid: -1, Lag: 11, Pkt: pw},
 	}}.Encode())
+	f.Add(DataBatch{Sender: 2, TSeq0: 4, Close: 4, Msgs: []DataMsg{
+		{Seq: 9, Kind: KindTunnel, Pid: 3, At: 5, Fire: 6, Pkt: pw},
+	}}.Encode())
 	f.Add(Window{Bound: 1 << 40}.Encode())
 	f.Add(Counts{Now: 3, Sent: []uint64{0, 2}}.Encode())
 	f.Add(DrainDone{Progressed: true, Counts: Counts{Sent: []uint64{1}}}.Encode())
+	f.Add(Ready{Next: 5, Safe: 9, SafeTo: []int64{12, -1}}.Encode())
+	f.Add(Step{Floor: 2, Grant: -1, Expect: []uint64{0, 3}}.Encode())
+	f.Add(StepDone{Counts: Counts{Now: 4, Sent: []uint64{1, 0}}, Next: 6, Safe: 7, SafeTo: []int64{8, 9}}.Encode())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 }
@@ -62,7 +68,7 @@ func FuzzDecodeData(f *testing.F) {
 			for i, x := range m.Msgs {
 				elems[i] = x.Encode()
 			}
-			if !bytes.Equal(EncodeDataBatch(m.Sender, m.TSeq0, elems), b) {
+			if !bytes.Equal(EncodeDataBatch(m.Sender, m.TSeq0, m.Close, elems), b) {
 				t.Fatalf("EncodeDataBatch not canonical for %x", b)
 			}
 		}
@@ -88,6 +94,8 @@ func DecodeWindowAll(b []byte) {
 	_, _ = DecodeDrain(b)
 	_, _ = DecodeDrainDone(b)
 	_, _ = DecodeFlush(b)
+	_, _ = DecodeStep(b)
+	_, _ = DecodeStepDone(b)
 	_, _, _ = DecodeAssignment(b)
 }
 

@@ -121,9 +121,13 @@ func DecodeSync(b []byte) (Sync, error) {
 	return m, d.Done()
 }
 
-// Ready is a worker's post-apply bounds report.
+// Ready is a worker's post-apply bounds report. SafeTo, when non-empty, is
+// the adaptive algebra's per-peer bound vector (parcore.Bounds.SafeTo):
+// entry j is the earliest virtual time a message from this shard's current
+// state could fire on shard j. Empty under the fixed algebra.
 type Ready struct {
 	Next, Safe int64
+	SafeTo     []int64
 }
 
 // Encode returns the frame body.
@@ -131,6 +135,10 @@ func (m Ready) Encode() []byte {
 	var e Enc
 	e.I64(m.Next)
 	e.I64(m.Safe)
+	e.U32(uint32(len(m.SafeTo)))
+	for _, s := range m.SafeTo {
+		e.I64(s)
+	}
 	return e.Bytes()
 }
 
@@ -138,7 +146,90 @@ func (m Ready) Encode() []byte {
 func DecodeReady(b []byte) (Ready, error) {
 	d := NewDec(b)
 	m := Ready{Next: d.I64(), Safe: d.I64()}
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		m.SafeTo = append(m.SafeTo, d.I64())
+	}
 	return m, d.Done()
+}
+
+// Step is one fused barrier step, the piggybacked form of the
+// Flush/Sync/Window round trips: the worker awaits the Expect channel
+// prefixes, applies its inbox in canonical order, runs its shard through
+// Grant (inclusive) unless Grant is negative (a bounds-only step), flushes
+// its outbox, and replies with TStepDone. Floor plays TFlush's role for any
+// live gateway. One control round trip per window instead of three.
+type Step struct {
+	Floor  int64
+	Grant  int64 // the shard's window grant; < 0 = report bounds, do not run
+	Expect []uint64
+}
+
+// Encode returns the frame body.
+func (m Step) Encode() []byte {
+	var e Enc
+	e.I64(m.Floor)
+	e.I64(m.Grant)
+	e.U32(uint32(len(m.Expect)))
+	for _, x := range m.Expect {
+		e.U64(x)
+	}
+	return e.Bytes()
+}
+
+// DecodeStep parses a TStep body.
+func DecodeStep(b []byte) (Step, error) {
+	d := NewDec(b)
+	m := Step{Floor: d.I64(), Grant: d.I64()}
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		m.Expect = append(m.Expect, d.U64())
+	}
+	return m, d.Done()
+}
+
+// StepDone reports a step's outcome: the worker's cumulative send counters
+// (settling the messages its window just flushed) and its bounds after the
+// run. The bounds predate the application of any messages still in flight
+// toward this worker — the coordinator compensates with the reaction-chain
+// floor before feeding them to the grant algebra.
+type StepDone struct {
+	Counts     Counts
+	Next, Safe int64
+	SafeTo     []int64
+}
+
+// Encode returns the frame body.
+func (m StepDone) Encode() []byte {
+	var e Enc
+	e.Blob(m.Counts.Encode())
+	e.I64(m.Next)
+	e.I64(m.Safe)
+	e.U32(uint32(len(m.SafeTo)))
+	for _, s := range m.SafeTo {
+		e.I64(s)
+	}
+	return e.Bytes()
+}
+
+// DecodeStepDone parses a TStepDone body.
+func DecodeStepDone(b []byte) (StepDone, error) {
+	d := NewDec(b)
+	cb := d.Blob()
+	m := StepDone{Next: d.I64(), Safe: d.I64()}
+	n := d.Len(8)
+	for i := 0; i < n; i++ {
+		m.SafeTo = append(m.SafeTo, d.I64())
+	}
+	if err := d.Done(); err != nil {
+		return StepDone{}, err
+	}
+	var err error
+	m.Counts, err = DecodeCounts(cb)
+	if err != nil {
+		return StepDone{}, err
+	}
+	return m, nil
 }
 
 // Drain gives a worker one serial drain turn at time T: await the Expect
@@ -383,7 +474,14 @@ func decodeDataMsg(d *Dec) DataMsg {
 type DataBatch struct {
 	Sender uint16
 	TSeq0  uint64 // channel sequence of element 0; dense, 1-based
-	Msgs   []DataMsg
+	// Close, when nonzero, marks the batch as the last chunk of a flush:
+	// it is the sender's cumulative channel count after this batch's final
+	// element. Receivers use it as a loss diagnostic — a channel whose
+	// close marker covers the barrier's expectation but whose contiguous
+	// prefix does not has lost a datagram, and the eventual timeout can say
+	// so instead of guessing.
+	Close uint64
+	Msgs  []DataMsg
 }
 
 // Encode returns the frame body.
@@ -391,6 +489,7 @@ func (m DataBatch) Encode() []byte {
 	var e Enc
 	e.U16(m.Sender)
 	e.U64(m.TSeq0)
+	e.U64(m.Close)
 	e.U32(uint32(len(m.Msgs)))
 	for _, x := range m.Msgs {
 		x.append(&e)
@@ -401,8 +500,8 @@ func (m DataBatch) Encode() []byte {
 // EncodeDataBatch assembles a batch frame body from pre-encoded elements
 // (DataMsg.Encode results). The data plane encodes each message once and
 // reuses the bytes across chunk boundaries.
-func EncodeDataBatch(sender uint16, tseq0 uint64, elems [][]byte) []byte {
-	n := 2 + 8 + 4
+func EncodeDataBatch(sender uint16, tseq0, close uint64, elems [][]byte) []byte {
+	n := 2 + 8 + 8 + 4
 	for _, el := range elems {
 		n += len(el)
 	}
@@ -410,6 +509,7 @@ func EncodeDataBatch(sender uint16, tseq0 uint64, elems [][]byte) []byte {
 	e.b = make([]byte, 0, n)
 	e.U16(sender)
 	e.U64(tseq0)
+	e.U64(close)
 	e.U32(uint32(len(elems)))
 	for _, el := range elems {
 		e.b = append(e.b, el...)
@@ -420,7 +520,7 @@ func EncodeDataBatch(sender uint16, tseq0 uint64, elems [][]byte) []byte {
 // DecodeDataBatch parses a TDataBatch body.
 func DecodeDataBatch(b []byte) (DataBatch, error) {
 	d := NewDec(b)
-	m := DataBatch{Sender: d.U16(), TSeq0: d.U64()}
+	m := DataBatch{Sender: d.U16(), TSeq0: d.U64(), Close: d.U64()}
 	n := d.Len(dataMsgMinBytes)
 	for i := 0; i < n; i++ {
 		m.Msgs = append(m.Msgs, decodeDataMsg(d))
@@ -436,6 +536,10 @@ func DecodeDataBatch(b []byte) (DataBatch, error) {
 	}
 	if m.TSeq0+uint64(len(m.Msgs)) < m.TSeq0 {
 		return DataBatch{}, fmt.Errorf("wire: data batch channel sequence overflow")
+	}
+	if m.Close != 0 && m.Close != m.TSeq0+uint64(len(m.Msgs))-1 {
+		return DataBatch{}, fmt.Errorf("wire: data batch close marker %d does not cover elements %d..%d",
+			m.Close, m.TSeq0, m.TSeq0+uint64(len(m.Msgs))-1)
 	}
 	for i := range m.Msgs {
 		x := &m.Msgs[i]

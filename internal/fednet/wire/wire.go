@@ -34,7 +34,13 @@ import (
 // Version 5 added the observability layer: a Trace u64 (the mode-invariant
 // packet trace ID) in every PacketWire, and the TTrace frame streaming a
 // worker's recorded trace events to the coordinator before its TReport.
-const Version = 5
+// Version 6 is the adaptive-synchronization protocol: TReady carries the
+// per-peer SafeTo bound vector, TWindow bounds become per-worker grants, the
+// TStep/TStepDone pair piggybacks flush + sync + window control into one
+// round trip per window, and TDataBatch carries a flush close marker (the
+// sender's cumulative channel count when a batch ends a flush) so a lost
+// datagram is diagnosable instead of a silent timeout.
+const Version = 6
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -60,6 +66,8 @@ const (
 	TData       uint8 = 15 // worker -> worker: one cross-core tunnel message
 	TDataBatch  uint8 = 16 // worker -> worker: a dense run of tunnel messages
 	TTrace      uint8 = 17 // worker -> coordinator: a chunk of trace events (before TReport)
+	TStep       uint8 = 18 // coordinator -> worker: one fused barrier step (await + apply + run + flush)
+	TStepDone   uint8 = 19 // worker -> coordinator: step complete: counts + post-step bounds
 )
 
 const headerBytes = 6 // u32 length + u8 version + u8 type

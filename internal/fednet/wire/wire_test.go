@@ -68,8 +68,24 @@ func TestSyncMessageRoundTrips(t *testing.T) {
 		t.Fatalf("sync: %+v, %v", s, err)
 	}
 	r, err := DecodeReady(Ready{Next: 1, Safe: 2}.Encode())
-	if err != nil || r != (Ready{Next: 1, Safe: 2}) {
+	if err != nil || r.Next != 1 || r.Safe != 2 || r.SafeTo != nil {
 		t.Fatalf("ready: %+v, %v", r, err)
+	}
+	r, err = DecodeReady(Ready{Next: 1, Safe: 2, SafeTo: []int64{9, -1, 4}}.Encode())
+	if err != nil || !reflect.DeepEqual(r.SafeTo, []int64{9, -1, 4}) {
+		t.Fatalf("ready with SafeTo: %+v, %v", r, err)
+	}
+	st, err := DecodeStep(Step{Floor: 11, Grant: -1, Expect: []uint64{2, 0}}.Encode())
+	if err != nil || st.Floor != 11 || st.Grant != -1 || !reflect.DeepEqual(st.Expect, []uint64{2, 0}) {
+		t.Fatalf("step: %+v, %v", st, err)
+	}
+	sd, err := DecodeStepDone(StepDone{
+		Counts: Counts{Now: 6, Sent: []uint64{1, 2}},
+		Next:   7, Safe: 8, SafeTo: []int64{3, 4},
+	}.Encode())
+	if err != nil || sd.Next != 7 || sd.Safe != 8 || sd.Counts.Now != 6 ||
+		!reflect.DeepEqual(sd.Counts.Sent, []uint64{1, 2}) || !reflect.DeepEqual(sd.SafeTo, []int64{3, 4}) {
+		t.Fatalf("stepdone: %+v, %v", sd, err)
 	}
 	dr, err := DecodeDrain(Drain{T: 3, Expect: []uint64{4}}.Encode())
 	if err != nil || dr.T != 3 || !reflect.DeepEqual(dr.Expect, []uint64{4}) {
@@ -201,8 +217,18 @@ func TestDataBatchRoundTrip(t *testing.T) {
 	for i, m := range b.Msgs {
 		elems[i] = m.Encode()
 	}
-	if !bytes.Equal(EncodeDataBatch(b.Sender, b.TSeq0, elems), raw) {
+	if !bytes.Equal(EncodeDataBatch(b.Sender, b.TSeq0, b.Close, elems), raw) {
 		t.Fatal("EncodeDataBatch diverges from DataBatch.Encode")
+	}
+	// A close marker must name the batch's own last element and round-trip.
+	b.Close = b.TSeq0 + uint64(len(b.Msgs)) - 1
+	got, err = DecodeDataBatch(b.Encode())
+	if err != nil || got.Close != b.Close {
+		t.Fatalf("close marker round trip: %+v, %v", got, err)
+	}
+	b.Close++
+	if _, err := DecodeDataBatch(b.Encode()); err == nil {
+		t.Fatal("close marker beyond the batch accepted")
 	}
 }
 

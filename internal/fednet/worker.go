@@ -70,11 +70,12 @@ type workerState struct {
 	control net.Conn
 	opts    WorkerOptions
 
-	cfg   setup
-	env   *WorkerEnv
-	sched *vtime.Scheduler
-	emu   *emucore.Emulator
-	sync  parcore.ShardSync
+	cfg     setup
+	env     *WorkerEnv
+	sched   *vtime.Scheduler
+	emu     *emucore.Emulator
+	sync    parcore.ShardSync
+	applier *parcore.Applier
 
 	outbox *parcore.Outbox
 	col    *collector
@@ -227,13 +228,22 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 		return fmt.Errorf("fednet: bind: %w", err)
 	}
 	homes := parcore.Homes(g, b, pod, cores)
-	w.sync = parcore.ComputeSyncFloor(g, b, pod, homes, cores, dyn.LatencyFloorFunc())[cfg.Shard]
+	mode, err := parcore.ParseSyncMode(cfg.Sync)
+	if err != nil {
+		return err
+	}
+	if mode == parcore.SyncAdaptive {
+		w.sync = parcore.ComputeSyncPlan(g, b, pod, homes, cores, dyn.LatencyFloorFunc())[cfg.Shard]
+	} else {
+		w.sync = parcore.ComputeSyncFloor(g, b, pod, homes, cores, dyn.LatencyFloorFunc())[cfg.Shard]
+	}
 	w.sched = vtime.NewScheduler()
 	w.outbox = parcore.NewOutbox(cfg.Shard, cores, w.sched)
 	w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
 	if err != nil {
 		return fmt.Errorf("fednet: shard emulator: %w", err)
 	}
+	w.applier = parcore.NewApplier(w.sched, w.emu)
 	w.prof.Shard = cfg.Shard
 	if cfg.Trace {
 		w.tracer = obs.NewTracer(cfg.Shard)
@@ -371,12 +381,13 @@ func (w *workerState) serve() error {
 			}
 			t1 := time.Now()
 			w.prof.WaitWallNs += uint64(t1.Sub(t0))
-			if err := parcore.ApplyMsgs(w.sched, w.emu, msgs); err != nil {
+			if err := w.applier.Apply(msgs); err != nil {
 				return err
 			}
 			w.prof.ApplyWallNs += uint64(time.Since(t1))
-			b := parcore.ShardBounds(w.sched, w.emu, w.sync)
-			if err := w.send(wire.TReady, wire.Ready{Next: int64(b.Next), Safe: int64(b.Safe)}.Encode()); err != nil {
+			b := parcore.ShardBounds(w.sched, w.emu, w.sync, w.applier)
+			rdy := wire.Ready{Next: int64(b.Next), Safe: int64(b.Safe), SafeTo: timesToI64(b.SafeTo)}
+			if err := w.send(wire.TReady, rdy.Encode()); err != nil {
 				return err
 			}
 		case wire.TWindow:
@@ -401,6 +412,10 @@ func (w *workerState) serve() error {
 			if err := w.send(wire.TWindowDone, w.counts().Encode()); err != nil {
 				return err
 			}
+		case wire.TStep:
+			if err := w.step(body); err != nil {
+				return err
+			}
 		case wire.TDrain:
 			m, err := wire.DecodeDrain(body)
 			if err != nil {
@@ -411,7 +426,7 @@ func (w *workerState) serve() error {
 			if err != nil {
 				return err
 			}
-			if err := parcore.ApplyMsgs(w.sched, w.emu, msgs); err != nil {
+			if err := w.applier.Apply(msgs); err != nil {
 				return err
 			}
 			progressed := false
@@ -437,6 +452,71 @@ func (w *workerState) serve() error {
 			return fmt.Errorf("fednet: unexpected control frame type %d", typ)
 		}
 	}
+}
+
+// step serves one fused TStep round: await the expectation prefixes, apply
+// the inbox, run the shard through the grant (skipped on a bounds-only
+// step), flush the outbox — apply can emit eager handoffs even without a
+// run, and an unflushed handoff would be invisible to both the bounds below
+// and the coordinator's in-flight accounting — then report counts and
+// post-step bounds in one TStepDone.
+func (w *workerState) step(body []byte) error {
+	m, err := wire.DecodeStep(body)
+	if err != nil {
+		return err
+	}
+	if w.gw != nil {
+		w.gw.Admit(vtime.Time(m.Floor))
+	}
+	t0 := time.Now()
+	msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
+	if err != nil {
+		return err
+	}
+	t1 := time.Now()
+	w.prof.WaitWallNs += uint64(t1.Sub(t0))
+	if err := w.applier.Apply(msgs); err != nil {
+		return err
+	}
+	t2 := time.Now()
+	w.prof.ApplyWallNs += uint64(t2.Sub(t1))
+	if m.Grant >= 0 {
+		f0 := w.sched.Fired()
+		w.sched.RunUntil(vtime.Time(m.Grant))
+		w.prof.RunWallNs += uint64(time.Since(t2))
+		w.prof.Windows++
+		if fired := w.sched.Fired() - f0; fired > 0 {
+			w.prof.ActiveWindows++
+			w.prof.EventsFired += fired
+		}
+		w.metrics.AddWindows(1)
+	}
+	f1 := time.Now()
+	if err := w.flushOutbox(); err != nil {
+		return err
+	}
+	w.prof.FlushWallNs += uint64(time.Since(f1))
+	w.updateMetrics()
+	b := parcore.ShardBounds(w.sched, w.emu, w.sync, w.applier)
+	sd := wire.StepDone{
+		Counts: w.counts(),
+		Next:   int64(b.Next),
+		Safe:   int64(b.Safe),
+		SafeTo: timesToI64(b.SafeTo),
+	}
+	return w.send(wire.TStepDone, sd.Encode())
+}
+
+// timesToI64 converts a SafeTo vector to its wire form (nil stays nil).
+func timesToI64(ts []vtime.Time) []int64 {
+	if ts == nil {
+		return nil
+	}
+	out := make([]int64, len(ts))
+	for i, t := range ts {
+		out[i] = int64(t)
+	}
+	return out
 }
 
 // updateMetrics refreshes the live endpoint from worker state. Called only

@@ -3,6 +3,7 @@ package netstack
 import (
 	"errors"
 
+	"modelnet/internal/pipes"
 	"modelnet/internal/vtime"
 )
 
@@ -31,6 +32,7 @@ type RPCHandler func(from Endpoint, body any, size int) (resp any, respSize int)
 type RPCNode struct {
 	sock    *UDPSocket
 	sched   *vtime.Scheduler
+	vn      pipes.VN
 	handler RPCHandler
 	nextID  uint64
 	pending map[uint64]*rpcCall
@@ -69,6 +71,7 @@ func (c *rpcCall) finish(resp any, err error) {
 func NewRPCNode(h *Host, port uint16, handler RPCHandler) (*RPCNode, error) {
 	n := &RPCNode{
 		sched:   h.sched,
+		vn:      h.vn,
 		handler: handler,
 		pending: make(map[uint64]*rpcCall),
 	}
@@ -108,10 +111,12 @@ func (n *RPCNode) Call(to Endpoint, body any, size int, opts CallOpts, done func
 	}
 	n.nextID++
 	n.Calls++
+	// The retry timer resends only through this host's socket, so the
+	// pending deadline carries this VN's owner claim for horizon pricing.
 	call := &rpcCall{
 		n: n, id: n.nextID, to: to, size: size, body: body,
 		maxTry: opts.Retries + 1, timeout: opts.Timeout,
-		timer: vtime.NewTimer(n.sched), done: done,
+		timer: vtime.NewTaggedTimer(n.sched, int32(n.vn)), done: done,
 	}
 	n.pending[call.id] = call
 	call.attempt()

@@ -206,8 +206,11 @@ func (h *Host) newConn(localPort uint16, remote Endpoint, hs Handlers) *Conn {
 		rto:       initialRTO,
 		window:    DefaultWindow,
 	}
-	c.rtxTimer = vtime.NewTimer(h.sched)
-	c.ackTimer = vtime.NewTimer(h.sched)
+	// Both timers' callbacks transmit only through this host, so their
+	// pending deadlines can be priced with this VN's own crossing distance
+	// by the parallel runtime's horizon scan.
+	c.rtxTimer = vtime.NewTaggedTimer(h.sched, int32(h.vn))
+	c.ackTimer = vtime.NewTaggedTimer(h.sched, int32(h.vn))
 	h.conns[connKey{localPort, remote}] = c
 	return c
 }

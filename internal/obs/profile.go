@@ -8,6 +8,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 )
 
@@ -85,14 +86,51 @@ func (p *ShardProfile) Add(q ShardProfile) {
 // RunProfile is the -profile-out artifact: one run's synchronization
 // profile across the driver and every shard.
 type RunProfile struct {
-	Mode         string         `json:"mode"`  // "seq", "parallel", "fednet"
-	Cores        int            `json:"cores"` // shard count (1 = sequential)
-	WallMS       float64        `json:"wall_ms"`
-	Windows      uint64         `json:"windows"`
-	SerialRounds uint64         `json:"serial_rounds"`
-	Messages     uint64         `json:"messages"`
-	Drive        DriveProfile   `json:"drive"`
-	Shards       []ShardProfile `json:"shards,omitempty"`
+	Mode         string  `json:"mode"`  // "seq", "parallel", "fednet"
+	Cores        int     `json:"cores"` // shard count (1 = sequential)
+	WallMS       float64 `json:"wall_ms"`
+	Windows      uint64  `json:"windows"`
+	SerialRounds uint64  `json:"serial_rounds"`
+	Messages     uint64  `json:"messages"`
+	// SyncMode names the synchronization algebra ("adaptive" or "fixed";
+	// empty in sequential mode). The grant columns summarize the effective
+	// per-window grant spans the algebra handed out — under the fixed
+	// algebra they degenerate to the static lookahead, under the adaptive
+	// one they show how far past it the queue horizon let shards run.
+	SyncMode    string         `json:"sync_mode,omitempty"`
+	GrantMinMS  float64        `json:"grant_min_ms,omitempty"`
+	GrantMeanMS float64        `json:"grant_mean_ms,omitempty"`
+	GrantMaxMS  float64        `json:"grant_max_ms,omitempty"`
+	Drive       DriveProfile   `json:"drive"`
+	Shards      []ShardProfile `json:"shards,omitempty"`
+}
+
+// SyncLine renders the one-line synchronization summary every parallel and
+// federated run report prints: window count and rate, serial rounds, the
+// barrier's share of the run's wall clock, and the effective grant spread.
+func (p *RunProfile) SyncLine() string {
+	perSec := 0.0
+	if p.WallMS > 0 {
+		perSec = float64(p.Windows) / (p.WallMS / 1000)
+	}
+	// The barrier share is measured against the run's wall clock when the
+	// caller filled it, else against the drive loop's own accounted time.
+	wallNs := p.WallMS * 1e6
+	if wallNs <= 0 {
+		wallNs = float64(p.Drive.BarrierWallNs + p.Drive.ComputeWallNs +
+			p.Drive.SerialWallNs + p.Drive.IdleWallNs)
+	}
+	share := 0.0
+	if wallNs > 0 {
+		share = 100 * float64(p.Drive.BarrierWallNs) / wallNs
+	}
+	s := fmt.Sprintf("%s, %d windows (%.0f windows/s), %d serial rounds, %d messages, barrier %.1f%% of wall",
+		p.SyncMode, p.Windows, perSec, p.SerialRounds, p.Messages, share)
+	if p.GrantMeanMS > 0 {
+		s += fmt.Sprintf(", grant %.2f/%.2f/%.2f ms min/mean/max",
+			p.GrantMinMS, p.GrantMeanMS, p.GrantMaxMS)
+	}
+	return s
 }
 
 // WriteFile writes the profile as indented JSON.

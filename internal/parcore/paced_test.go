@@ -27,7 +27,8 @@ func (f *fakeShard) Exchange() ([]Bounds, error) {
 	return []Bounds{{Next: next, Safe: vtime.Forever}}, nil
 }
 
-func (f *fakeShard) Window(bound vtime.Time) error {
+func (f *fakeShard) Window(grants []vtime.Time) error {
+	bound := grants[0]
 	f.windows++
 	for len(f.events) > 0 && f.events[0] <= bound {
 		f.events = f.events[1:]

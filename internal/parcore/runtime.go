@@ -25,8 +25,11 @@ type worker struct {
 
 	// Mailboxes. outbox is filled by this worker's handoffs during a
 	// window; the coordinator moves it into peers' inboxes at the barrier.
-	outbox *Outbox
-	inbox  []Msg
+	// applier schedules inbound messages, merging same-fire-time clusters
+	// across barriers.
+	outbox  *Outbox
+	inbox   []Msg
+	applier *Applier
 
 	// Static synchronization inputs (computed at construction).
 	sync ShardSync
@@ -41,16 +44,63 @@ type worker struct {
 }
 
 // bounds reports this shard's contribution to the horizon computation.
-func (w *worker) bounds() Bounds { return ShardBounds(w.sched, w.emu, w.sync) }
+func (w *worker) bounds() Bounds { return ShardBounds(w.sched, w.emu, w.sync, w.applier) }
 
 // SyncStats describe how a run synchronized.
 type SyncStats struct {
 	Windows      uint64 // parallel windows executed
 	SerialRounds uint64 // serial drain rounds (zero/exhausted lookahead)
 	Messages     uint64 // cross-shard messages exchanged
+	// Effective per-window grant spans: how far each shard's window bound
+	// actually moved per release. Under the fixed algebra every shard
+	// contributes the same span; under the adaptive algebra the spread is
+	// the whole point. One sample per (window, shard) that advanced.
+	GrantCount uint64
+	GrantSumNs uint64
+	GrantMinNs int64
+	GrantMaxNs int64
 	// Profile is the loop's wall-clock breakdown (compute vs barrier-wait
 	// vs serial drain vs pacing idle vs flush).
 	Profile obs.DriveProfile
+}
+
+// noteGrant records one shard's effective window grant span.
+func (s *SyncStats) noteGrant(span vtime.Duration) {
+	if span <= 0 {
+		return
+	}
+	if s.GrantCount == 0 || int64(span) < s.GrantMinNs {
+		s.GrantMinNs = int64(span)
+	}
+	if int64(span) > s.GrantMaxNs {
+		s.GrantMaxNs = int64(span)
+	}
+	s.GrantCount++
+	s.GrantSumNs += uint64(span)
+}
+
+// GrantMin reports the smallest effective window grant (0 when none).
+func (s SyncStats) GrantMin() vtime.Duration {
+	if s.GrantCount == 0 {
+		return 0
+	}
+	return vtime.Duration(s.GrantMinNs)
+}
+
+// GrantMax reports the largest effective window grant (0 when none).
+func (s SyncStats) GrantMax() vtime.Duration {
+	if s.GrantCount == 0 {
+		return 0
+	}
+	return vtime.Duration(s.GrantMaxNs)
+}
+
+// GrantMean reports the mean effective window grant (0 when none).
+func (s SyncStats) GrantMean() vtime.Duration {
+	if s.GrantCount == 0 {
+		return 0
+	}
+	return vtime.Duration(s.GrantSumNs / s.GrantCount)
 }
 
 // Runtime is a parallel core cluster ready to run.
@@ -60,6 +110,8 @@ type Runtime struct {
 	pod         *bind.POD
 	workers     []*worker
 	homes       []int // VN -> shard
+	mode        SyncMode
+	chain       [][]vtime.Duration // reaction-chain matrix (adaptive)
 	now         vtime.Time
 	stats       SyncStats
 	flushWallNs uint64 // cumulative outbox-distribution time (flushProfiler)
@@ -83,6 +135,9 @@ type Config struct {
 	Dynamics *dynamics.Spec
 	// Trace enables per-shard packet tracing (merge with Runtime.Trace).
 	Trace bool
+	// Sync selects the synchronization algebra; the zero value is
+	// SyncAdaptive. SyncFixed retains the uniform static-lookahead windows.
+	Sync SyncMode
 }
 
 // New builds the parallel runtime: one shard emulator per assignment core,
@@ -130,9 +185,19 @@ func New(cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("parcore: shard %d: %w", i, err)
 		}
 		w.emu = emu
+		w.applier = NewApplier(w.sched, emu)
 		r.workers[i] = w
 	}
-	for i, s := range ComputeSyncFloor(g, b, pod, r.homes, k, cfg.Dynamics.LatencyFloorFunc()) {
+	r.mode = cfg.Sync
+	syncs := ComputeSyncPlan(g, b, pod, r.homes, k, cfg.Dynamics.LatencyFloorFunc())
+	if r.mode == SyncFixed {
+		for i := range syncs {
+			syncs[i].Plan = nil
+		}
+	} else {
+		r.chain = ChainMatrix(syncs)
+	}
+	for i, s := range syncs {
 		r.workers[i].sync = s
 	}
 	return r, nil
@@ -190,6 +255,9 @@ func (r *Runtime) Lookahead() vtime.Duration {
 
 // Stats reports synchronization counters for the run so far.
 func (r *Runtime) Stats() SyncStats { return r.stats }
+
+// Mode reports the synchronization algebra the runtime drives with.
+func (r *Runtime) Mode() SyncMode { return r.mode }
 
 // ShardProfiles snapshots every shard's wall-clock/lookahead profile.
 func (r *Runtime) ShardProfiles() []obs.ShardProfile {
@@ -277,7 +345,7 @@ func (r *Runtime) RunUntil(deadline vtime.Time) {
 		}
 	}()
 
-	if err := Drive(inproc{r}, &r.stats, deadline); err != nil {
+	if err := DriveWith(inproc{r}, &r.stats, deadline, DriveOpts{Mode: r.mode, Chain: r.chain}); err != nil {
 		// The in-process transport only errors on an EOT violation, which
 		// is a runtime invariant breach, not an I/O condition.
 		panic(err)
@@ -318,11 +386,11 @@ func (t inproc) Exchange() ([]Bounds, error) {
 // FlushWallNs implements flushProfiler: cumulative outbox-move time.
 func (t inproc) FlushWallNs() uint64 { return t.r.flushWallNs }
 
-// Window implements Transport: run every shard concurrently up to bound
+// Window implements Transport: run shard i concurrently up to grants[i]
 // (inclusive).
-func (t inproc) Window(bound vtime.Time) error {
-	for _, w := range t.r.workers {
-		w.cmd <- bound
+func (t inproc) Window(grants []vtime.Time) error {
+	for i, w := range t.r.workers {
+		w.cmd <- grants[i]
 	}
 	for _, w := range t.r.workers {
 		<-w.done
@@ -357,7 +425,7 @@ func (r *Runtime) applyInbox(w *worker) {
 	if len(w.inbox) == 0 {
 		return
 	}
-	if err := ApplyMsgs(w.sched, w.emu, w.inbox); err != nil {
+	if err := w.applier.Apply(w.inbox); err != nil {
 		panic(err)
 	}
 	w.inbox = w.inbox[:0]

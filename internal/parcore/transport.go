@@ -8,9 +8,27 @@ package parcore
 // (shards are goroutines, messages move between slices at the barrier) and
 // the socket transport in internal/fednet (shards are OS processes,
 // messages move over real UDP/TCP and the barrier is a TCP round).
+//
+// Two synchronization algebras share the loop. The fixed algebra releases
+// one uniform window per barrier: every shard runs to min over shards of
+// (earliest emission time) - 1, where the emission bound is the shard's
+// next activity plus the minimum latency over its border pipes. The
+// adaptive algebra (the default) grants each shard its own bound from the
+// cluster's queue horizon: each shard reports, per peer, the earliest
+// virtual time a message from its current state could surface there —
+// occupied pipes contribute their deadline plus the shortest remaining
+// path to that peer's territory, scheduled events contribute their time
+// plus the shard's minimum event-to-crossing distance — and the
+// coordinator closes the bounds under chained reactions (a message landing
+// on shard i can provoke a message onward to shard j no earlier than its
+// fire time plus i's event-to-crossing distance). Jointly idle regions
+// collapse to a single window, and a shard far from the action runs far
+// ahead of one adjacent to it.
 
 import (
+	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -39,9 +57,47 @@ type Msg struct {
 
 // Bounds is one shard's contribution to the horizon computation: Next is
 // its next local event time, Safe the earliest virtual time at which it
-// could emit a cross-shard message from its current state.
+// could emit a cross-shard message from its current state. SafeTo, present
+// under the adaptive algebra, refines Safe per target shard (entry j is the
+// earliest a message from this shard's current state could fire on shard j;
+// the self entry is Forever). Safe is always min over SafeTo when SafeTo is
+// present, so uniform-window consumers need not care which algebra produced
+// the bounds.
 type Bounds struct {
 	Next, Safe vtime.Time
+	SafeTo     []vtime.Time
+}
+
+// SyncMode selects the synchronization algebra.
+type SyncMode int
+
+const (
+	// SyncAdaptive derives per-shard window grants from the cluster's
+	// queue horizon at every barrier. The default.
+	SyncAdaptive SyncMode = iota
+	// SyncFixed releases uniform windows bounded by the static border-pipe
+	// lookahead, the original algebra; kept as an escape hatch and as the
+	// baseline the adaptive mode is measured against.
+	SyncFixed
+)
+
+// ParseSyncMode maps the CLI spelling to a mode ("" and "adaptive" are
+// adaptive, "fixed" is fixed).
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "adaptive":
+		return SyncAdaptive, nil
+	case "fixed":
+		return SyncFixed, nil
+	}
+	return SyncAdaptive, fmt.Errorf("parcore: unknown sync mode %q (want adaptive or fixed)", s)
+}
+
+func (m SyncMode) String() string {
+	if m == SyncFixed {
+		return "fixed"
+	}
+	return "adaptive"
 }
 
 // Transport connects the synchronization loop to the cluster's shards,
@@ -53,8 +109,9 @@ type Transport interface {
 	// shard, has each shard apply its inbox in canonical order, and
 	// returns every shard's bounds. This is the barrier.
 	Exchange() ([]Bounds, error)
-	// Window runs every shard concurrently through bound (inclusive).
-	Window(bound vtime.Time) error
+	// Window runs every shard concurrently, shard i through grants[i]
+	// (inclusive). The fixed algebra passes a uniform slice.
+	Window(grants []vtime.Time) error
 	// DrainPass gives every shard one serial turn at time t — apply
 	// pending messages, then run local events with timestamps ≤ t — and
 	// moves the messages those turns produced. Turns within a pass are
@@ -63,13 +120,39 @@ type Transport interface {
 	DrainPass(t vtime.Time) (bool, error)
 }
 
+// DriveOpts selects how the synchronization loop runs.
+type DriveOpts struct {
+	// Pace, when non-nil, slaves window release to the wall clock. A paced
+	// drive always uses uniform windows: the wall clock caps every shard
+	// at the same quantum, so per-shard grants cannot pay for their extra
+	// bookkeeping there.
+	Pace *Pacing
+	// Mode selects the algebra. SyncAdaptive needs Chain; without it the
+	// loop falls back to fixed.
+	Mode SyncMode
+	// Chain is the k×k matrix of minimum reaction distances: Chain[i][j]
+	// lower-bounds how long after a message lands on shard i a consequence
+	// of it can surface on shard j. ChainMatrix derives it from the
+	// shards' SyncPlans.
+	Chain [][]vtime.Duration
+}
+
 // Drive runs the conservative synchronization loop over the transport until
-// every event at or before deadline has fired: barrier, agree on a horizon,
-// run shards in parallel below it, exchange tunnel messages, repeat. With
-// deadline == vtime.Forever it returns at global quiescence without the
-// final clock-advancing window. st accumulates synchronization counters.
+// every event at or before deadline has fired: barrier, agree on window
+// grants, run shards in parallel below them, exchange tunnel messages,
+// repeat. With deadline == vtime.Forever it returns at global quiescence
+// without the final clock-advancing window. st accumulates synchronization
+// counters. Drive uses the fixed algebra; DriveWith selects.
 func Drive(tr Transport, st *SyncStats, deadline vtime.Time) error {
-	return drive(tr, st, deadline, nil)
+	return drive(tr, st, deadline, DriveOpts{Mode: SyncFixed})
+}
+
+// DriveWith is Drive with explicit options.
+func DriveWith(tr Transport, st *SyncStats, deadline vtime.Time, o DriveOpts) error {
+	if o.Pace != nil && deadline == vtime.Forever {
+		return fmt.Errorf("parcore: a paced drive needs a finite deadline")
+	}
+	return drive(tr, st, deadline, o)
 }
 
 // DefaultPaceQuantum is the default real-time pacing window. The paper's
@@ -100,13 +183,12 @@ type Pacing struct {
 // DrivePaced is Drive under real-time pacing (nil pace = plain Drive).
 // The deadline must be finite: a paced run's only exit is its deadline.
 func DrivePaced(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error {
-	if pace != nil && deadline == vtime.Forever {
-		return fmt.Errorf("parcore: a paced drive needs a finite deadline")
-	}
-	return drive(tr, st, deadline, pace)
+	return DriveWith(tr, st, deadline, DriveOpts{Mode: SyncFixed, Pace: pace})
 }
 
-func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error {
+func drive(tr Transport, st *SyncStats, deadline vtime.Time, o DriveOpts) error {
+	pace := o.Pace
+	adaptive := o.Mode == SyncAdaptive && o.Chain != nil && pace == nil
 	var start time.Time
 	quantum := vtime.Duration(0)
 	if pace != nil {
@@ -134,6 +216,62 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 			time.Sleep(time.Duration(d))
 			prof.IdleWallNs += uint64(time.Since(t0))
 		}
+	}
+	k := tr.Cores()
+	grants := make([]vtime.Time, k)
+	// prev[j] is the last bound shard j was granted (or drained to); -1
+	// until known. Grants never regress below it, and the span from it to
+	// the next grant is the shard's effective per-window lookahead, the
+	// number reported as lookahead min/mean/max.
+	prev := make([]vtime.Time, k)
+	for j := range prev {
+		prev[j] = -1
+	}
+	setAll := func(b vtime.Time) {
+		for j := range grants {
+			grants[j] = b
+		}
+	}
+	release := func() error {
+		t0 := time.Now()
+		err := tr.Window(grants)
+		prof.ComputeWallNs += uint64(time.Since(t0))
+		if err != nil {
+			return err
+		}
+		st.Windows++
+		for j := range grants {
+			if prev[j] >= 0 && grants[j] > prev[j] && grants[j] != vtime.Forever {
+				st.noteGrant(grants[j].Sub(prev[j]))
+			}
+			if grants[j] > prev[j] {
+				prev[j] = grants[j]
+			}
+		}
+		return nil
+	}
+	drain := func(t vtime.Time) error {
+		if pace != nil {
+			sleepUntil(t)
+		}
+		for {
+			t0 := time.Now()
+			progressed, err := tr.DrainPass(t)
+			prof.SerialWallNs += uint64(time.Since(t0))
+			if err != nil {
+				return err
+			}
+			if !progressed {
+				break
+			}
+			st.SerialRounds++
+		}
+		for j := range prev {
+			if t > prev[j] {
+				prev[j] = t
+			}
+		}
+		return nil
 	}
 	prevBound := vtime.Time(-1)
 	for {
@@ -172,14 +310,40 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 				bound = prevBound
 			}
 			sleepUntil(bound)
-			t0 = time.Now()
-			err := tr.Window(bound)
-			prof.ComputeWallNs += uint64(time.Since(t0))
-			if err != nil {
+			setAll(bound)
+			if err := release(); err != nil {
 				return err
 			}
-			st.Windows++
 			prevBound = bound
+			continue
+		}
+		if adaptive {
+			A := grantFixpoint(bs, o.Chain)
+			canFire := false
+			for j := range grants {
+				g := deadline
+				if A[j] != vtime.Forever && A[j]-1 < g {
+					g = A[j] - 1
+				}
+				if g < prev[j] {
+					g = prev[j]
+				}
+				grants[j] = g
+				if bs[j].Next <= g {
+					canFire = true
+				}
+			}
+			if !canFire {
+				// No shard may reach even its next event: every grant is
+				// consumed. Drain time minNext serially, deterministically.
+				if err := drain(minNext); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := release(); err != nil {
+				return err
+			}
 			continue
 		}
 		// An unconstrained horizon (no shard can ever emit a cross-shard
@@ -193,20 +357,8 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 			// The horizon excludes the very next event: lookahead is zero
 			// or consumed. Drain time minNext serially, deterministically
 			// (paced runs first let the wall clock catch up to it).
-			if pace != nil {
-				sleepUntil(minNext)
-			}
-			for {
-				t0 = time.Now()
-				progressed, err := tr.DrainPass(minNext)
-				prof.SerialWallNs += uint64(time.Since(t0))
-				if err != nil {
-					return err
-				}
-				if !progressed {
-					break
-				}
-				st.SerialRounds++
+			if err := drain(minNext); err != nil {
+				return err
 			}
 			if minNext > prevBound {
 				prevBound = minNext
@@ -227,26 +379,70 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 			}
 			sleepUntil(bound)
 		}
-		t0 = time.Now()
-		err = tr.Window(bound)
-		prof.ComputeWallNs += uint64(time.Since(t0))
-		if err != nil {
+		setAll(bound)
+		if err := release(); err != nil {
 			return err
 		}
-		st.Windows++
 		prevBound = bound
 	}
 	if deadline == vtime.Forever {
 		return nil
 	}
-	t0 := time.Now()
-	err := tr.Window(deadline) // advance all clocks to the deadline
-	prof.ComputeWallNs += uint64(time.Since(t0))
-	if err != nil {
-		return err
+	setAll(deadline) // advance all clocks to the deadline
+	return release()
+}
+
+// grantFixpoint closes the reported per-pair bounds under chained
+// reactions. Seed: A[j] = min over peers i of the earliest time a message
+// from i's current state can fire on j. Relaxation: a message landing on i
+// at A[i] can provoke a message onward to j no earlier than A[i] +
+// Chain[i][j], so A[j] = min(A[j], A[i] + Chain[i][j]); k-1 rounds reach
+// the min-plus fixpoint. Shard j may then run through A[j]-1: every
+// message it will ever hear about — whether emitted from a peer's present
+// state or from a state that future cross-shard traffic provokes — fires
+// at or after A[j]. The bounds are monotone across barriers (a shard's
+// post-apply state only contains consequences the fixpoint already
+// accounted for), so grants never regress.
+func grantFixpoint(bs []Bounds, chain [][]vtime.Duration) []vtime.Time {
+	k := len(bs)
+	A := make([]vtime.Time, k)
+	for j := range A {
+		a := vtime.Forever
+		for i := range bs {
+			if i == j {
+				continue
+			}
+			s := bs[i].Safe
+			if bs[i].SafeTo != nil {
+				s = bs[i].SafeTo[j]
+			}
+			if s < a {
+				a = s
+			}
+		}
+		A[j] = a
 	}
-	st.Windows++
-	return nil
+	for round := 1; round < k; round++ {
+		changed := false
+		for i := range A {
+			if A[i] == vtime.Forever {
+				continue
+			}
+			for j := range A {
+				if i == j {
+					continue
+				}
+				if v := satAdd(A[i], chain[i][j]); v < A[j] {
+					A[j] = v
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return A
 }
 
 // flushProfiler is implemented by transports that can split the flush
@@ -254,6 +450,84 @@ func drive(tr Transport, st *SyncStats, deadline vtime.Time, pace *Pacing) error
 // cumulative over the transport's lifetime; drive copies it into the
 // profile when the loop exits.
 type flushProfiler interface{ FlushWallNs() uint64 }
+
+// noCross marks "no path": a crossing distance larger than any reachable
+// virtual time. Saturating adds keep it absorbing.
+const noCross = vtime.Duration(math.MaxInt64)
+
+// SyncPlan is one shard's static crossing-distance tables for the adaptive
+// algebra, computed by ComputeSyncPlan from the distilled topology with
+// dynamics-floored latencies. All distances are lower bounds that hold
+// whatever routes packets take (structural adjacency over-approximates
+// the route table, so mid-run reroutes cannot invalidate them).
+type SyncPlan struct {
+	Shard int
+	Cores int
+	// EventCross[j] lower-bounds the delay from any event taking effect on
+	// this shard — a scheduled local event firing, a tunneled packet
+	// entering a frontier pipe, a delivery completing and the application
+	// responding — to a message from its consequences firing on shard j.
+	// This is row [Shard] of the reaction-chain matrix.
+	EventCross []vtime.Duration
+	// ExitCross[j][pid] lower-bounds the delay from the head-of-line
+	// packet leaving owned pipe pid to a message from its local
+	// continuations firing on shard j. Continuations that cross
+	// immediately are excluded: under the eager profile their handoffs
+	// were already emitted when the packet entered the pipe, so only the
+	// packet's possible futures inside this shard still owe messages.
+	ExitCross [][]vtime.Duration
+	// VNCross[j][vn] lower-bounds the delay from homed VN vn injecting a
+	// packet to a message from its consequences firing on shard j — the
+	// Dijkstra value of the VN state itself. Pending scheduler events that
+	// carry a VN owner claim (vtime.Scheduler.AtTagged) are priced with
+	// this instead of the shard-wide EventCross minimum: a retransmit
+	// timer deep in the shard's interior then bounds the horizon by its
+	// own multi-hop distance to the cut, not by whichever frontier pipe
+	// happens to sit closest. noCross where the VN cannot reach j.
+	VNCross [][]vtime.Duration
+	// Owner, Lat, and HomeOf support per-packet route walks: Owner[pid] is
+	// the shard owning pipe pid (mod Cores), Lat[pid] its dynamics-floored
+	// latency, HomeOf[vn] the shard homing VN vn. Packets are source-routed
+	// — the route is pinned at injection and survives mid-run reroutes — so
+	// an in-flight packet's earliest crossing is its actual remaining route
+	// walked at floored latencies, not the structural worst case over every
+	// route the topology admits. Shared across shards; read-only.
+	Owner  []int
+	Lat    []vtime.Duration
+	HomeOf []int
+}
+
+// crossFrom walks a packet's remaining source route, starting as it enters
+// pipe route[i0] at time t, and reports the packet's first unannounced
+// cross-shard consequence: entering a peer-owned pipe or handing a delivery
+// to a peer homes the crossing there (cross(peer, at)); delivering to a VN
+// homed on this shard prices the application's possible response from that
+// VN (deliver(vn, at)). Intermediate owned pipes contribute their floored
+// latency and nothing else — queueing and transmission only push the
+// crossing later. The walk stops early once t reaches lim (no bound it
+// could produce would lower anything the caller still tracks).
+func (p *SyncPlan) crossFrom(route []pipes.ID, i0 int, t vtime.Time, dst pipes.VN,
+	lim vtime.Time, cross func(peer int, at vtime.Time), deliver func(vn pipes.VN, at vtime.Time)) {
+	for i := i0; ; i++ {
+		if t >= lim {
+			return
+		}
+		if i >= len(route) {
+			if h := p.HomeOf[dst]; h != p.Shard {
+				cross(h, t)
+			} else {
+				deliver(dst, t)
+			}
+			return
+		}
+		pid := route[i]
+		if p.Owner[pid] != p.Shard {
+			cross(p.Owner[pid], t)
+			return
+		}
+		t = satAdd(t, p.Lat[pid])
+	}
+}
 
 // ShardSync holds one shard's static synchronization inputs, derived from
 // the assignment by ComputeSync.
@@ -269,6 +543,9 @@ type ShardSync struct {
 	// a peer's pipe (possible under collapsing distillation modes), which
 	// pins the shard's safe bound to its next event time.
 	IngressCross bool
+	// Plan carries the adaptive crossing-distance tables; nil under the
+	// fixed algebra.
+	Plan *SyncPlan
 }
 
 // Homes maps every VN to the shard owning its access pipes, so that
@@ -339,6 +616,244 @@ func ComputeSyncFloor(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes [
 	return sync
 }
 
+// ComputeSyncPlan is ComputeSyncFloor plus the adaptive crossing-distance
+// tables: for every (shard, peer) pair it runs a reverse Dijkstra from the
+// peer's territory over the shard's owned pipes and homed VNs, producing
+// the per-pipe and per-event distance tables in SyncPlan. Latencies are
+// dynamics-floored like the lookahead.
+func ComputeSyncPlan(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, k int, floor func(topology.LinkID, vtime.Duration) vtime.Duration) []ShardSync {
+	sync := ComputeSyncFloor(g, b, pod, homes, k, floor)
+	nPipes := 0
+	for _, l := range g.Links {
+		if int(l.ID) >= nPipes {
+			nPipes = int(l.ID) + 1
+		}
+	}
+	owner := make([]int, nPipes)
+	lat := make([]vtime.Duration, nPipes)
+	dstOf := make([]topology.NodeID, nPipes)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for _, l := range g.Links {
+		id := int(l.ID)
+		owner[id] = pod.Owner(pipes.ID(l.ID)) % k
+		la := vtime.DurationOf(l.Attr.LatencySec)
+		if floor != nil {
+			la = floor(l.ID, la)
+		}
+		lat[id] = la
+		dstOf[id] = l.Dst
+	}
+	for o := 0; o < k; o++ {
+		p := buildShardPlan(g, b, homes, owner, lat, dstOf, k, o, nPipes)
+		p.Owner, p.Lat, p.HomeOf = owner, lat, homes
+		sync[o].Plan = p
+	}
+	return sync
+}
+
+// ChainMatrix assembles the reaction-chain matrix for DriveOpts.Chain from
+// the shards' plans (row i is shard i's EventCross). Nil when any shard
+// lacks a plan (fixed mode).
+func ChainMatrix(syncs []ShardSync) [][]vtime.Duration {
+	chain := make([][]vtime.Duration, len(syncs))
+	for i, s := range syncs {
+		if s.Plan == nil {
+			return nil
+		}
+		chain[i] = s.Plan.EventCross
+	}
+	return chain
+}
+
+// buildShardPlan computes shard o's SyncPlan. The shard's state space is
+// its owned pipes plus its homed VNs; a pipe's successors are the owned
+// out-pipes of its destination node and the destination's VN when homed
+// here, a VN's successors are the owned pipes it can inject into. Steps
+// that leave the shard (a peer-owned out-pipe, a peer-homed terminal VN,
+// a peer-owned injection target) terminate a path. For each peer j a
+// reverse Dijkstra yields val(x) = the minimum virtual time a packet
+// entering state x spends inside this shard before a message can fire on
+// j; pipes cost their floored latency, VN hand-offs are instantaneous.
+func buildShardPlan(g *topology.Graph, b *bind.Binding, homes []int, owner []int, lat []vtime.Duration, dstOf []topology.NodeID, k, o, nPipes int) *SyncPlan {
+	pipeAt := make([]int, nPipes)
+	for i := range pipeAt {
+		pipeAt[i] = -1
+	}
+	var ownedPipes []int
+	for pid := 0; pid < nPipes; pid++ {
+		if owner[pid] == o {
+			pipeAt[pid] = len(ownedPipes)
+			ownedPipes = append(ownedPipes, pid)
+		}
+	}
+	var homedVNs []int
+	for v, h := range homes {
+		if h == o {
+			homedVNs = append(homedVNs, v)
+		}
+	}
+	vnAt := make(map[int]int, len(homedVNs))
+	for vi, v := range homedVNs {
+		vnAt[v] = len(ownedPipes) + vi
+	}
+	n := len(ownedPipes) + len(homedVNs)
+	cost := make([]vtime.Duration, n)
+	succ := make([][]int32, n)
+	crossTo := make([][]int, n)
+	for li, pid := range ownedPipes {
+		cost[li] = lat[pid]
+		dn := dstOf[pid]
+		for _, nid := range g.Out(dn) {
+			q := int(nid)
+			if owner[q] == o {
+				succ[li] = append(succ[li], int32(pipeAt[q]))
+			} else if owner[q] >= 0 {
+				crossTo[li] = append(crossTo[li], owner[q])
+			}
+		}
+		if vn := b.VNOfNode[dn]; vn >= 0 {
+			if homes[vn] == o {
+				succ[li] = append(succ[li], int32(vnAt[int(vn)]))
+			} else {
+				crossTo[li] = append(crossTo[li], homes[vn])
+			}
+		}
+	}
+	for vi, v := range homedVNs {
+		x := len(ownedPipes) + vi
+		for _, nid := range g.Out(b.VNHome[v]) {
+			q := int(nid)
+			if owner[q] == o {
+				succ[x] = append(succ[x], int32(pipeAt[q]))
+			} else if owner[q] >= 0 {
+				crossTo[x] = append(crossTo[x], owner[q])
+			}
+		}
+	}
+	pred := make([][]int32, n)
+	for x := range succ {
+		for _, y := range succ[x] {
+			pred[y] = append(pred[y], int32(x))
+		}
+	}
+	// Frontier pipes: the owned pipes a cross-shard message can enter
+	// directly — the step after a peer-owned pipe, or the injection target
+	// of a peer-homed VN. Tunneled packets surface here, so the
+	// event-to-crossing bound must cover their onward distances.
+	frontier := make([]bool, n)
+	for pid := 0; pid < nPipes; pid++ {
+		if owner[pid] < 0 || owner[pid] == o {
+			continue
+		}
+		for _, nid := range g.Out(dstOf[pid]) {
+			if q := int(nid); owner[q] == o {
+				frontier[pipeAt[q]] = true
+			}
+		}
+	}
+	for v, h := range homes {
+		if h == o || v >= len(b.VNHome) {
+			continue
+		}
+		for _, nid := range g.Out(b.VNHome[v]) {
+			if q := int(nid); owner[q] == o {
+				frontier[pipeAt[q]] = true
+			}
+		}
+	}
+	plan := &SyncPlan{
+		Shard:      o,
+		Cores:      k,
+		EventCross: make([]vtime.Duration, k),
+		ExitCross:  make([][]vtime.Duration, k),
+		VNCross:    make([][]vtime.Duration, k),
+	}
+	val := make([]vtime.Duration, n)
+	var pq distPQ
+	for j := 0; j < k; j++ {
+		plan.EventCross[j] = noCross
+		if j == o {
+			continue
+		}
+		for x := range val {
+			val[x] = noCross
+		}
+		pq = pq[:0]
+		for x := 0; x < n; x++ {
+			for _, t := range crossTo[x] {
+				if t == j {
+					val[x] = cost[x]
+					heap.Push(&pq, pqItem{x, cost[x]})
+					break
+				}
+			}
+		}
+		for len(pq) > 0 {
+			it := heap.Pop(&pq).(pqItem)
+			if it.d > val[it.x] {
+				continue
+			}
+			for _, pi := range pred[it.x] {
+				p := int(pi)
+				if nv := satDurAdd(cost[p], it.d); nv < val[p] {
+					val[p] = nv
+					heap.Push(&pq, pqItem{p, nv})
+				}
+			}
+		}
+		ec := make([]vtime.Duration, nPipes)
+		for pid := range ec {
+			ec[pid] = noCross
+		}
+		for li, pid := range ownedPipes {
+			best := noCross
+			for _, s := range succ[li] {
+				if v := val[s]; v < best {
+					best = v
+				}
+			}
+			ec[pid] = best
+		}
+		plan.ExitCross[j] = ec
+		vnc := make([]vtime.Duration, len(homes))
+		for v := range vnc {
+			vnc[v] = noCross
+		}
+		evc := noCross
+		for li := range ownedPipes {
+			if frontier[li] && val[li] < evc {
+				evc = val[li]
+			}
+		}
+		for vi, v := range homedVNs {
+			d := val[len(ownedPipes)+vi]
+			vnc[v] = d
+			if d < evc {
+				evc = d
+			}
+		}
+		plan.EventCross[j] = evc
+		plan.VNCross[j] = vnc
+	}
+	return plan
+}
+
+// pqItem / distPQ: the reverse-Dijkstra frontier (lazy deletion).
+type pqItem struct {
+	x int
+	d vtime.Duration
+}
+
+type distPQ []pqItem
+
+func (q distPQ) Len() int           { return len(q) }
+func (q distPQ) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q distPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *distPQ) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *distPQ) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
 // ShardBounds computes one shard's Bounds from its live state: Next is its
 // next event time; Safe bounds the earliest future cross-shard message it
 // can emit — min(next event, earliest pipe deadline) plus its lookahead,
@@ -346,7 +861,25 @@ func ComputeSyncFloor(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes [
 // (handoffs are emitted at exit-processing time, so one can fire as soon as
 // the earliest occupied border pipe drains), and pinned to the next event
 // time under an ingress crossing.
-func ShardBounds(sched *vtime.Scheduler, emu *emucore.Emulator, sync ShardSync) Bounds {
+//
+// With a SyncPlan and an eager emulator the bounds additionally carry the
+// per-peer SafeTo vector, assembled from three scans. Each pending
+// scheduler event contributes its time plus a crossing distance — the
+// owning VN's own (VNCross) when the event carries an owner claim, the
+// shard-wide minimum (EventCross) otherwise. Each in-flight packet is
+// priced by walking its actual remaining source route at floored
+// latencies: its first still-unannounced crossing (the hop after next — the
+// next hop's handoff was pre-emitted at enqueue under the eager profile),
+// or, when it terminates here, its delivery plus the destination VN's
+// response distance. Each message waiting in the applier (heard at a
+// barrier, not yet fired) is priced the same way from its entry pipe; the
+// applier's bucket events carry a reserved tag so the generic event scan
+// skips them. The shard's own core activation is excluded from the event
+// term — everything that activation can do traces back to an occupied pipe
+// the packet walk already covered, and seeing past it is what lets an
+// interior shard report bounds far beyond its next wakeup. app may be nil,
+// in which case applier events fall back to the EventCross pricing.
+func ShardBounds(sched *vtime.Scheduler, emu *emucore.Emulator, sync ShardSync, app *Applier) Bounds {
 	next := sched.NextEventTime()
 	t := next
 	if hm := emu.NextPipeDeadline(); hm < t {
@@ -365,7 +898,101 @@ func ShardBounds(sched *vtime.Scheduler, emu *emucore.Emulator, sync ShardSync) 
 	if len(sync.BorderPipes) == 0 && !sync.IngressCross {
 		e = vtime.Forever
 	}
-	return Bounds{Next: next, Safe: e}
+	b := Bounds{Next: next, Safe: e}
+	p := sync.Plan
+	if p == nil || !emu.Eager() {
+		return b
+	}
+	safeTo := make([]vtime.Time, p.Cores)
+	for j := range safeTo {
+		safeTo[j] = vtime.Forever
+	}
+	// lim bounds the route walks: once a walk's clock reaches the largest
+	// bound still standing it cannot lower anything.
+	lim := func() vtime.Time {
+		m := vtime.Time(0)
+		for j, v := range safeTo {
+			if j != p.Shard && v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	cross := func(peer int, at vtime.Time) {
+		if at < safeTo[peer] {
+			safeTo[peer] = at
+		}
+	}
+	deliver := func(vn pipes.VN, at vtime.Time) {
+		for j := range safeTo {
+			if j == p.Shard {
+				continue
+			}
+			if vns := p.VNCross[j]; int(vn) < len(vns) {
+				if v := satAdd(at, vns[vn]); v < safeTo[j] {
+					safeTo[j] = v
+				}
+			}
+		}
+	}
+	emu.ScanAppEvents(func(at vtime.Time, vn int32) {
+		if app != nil && vn == applierTag {
+			return // priced per message by the applier scan below
+		}
+		for j := range safeTo {
+			if j == p.Shard {
+				continue
+			}
+			d := p.EventCross[j]
+			// noCross also marks VNs not homed here: an owner claim this
+			// shard cannot vouch for falls back to the shard-wide minimum.
+			if vn >= 0 {
+				if vns := p.VNCross[j]; int(vn) < len(vns) && vns[vn] != noCross {
+					d = vns[vn]
+				}
+			}
+			if v := satAdd(at, d); v < safeTo[j] {
+				safeTo[j] = v
+			}
+		}
+	})
+	emu.ScanOccupied(func(pid pipes.ID, d vtime.Time) {
+		emu.Pipe(pid).ScanEntries(func(pkt *pipes.Packet, exit vtime.Time) {
+			// The hop after this pipe was pre-emitted at enqueue (eager
+			// profile): a crossing or peer delivery there is already
+			// announced and owes nothing; only futures deeper inside this
+			// shard still do.
+			next := pkt.Hop + 1
+			if next >= len(pkt.Route) {
+				if p.HomeOf[pkt.Dst] != p.Shard {
+					return
+				}
+			} else if p.Owner[pkt.Route[next]] != p.Shard {
+				return
+			}
+			p.crossFrom(pkt.Route, next, exit, pkt.Dst, lim(), cross, deliver)
+		})
+	})
+	if app != nil {
+		app.ScanPending(func(m Msg) {
+			if m.Pid < 0 {
+				deliver(m.Pkt.Dst, m.Fire)
+				return
+			}
+			// The message enters pipe m.Pid at m.At; nothing about it is
+			// announced beyond that entry.
+			p.crossFrom(m.Pkt.Route, m.Pkt.Hop, m.At, m.Pkt.Dst, lim(), cross, deliver)
+		})
+	}
+	b.SafeTo = safeTo
+	s := vtime.Forever
+	for _, v := range safeTo {
+		if v < s {
+			s = v
+		}
+	}
+	b.Safe = s
+	return b
 }
 
 // satAdd offsets t by d, saturating at Forever.
@@ -376,6 +1003,18 @@ func satAdd(t vtime.Time, d vtime.Duration) vtime.Time {
 	s := t.Add(d)
 	if s < t {
 		return vtime.Forever
+	}
+	return s
+}
+
+// satDurAdd adds two crossing distances, saturating at noCross.
+func satDurAdd(a, b vtime.Duration) vtime.Duration {
+	if a == noCross || b == noCross {
+		return noCross
+	}
+	s := a + b
+	if s < a {
+		return noCross
 	}
 	return s
 }
@@ -450,42 +1089,79 @@ func SortMsgs(msgs []Msg) {
 	})
 }
 
-// ApplyMsgs sorts a batch canonically and schedules it onto the shard's
-// scheduler, one event per distinct fire time: messages sharing a deadline
-// apply back-to-back inside a single activation (with the emulator's core
-// re-arm deferred to the end of the cluster, see emucore.BatchApply), so
-// the scheduler fires once per deadline cluster instead of once per
-// message. A message firing before the shard's clock is an
-// earliest-output-time violation — the window algebra in Drive is why it
+// Applier schedules inbound cross-shard messages onto a shard's scheduler,
+// one event per distinct fire time: messages sharing a fire time apply
+// back-to-back inside a single activation (with the emulator's core re-arm
+// deferred to the end of the cluster, see emucore.BatchApply), so the
+// scheduler fires once per deadline cluster instead of once per message.
+//
+// The fire-time buckets persist across barriers: per-shard window grants
+// mean two messages with the same fire time can arrive at different
+// barriers, and they must still apply in the canonical (Fire, Sender, Seq)
+// order — the bucket accumulates them and sorts when it fires, which makes
+// the apply order independent of where the synchronization algebra placed
+// its window boundaries. A message firing before the shard's clock is an
+// earliest-output-time violation — the grant algebra in Drive is why it
 // cannot happen — reported as an error so remote transports can surface it
 // instead of corrupting virtual time.
-func ApplyMsgs(sched *vtime.Scheduler, emu *emucore.Emulator, msgs []Msg) error {
-	SortMsgs(msgs)
-	now := sched.Now()
-	for i := 0; i < len(msgs); {
-		fire := msgs[i].Fire
-		if fire < now {
-			return fmt.Errorf("parcore: EOT violation: fire %v < now %v (pid %d)", fire, now, msgs[i].Pid)
+type Applier struct {
+	sched   *vtime.Scheduler
+	emu     *emucore.Emulator
+	buckets map[vtime.Time][]Msg
+}
+
+// applierTag marks the applier's bucket-activation events on the scheduler.
+// It is not a VN owner claim: ShardBounds skips these events in its generic
+// scan and prices each waiting message individually by its route instead.
+const applierTag = int32(-2)
+
+// NewApplier returns an Applier for one shard.
+func NewApplier(sched *vtime.Scheduler, emu *emucore.Emulator) *Applier {
+	return &Applier{sched: sched, emu: emu, buckets: make(map[vtime.Time][]Msg)}
+}
+
+// ScanPending visits every message heard at a barrier but not yet fired, in
+// unspecified order (callers fold the visits into order-insensitive minima).
+func (a *Applier) ScanPending(visit func(m Msg)) {
+	for _, bucket := range a.buckets {
+		for _, m := range bucket {
+			visit(m)
 		}
-		j := i + 1
-		for j < len(msgs) && msgs[j].Fire == fire {
-			j++
+	}
+}
+
+// Apply buckets a batch by fire time, scheduling each new bucket's
+// activation. The msgs slice may be reused by the caller afterwards.
+func (a *Applier) Apply(msgs []Msg) error {
+	now := a.sched.Now()
+	for _, m := range msgs {
+		if m.Fire < now {
+			return fmt.Errorf("parcore: EOT violation: fire %v < now %v (pid %d)", m.Fire, now, m.Pid)
 		}
-		// Callers reuse the msgs backing array between barriers; the
-		// cluster needs a private copy to survive until its event fires.
-		cluster := append([]Msg(nil), msgs[i:j]...)
-		sched.At(fire, func() {
-			emu.BatchApply(func() {
-				for _, m := range cluster {
-					if m.Pid >= 0 {
-						emu.TunnelIn(m.Pkt, m.Pid, m.At)
-					} else {
-						emu.CompleteDelivery(m.Pkt, m.Lag, m.At)
+		if _, ok := a.buckets[m.Fire]; !ok {
+			fire := m.Fire
+			a.sched.AtTagged(fire, applierTag, func() {
+				cluster := a.buckets[fire]
+				delete(a.buckets, fire)
+				SortMsgs(cluster)
+				a.emu.BatchApply(func() {
+					for _, m := range cluster {
+						if m.Pid >= 0 {
+							a.emu.TunnelIn(m.Pkt, m.Pid, m.At)
+						} else {
+							a.emu.CompleteDelivery(m.Pkt, m.Lag, m.At)
+						}
 					}
-				}
+				})
 			})
-		})
-		i = j
+		}
+		a.buckets[m.Fire] = append(a.buckets[m.Fire], m)
 	}
 	return nil
+}
+
+// ApplyMsgs is the one-shot form of Applier for callers without cross-
+// barrier state (tests, single batches): sort and schedule one batch.
+func ApplyMsgs(sched *vtime.Scheduler, emu *emucore.Emulator, msgs []Msg) error {
+	return NewApplier(sched, emu).Apply(msgs)
 }

@@ -61,6 +61,16 @@ func (h *Heap) Update(p *Pipe) {
 	}
 }
 
+// Scan visits every pipe with a live deadline, in unspecified order. The
+// parallel runtime's adaptive horizon walks the occupied pipes this way at
+// each barrier: the heap holds exactly the pipes holding packets, so the
+// scan is O(occupied), not O(topology).
+func (h *Heap) Scan(visit func(ID, vtime.Time)) {
+	for _, it := range h.items {
+		visit(it.pipe.ID(), it.deadline)
+	}
+}
+
 // PopReady removes and returns every pipe whose deadline is ≤ now. Callers
 // dequeue the ready packets and then Update the pipe to reinsert it with
 // its new deadline, mirroring the paper's scheduler loop.

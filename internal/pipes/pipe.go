@@ -202,6 +202,14 @@ func (p *Pipe) DequeueReady(now vtime.Time, deliver func(*Packet, vtime.Time)) i
 	return n
 }
 
+// ScanEntries visits every packet inside the pipe in FIFO order with its
+// scheduled exit time. The visitor must not mutate the pipe. O(Len).
+func (p *Pipe) ScanEntries(visit func(pkt *Packet, exit vtime.Time)) {
+	for i := p.head; i < len(p.q); i++ {
+		visit(p.q[i].pkt, p.q[i].exit)
+	}
+}
+
 // PeekExit reports the scheduled exit time of the head packet without
 // removing it; ok is false when the pipe is empty.
 func (p *Pipe) PeekExit() (vtime.Time, bool) {

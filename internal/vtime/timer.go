@@ -7,11 +7,21 @@ type Timer struct {
 	id     EventID
 	armed  bool
 	Expiry Time
+	// Tag is the owner claim the timer arms its events with (see
+	// Scheduler.AtTagged); NoTag from NewTimer, the owning VN from
+	// NewTaggedTimer.
+	Tag int32
 }
 
 // NewTimer returns an unarmed timer bound to s.
 func NewTimer(s *Scheduler) *Timer {
-	return &Timer{s: s}
+	return &Timer{s: s, Tag: NoTag}
+}
+
+// NewTaggedTimer returns an unarmed timer whose events claim owner vn: its
+// callbacks must inject traffic only at that VN.
+func NewTaggedTimer(s *Scheduler, vn int32) *Timer {
+	return &Timer{s: s, Tag: vn}
 }
 
 // Reset (re)arms the timer to fire fn after d, canceling any prior arming.
@@ -19,7 +29,7 @@ func (t *Timer) Reset(d Duration, fn func()) {
 	t.StopTimer()
 	t.Expiry = t.s.Now().Add(d)
 	t.armed = true
-	t.id = t.s.At(t.Expiry, func() {
+	t.id = t.s.AtTagged(t.Expiry, t.Tag, func() {
 		t.armed = false
 		fn()
 	})
@@ -45,6 +55,8 @@ type Ticker struct {
 	fn      func()
 	id      EventID
 	running bool
+	// Tag is the owner claim (see Timer.Tag); NoTag from NewTicker.
+	Tag int32
 }
 
 // NewTicker returns a stopped ticker; call Start to begin.
@@ -52,7 +64,15 @@ func NewTicker(s *Scheduler, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("vtime: ticker period must be positive")
 	}
-	return &Ticker{s: s, period: period, fn: fn}
+	return &Ticker{s: s, period: period, fn: fn, Tag: NoTag}
+}
+
+// NewTaggedTicker is NewTicker with an owner claim: fn must inject traffic
+// only at VN vn.
+func NewTaggedTicker(s *Scheduler, vn int32, period Duration, fn func()) *Ticker {
+	tk := NewTicker(s, period, fn)
+	tk.Tag = vn
+	return tk
 }
 
 // Start begins ticking. Starting a running ticker is a no-op.
@@ -65,7 +85,7 @@ func (tk *Ticker) Start() {
 }
 
 func (tk *Ticker) schedule() {
-	tk.id = tk.s.After(tk.period, func() {
+	tk.id = tk.s.AtTagged(tk.s.Now().Add(tk.period), tk.Tag, func() {
 		if !tk.running {
 			return
 		}

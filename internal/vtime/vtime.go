@@ -46,12 +46,17 @@ func (d Duration) String() string { return fmt.Sprintf("%.6fs", d.Seconds()) }
 // DurationOf converts floating-point seconds to a Duration.
 func DurationOf(seconds float64) Duration { return Duration(seconds * float64(Second)) }
 
+// NoTag marks an event with no owner claim: parallel runtimes must assume
+// its callback can act anywhere on the shard.
+const NoTag = int32(-1)
+
 // event is one scheduled callback.
 type event struct {
 	at    Time
 	seq   uint64 // tie-break so same-time events fire in schedule order
 	fn    func()
-	index int // heap index, -1 when popped or canceled
+	index int   // heap index, -1 when popped or canceled
+	tag   int32 // owner claim (a VN), or NoTag
 }
 
 // EventID identifies a scheduled event so it can be canceled.
@@ -125,16 +130,59 @@ func (s *Scheduler) NextEventTime() Time {
 	return s.events[0].at
 }
 
+// NextEventTimeExcept returns the time of the earliest scheduled event other
+// than the one identified by id, or Forever when no other event is pending.
+// O(1): if the excluded event is the heap root, the answer is the smaller of
+// its children. Parallel runtimes use it to see past a shard's own core
+// activation when computing how far ahead the shard could emit.
+func (s *Scheduler) NextEventTimeExcept(id EventID) Time {
+	if len(s.events) == 0 {
+		return Forever
+	}
+	if s.events[0] != id.ev {
+		return s.events[0].at
+	}
+	next := Forever
+	if len(s.events) > 1 {
+		next = s.events[1].at
+	}
+	if len(s.events) > 2 && s.events[2].at < next {
+		next = s.events[2].at
+	}
+	return next
+}
+
 // At schedules fn to run at absolute time at. Scheduling in the past is a
 // programming error and panics: virtual time never runs backwards.
 func (s *Scheduler) At(at Time, fn func()) EventID {
+	return s.AtTagged(at, NoTag, fn)
+}
+
+// AtTagged is At with an owner claim: tag (a VN number) asserts that the
+// callback injects traffic only at that VN. Parallel runtimes price the
+// pending event's earliest cross-shard consequence with the tagged VN's own
+// crossing distance instead of the shard-wide minimum, which is what lets a
+// shard whose only pending work sits deep in its interior report a far
+// horizon. Tagging an event that can inject elsewhere is unsound — the
+// receiving shard's event-ordering check will reject the resulting
+// late-announced message deterministically.
+func (s *Scheduler) AtTagged(at Time, tag int32, fn func()) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("vtime: schedule at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := &event{at: at, seq: s.seq, fn: fn, tag: tag}
 	s.seq++
 	heap.Push(&s.events, ev)
 	return EventID{ev}
+}
+
+// ScanPending visits every pending event with its time, owner tag, and ID,
+// in unspecified order. O(pending). Parallel runtimes fold the pending set
+// into their safe-advance bounds.
+func (s *Scheduler) ScanPending(visit func(at Time, tag int32, id EventID)) {
+	for _, ev := range s.events {
+		visit(ev.at, ev.tag, EventID{ev})
+	}
 }
 
 // After schedules fn to run d after the current time.
