@@ -601,6 +601,14 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 		}
 		opts.Dynamics = dyn
 		params = c
+	case experiments.ScenarioTStubCBR:
+		params = experiments.TStubCBRSpec{
+			TransitDomains: 2, TransitPerDomain: 4,
+			StubsPerTransit: 4, RoutersPerStub: 3, ClientsPerStub: 16,
+			Servers: 16, Flows: 64,
+			PacketsPerSec: 100, PacketBytes: 512,
+			DurationSec: duration, Seed: opts.Seed,
+		}
 	case experiments.ScenarioLiveRing:
 		params = experiments.LiveRingSpec{
 			Routers: 6, VNsPerRouter: 2,

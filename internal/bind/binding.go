@@ -38,6 +38,12 @@ type Options struct {
 	// Hierarchical uses per-stub-cluster tables (§2.2's storage
 	// alternative) instead of the matrix. Ignored when RouteCache is set.
 	Hierarchical bool
+	// LazyRoutes uses a demand-paged table (NewLazy): no route computation
+	// at bind time, bounded distance-field cache afterwards. This is the
+	// coordinator's choice under sharded distribution, where binding exists
+	// for VN numbering and sync plans and routes are rarely consulted.
+	// Takes precedence over the other table selectors.
+	LazyRoutes bool
 }
 
 // Bind performs the Binding phase over a distilled topology: every client
@@ -77,6 +83,8 @@ func Bind(g *topology.Graph, opts Options) (*Binding, error) {
 	}
 
 	switch {
+	case opts.LazyRoutes:
+		b.Table = NewLazy(g, clients, 0)
 	case opts.RouteCache > 0:
 		b.Table = NewCache(g, clients, opts.RouteCache)
 	case opts.Hierarchical:

@@ -114,33 +114,40 @@ type Table interface {
 }
 
 // Matrix is the straightforward precomputed routing matrix: all-pairs
-// shortest paths among VNs, O(n²) space, O(1) lookup. Scales to ~10,000 VNs
-// (§2.2).
+// canonical routes among VNs, O(n²) space, O(1) lookup. Scales to ~10,000
+// VNs (§2.2). Routes follow the destination-rooted integer-weight policy
+// (dest.go), so shard-local tables reproduce them exactly.
 type Matrix struct {
 	routes [][]Route // [src][dst]
 }
 
 // BuildMatrix computes the routing matrix for the given VN home nodes in g.
-// vnHomes[v] is the topology node hosting VN v.
+// vnHomes[v] is the topology node hosting VN v. One reverse Dijkstra per
+// distinct destination home, one greedy walk per distinct home pair; VNs
+// sharing a home pair share the route slice.
 func BuildMatrix(g *topology.Graph, vnHomes []topology.NodeID) (*Matrix, error) {
 	n := len(vnHomes)
 	m := &Matrix{routes: make([][]Route, n)}
-	// One Dijkstra per distinct home node.
-	treeByHome := map[topology.NodeID][]topology.LinkID{}
+	rev := ReverseIndex(g)
+	distByHome := map[topology.NodeID][]Dist{}
 	for _, h := range vnHomes {
-		if _, ok := treeByHome[h]; !ok {
-			prev, _ := ShortestPaths(g, h)
-			treeByHome[h] = prev
+		if _, ok := distByHome[h]; !ok {
+			distByHome[h] = DistToNode(g, rev, h)
 		}
 	}
+	routeByPair := map[[2]topology.NodeID]Route{}
 	for i := 0; i < n; i++ {
 		m.routes[i] = make([]Route, n)
-		prev := treeByHome[vnHomes[i]]
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			r := routeFromTree(g, prev, vnHomes[i], vnHomes[j])
+			pair := [2]topology.NodeID{vnHomes[i], vnHomes[j]}
+			r, ok := routeByPair[pair]
+			if !ok {
+				r = WalkRoute(g, vnHomes[i], vnHomes[j], distByHome[vnHomes[j]])
+				routeByPair[pair] = r
+			}
 			if r == nil && vnHomes[i] != vnHomes[j] {
 				return nil, fmt.Errorf("bind: VN %d cannot reach VN %d", i, j)
 			}
@@ -173,10 +180,12 @@ func (m *Matrix) NumVNs() int { return len(m.routes) }
 func (m *Matrix) Routes() [][]Route { return m.routes }
 
 // Cache is the O(n lg n)-space alternative: a bounded hash cache of routes
-// for active flows; misses run Dijkstra on demand (§2.2).
+// for active flows; misses compute the canonical route on demand (§2.2)
+// from a bounded per-destination distance-field cache.
 type Cache struct {
 	g        *topology.Graph
 	vnHomes  []topology.NodeID
+	eng      *destEngine
 	capacity int
 	entries  map[[2]pipes.VN]*cacheEntry
 	lruHead  *cacheEntry
@@ -197,9 +206,14 @@ func NewCache(g *topology.Graph, vnHomes []topology.NodeID, capacity int) *Cache
 	if capacity < 1 {
 		capacity = 1
 	}
+	fieldCap := capacity / 16
+	if fieldCap < 4 {
+		fieldCap = 4
+	}
 	return &Cache{
 		g:        g,
 		vnHomes:  vnHomes,
+		eng:      newDestEngine(g, fieldCap),
 		capacity: capacity,
 		entries:  make(map[[2]pipes.VN]*cacheEntry),
 	}
@@ -221,8 +235,7 @@ func (c *Cache) Lookup(src, dst pipes.VN) (Route, bool) {
 		return e.route, e.route != nil
 	}
 	c.Misses++
-	prev, _ := ShortestPaths(c.g, c.vnHomes[src])
-	r := routeFromTree(c.g, prev, c.vnHomes[src], c.vnHomes[dst])
+	r := WalkRoute(c.g, c.vnHomes[src], c.vnHomes[dst], c.eng.distTo(c.vnHomes[dst]))
 	e := &cacheEntry{key: key, route: r}
 	c.entries[key] = e
 	c.pushFront(e)
@@ -278,9 +291,49 @@ func (c *Cache) evict() {
 	delete(c.entries, e.key)
 }
 
-// Invalidate drops all cached routes. Call after the topology's routing
-// changes (link failure, recomputed shortest paths).
+// Invalidate drops all cached routes and distance fields. Call after the
+// topology's routing changes (link failure, recomputed shortest paths).
 func (c *Cache) Invalidate() {
 	c.entries = make(map[[2]pipes.VN]*cacheEntry)
 	c.lruHead, c.lruTail = nil, nil
+	c.eng.invalidate()
 }
+
+// Lazy is a demand-paged routing table: no routes are computed until the
+// first Lookup, and per-destination distance fields are kept in a bounded
+// LRU. It is the coordinator-side table for sharded distribution — a
+// federation coordinator needs a Binding (VN numbering, sync plans) but
+// rarely a route, and a full Matrix at 10⁵ VNs is neither affordable nor
+// needed. Lookups produce exactly the canonical routes Matrix would.
+type Lazy struct {
+	g       *topology.Graph
+	vnHomes []topology.NodeID
+	eng     *destEngine
+}
+
+// NewLazy builds a demand-paged table over g. fieldCap bounds the number of
+// cached per-destination distance fields (≤ 0 picks a small default).
+func NewLazy(g *topology.Graph, vnHomes []topology.NodeID, fieldCap int) *Lazy {
+	if fieldCap <= 0 {
+		fieldCap = 32
+	}
+	return &Lazy{g: g, vnHomes: vnHomes, eng: newDestEngine(g, fieldCap)}
+}
+
+// Lookup implements Table.
+func (t *Lazy) Lookup(src, dst pipes.VN) (Route, bool) {
+	if int(src) >= len(t.vnHomes) || int(dst) >= len(t.vnHomes) || src < 0 || dst < 0 {
+		return nil, false
+	}
+	if src == dst {
+		return Route{}, true
+	}
+	r := WalkRoute(t.g, t.vnHomes[src], t.vnHomes[dst], t.eng.distTo(t.vnHomes[dst]))
+	return r, r != nil
+}
+
+// NumVNs implements Table.
+func (t *Lazy) NumVNs() int { return len(t.vnHomes) }
+
+// Invalidate drops the cached distance fields (after a reroute).
+func (t *Lazy) Invalidate() { t.eng.invalidate() }

@@ -2,6 +2,7 @@ package dynamics
 
 import (
 	"fmt"
+	"sort"
 
 	"modelnet/internal/bind"
 	"modelnet/internal/emucore"
@@ -161,8 +162,16 @@ func (s *Spec) LatencyFloorFunc() func(topology.LinkID, vtime.Duration) vtime.Du
 type Engine struct {
 	spec  *Spec
 	sched *vtime.Scheduler
-	emu   *emucore.Emulator
+	emu   *emucore.Emulator // nil in replay mode (EnumerateReroutes)
 	down  map[topology.LinkID]bool
+
+	// OnReroute, when set, replaces the default global-matrix rebuild: it
+	// receives the sorted set of currently down links. Sharded workers use it
+	// to advance their shard table's reroute epoch; the coordinator's replay
+	// (EnumerateReroutes) uses it to snapshot per-epoch down-sets. The
+	// schedule and tie-order of reroute events is identical either way, so
+	// epoch numbering agrees across all parties by construction.
+	OnReroute func(down []topology.LinkID)
 
 	// Applied counts steps fired and Reroutes route recomputations — cheap
 	// cross-mode determinism probes.
@@ -209,29 +218,37 @@ func (e *Engine) scheduleCycle(p *Profile, base vtime.Time) {
 	}
 }
 
-// apply installs one step on its pipe, keeping Unchanged fields.
+// apply installs one step on its pipe, keeping Unchanged fields. Down-state
+// tracking and tracing always run; the pipe mutation is skipped when the
+// slot is not materialized (sparse shard views hold only owned pipes) or in
+// replay mode — the trace therefore stays byte-identical across full,
+// sparse, and replayed execution.
 func (e *Engine) apply(link int, st Step) {
-	id := pipes.ID(link)
-	params := e.emu.Pipe(id).Params()
-	if st.Bandwidth >= 0 {
-		params.BandwidthBps = st.Bandwidth
-	}
-	if st.Latency >= 0 {
-		params.Latency = st.Latency
-	}
-	if st.Loss >= 0 {
-		params.LossRate = st.Loss
-	}
 	if st.Down {
-		params.Down = true
 		e.down[topology.LinkID(link)] = true
 	}
 	if st.Up {
-		params.Down = false
 		delete(e.down, topology.LinkID(link))
 	}
-	e.emu.SetPipeParams(id, params)
 	e.Applied++
+	if e.emu == nil {
+		return
+	}
+	id := pipes.ID(link)
+	if p := e.emu.Pipe(id); p != nil {
+		params := p.Params()
+		if st.Bandwidth >= 0 {
+			params.BandwidthBps = st.Bandwidth
+		}
+		if st.Latency >= 0 {
+			params.Latency = st.Latency
+		}
+		if st.Loss >= 0 {
+			params.LossRate = st.Loss
+		}
+		params.Down = (params.Down || st.Down) && !st.Up
+		e.emu.SetPipeParams(id, params)
+	}
 	if e.emu.Shard() <= 0 {
 		// Every shard applies every step; record it once, on the shard that
 		// exists in all modes (the sequential emulator or shard 0), so the
@@ -243,16 +260,35 @@ func (e *Engine) apply(link int, st Step) {
 // Down reports whether the engine currently considers the link failed.
 func (e *Engine) Down(link topology.LinkID) bool { return e.down[link] }
 
+// downList returns the sorted down-set, the canonical epoch description.
+func (e *Engine) downList() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(e.down))
+	for lid := range e.down {
+		out = append(out, lid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // reroute rebuilds the routing matrix with every down link's latency raised
 // to routing.Infinity — the same degradation routing's shortest-path
 // reference applies — and swaps it into the emulator. Destinations whose
 // only paths traverse down links stay "reachable" at Infinity cost, so
 // their traffic deterministically blackholes at the down pipe instead of
 // failing route lookup; that is the unreachable-partition semantics.
+// With OnReroute set, the hook replaces the rebuild (sharded workers bump
+// their table's epoch; replays snapshot the down-set).
 func (e *Engine) reroute() {
 	e.Reroutes++
-	if e.emu.Shard() <= 0 {
+	if e.emu != nil && e.emu.Shard() <= 0 {
 		e.emu.Trace.Reroute(e.sched.Now()) // once per mode, as in apply
+	}
+	if e.OnReroute != nil {
+		e.OnReroute(e.downList())
+		return
+	}
+	if e.emu == nil {
+		return
 	}
 	g := e.emu.Graph()
 	if len(e.down) > 0 {
@@ -271,4 +307,44 @@ func (e *Engine) reroute() {
 		panic(fmt.Sprintf("dynamics: reroute: %v", err))
 	}
 	e.emu.SetTable(m)
+}
+
+// MaxRerouteEpochs bounds EnumerateReroutes: a looping failure script
+// schedules reroutes forever, and the coordinator's summary oracle keeps one
+// down-set per epoch, so runs are capped at this many reroute epochs.
+const MaxRerouteEpochs = 4096
+
+// EnumerateReroutes replays the spec's failure/recovery schedule — no
+// emulator, just the engine's event scheduling on a scratch virtual-time
+// scheduler, with identical tie-breaks — and returns the down-set in force
+// at each reroute epoch within the horizon: index 0 is the pristine
+// pre-reroute world, index e the set after the e-th reroute fired. The
+// result feeds the coordinator's bind.SummaryOracle so worker epoch numbers
+// resolve to the exact graphs their own engines rerouted against. A spec
+// whose schedule exceeds MaxRerouteEpochs epochs inside the horizon is
+// rejected loudly.
+func EnumerateReroutes(spec *Spec, numLinks int, horizon vtime.Duration) ([][]topology.LinkID, error) {
+	sets := [][]topology.LinkID{nil}
+	if spec == nil || !spec.Reroute {
+		return sets, nil
+	}
+	if err := spec.Validate(numLinks); err != nil {
+		return nil, err
+	}
+	sched := vtime.NewScheduler()
+	e := &Engine{spec: spec, sched: sched, down: map[topology.LinkID]bool{}}
+	e.OnReroute = func(down []topology.LinkID) {
+		sets = append(sets, down)
+	}
+	for i := range spec.Profiles {
+		e.scheduleCycle(&spec.Profiles[i], sched.Now())
+	}
+	limit := vtime.Time(0).Add(horizon)
+	for sched.Pending() > 0 && sched.NextEventTime() <= limit {
+		if len(sets) > MaxRerouteEpochs {
+			return nil, fmt.Errorf("dynamics: failure script schedules more than %d reroute epochs within %v", MaxRerouteEpochs, horizon)
+		}
+		sched.Step()
+	}
+	return sets, nil
 }

@@ -59,6 +59,13 @@ type Emulator struct {
 	handoff HandoffFunc
 	eager   bool // pre-emit handoffs at enqueue time (ideal profile only)
 
+	// materialized counts live pipe slots (== NumPipes unless the world is
+	// sparsely materialized, see NewShardSparse).
+	materialized int
+	// epocher is the routing table's reroute-epoch source, cached across
+	// injections; nil for epoch-less tables.
+	epocher interface{ Epoch() int32 }
+
 	// Global counters.
 	Injected  uint64 // packets offered to the core cluster
 	Delivered uint64 // packets handed to destination VNs
@@ -107,6 +114,13 @@ type core struct {
 // the routing table and VN→edge→core mapping; pod assigns pipes to cores
 // (nil means a single core owns everything). seed determinizes pipe loss.
 func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.POD, prof Profile, seed int64) (*Emulator, error) {
+	return newEmulator(sched, g, b, pod, prof, seed, nil)
+}
+
+// newEmulator is the shared constructor. want, when non-nil, selects which
+// pipe slots to materialize (sparse shard views); unselected slots stay nil
+// and must never be touched by the hot path.
+func newEmulator(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.POD, prof Profile, seed int64, want func(i int) bool) (*Emulator, error) {
 	if pod == nil {
 		pod = bind.NewPOD(make([]int, g.NumLinks()), 1)
 	}
@@ -123,9 +137,22 @@ func New(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.P
 		deliver: make([]DeliverFunc, b.NumVNs()),
 		shard:   -1,
 	}
+	e.setEpocher()
 	e.pipes = make([]*pipes.Pipe, g.NumLinks())
 	for i, l := range g.Links {
+		if want != nil && !want(i) {
+			continue
+		}
+		// Pipe state is a pure function of (id, seed), so a sparsely
+		// materialized pipe behaves bit-identically to its counterpart in the
+		// full construction.
 		e.pipes[i] = pipes.New(pipes.ID(i), pipeParams(l.Attr), seed)
+		if want != nil {
+			e.materialized++
+		}
+	}
+	if want == nil {
+		e.materialized = len(e.pipes)
 	}
 	e.cores = make([]*core, nCores)
 	for i := range e.cores {
@@ -171,6 +198,64 @@ func NewShard(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *b
 	return e, nil
 }
 
+// NewShardSparse is NewShard over a sharded world view: only the pipes the
+// POD assigns to this shard are materialized — O(shard) pipe memory instead
+// of O(world) — and the graph may be a skeleton (topology.NewSkeleton) whose
+// unmaterialized slots are placeholders. The hot path never touches a
+// foreign pipe: enqueue hands a packet off before admission when its next
+// pipe is foreign, and route segments always end at the first foreign pipe
+// (bind.ShardTable), so a nil pipe slot being reached is a routing bug and
+// panics rather than degrading silently.
+func NewShardSparse(sched *vtime.Scheduler, g *topology.Graph, b *bind.Binding, pod *bind.POD, prof Profile, seed int64, shard int, homes []int, handoff HandoffFunc) (*Emulator, error) {
+	if pod == nil {
+		return nil, fmt.Errorf("emucore: sparse shard mode requires a POD")
+	}
+	k := pod.Cores()
+	e, err := newEmulator(sched, g, b, pod, prof, seed, func(i int) bool {
+		ow := pod.Owner(pipes.ID(i))
+		return ow >= 0 && ow%k == shard
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= len(e.cores) {
+		return nil, fmt.Errorf("emucore: shard %d out of range [0,%d)", shard, len(e.cores))
+	}
+	if handoff == nil {
+		return nil, fmt.Errorf("emucore: shard mode requires a handoff func")
+	}
+	if len(homes) < b.NumVNs() {
+		return nil, fmt.Errorf("emucore: homes covers %d of %d VNs", len(homes), b.NumVNs())
+	}
+	e.shard = shard
+	e.homes = homes
+	e.handoff = handoff
+	e.eager = prof.ideal()
+	return e, nil
+}
+
+// MaterializedPipes reports how many pipe slots hold live pipes — equal to
+// NumPipes except under sparse shard views, where it is the per-worker
+// memory figure the scalability claim is about.
+func (e *Emulator) MaterializedPipes() int { return e.materialized }
+
+// setEpocher caches the table's epoch source (bind.ShardTable).
+func (e *Emulator) setEpocher() {
+	if ep, ok := e.binding.Table.(interface{ Epoch() int32 }); ok {
+		e.epocher = ep
+	} else {
+		e.epocher = nil
+	}
+}
+
+// routeEpoch is the epoch to pin on a packet injected now.
+func (e *Emulator) routeEpoch() int32 {
+	if e.epocher == nil {
+		return 0
+	}
+	return e.epocher.Epoch()
+}
+
 // Shard reports the shard index, or -1 for a sequential emulator.
 func (e *Emulator) Shard() int { return e.shard }
 
@@ -206,7 +291,8 @@ func (e *Emulator) Profile() Profile { return e.prof }
 func (e *Emulator) Cores() int { return len(e.cores) }
 
 // Pipe returns the live pipe for a distilled link, for inspection or
-// dynamic re-parameterization (§4.3).
+// dynamic re-parameterization (§4.3). Under a sparse shard view
+// (NewShardSparse) slots outside the shard return nil.
 func (e *Emulator) Pipe(id pipes.ID) *pipes.Pipe { return e.pipes[id] }
 
 // NumPipes reports the number of pipes.
@@ -220,7 +306,10 @@ func (e *Emulator) SetPipeParams(id pipes.ID, p pipes.Params) {
 
 // SetTable replaces the routing table (e.g., after recomputing shortest
 // paths around a failed link).
-func (e *Emulator) SetTable(t bind.Table) { e.binding.Table = t }
+func (e *Emulator) SetTable(t bind.Table) {
+	e.binding.Table = t
+	e.setEpocher()
+}
 
 // RegisterVN installs the delivery callback for a VN. Packets destined to
 // an unregistered VN are counted delivered and discarded.
@@ -288,6 +377,9 @@ type Totals struct {
 func (e *Emulator) DropsByReason() []uint64 {
 	out := make([]uint64, pipes.NumDropReasons)
 	for _, p := range e.pipes {
+		if p == nil {
+			continue // sparse world: slot outside this shard
+		}
 		for r, n := range p.Drops {
 			out[r] += n
 		}
@@ -303,6 +395,9 @@ func (e *Emulator) Totals() Totals {
 		t.PhysDrops += c.PhysDropsCPU + c.PhysDropsNIC + c.PhysDropsTx
 	}
 	for _, p := range e.pipes {
+		if p == nil {
+			continue // sparse world: slot outside this shard
+		}
 		t.VirtualDrops += p.TotalDrops()
 		t.InFlight += p.Len()
 	}
@@ -357,6 +452,7 @@ func (e *Emulator) Inject(src, dst pipes.VN, size int, payload any) bool {
 		Src:      src,
 		Dst:      dst,
 		Route:    route,
+		Epoch:    e.routeEpoch(),
 		Injected: now,
 		Trace:    tid,
 		Payload:  payload,

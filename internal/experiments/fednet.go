@@ -735,13 +735,21 @@ type localRun struct {
 type RunOpt func(*runOpts)
 
 type runOpts struct {
-	sync modelnet.SyncMode
+	sync       modelnet.SyncMode
+	routeCache int
 }
 
 // WithSync selects the synchronization algebra for parallel and federated
 // runs: modelnet.SyncAdaptive (the default) or modelnet.SyncFixed.
 func WithSync(m modelnet.SyncMode) RunOpt {
 	return func(o *runOpts) { o.sync = m }
+}
+
+// WithRouteCache replaces the local runner's precomputed O(n²) routing
+// matrix with an on-demand per-target cache of the given capacity. Large
+// populations (the tstub-cbr scale configs) are unrunnable without it.
+func WithRouteCache(targets int) RunOpt {
+	return func(o *runOpts) { o.routeCache = targets }
 }
 
 func applyRunOpts(opts []RunOpt) runOpts {
@@ -766,7 +774,7 @@ func runLocal(topo *modelnet.Graph, seed int64, cores int, parallel, trace bool,
 	ideal := modelnet.IdealProfile()
 	em, err := modelnet.Run(topo, modelnet.Options{
 		Cores: cores, Parallel: parallel, Profile: &ideal, Seed: seed,
-		Sync: o.sync, Dynamics: dyn, Trace: trace,
+		Sync: o.sync, Dynamics: dyn, Trace: trace, RouteCache: o.routeCache,
 	})
 	if err != nil {
 		return nil, err
@@ -953,12 +961,24 @@ func WebReplFederatedReport(rep *fednet.Report) (WebReplRingReport, error) {
 // segments) — under the in-process parallel runtime and under real
 // multi-process federation at each core count.
 type FednetConfig struct {
-	Ring      RingCBRSpec
-	CFS       CFSRingSpec
-	Web       WebReplRingSpec
-	Flaky     FlakyEdgeSpec
-	Cores     []int
-	DataPlane string
+	Ring  RingCBRSpec
+	CFS   CFSRingSpec
+	Web   WebReplRingSpec
+	Flaky FlakyEdgeSpec
+	// TStub is the transit-stub CBR workload at a size every mode can run,
+	// so its rows get the full seq/inproc/fednet determinism cross-check.
+	TStub TStubCBRSpec
+	// TStubScales are the large-population configurations (10⁵ and 10⁶ VNs
+	// by default). Only the sharded federation can hold them, so their rows
+	// are fednet-only — no sequential baseline, speedup unreported — and
+	// exist to record per-worker setup bytes, startup wall-clock, and peak
+	// RSS at scale. Empty disables them. ScaleCores are the core counts
+	// each runs at; varying them shows the per-worker footprint shrinking
+	// as the world is cut into more shards.
+	TStubScales []TStubCBRSpec
+	ScaleCores  []int
+	Cores       []int
+	DataPlane   string
 }
 
 // DefaultFednet is the full-scale study: the paper's 20×20 ring plus the
@@ -1011,8 +1031,50 @@ func DefaultFednet() FednetConfig {
 			RecoverSec:      7,
 			RerouteDelaySec: 0.25,
 		},
-		Cores:     []int{2, 4},
-		DataPlane: fednet.DataUDP,
+		TStub: TStubCBRSpec{
+			TransitDomains:   2,
+			TransitPerDomain: 4,
+			StubsPerTransit:  4,
+			RoutersPerStub:   3,
+			ClientsPerStub:   16,
+			Servers:          16,
+			Flows:            64,
+			PacketsPerSec:    100,
+			PacketBytes:      512,
+			DurationSec:      4,
+			Seed:             51,
+		},
+		TStubScales: []TStubCBRSpec{
+			{
+				TransitDomains:   10,
+				TransitPerDomain: 10,
+				StubsPerTransit:  10,
+				RoutersPerStub:   4,
+				ClientsPerStub:   100, // 10·10·10·100 = 100 000 VNs
+				Servers:          32,
+				Flows:            128,
+				PacketsPerSec:    20,
+				PacketBytes:      512,
+				DurationSec:      2,
+				Seed:             61,
+			},
+			{
+				TransitDomains:   10,
+				TransitPerDomain: 10,
+				StubsPerTransit:  10,
+				RoutersPerStub:   4,
+				ClientsPerStub:   1000, // 10·10·10·1000 = 1 000 000 VNs
+				Servers:          32,
+				Flows:            128,
+				PacketsPerSec:    20,
+				PacketBytes:      512,
+				DurationSec:      2,
+				Seed:             61,
+			},
+		},
+		ScaleCores: []int{2, 4},
+		Cores:      []int{2, 4},
+		DataPlane:  fednet.DataUDP,
 	}
 }
 
@@ -1027,6 +1089,15 @@ func ScaledFednet(scale float64) FednetConfig {
 		cfg.Flaky.Web.DrainSec *= scale
 		cfg.Flaky.FailSec *= scale
 		cfg.Flaky.RecoverSec *= scale
+		cfg.TStub.DurationSec *= scale
+		// Quick runs keep only the smallest large-population point.
+		if len(cfg.TStubScales) > 1 {
+			cfg.TStubScales = cfg.TStubScales[:1]
+		}
+		for i := range cfg.TStubScales {
+			cfg.TStubScales[i].DurationSec *= scale
+		}
+		cfg.ScaleCores = []int{2}
 	}
 	return cfg
 }
@@ -1065,17 +1136,50 @@ type FednetRow struct {
 	ComputeWallNs uint64 `json:"compute_wall_ns"`
 	BarrierWallNs uint64 `json:"barrier_wall_ns"`
 	FlushWallNs   uint64 `json:"flush_wall_ns"`
+	// Distribution cost of a fednet row, reported per worker and aggregated
+	// here as the max across workers (the scaling question is "how big must
+	// one machine be", not the fleet sum): setup bytes received, wall clock
+	// from first setup byte to setup-ack, peak resident set, and pipes
+	// actually materialized (≈ owned + frontier under sharded distribution).
+	// RouteRPCs is the fleet total of demand-paged summary fetches.
+	SetupBytes        uint64 `json:"setup_bytes,omitempty"`
+	StartupWallNs     int64  `json:"startup_wall_ns,omitempty"`
+	PeakRSSBytes      uint64 `json:"peak_rss_bytes,omitempty"`
+	MaterializedPipes int    `json:"materialized_pipes,omitempty"`
+	RouteRPCs         uint64 `json:"route_rpcs,omitempty"`
+}
+
+// fillWorkerCosts folds a federation's per-worker distribution costs into
+// the row: maxima for the per-machine figures, sum for the RPC count.
+func fillWorkerCosts(row *FednetRow, fed *fednet.Report) {
+	for _, w := range fed.Workers {
+		if w.SetupBytes > row.SetupBytes {
+			row.SetupBytes = w.SetupBytes
+		}
+		if w.StartupWallNs > row.StartupWallNs {
+			row.StartupWallNs = w.StartupWallNs
+		}
+		if w.PeakRSSBytes > row.PeakRSSBytes {
+			row.PeakRSSBytes = w.PeakRSSBytes
+		}
+		if w.MaterializedPipes > row.MaterializedPipes {
+			row.MaterializedPipes = w.MaterializedPipes
+		}
+		row.RouteRPCs += w.RouteRPCs
+	}
 }
 
 // FednetResult is the full study. The three spec fields record each
 // scenario's exact parameters, so every row's dimensions are reproducible
 // from the JSON alone.
 type FednetResult struct {
-	Ring      RingCBRSpec     `json:"ring"`
-	CFS       CFSRingSpec     `json:"cfs"`
-	Web       WebReplRingSpec `json:"web"`
-	Flaky     FlakyEdgeSpec   `json:"flaky"`
-	DataPlane string          `json:"data_plane"`
+	Ring        RingCBRSpec     `json:"ring"`
+	CFS         CFSRingSpec     `json:"cfs"`
+	Web         WebReplRingSpec `json:"web"`
+	Flaky       FlakyEdgeSpec   `json:"flaky"`
+	TStub       TStubCBRSpec    `json:"tstub"`
+	TStubScales []TStubCBRSpec  `json:"tstub_scales,omitempty"`
+	DataPlane   string          `json:"data_plane"`
 	// HostCPUs bounds the achievable speedup; on a 1-CPU host the
 	// parallel and federated rows measure synchronization and socket
 	// overhead instead.
@@ -1149,6 +1253,7 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 			frow.GrantMaxMS = fed.Sync.GrantMax().Seconds() * 1000
 			frow.ComputeWallNs, frow.BarrierWallNs, frow.FlushWallNs =
 				fed.Sync.Profile.ComputeWallNs, fed.Sync.Profile.BarrierWallNs, fed.Sync.Profile.FlushWallNs
+			fillWorkerCosts(&frow, fed)
 			res.Rows = append(res.Rows, check(frow))
 		}
 	}
@@ -1160,12 +1265,14 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 // multi-process federation.
 func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 	res := &FednetResult{
-		Ring:      cfg.Ring,
-		CFS:       cfg.CFS,
-		Web:       cfg.Web,
-		Flaky:     cfg.Flaky,
-		DataPlane: cfg.DataPlane,
-		HostCPUs:  runtime.NumCPU(),
+		Ring:        cfg.Ring,
+		CFS:         cfg.CFS,
+		Web:         cfg.Web,
+		Flaky:       cfg.Flaky,
+		TStub:       cfg.TStub,
+		TStubScales: cfg.TStubScales,
+		DataPlane:   cfg.DataPlane,
+		HostCPUs:    runtime.NumCPU(),
 
 		Deterministic: true,
 	}
@@ -1209,6 +1316,48 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 	); err != nil {
 		return nil, err
 	}
+	if cfg.TStub.VNs() > 0 {
+		// The local baseline cannot hold an O(n²) matrix even at the small
+		// size; it routes through the demand-built per-target cache instead,
+		// which the shard-local route property test proves path-identical.
+		if err := runFednetScenario(res, ScenarioTStubCBR, cfg.Cores, cfg.DataPlane,
+			func(k int, p bool, opts ...RunOpt) (*localRun, error) {
+				opts = append(opts, WithRouteCache(cfg.TStub.Servers+8))
+				return RunTStubCBRLocal(cfg.TStub, k, p, false, opts...)
+			},
+			func(k int, dp string, opts ...RunOpt) (*fednet.Report, error) {
+				return RunTStubCBRFederated(cfg.TStub, k, dp, opts...)
+			},
+		); err != nil {
+			return nil, err
+		}
+	}
+	for _, scale := range cfg.TStubScales {
+		if scale.VNs() == 0 {
+			continue
+		}
+		// Scale rows are fednet-only: the point is the per-worker footprint
+		// of the sharded distribution at a population no single sequential
+		// run could even set up. No baseline, so Speedup stays unreported.
+		name := fmt.Sprintf("%s-%dk", ScenarioTStubCBR, scale.VNs()/1000)
+		for _, k := range cfg.ScaleCores {
+			if k < 2 {
+				continue
+			}
+			fed, err := RunTStubCBRFederated(scale, k, cfg.DataPlane)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d cores: %w", name, k, err)
+			}
+			frow := totalsRow(name, "fednet", k, fed.Totals, fed.WallMS)
+			frow.Windows, frow.SerialRounds, frow.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
+			frow.Frames, frow.BytesOnWire = fed.Frames, fed.BytesOnWire
+			frow.Sync = fed.SyncMode.String()
+			frow.ComputeWallNs, frow.BarrierWallNs, frow.FlushWallNs =
+				fed.Sync.Profile.ComputeWallNs, fed.Sync.Profile.BarrierWallNs, fed.Sync.Profile.FlushWallNs
+			fillWorkerCosts(&frow, fed)
+			res.Rows = append(res.Rows, frow)
+		}
+	}
 	return res, nil
 }
 
@@ -1225,6 +1374,22 @@ func PrintFednet(w io.Writer, res *FednetResult) {
 		fprintf(w, "%-13s %8s %6s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.2f/%.2f/%.2f\n",
 			r.Scenario, r.Mode, r.Sync, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
 			r.Frames, float64(r.BytesOnWire)/1e6, r.GrantMinMS, r.GrantMeanMS, r.GrantMaxMS)
+	}
+	hdr := false
+	for _, r := range res.Rows {
+		if r.SetupBytes == 0 {
+			continue
+		}
+		if !hdr {
+			fprintf(w, "Per-worker distribution cost (max across workers):\n")
+			fprintf(w, "%-16s %6s %9s %11s %11s %12s %10s %10s\n",
+				"scenario", "cores", "sync", "setup KB", "startup ms", "peak RSS MB", "pipes", "route RPC")
+			hdr = true
+		}
+		fprintf(w, "%-16s %6d %9s %11.1f %11.1f %12.1f %10d %10d\n",
+			r.Scenario, r.Cores, r.Sync, float64(r.SetupBytes)/1024,
+			float64(r.StartupWallNs)/1e6, float64(r.PeakRSSBytes)/(1<<20),
+			r.MaterializedPipes, r.RouteRPCs)
 	}
 	if !res.Deterministic {
 		fprintf(w, "  WARNING: configurations disagreed on emulation counters\n")

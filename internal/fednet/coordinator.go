@@ -20,8 +20,19 @@ import (
 	"modelnet/internal/fednet/wire"
 	"modelnet/internal/obs"
 	"modelnet/internal/parcore"
+	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
 )
+
+// rerouteHorizon is the virtual-time span over which the reroute epoch
+// schedule is enumerated; coordinator and workers must use the same one so
+// their epoch numbering agrees. Runs to quiescence enumerate everything.
+func rerouteHorizon(runFor vtime.Duration) vtime.Duration {
+	if runFor <= 0 {
+		return vtime.Duration(vtime.Forever)
+	}
+	return runFor
+}
 
 // Options configure a federated run.
 type Options struct {
@@ -314,52 +325,118 @@ func Run(opts Options) (*Report, error) {
 			addrs[i] = h.TCPAddr
 		}
 	}
-	topoBin := wire.EncodeTopology(dist.Graph)
-	asnBin := wire.EncodeAssignment(asn.Owner, asn.Cores)
 	if err := opts.Dynamics.Validate(dist.Graph.NumLinks()); err != nil {
 		return nil, fmt.Errorf("fednet: %w", err)
 	}
 	dynBin := dynamics.Encode(opts.Dynamics)
+	// Sharded distribution is the default: each worker receives only its
+	// shard view (owned links + cut frontier) and the VN world map, so
+	// per-worker setup and memory scale with the shard, not the world. Live
+	// edge runs keep the monolithic path — a gateway worker may host ingress
+	// VNs whose flows it must resolve globally at admission time.
+	sharded := opts.Edge == nil && asn.NodeOwner != nil
 	// The piggybacked protocol and the adaptive algebra both need the
 	// reaction-chain matrix, which the coordinator derives from the same
 	// bind/plan computation every worker performs on its copy of the state.
 	piggy := opts.Edge == nil && !opts.RealTime
 	var chain [][]vtime.Duration
-	if piggy || opts.Sync == parcore.SyncAdaptive {
-		pod := bind.NewPOD(asn.Owner, asn.Cores)
-		bnd, err := bind.Bind(dist.Graph, bind.Options{
+	var bnd *bind.Binding
+	var homes []int
+	pod := bind.NewPOD(asn.Owner, asn.Cores)
+	if sharded || piggy || opts.Sync == parcore.SyncAdaptive {
+		// Under sharded distribution the coordinator's binding exists for VN
+		// numbering and sync plans, never bulk routes — demand-paged tables
+		// replace the O(n²) matrix.
+		bnd, err = bind.Bind(dist.Graph, bind.Options{
 			EdgeNodes:    opts.EdgeNodes,
 			Cores:        asn.Cores,
 			RouteCache:   opts.RouteCache,
 			Hierarchical: opts.Hierarchical,
+			LazyRoutes:   sharded,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fednet: bind: %w", err)
 		}
-		homes := parcore.Homes(dist.Graph, bnd, pod, opts.Cores)
-		syncs := parcore.ComputeSyncPlan(dist.Graph, bnd, pod, homes, opts.Cores, opts.Dynamics.LatencyFloorFunc())
-		chain = parcore.ChainMatrix(syncs)
+		homes = parcore.Homes(dist.Graph, bnd, pod, opts.Cores)
+		if piggy || opts.Sync == parcore.SyncAdaptive {
+			syncs := parcore.ComputeSyncPlan(dist.Graph, bnd, pod, homes, opts.Cores, opts.Dynamics.LatencyFloorFunc())
+			chain = parcore.ChainMatrix(syncs)
+		}
 	}
-	for i, c := range conns {
-		cfgJSON, err := json.Marshal(setup{
+	var oracle *bind.SummaryOracle
+	var summaries [][]topology.NodeID
+	cfgFor := func(i int) ([]byte, error) {
+		return json.Marshal(setup{
 			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
 			DataPlane: opts.DataPlane, DataAddrs: addrs,
 			NoBatch: opts.NoBatch, MaxDatagram: opts.MaxDatagram,
 			EdgeNodes: opts.EdgeNodes, RouteCache: opts.RouteCache, Hierarchical: opts.Hierarchical,
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
 			Edge: opts.Edge, Trace: opts.Trace, Metrics: opts.MetricsListen != "",
-			Sync: opts.Sync.String(),
+			Sync: opts.Sync.String(), Sharded: sharded, RunForNs: int64(opts.RunFor),
 		})
+	}
+	if sharded {
+		views, err := bind.BuildShardViews(dist.Graph, asn.Owner, asn.NodeOwner, asn.Cores)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fednet: shard views: %w", err)
 		}
-		var e wire.Enc
-		e.Blob(cfgJSON)
-		e.Blob(topoBin)
-		e.Blob(asnBin)
-		e.Blob(dynBin) // empty = no dynamics
-		if err := wire.WriteFrame(c, wire.TSetup, e.Bytes()); err != nil {
-			return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+		downSets, err := dynamics.EnumerateReroutes(opts.Dynamics, dist.Graph.NumLinks(), rerouteHorizon(opts.RunFor))
+		if err != nil {
+			return nil, fmt.Errorf("fednet: %w", err)
+		}
+		oracle = bind.NewSummaryOracle(dist.Graph, func(epoch int32) ([]topology.LinkID, error) {
+			if int(epoch) >= len(downSets) {
+				return nil, fmt.Errorf("fednet: reroute epoch %d outside the enumerated schedule (%d epochs)", epoch, len(downSets))
+			}
+			return downSets[epoch], nil
+		}, 0, 0)
+		world := wire.World{VNHome: make([]int32, bnd.NumVNs()), Homes: make([]int32, bnd.NumVNs())}
+		for v, n := range bnd.VNHome {
+			world.VNHome[v] = int32(n)
+			world.Homes[v] = int32(homes[v])
+		}
+		worldBin := wire.EncodeWorld(world)
+		summaries = make([][]topology.NodeID, opts.Cores)
+		for i, c := range conns {
+			cfgJSON, err := cfgFor(i)
+			if err != nil {
+				return nil, err
+			}
+			viewBin := wire.EncodeShardView(views[i])
+			summaries[i] = views[i].Summary
+			for _, sec := range []struct {
+				id   uint8
+				blob []byte
+			}{
+				{wire.SecConfig, cfgJSON}, {wire.SecView, viewBin},
+				{wire.SecWorld, worldBin}, {wire.SecDynamics, dynBin},
+			} {
+				for _, ch := range wire.Chunks(sec.id, sec.blob) {
+					if err := wire.WriteFrame(c, wire.TSetupChunk, ch.Encode()); err != nil {
+						return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+					}
+				}
+			}
+			opts.Log("fednet: shard %d view: %d of %d links, %d frontier nodes, %d summary nodes",
+				i, len(views[i].Links), dist.Graph.NumLinks(), len(views[i].Frontier), len(views[i].Summary))
+		}
+	} else {
+		topoBin := wire.EncodeTopology(dist.Graph)
+		asnBin := wire.EncodeAssignment(asn.Owner, asn.Cores)
+		for i, c := range conns {
+			cfgJSON, err := cfgFor(i)
+			if err != nil {
+				return nil, err
+			}
+			var e wire.Enc
+			e.Blob(cfgJSON)
+			e.Blob(topoBin)
+			e.Blob(asnBin)
+			e.Blob(dynBin) // empty = no dynamics
+			if err := wire.WriteFrame(c, wire.TSetup, e.Bytes()); err != nil {
+				return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+			}
 		}
 	}
 	var metrics *obs.Metrics
@@ -374,7 +451,10 @@ func Run(opts Options) (*Report, error) {
 		metricsAddr = addr
 		opts.Log("fednet: coordinator metrics on http://%s/metrics", addr)
 	}
-	tr := &coordTransport{conns: conns, timeout: opts.Timeout, metrics: metrics, piggy: piggy, chain: chain}
+	tr := &coordTransport{
+		conns: conns, timeout: opts.Timeout, metrics: metrics, piggy: piggy, chain: chain,
+		oracle: oracle, summaries: summaries,
+	}
 	tr.init(opts.Cores)
 	gatewayAddrs := make([]string, opts.Cores)
 	workerMetrics := make([]string, opts.Cores)
@@ -603,6 +683,14 @@ type coordTransport struct {
 	// senders' cumulative counters is j's in-flight message count.
 	acked []uint64
 
+	// oracle and summaries serve demand-paged route summaries under sharded
+	// distribution: a worker that misses a destination in its ShardTable
+	// sends TRouteReq on the control conn; read answers inline, so the RPC
+	// is always served while the coordinator awaits that worker's next
+	// protocol reply (a worker only pages routes while running its window).
+	oracle    *bind.SummaryOracle
+	summaries [][]topology.NodeID
+
 	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
 	messages uint64
 	// floor is the maximum virtual clock any worker has reported: the
@@ -671,19 +759,42 @@ func (t *coordTransport) expectFor(i int) []uint64 {
 func (t *coordTransport) Cores() int { return len(t.conns) }
 
 // read reads one control frame from worker i, surfacing worker errors.
+// Route-summary RPCs (TRouteReq) are served inline: the worker blocks on the
+// response mid-window, and the coordinator is by construction reading worker
+// i's conn whenever worker i can be running — so the RPC never deadlocks.
 func (t *coordTransport) read(i int) (uint8, []byte, error) {
 	c := t.conns[i]
-	if err := c.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
-		return 0, nil, err
+	for {
+		if err := c.SetReadDeadline(time.Now().Add(t.timeout)); err != nil {
+			return 0, nil, err
+		}
+		typ, body, err := wire.ReadFrame(c)
+		if err != nil {
+			return 0, nil, fmt.Errorf("fednet: shard %d: %w", i, err)
+		}
+		switch typ {
+		case wire.TError:
+			return 0, nil, fmt.Errorf("fednet: shard %d failed: %s", i, body)
+		case wire.TRouteReq:
+			if t.oracle == nil {
+				return 0, nil, fmt.Errorf("fednet: shard %d paged a route summary but the run is not sharded", i)
+			}
+			m, err := wire.DecodeRouteReq(body)
+			if err != nil {
+				return 0, nil, fmt.Errorf("fednet: shard %d route req: %w", i, err)
+			}
+			dists, err := t.oracle.Seeds(m.Epoch, topology.NodeID(m.Target), t.summaries[i])
+			if err != nil {
+				return 0, nil, fmt.Errorf("fednet: shard %d route req (epoch %d, target %d): %w", i, m.Epoch, m.Target, err)
+			}
+			resp := wire.RouteResp{Epoch: m.Epoch, Target: m.Target, Dists: dists}
+			if err := wire.WriteFrame(c, wire.TRouteResp, resp.Encode()); err != nil {
+				return 0, nil, fmt.Errorf("fednet: shard %d route resp: %w", i, err)
+			}
+		default:
+			return typ, body, nil
+		}
 	}
-	typ, body, err := wire.ReadFrame(c)
-	if err != nil {
-		return 0, nil, fmt.Errorf("fednet: shard %d: %w", i, err)
-	}
-	if typ == wire.TError {
-		return 0, nil, fmt.Errorf("fednet: shard %d failed: %s", i, body)
-	}
-	return typ, body, nil
 }
 
 // update folds worker i's cumulative send counters into the expectation

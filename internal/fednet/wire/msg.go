@@ -324,6 +324,7 @@ type PacketWire struct {
 	Injected int64
 	Lag      int64
 	Trace    uint64 // mode-invariant trace ID; 0 when tracing is off
+	Epoch    int32  // injection-time reroute epoch (pipes.Packet.Epoch)
 	Payload  []byte
 }
 
@@ -341,6 +342,7 @@ func appendPacketWire(e *Enc, p *PacketWire) {
 	e.I64(p.Injected)
 	e.I64(p.Lag)
 	e.U64(p.Trace)
+	e.I32(p.Epoch)
 	e.Blob(p.Payload)
 }
 
@@ -361,6 +363,7 @@ func decodePacketWire(d *Dec) PacketWire {
 	p.Injected = d.I64()
 	p.Lag = d.I64()
 	p.Trace = d.U64()
+	p.Epoch = d.I32()
 	p.Payload = append([]byte(nil), d.Blob()...)
 	return p
 }
@@ -434,7 +437,7 @@ type DataMsg struct {
 
 // dataMsgMinBytes is the encoded size of a DataMsg with an empty route and
 // payload, used to bounds-check batch element counts before allocating.
-const dataMsgMinBytes = 37 + 58
+const dataMsgMinBytes = 37 + 62
 
 // Encode returns the element's encoding (one slot of a batch body).
 func (m DataMsg) Encode() []byte {
@@ -571,6 +574,7 @@ func EncodePacket(pkt *pipes.Packet) (PacketWire, error) {
 		Injected: int64(pkt.Injected),
 		Lag:      int64(pkt.Lag),
 		Trace:    pkt.Trace,
+		Epoch:    pkt.Epoch,
 
 		Payload: pb,
 	}, nil
@@ -597,6 +601,7 @@ func (p *PacketWire) Packet() (*pipes.Packet, error) {
 		Injected: vtime.Time(p.Injected),
 		Lag:      vtime.Duration(p.Lag),
 		Trace:    p.Trace,
+		Epoch:    p.Epoch,
 		Payload:  payload,
 	}, nil
 }

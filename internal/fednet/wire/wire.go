@@ -40,7 +40,12 @@ import (
 // round trip per window, and TDataBatch carries a flush close marker (the
 // sender's cumulative channel count when a batch ends a flush) so a lost
 // datagram is diagnosable instead of a silent timeout.
-const Version = 6
+// Version 7 is the sharded-distribution protocol: setup travels as chunked
+// per-section TSetupChunk frames (a per-shard view instead of the whole
+// world), PacketWire carries the injection-time reroute epoch, and the
+// TRouteReq/TRouteResp pair demand-pages frontier route summaries from the
+// coordinator's oracle.
+const Version = 7
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -68,19 +73,46 @@ const (
 	TTrace      uint8 = 17 // worker -> coordinator: a chunk of trace events (before TReport)
 	TStep       uint8 = 18 // coordinator -> worker: one fused barrier step (await + apply + run + flush)
 	TStepDone   uint8 = 19 // worker -> coordinator: step complete: counts + post-step bounds
+	TSetupChunk uint8 = 20 // coordinator -> worker: one chunk of a sharded setup section
+	TRouteReq   uint8 = 21 // worker -> coordinator: demand-page one route summary (epoch, target)
+	TRouteResp  uint8 = 22 // coordinator -> worker: the requested summary distances
 )
 
 const headerBytes = 6 // u32 length + u8 version + u8 type
 
-// AppendFrame appends a complete frame to dst and returns the result.
+// oversizeErr names the limit loudly: a body this large means a setup or
+// batch producer failed to chunk, and the receiver would reject the length
+// field as corruption — so the sender fails first, with the real cause.
+func oversizeErr(typ uint8, n int) error {
+	return fmt.Errorf("wire: frame type %d body is %d bytes, exceeding MaxFrame (%d bytes / 64MB); the payload must be chunked (TSetupChunk / TDataBatch), not sent as one frame", typ, n, MaxFrame)
+}
+
+// AppendFrame appends a complete frame to dst and returns the result. It
+// panics on a body that exceeds MaxFrame — senders with an error path should
+// use WriteFrame or check CheckFrameSize first.
 func AppendFrame(dst []byte, typ uint8, body []byte) []byte {
+	if err := CheckFrameSize(typ, body); err != nil {
+		panic(err)
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)+2))
 	dst = append(dst, Version, typ)
 	return append(dst, body...)
 }
 
-// WriteFrame writes one frame to w.
+// CheckFrameSize reports whether body fits in one frame under MaxFrame.
+func CheckFrameSize(typ uint8, body []byte) error {
+	if len(body)+2 > MaxFrame {
+		return oversizeErr(typ, len(body))
+	}
+	return nil
+}
+
+// WriteFrame writes one frame to w, rejecting oversize bodies with an
+// explicit error instead of emitting a frame the peer will treat as corrupt.
 func WriteFrame(w io.Writer, typ uint8, body []byte) error {
+	if err := CheckFrameSize(typ, body); err != nil {
+		return err
+	}
 	buf := AppendFrame(make([]byte, 0, headerBytes+len(body)), typ, body)
 	_, err := w.Write(buf)
 	return err

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"modelnet/internal/bind"
@@ -20,6 +22,7 @@ import (
 	"modelnet/internal/obs"
 	"modelnet/internal/parcore"
 	"modelnet/internal/pipes"
+	"modelnet/internal/topology"
 	"modelnet/internal/vtime"
 )
 
@@ -82,6 +85,13 @@ type workerState struct {
 	dp     *dataPlane
 	gw     *edge.Gateway // live edge gateway; nil without a homed lease
 
+	// table is the shard-local route table under sharded distribution; nil
+	// on the monolithic path. setupBytes and startupWallNs price what the
+	// distribution cost this worker (first-class BENCH columns).
+	table         *bind.ShardTable
+	setupBytes    uint64
+	startupWallNs int64
+
 	sent       []uint64 // cumulative messages sent per peer shard
 	deliveries []float64
 	report     func() json.RawMessage
@@ -139,12 +149,43 @@ func (w *workerState) run() error {
 	if err != nil {
 		return err
 	}
-	if typ != wire.TSetup {
+	start := time.Now()
+	switch typ {
+	case wire.TSetup:
+		w.setupBytes = uint64(len(body))
+		if err := w.setup(body, udp, tcpLn); err != nil {
+			return err
+		}
+	case wire.TSetupChunk:
+		// Sharded distribution: the setup arrives as chunked sections. Keep
+		// reading chunks until all four sections are complete.
+		asm := wire.NewChunkAssembler()
+		for {
+			w.setupBytes += uint64(len(body))
+			ch, err := wire.DecodeSetupChunk(body)
+			if err != nil {
+				return fmt.Errorf("fednet: setup chunk: %w", err)
+			}
+			if err := asm.Add(ch); err != nil {
+				return fmt.Errorf("fednet: setup chunk: %w", err)
+			}
+			if _, err := asm.Require(wire.SecConfig, wire.SecView, wire.SecWorld, wire.SecDynamics); err == nil {
+				break
+			}
+			if typ, body, err = w.readControl(); err != nil {
+				return err
+			}
+			if typ != wire.TSetupChunk {
+				return fmt.Errorf("fednet: expected setup chunk, got frame type %d", typ)
+			}
+		}
+		if err := w.setupSharded(asm, udp, tcpLn); err != nil {
+			return err
+		}
+	default:
 		return fmt.Errorf("fednet: expected setup, got frame type %d", typ)
 	}
-	if err := w.setup(body, udp, tcpLn); err != nil {
-		return err
-	}
+	w.startupWallNs = int64(time.Since(start))
 	tcpLn.Close() // mesh is up; no further data-plane joins
 	w.opts.Log("fednet worker: shard %d/%d up (%s data plane, %d VNs homed)",
 		w.cfg.Shard, w.cfg.Cores, w.cfg.DataPlane, w.homedVNs())
@@ -179,7 +220,21 @@ func (w *workerState) homedVNs() int {
 	return n
 }
 
-// setup rebuilds the shard from the coordinator's distributed state.
+// decodeConfig unmarshals and sanity-checks the setup's JSON config section.
+func (w *workerState) decodeConfig(cfgJSON []byte) error {
+	if err := json.Unmarshal(cfgJSON, &w.cfg); err != nil {
+		return fmt.Errorf("fednet: setup config: %w", err)
+	}
+	cfg := &w.cfg
+	if cfg.Shard < 0 || cfg.Cores < 2 || cfg.Shard >= cfg.Cores || len(cfg.DataAddrs) != cfg.Cores {
+		return fmt.Errorf("fednet: inconsistent setup: shard %d of %d, %d data addrs", cfg.Shard, cfg.Cores, len(cfg.DataAddrs))
+	}
+	return nil
+}
+
+// setup rebuilds the shard from the coordinator's monolithic distributed
+// state: the whole topology and assignment, routes recomputed locally. This
+// is the live-edge path; sharded runs arrive as setupSharded's chunks.
 func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) error {
 	d := wire.NewDec(body)
 	cfgJSON := d.Blob()
@@ -189,13 +244,10 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("fednet: setup frame: %w", err)
 	}
-	if err := json.Unmarshal(cfgJSON, &w.cfg); err != nil {
-		return fmt.Errorf("fednet: setup config: %w", err)
+	if err := w.decodeConfig(cfgJSON); err != nil {
+		return err
 	}
 	cfg := &w.cfg
-	if cfg.Shard < 0 || cfg.Cores < 2 || cfg.Shard >= cfg.Cores || len(cfg.DataAddrs) != cfg.Cores {
-		return fmt.Errorf("fednet: inconsistent setup: shard %d of %d, %d data addrs", cfg.Shard, cfg.Cores, len(cfg.DataAddrs))
-	}
 	g, err := wire.DecodeTopology(topoBin)
 	if err != nil {
 		return fmt.Errorf("fednet: setup topology: %w", err)
@@ -228,6 +280,142 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 		return fmt.Errorf("fednet: bind: %w", err)
 	}
 	homes := parcore.Homes(g, b, pod, cores)
+	return w.build(g, b, pod, homes, dyn, udp, tcpLn)
+}
+
+// setupSharded rebuilds the shard from its chunked per-shard view: a
+// skeleton graph over the global ID spaces with only the view's links real,
+// a hand-assembled binding from the shipped VN world map (bind.Bind's client
+// scan would misread a skeleton), and a demand-paged ShardTable in place of
+// the O(n²) route matrix.
+func (w *workerState) setupSharded(asm *wire.ChunkAssembler, udp *net.UDPConn, tcpLn net.Listener) error {
+	secs, err := asm.Require(wire.SecConfig, wire.SecView, wire.SecWorld, wire.SecDynamics)
+	if err != nil {
+		return fmt.Errorf("fednet: sharded setup: %w", err)
+	}
+	if err := w.decodeConfig(secs[wire.SecConfig]); err != nil {
+		return err
+	}
+	cfg := &w.cfg
+	if !cfg.Sharded {
+		return fmt.Errorf("fednet: chunked setup without the sharded flag")
+	}
+	view, err := wire.DecodeShardView(secs[wire.SecView])
+	if err != nil {
+		return fmt.Errorf("fednet: setup view: %w", err)
+	}
+	if view.Shard != cfg.Shard || view.Cores != cfg.Cores {
+		return fmt.Errorf("fednet: view is for shard %d of %d, setup says %d of %d", view.Shard, view.Cores, cfg.Shard, cfg.Cores)
+	}
+	world, err := wire.DecodeWorld(secs[wire.SecWorld])
+	if err != nil {
+		return fmt.Errorf("fednet: setup world: %w", err)
+	}
+	var dyn *dynamics.Spec
+	if dynBin := secs[wire.SecDynamics]; len(dynBin) > 0 {
+		if dyn, err = dynamics.Decode(dynBin); err != nil {
+			return fmt.Errorf("fednet: setup dynamics: %w", err)
+		}
+	}
+	g, err := view.Skeleton()
+	if err != nil {
+		return fmt.Errorf("fednet: setup skeleton: %w", err)
+	}
+	// Dense owner vector over the global pipe ID space; -1 marks pipes
+	// outside the view, which the sparse emulator never materializes.
+	ownerDense := make([]int, view.NumLinks)
+	for i := range ownerDense {
+		ownerDense[i] = -1
+	}
+	for i, l := range view.Links {
+		ownerDense[l.ID] = int(view.LinkOwner[i])
+	}
+	pod := bind.NewPOD(ownerDense, cfg.Cores)
+
+	numVNs := len(world.VNHome)
+	b := &bind.Binding{
+		VNHome:   make([]topology.NodeID, numVNs),
+		VNOfNode: make([]pipes.VN, view.NumNodes),
+		EdgeOf:   make([]int, numVNs),
+	}
+	for i := range b.VNOfNode {
+		b.VNOfNode[i] = -1
+	}
+	homes := make([]int, numVNs)
+	for v := range world.VNHome {
+		n := world.VNHome[v]
+		if int(n) >= view.NumNodes {
+			return fmt.Errorf("fednet: world maps VN %d to node %d, view has %d nodes", v, n, view.NumNodes)
+		}
+		if h := world.Homes[v]; int(h) >= cfg.Cores {
+			return fmt.Errorf("fednet: world homes VN %d on shard %d of %d", v, h, cfg.Cores)
+		}
+		b.VNHome[v] = topology.NodeID(n)
+		b.VNOfNode[n] = pipes.VN(v)
+		homes[v] = int(world.Homes[v])
+	}
+	// Edge/core multiplexing mirrors bind.Bind on the same inputs.
+	edges := cfg.EdgeNodes
+	if edges <= 0 {
+		edges = numVNs
+	}
+	for v := range b.EdgeOf {
+		b.EdgeOf[v] = v % edges
+	}
+	b.CoreOf = make([]int, edges)
+	for e := range b.CoreOf {
+		b.CoreOf[e] = e % cfg.Cores
+	}
+
+	table, err := bind.NewShardTable(g, view, b.VNHome, w.routeSeed, 0)
+	if err != nil {
+		return fmt.Errorf("fednet: shard table: %w", err)
+	}
+	// Preload the full reroute epoch schedule over the coordinator's exact
+	// horizon: a faster peer can tunnel a packet pinned to an epoch this
+	// shard's own dynamics replay has not reached yet, and Extend must be
+	// able to serve it.
+	downSets, err := dynamics.EnumerateReroutes(dyn, view.NumLinks, rerouteHorizon(vtime.Duration(cfg.RunForNs)))
+	if err != nil {
+		return fmt.Errorf("fednet: %w", err)
+	}
+	table.SetEpochs(downSets)
+	b.Table = table
+	w.table = table
+	return w.build(g, b, pod, homes, dyn, udp, tcpLn)
+}
+
+// routeSeed is the worker's bind.SeedFunc: one TRouteReq/TRouteResp round
+// trip on the control conn. The coordinator serves the request inline from
+// whichever read it is blocked in, and a worker only pages routes while the
+// coordinator awaits its next protocol reply, so the RPC cannot deadlock.
+func (w *workerState) routeSeed(epoch int32, target topology.NodeID) ([]bind.Dist, error) {
+	if err := w.send(wire.TRouteReq, wire.RouteReq{Epoch: epoch, Target: int32(target)}.Encode()); err != nil {
+		return nil, err
+	}
+	typ, body, err := w.readControl()
+	if err != nil {
+		return nil, err
+	}
+	if typ != wire.TRouteResp {
+		return nil, fmt.Errorf("fednet: expected route resp, got frame type %d", typ)
+	}
+	m, err := wire.DecodeRouteResp(body)
+	if err != nil {
+		return nil, err
+	}
+	if m.Epoch != epoch || topology.NodeID(m.Target) != target {
+		return nil, fmt.Errorf("fednet: route resp for epoch %d node %d, asked for %d/%d", m.Epoch, m.Target, epoch, target)
+	}
+	return m.Dists, nil
+}
+
+// build finishes shard construction from either setup path: sync plan,
+// scheduler, emulator (sparse under a shard table), dynamics, data plane,
+// scenario install, gateway.
+func (w *workerState) build(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, dyn *dynamics.Spec, udp *net.UDPConn, tcpLn net.Listener) error {
+	cfg := &w.cfg
+	cores := cfg.Cores
 	mode, err := parcore.ParseSyncMode(cfg.Sync)
 	if err != nil {
 		return err
@@ -239,7 +427,11 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	}
 	w.sched = vtime.NewScheduler()
 	w.outbox = parcore.NewOutbox(cfg.Shard, cores, w.sched)
-	w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
+	if w.table != nil {
+		w.emu, err = emucore.NewShardSparse(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
+	} else {
+		w.emu, err = emucore.NewShard(w.sched, g, b, pod, cfg.Profile, cfg.Seed, cfg.Shard, homes, w.outbox.Handoff)
+	}
 	if err != nil {
 		return fmt.Errorf("fednet: shard emulator: %w", err)
 	}
@@ -260,8 +452,14 @@ func (w *workerState) setup(body []byte, udp *net.UDPConn, tcpLn net.Listener) e
 	// Attach dynamics before the scenario installs its workload, so the
 	// step events precede same-time workload events in the scheduler's
 	// tie-break — identically to the sequential and in-process modes.
-	if _, err := dynamics.Attach(w.sched, w.emu, dyn); err != nil {
+	eng, err := dynamics.Attach(w.sched, w.emu, dyn)
+	if err != nil {
 		return fmt.Errorf("fednet: dynamics: %w", err)
+	}
+	if eng != nil && w.table != nil {
+		// Sharded workers have no global matrix to rebuild; a reroute just
+		// advances the table to the next preloaded epoch.
+		eng.OnReroute = func([]topology.LinkID) { w.table.Advance() }
 	}
 	if cfg.CollectDeliveries {
 		w.emu.OnDeliver = func(_ *pipes.Packet, at vtime.Time) {
@@ -335,6 +533,28 @@ func (w *workerState) flushOutbox() error {
 	return w.outbox.Flush(dataSender{w})
 }
 
+// extendRoutes grows each tunneled packet's route segment through this
+// shard's region under the packet's pinned reroute epoch (bind.ShardTable
+// route segments end at the first foreign pipe). Must run before the applier
+// so synchronization pricing sees the extended route. No-op on the
+// monolithic path, whose routes are complete at injection.
+func (w *workerState) extendRoutes(msgs []parcore.Msg) error {
+	if w.table == nil {
+		return nil
+	}
+	for _, m := range msgs {
+		if m.Pid < 0 || m.Pkt == nil {
+			continue // delivery completion, not a tunneled enqueue
+		}
+		r, err := w.table.Extend(bind.Route(m.Pkt.Route), m.Pkt.Epoch, m.Pkt.Dst)
+		if err != nil {
+			return fmt.Errorf("fednet: shard %d: %w", w.cfg.Shard, err)
+		}
+		m.Pkt.Route = r
+	}
+	return nil
+}
+
 func (w *workerState) counts() wire.Counts {
 	return wire.Counts{Now: int64(w.sched.Now()), Sent: append([]uint64(nil), w.sent...)}
 }
@@ -381,6 +601,9 @@ func (w *workerState) serve() error {
 			}
 			t1 := time.Now()
 			w.prof.WaitWallNs += uint64(t1.Sub(t0))
+			if err := w.extendRoutes(msgs); err != nil {
+				return err
+			}
 			if err := w.applier.Apply(msgs); err != nil {
 				return err
 			}
@@ -424,6 +647,9 @@ func (w *workerState) serve() error {
 			t0 := time.Now()
 			msgs, err := w.col.wait(m.Expect, w.opts.Timeout)
 			if err != nil {
+				return err
+			}
+			if err := w.extendRoutes(msgs); err != nil {
 				return err
 			}
 			if err := w.applier.Apply(msgs); err != nil {
@@ -475,6 +701,9 @@ func (w *workerState) step(body []byte) error {
 	}
 	t1 := time.Now()
 	w.prof.WaitWallNs += uint64(t1.Sub(t0))
+	if err := w.extendRoutes(msgs); err != nil {
+		return err
+	}
 	if err := w.applier.Apply(msgs); err != nil {
 		return err
 	}
@@ -540,18 +769,28 @@ func (w *workerState) updateMetrics() {
 // recorded trace events streamed as TTrace chunks.
 func (w *workerState) finish() error {
 	rep := WorkerReport{
-		Shard:       w.cfg.Shard,
-		Totals:      w.emu.Totals(),
-		Accuracy:    w.emu.Accuracy,
-		NowNs:       int64(w.sched.Now()),
-		Frames:      w.dp.frames,
-		BytesOnWire: w.dp.bytes,
-		Deliveries:  w.deliveries,
-		PipeDrops:   make([]uint64, w.emu.NumPipes()),
-		Profile:     w.prof,
+		Shard:             w.cfg.Shard,
+		Totals:            w.emu.Totals(),
+		Accuracy:          w.emu.Accuracy,
+		NowNs:             int64(w.sched.Now()),
+		Frames:            w.dp.frames,
+		BytesOnWire:       w.dp.bytes,
+		SetupBytes:        w.setupBytes,
+		StartupWallNs:     w.startupWallNs,
+		PeakRSSBytes:      peakRSSBytes(),
+		MaterializedPipes: w.emu.MaterializedPipes(),
+		Deliveries:        w.deliveries,
+		PipeDrops:         make([]uint64, w.emu.NumPipes()),
+		Profile:           w.prof,
+	}
+	if w.table != nil {
+		rep.RouteRPCs = w.table.SeedRPCs
 	}
 	for i := range rep.PipeDrops {
-		rep.PipeDrops[i] = w.emu.Pipe(pipes.ID(i)).TotalDrops()
+		// Unmaterialized slots (sparse shard views) have no pipe to ask.
+		if p := w.emu.Pipe(pipes.ID(i)); p != nil {
+			rep.PipeDrops[i] = p.TotalDrops()
+		}
 	}
 	rep.DropsByReason = w.emu.DropsByReason()
 	cs := w.emu.CoreStats(w.cfg.Shard)
@@ -584,6 +823,30 @@ func (w *workerState) finish() error {
 		return err
 	}
 	return w.send(wire.TReport, body)
+}
+
+// peakRSSBytes reads the process's high-water resident set (VmHWM) from
+// procfs; 0 where unavailable.
+func peakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
 }
 
 // MaybeRunWorker turns the current process into a federation worker when

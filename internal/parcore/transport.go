@@ -580,7 +580,11 @@ func ComputeSync(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int,
 func ComputeSyncFloor(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []int, k int, floor func(topology.LinkID, vtime.Duration) vtime.Duration) []ShardSync {
 	sync := make([]ShardSync, k)
 	for _, l := range g.Links {
-		o := pod.Owner(pipes.ID(l.ID)) % k
+		ow := pod.Owner(pipes.ID(l.ID))
+		if ow < 0 {
+			continue // sparse worlds: placeholder slot outside this shard's view
+		}
+		o := ow % k
 		border := false
 		for _, nid := range g.Out(l.Dst) {
 			if pod.Owner(pipes.ID(nid))%k != o {
@@ -637,7 +641,11 @@ func ComputeSyncPlan(g *topology.Graph, b *bind.Binding, pod *bind.POD, homes []
 	}
 	for _, l := range g.Links {
 		id := int(l.ID)
-		owner[id] = pod.Owner(pipes.ID(l.ID)) % k
+		ow := pod.Owner(pipes.ID(l.ID))
+		if ow < 0 {
+			continue // sparse worlds: placeholder slot, owner stays -1
+		}
+		owner[id] = ow % k
 		la := vtime.DurationOf(l.Attr.LatencySec)
 		if floor != nil {
 			la = floor(l.ID, la)

@@ -34,6 +34,13 @@ type Packet struct {
 	Injected vtime.Time
 	Lag      vtime.Duration
 
+	// Epoch is the reroute epoch the packet's route was resolved under,
+	// pinned at injection. Sharded workers extend a tunneled packet's route
+	// with this epoch's distance fields, so an in-flight packet follows the
+	// exact route the injection-time table produced even when reroutes land
+	// while it crosses shards. Always 0 for tables without epochs (Matrix).
+	Epoch int32
+
 	// Trace is the packet's mode-invariant trace ID (src VN in the high 32
 	// bits, the per-source injection ordinal in the low 32), minted by the
 	// observability tracer at injection. Zero when tracing is disabled.

@@ -61,7 +61,8 @@ type Pipe struct {
 
 	lastTxDone vtime.Time // when the transmitter becomes free
 	lastExit   vtime.Time // latest exit handed out; keeps the delay line FIFO
-	rng        *rand.Rand
+	seed       int64
+	rng        *rand.Rand // built on first draw: ~5 KB of generator state
 	red        redState
 
 	// Stats.
@@ -73,11 +74,24 @@ type Pipe struct {
 }
 
 // New returns a pipe with the given identity and parameters. seed
-// determinizes the pipe's random loss and RED decisions.
+// determinizes the pipe's random loss and RED decisions. The generator
+// itself is built on first draw: its state dwarfs the rest of the pipe, and
+// at 10⁵-link scale most pipes never make a random decision.
 func New(id ID, params Params, seed int64) *Pipe {
-	p := &Pipe{id: id, params: params, rng: rand.New(rand.NewSource(seed ^ int64(id)*0x1e3779b97f4a7c15))}
+	p := &Pipe{id: id, params: params, seed: seed}
 	p.red.init()
 	return p
+}
+
+// random returns the pipe's deterministic generator, building it on first
+// use. The draw sequence is a function of (seed, id) alone, so a pipe that
+// turns lossy mid-run (dynamics) sees the same sequence it would have seen
+// with an eager generator.
+func (p *Pipe) random() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.seed ^ int64(p.id)*0x1e3779b97f4a7c15))
+	}
+	return p.rng
 }
 
 // ID returns the pipe's identity.
@@ -120,14 +134,14 @@ func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
 	}
 
 	// Random loss first: it models lossy media, independent of queueing.
-	if p.params.LossRate > 0 && p.rng.Float64() < p.params.LossRate {
+	if p.params.LossRate > 0 && p.random().Float64() < p.params.LossRate {
 		p.Drops[DropRandomLoss]++
 		return DropRandomLoss, 0
 	}
 
 	qlen := p.QueueLen(now)
 	if p.params.RED != nil {
-		if p.red.shouldDrop(p.params.RED, qlen, now, p.rng) {
+		if p.red.shouldDrop(p.params.RED, qlen, now, p.random()) {
 			p.Drops[DropRED]++
 			return DropRED, 0
 		}

@@ -271,6 +271,42 @@ func (g *Graph) Clone() *Graph {
 	return ng
 }
 
+// NewSkeleton builds a sparse graph over the full ID spaces of a larger
+// world: numNodes anonymous nodes and numLinks link slots, of which only the
+// given links are real. Real links keep their global IDs (each must satisfy
+// 0 ≤ ID < numLinks); the remaining slots hold zero-valued placeholders whose
+// ID is set but whose endpoints must never be dereferenced. Adjacency is
+// built over real links only, so Out() at any node enumerates exactly the
+// view's links. This is the worker-side shape of a sharded world: global IDs
+// stay valid as array indexes while only O(shard) links carry data.
+func NewSkeleton(numNodes, numLinks int, links []Link) (*Graph, error) {
+	g := &Graph{
+		Nodes: make([]Node, numNodes),
+		Links: make([]Link, numLinks),
+		out:   make([][]LinkID, numNodes),
+	}
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{ID: NodeID(i), Kind: Stub}
+	}
+	for i := range g.Links {
+		g.Links[i] = Link{ID: LinkID(i), Src: -1, Dst: -1}
+	}
+	for _, l := range links {
+		if l.ID < 0 || int(l.ID) >= numLinks {
+			return nil, fmt.Errorf("topology: skeleton link ID %d outside %d slots", l.ID, numLinks)
+		}
+		if !g.valid(l.Src) || !g.valid(l.Dst) {
+			return nil, fmt.Errorf("topology: skeleton link %d has endpoint out of range", l.ID)
+		}
+		if g.Links[l.ID].Src >= 0 {
+			return nil, fmt.Errorf("topology: skeleton link ID %d listed twice", l.ID)
+		}
+		g.Links[l.ID] = l
+		g.out[l.Src] = append(g.out[l.Src], l.ID)
+	}
+	return g, nil
+}
+
 // AnnotateClass sets the attributes of every link in the given class.
 // It returns the number of links updated. Users annotate GML graphs with
 // attributes not provided by the source (§2.1).
