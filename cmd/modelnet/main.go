@@ -51,6 +51,13 @@
 // mid-run (routes reconverge); it derives its own dynamics spec:
 //
 //	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal -fedscenario flaky-edge
+//
+// Checkpoint/restart (-recover, DESIGN.md §8) makes a spawned federation
+// survive worker-process death: the coordinator respawns the dead shard and
+// replays its rounds, and the run finishes byte-identical to a crash-free
+// one. -fail plants a crash on purpose (the fault-injection harness):
+//
+//	modelnet -federate 127.0.0.1:0 -fedspawn -cores 2 -ideal -recover -fail 1@3:sigkill
 package main
 
 import (
@@ -105,6 +112,10 @@ func main() {
 	fedScenario := flag.String("fedscenario", experiments.ScenarioRingCBR, "with -federate: registered scenario to run")
 	fedBatch := flag.Bool("batch", true, "with -federate: coalesce each window's tunnel messages per peer into batch frames (-batch=0 = one frame per message)")
 	fedMaxDgram := flag.Int("fedmaxdgram", 0, "with -federate: UDP data-plane datagram bound in bytes (0 = default)")
+	fedRecover := flag.Bool("recover", false, "with -federate -fedspawn: checkpoint/restart — respawn and replay any worker process that dies mid-run")
+	ckptEvery := flag.Int("ckpt-every", 0, "with -recover: checkpoint period in step rounds (0 = default)")
+	ckptDir := flag.String("ckpt-dir", "", "with -recover: persist per-shard checkpoint digests under this directory")
+	fedFail := flag.String("fail", "", "with -federate: plant a worker fault 'SHARD@ROUND[:exit|sigkill]' (the crash-sweep harness; pair with -recover to watch the restart)")
 	edgeListen := flag.String("edge-listen", "", "with -federate: live edge gateway UDP address (implies -realtime)")
 	edgeMap := flag.String("edge-map", "", "with -edge-listen: mappings 'vn>dstvn:dstport' or 'vn@peerip:port>dstvn:dstport', comma-separated")
 	realTime := flag.Bool("realtime", false, "with -federate: pace window release against the wall clock (virtual ns = wall ns)")
@@ -153,7 +164,12 @@ func main() {
 			EdgeListen: *edgeListen, EdgeMap: *edgeMap,
 			RealTime: *realTime || *edgeListen != "", Pace: *pace,
 		}
-		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, live, obsOut, opts)
+		fail, err := parseFailSpec(*fedFail)
+		if err != nil {
+			fatal(err)
+		}
+		rec := recoverOptions{Recover: *fedRecover, CkptEvery: *ckptEvery, CkptDir: *ckptDir, Fail: fail}
+		federateMain(*federate, *fedSpawn, *fedData, *fedScenario, *duration, !*fedBatch, *fedMaxDgram, live, rec, obsOut, opts)
 		return
 	}
 
@@ -342,6 +358,35 @@ type liveOptions struct {
 	Pace       time.Duration
 }
 
+// recoverOptions carry the CLI's fault-tolerance knobs into federateMain.
+type recoverOptions struct {
+	Recover   bool
+	CkptEvery int
+	CkptDir   string
+	Fail      *modelnet.FailSpec
+}
+
+// parseFailSpec parses -fail's 'SHARD@ROUND[:exit|sigkill]' syntax.
+func parseFailSpec(s string) (*modelnet.FailSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	spec, mode, _ := strings.Cut(s, ":")
+	shardStr, roundStr, ok := strings.Cut(spec, "@")
+	if !ok {
+		return nil, fmt.Errorf("-fail %q: want SHARD@ROUND[:exit|sigkill]", s)
+	}
+	shard, err := strconv.Atoi(shardStr)
+	if err != nil {
+		return nil, fmt.Errorf("-fail %q: bad shard: %v", s, err)
+	}
+	round, err := strconv.Atoi(roundStr)
+	if err != nil {
+		return nil, fmt.Errorf("-fail %q: bad round: %v", s, err)
+	}
+	return &modelnet.FailSpec{Shard: shard, Round: round, Mode: mode}, nil
+}
+
 // obsOptions carry the CLI's observability knobs (internal/obs).
 type obsOptions struct {
 	TraceOut      string
@@ -522,7 +567,7 @@ func mustUDPAddr(s string) *net.UDPAddr {
 }
 
 // federateMain coordinates a multi-process run of a registered scenario.
-func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, live liveOptions, obsOut obsOptions, opts Options) {
+func federateMain(listen string, spawn bool, dataPlane, scenario string, duration float64, noBatch bool, maxDgram int, live liveOptions, rec recoverOptions, obsOut obsOptions, opts Options) {
 	opts.Federate = &modelnet.FederateOptions{
 		Listen:        listen,
 		DataPlane:     dataPlane,
@@ -532,6 +577,10 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 		RealTime:      live.RealTime,
 		Pace:          modelnet.Duration(live.Pace),
 		MetricsListen: obsOut.MetricsListen,
+		Recover:       rec.Recover,
+		CkptEvery:     rec.CkptEvery,
+		CkptDir:       rec.CkptDir,
+		Fail:          rec.Fail,
 	}
 	if live.EdgeListen != "" {
 		maps, err := parseEdgeMaps(live.EdgeMap)
@@ -637,6 +686,10 @@ func federateMain(listen string, spawn bool, dataPlane, scenario string, duratio
 	srp := rep.RunProfile()
 	fmt.Printf("sync   : %s (cut: %d pipes, floor %v)\n",
 		srp.SyncLine(), rep.Cut.CutPipes, rep.Lookahead)
+	if rep.Recoveries > 0 {
+		fmt.Printf("recover: %d worker crash(es) recovered in %.1f ms, round replay included\n",
+			rep.Recoveries, float64(rep.RecoveryWallNs)/1e6)
+	}
 	fmt.Printf("wire   : %d data-plane frames, %.1f MB on the wire (%.1f messages/frame)\n",
 		rep.Frames, float64(rep.BytesOnWire)/1e6, float64(rep.Sync.Messages)/float64(max(rep.Frames, 1)))
 	for _, w := range rep.Workers {

@@ -177,6 +177,13 @@ type Engine struct {
 	// cross-mode determinism probes.
 	Applied  uint64
 	Reroutes uint64
+
+	// Cursor tracking for Snapshot: the current cycle base per profile and
+	// the fire times of scheduled-but-unfired reroutes (sorted ascending;
+	// a reroute can outlive its cycle when the reconvergence delay spans a
+	// loop boundary). nil bases = tracking off (EnumerateReroutes replays).
+	bases           []vtime.Time
+	pendingReroutes []vtime.Time
 }
 
 // Attach validates the spec against the emulator's pipe set and schedules
@@ -192,8 +199,9 @@ func Attach(sched *vtime.Scheduler, emu *emucore.Emulator, spec *Spec) (*Engine,
 		return nil, err
 	}
 	e := &Engine{spec: spec, sched: sched, emu: emu, down: map[topology.LinkID]bool{}}
+	e.bases = make([]vtime.Time, len(spec.Profiles))
 	for i := range spec.Profiles {
-		e.scheduleCycle(&spec.Profiles[i], sched.Now())
+		e.scheduleCycle(i, sched.Now())
 	}
 	return e, nil
 }
@@ -203,19 +211,37 @@ func Attach(sched *vtime.Scheduler, emu *emucore.Emulator, spec *Spec) (*Engine,
 // schedules the cycle after it. Reroutes are scheduled here too (their
 // times are static functions of the spec), so their tie-order against
 // everything else is fixed at attach time.
-func (e *Engine) scheduleCycle(p *Profile, base vtime.Time) {
+func (e *Engine) scheduleCycle(pi int, base vtime.Time) {
+	p := &e.spec.Profiles[pi]
+	if e.bases != nil {
+		e.bases[pi] = base
+	}
 	for _, st := range p.Steps {
 		st := st
 		at := base.Add(st.At)
 		e.sched.At(at, func() { e.apply(p.Link, st) })
 		if (st.Down || st.Up) && e.spec.Reroute {
-			e.sched.At(at.Add(e.spec.rerouteDelay()), e.reroute)
+			rt := at.Add(e.spec.rerouteDelay())
+			e.trackReroute(rt)
+			e.sched.At(rt, e.reroute)
 		}
 	}
 	if p.Loop > 0 {
 		next := base.Add(p.Loop)
-		e.sched.At(next, func() { e.scheduleCycle(p, next) })
+		e.sched.At(next, func() { e.scheduleCycle(pi, next) })
 	}
+}
+
+// trackReroute records a scheduled reroute's fire time, keeping the pending
+// list sorted (appends arrive per-profile, not in global time order).
+func (e *Engine) trackReroute(rt vtime.Time) {
+	if e.bases == nil {
+		return
+	}
+	i := sort.Search(len(e.pendingReroutes), func(i int) bool { return e.pendingReroutes[i] > rt })
+	e.pendingReroutes = append(e.pendingReroutes, 0)
+	copy(e.pendingReroutes[i+1:], e.pendingReroutes[i:])
+	e.pendingReroutes[i] = rt
 }
 
 // apply installs one step on its pipe, keeping Unchanged fields. Down-state
@@ -280,6 +306,10 @@ func (e *Engine) downList() []topology.LinkID {
 // their table's epoch; replays snapshot the down-set).
 func (e *Engine) reroute() {
 	e.Reroutes++
+	if e.bases != nil && len(e.pendingReroutes) > 0 {
+		// Events fire in time order, so the front entry is this reroute.
+		e.pendingReroutes = e.pendingReroutes[:copy(e.pendingReroutes, e.pendingReroutes[1:])]
+	}
 	if e.emu != nil && e.emu.Shard() <= 0 {
 		e.emu.Trace.Reroute(e.sched.Now()) // once per mode, as in apply
 	}
@@ -337,7 +367,7 @@ func EnumerateReroutes(spec *Spec, numLinks int, horizon vtime.Duration) ([][]to
 		sets = append(sets, down)
 	}
 	for i := range spec.Profiles {
-		e.scheduleCycle(&spec.Profiles[i], sched.Now())
+		e.scheduleCycle(i, sched.Now())
 	}
 	limit := vtime.Time(0).Add(horizon)
 	for sched.Pending() > 0 && sched.NextEventTime() <= limit {

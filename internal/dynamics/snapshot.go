@@ -1,0 +1,163 @@
+package dynamics
+
+// Engine snapshot/restore: the dynamics cursor — which cycle each profile is
+// in, which reroutes are scheduled but unfired, the down-set, and the step
+// counters. The spec itself is a pure value the caller already has (it ships
+// bit-exact in the federated setup frame), so a snapshot only records where
+// in the spec's schedule the engine stands.
+
+import (
+	"fmt"
+	"sort"
+
+	"modelnet/internal/emucore"
+	"modelnet/internal/topology"
+	"modelnet/internal/vtime"
+)
+
+// EngineState is an engine's serializable cursor.
+type EngineState struct {
+	Applied  uint64
+	Reroutes uint64
+	// Down is the sorted set of currently-failed links.
+	Down []topology.LinkID
+	// Bases holds each profile's current cycle base, index-aligned with
+	// Spec.Profiles.
+	Bases []vtime.Time
+	// PendingReroutes lists the fire times of scheduled-but-unfired
+	// reroutes, ascending.
+	PendingReroutes []vtime.Time
+}
+
+// Snapshot captures the engine's cursor. The engine must have been built by
+// Attach (replay engines from EnumerateReroutes do not track their cursor).
+func (e *Engine) Snapshot() (EngineState, error) {
+	if e.bases == nil {
+		return EngineState{}, fmt.Errorf("dynamics: Snapshot on a non-tracking engine")
+	}
+	st := EngineState{
+		Applied:         e.Applied,
+		Reroutes:        e.Reroutes,
+		Down:            e.downList(),
+		Bases:           append([]vtime.Time(nil), e.bases...),
+		PendingReroutes: append([]vtime.Time(nil), e.pendingReroutes...),
+	}
+	return st, nil
+}
+
+// AttachRestored rebuilds a snapshotted engine on a scheduler whose clock
+// stands at the snapshot's barrier: it schedules the unfired remainder of
+// each profile's current cycle, the rollover chains, and every pending
+// reroute, exactly as the original engine had them pending.
+//
+// Tie-order caveat: events are rescheduled profile-by-profile (cycles
+// ordered by base, then profile index — the order rollovers originally
+// fired in), with reroutes that outlived their cycle scheduled first. When
+// two *different* profiles collide on the same link at the same instant,
+// the insertion-order tie-break after a restore can differ from the
+// original run's. Same-profile ordering is always preserved. Federated
+// recovery does not depend on this path (it replays from t=0); the
+// restriction only bounds what the snapshot≡restore property test may
+// assert.
+func AttachRestored(sched *vtime.Scheduler, emu *emucore.Emulator, spec *Spec, st EngineState) (*Engine, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("dynamics: AttachRestored needs a spec")
+	}
+	numLinks := 0
+	if emu != nil {
+		numLinks = emu.NumPipes()
+	}
+	if err := spec.Validate(numLinks); err != nil {
+		return nil, err
+	}
+	if len(st.Bases) != len(spec.Profiles) {
+		return nil, fmt.Errorf("dynamics: restore: %d bases for %d profiles", len(st.Bases), len(spec.Profiles))
+	}
+	now := sched.Now()
+	e := &Engine{spec: spec, sched: sched, emu: emu, down: map[topology.LinkID]bool{}}
+	for _, lid := range st.Down {
+		e.down[lid] = true
+	}
+	e.Applied = st.Applied
+	e.Reroutes = st.Reroutes
+	e.bases = append([]vtime.Time(nil), st.Bases...)
+
+	// Split the pending reroutes into those the current cycles will
+	// reschedule below and the leftovers from earlier cycles; the latter
+	// carry the oldest scheduling order, so they go on the scheduler first.
+	remaining := append([]vtime.Time(nil), st.PendingReroutes...)
+	take := func(rt vtime.Time) bool {
+		for i, v := range remaining {
+			if v == rt {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	type cycleRef struct {
+		base vtime.Time
+		pi   int
+	}
+	order := make([]cycleRef, len(spec.Profiles))
+	current := make([][]vtime.Time, len(spec.Profiles)) // matched reroutes per profile
+	for pi := range spec.Profiles {
+		order[pi] = cycleRef{base: st.Bases[pi], pi: pi}
+		p := &spec.Profiles[pi]
+		for _, step := range p.Steps {
+			if !(step.Down || step.Up) || !spec.Reroute {
+				continue
+			}
+			rt := st.Bases[pi].Add(step.At).Add(spec.rerouteDelay())
+			if rt > now && take(rt) {
+				current[pi] = append(current[pi], rt)
+			} else {
+				current[pi] = append(current[pi], 0) // fired (or older-cycle): skip
+			}
+		}
+	}
+	for _, rt := range remaining {
+		if rt <= now {
+			return nil, fmt.Errorf("dynamics: restore: pending reroute at %v not after clock %v", rt, now)
+		}
+		e.trackReroute(rt)
+		e.sched.At(rt, e.reroute)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].base != order[j].base {
+			return order[i].base < order[j].base
+		}
+		return order[i].pi < order[j].pi
+	})
+	for _, c := range order {
+		p := &spec.Profiles[c.pi]
+		if c.base > now {
+			return nil, fmt.Errorf("dynamics: restore: profile %d base %v after clock %v", c.pi, c.base, now)
+		}
+		ri := 0
+		for _, step := range p.Steps {
+			step := step
+			at := c.base.Add(step.At)
+			if at > now {
+				link := p.Link
+				e.sched.At(at, func() { e.apply(link, step) })
+			}
+			if (step.Down || step.Up) && spec.Reroute {
+				if rt := current[c.pi][ri]; rt != 0 {
+					e.trackReroute(rt)
+					e.sched.At(rt, e.reroute)
+				}
+				ri++
+			}
+		}
+		if p.Loop > 0 {
+			next := c.base.Add(p.Loop)
+			if next <= now {
+				return nil, fmt.Errorf("dynamics: restore: profile %d rollover %v not after clock %v", c.pi, next, now)
+			}
+			pi := c.pi
+			e.sched.At(next, func() { e.scheduleCycle(pi, next) })
+		}
+	}
+	return e, nil
+}

@@ -298,6 +298,17 @@ func (e *Emulator) Pipe(id pipes.ID) *pipes.Pipe { return e.pipes[id] }
 // NumPipes reports the number of pipes.
 func (e *Emulator) NumPipes() int { return len(e.pipes) }
 
+// ScanMaterialized visits every live pipe in ID order — the canonical
+// iteration order checkpoint serialization depends on. Under a sparse shard
+// view the unmaterialized slots are skipped.
+func (e *Emulator) ScanMaterialized(visit func(p *pipes.Pipe)) {
+	for _, p := range e.pipes {
+		if p != nil {
+			visit(p)
+		}
+	}
+}
+
 // SetPipeParams changes a pipe's parameters mid-run (cross traffic, fault
 // injection). In-flight packets are unaffected.
 func (e *Emulator) SetPipeParams(id pipes.ID, p pipes.Params) {

@@ -737,6 +737,7 @@ type RunOpt func(*runOpts)
 type runOpts struct {
 	sync       modelnet.SyncMode
 	routeCache int
+	fedOpts    func(*fednet.Options)
 }
 
 // WithSync selects the synchronization algebra for parallel and federated
@@ -750,6 +751,13 @@ func WithSync(m modelnet.SyncMode) RunOpt {
 // populations (the tstub-cbr scale configs) are unrunnable without it.
 func WithRouteCache(targets int) RunOpt {
 	return func(o *runOpts) { o.routeCache = targets }
+}
+
+// WithFedOptions lets a caller adjust the assembled fednet.Options of a
+// federated run — the fault-injection and recovery knobs in particular.
+// Ignored by the local runners.
+func WithFedOptions(fn func(*fednet.Options)) RunOpt {
+	return func(o *runOpts) { o.fedOpts = fn }
 }
 
 func applyRunOpts(opts []RunOpt) runOpts {
@@ -865,12 +873,16 @@ func RunWebReplRingLocal(c WebReplRingSpec, cores int, parallel, trace bool, opt
 func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
 	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
-	return fednet.Run(fednet.Options{
+	fo := fednet.Options{
 		Scenario: ScenarioRingCBR, Params: c,
 		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
-	})
+	}
+	if o.fedOpts != nil {
+		o.fedOpts(&fo)
+	}
+	return fednet.Run(fo)
 }
 
 // RunGnutellaRingFederated runs the gnutella-ring scenario as a
@@ -878,12 +890,16 @@ func RunRingCBRFederated(c RingCBRSpec, cores int, dataPlane string, opts ...Run
 func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
 	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
-	return fednet.Run(fednet.Options{
+	fo := fednet.Options{
 		Scenario: ScenarioGnutella, Params: c,
 		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
-	})
+	}
+	if o.fedOpts != nil {
+		o.fedOpts(&fo)
+	}
+	return fednet.Run(fo)
 }
 
 // RunCFSRingFederated runs the cfs-ring scenario as a cores-process
@@ -891,12 +907,16 @@ func RunGnutellaRingFederated(c GnutellaRingSpec, cores int, dataPlane string, o
 func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
 	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
-	return fednet.Run(fednet.Options{
+	fo := fednet.Options{
 		Scenario: ScenarioCFSRing, Params: c,
 		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
-	})
+	}
+	if o.fedOpts != nil {
+		o.fedOpts(&fo)
+	}
+	return fednet.Run(fo)
 }
 
 // RunWebReplRingFederated runs the webrepl-ring scenario as a
@@ -904,12 +924,16 @@ func RunCFSRingFederated(c CFSRingSpec, cores int, dataPlane string, opts ...Run
 func RunWebReplRingFederated(c WebReplRingSpec, cores int, dataPlane string, opts ...RunOpt) (*fednet.Report, error) {
 	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
-	return fednet.Run(fednet.Options{
+	fo := fednet.Options{
 		Scenario: ScenarioWebReplRing, Params: c,
 		Cores: cores, Seed: c.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Spawn: true, CollectDeliveries: true,
-	})
+	}
+	if o.fedOpts != nil {
+		o.fedOpts(&fo)
+	}
+	return fednet.Run(fo)
 }
 
 // mergeWorkerReports unmarshals and merges the per-worker scenario reports
@@ -1147,6 +1171,11 @@ type FednetRow struct {
 	PeakRSSBytes      uint64 `json:"peak_rss_bytes,omitempty"`
 	MaterializedPipes int    `json:"materialized_pipes,omitempty"`
 	RouteRPCs         uint64 `json:"route_rpcs,omitempty"`
+	// Recoveries counts mid-run worker respawns on a crash row (the
+	// checkpoint/restart machinery); RecoveryWallNs is their total
+	// wall-clock cost, round replay included.
+	Recoveries     int   `json:"recoveries,omitempty"`
+	RecoveryWallNs int64 `json:"recovery_wall_ns,omitempty"`
 }
 
 // fillWorkerCosts folds a federation's per-worker distribution costs into
@@ -1260,6 +1289,42 @@ func runFednetScenario(res *FednetResult, scenario string, cores []int, dataPlan
 	return nil
 }
 
+// runFednetCrashRow appends the fault-injection row: the CBR ring at 2
+// cores with recovery armed and one planted worker crash mid-run. The row
+// records the recovery count and wall-clock cost, and its counters are
+// checked against the ring's sequential row like any other configuration —
+// a recovered run that diverges flips the study's Deterministic flag.
+func runFednetCrashRow(res *FednetResult, cfg FednetConfig) error {
+	fed, err := RunRingCBRFederated(cfg.Ring, 2, cfg.DataPlane, WithFedOptions(func(o *fednet.Options) {
+		o.Recover = true
+		o.FailSpec = &fednet.FailSpec{Shard: 1, Round: 3}
+	}))
+	if err != nil {
+		return fmt.Errorf("ring-cbr crash row: %w", err)
+	}
+	if fed.Recoveries == 0 {
+		return fmt.Errorf("ring-cbr crash row: planted fault never fired")
+	}
+	row := totalsRow(ScenarioRingCBR+"-crash", "fednet", 2, fed.Totals, fed.WallMS)
+	row.Windows, row.SerialRounds, row.Messages = fed.Sync.Windows, fed.Sync.SerialRounds, fed.Sync.Messages
+	row.Frames, row.BytesOnWire = fed.Frames, fed.BytesOnWire
+	row.Sync = fed.SyncMode.String()
+	row.Recoveries, row.RecoveryWallNs = fed.Recoveries, fed.RecoveryWallNs
+	for _, r := range res.Rows {
+		if r.Scenario == ScenarioRingCBR && r.Mode == "seq" {
+			if row.Delivered != r.Delivered || row.Injected != r.Injected || row.Drops != r.Drops {
+				res.Deterministic = false
+			}
+			if row.WallMS > 0 {
+				row.Speedup = r.WallMS / row.WallMS
+			}
+			break
+		}
+	}
+	res.Rows = append(res.Rows, row)
+	return nil
+}
+
 // RunFednetScaling runs the study: per scenario, a sequential baseline,
 // then at each core count the in-process parallel runtime and a real
 // multi-process federation.
@@ -1284,6 +1349,9 @@ func RunFednetScaling(cfg FednetConfig) (*FednetResult, error) {
 			return RunRingCBRFederated(cfg.Ring, k, dp, opts...)
 		},
 	); err != nil {
+		return nil, err
+	}
+	if err := runFednetCrashRow(res, cfg); err != nil {
 		return nil, err
 	}
 	if err := runFednetScenario(res, ScenarioCFSRing, cfg.Cores, cfg.DataPlane,
@@ -1374,6 +1442,12 @@ func PrintFednet(w io.Writer, res *FednetResult) {
 		fprintf(w, "%-13s %8s %6s %6d %9.0f %8.2fx %10d %9d %8d %9d %9d %11.1f %8.2f/%.2f/%.2f\n",
 			r.Scenario, r.Mode, r.Sync, r.Cores, r.WallMS, r.Speedup, r.Delivered, r.Windows, r.SerialRounds, r.Messages,
 			r.Frames, float64(r.BytesOnWire)/1e6, r.GrantMinMS, r.GrantMeanMS, r.GrantMaxMS)
+	}
+	for _, r := range res.Rows {
+		if r.Recoveries > 0 {
+			fprintf(w, "  %s (%d cores): %d worker crash(es) recovered in %.1f ms total, replay included\n",
+				r.Scenario, r.Cores, r.Recoveries, float64(r.RecoveryWallNs)/1e6)
+		}
 	}
 	hdr := false
 	for _, r := range res.Rows {

@@ -185,13 +185,17 @@ func RunFlakyEdgeFederated(c FlakyEdgeSpec, cores int, dataPlane string, opts ..
 	}
 	o := applyRunOpts(opts)
 	ideal := modelnet.IdealProfile()
-	return fednet.Run(fednet.Options{
+	fo := fednet.Options{
 		Scenario: ScenarioFlakyEdge, Params: c,
 		Cores: cores, Seed: c.Web.Seed, Profile: &ideal, Sync: o.sync,
 		RunFor: c.RunFor(), DataPlane: dataPlane,
 		Dynamics: dyn,
 		Spawn:    true, CollectDeliveries: true,
-	})
+	}
+	if o.fedOpts != nil {
+		o.fedOpts(&fo)
+	}
+	return fednet.Run(fo)
 }
 
 // FlakyEdgeFederatedReport merges the per-worker scenario reports of a

@@ -7,8 +7,10 @@ package fednet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"time"
 
 	"modelnet/internal/assign"
@@ -128,6 +130,29 @@ type Options struct {
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 
+	// Recover arms checkpoint/restart fault tolerance: every worker keeps
+	// its send log, the coordinator logs each barrier round and collects
+	// per-shard state digests every CkptEvery step rounds, and a worker
+	// whose control connection dies mid-run is respawned and replayed back
+	// to the crash point instead of failing the run. Requires Spawn (the
+	// coordinator owns the respawn) and the fused step protocol (no live
+	// edge, no real-time pacing — wall-clock state cannot be replayed).
+	Recover bool
+	// CkptEvery is the checkpoint period in step rounds (default
+	// DefaultCkptEvery). Checkpoints are determinism anchors: a recovering
+	// replay's digest is byte-compared against the stored blob.
+	CkptEvery int
+	// CkptDir, when non-empty, persists each shard's latest checkpoint
+	// blob under it (shard-N.ckpt); empty keeps blobs in memory only.
+	CkptDir string
+	// MaxRecoveries bounds worker respawns per run (default
+	// DefaultMaxRecoveries); the run fails once exhausted.
+	MaxRecoveries int
+	// FailSpec, when non-nil, plants a fault: worker Shard dies at step
+	// round Round (the crash-sweep harness). Requires the fused step
+	// protocol; sigkill mode additionally requires Spawn.
+	FailSpec *FailSpec
+
 	// Trace has every worker record a virtual-time packet trace and stream
 	// it back over wire.TTrace; the merged result lands in Report.Trace.
 	Trace bool
@@ -169,6 +194,40 @@ func (o *Options) defaults() error {
 	if o.Edge != nil && len(o.Edge.Maps) == 0 {
 		return fmt.Errorf("fednet: Edge gateway lease has no mappings")
 	}
+	if o.Recover {
+		if o.Edge != nil || o.RealTime {
+			return fmt.Errorf("fednet: Recover requires the fused step protocol (no live edge, no real-time pacing)")
+		}
+		if !o.Spawn {
+			return fmt.Errorf("fednet: Recover requires Spawn (the coordinator respawns dead workers)")
+		}
+		if o.CkptEvery == 0 {
+			o.CkptEvery = DefaultCkptEvery
+		}
+		if o.CkptEvery < 0 {
+			return fmt.Errorf("fednet: CkptEvery %d is not a period", o.CkptEvery)
+		}
+		if o.MaxRecoveries == 0 {
+			o.MaxRecoveries = DefaultMaxRecoveries
+		}
+	}
+	if fs := o.FailSpec; fs != nil {
+		if o.Edge != nil || o.RealTime {
+			return fmt.Errorf("fednet: FailSpec requires the fused step protocol (no live edge, no real-time pacing)")
+		}
+		if fs.Shard < 0 || fs.Shard >= o.Cores || fs.Round < 1 {
+			return fmt.Errorf("fednet: FailSpec kills shard %d of %d at round %d", fs.Shard, o.Cores, fs.Round)
+		}
+		switch fs.Mode {
+		case "", FailExit:
+		case FailSigkill:
+			if !o.Spawn {
+				return fmt.Errorf("fednet: sigkill fault injection needs Spawn (the coordinator signals its own children)")
+			}
+		default:
+			return fmt.Errorf("fednet: unknown FailSpec mode %q", fs.Mode)
+		}
+	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
 	}
@@ -201,6 +260,10 @@ type Report struct {
 	// WallMS is the coordinator-measured wall-clock time of the Run
 	// phase (excluding topology build and worker setup).
 	WallMS float64
+	// Recoveries counts mid-run worker respawns (Options.Recover);
+	// RecoveryWallNs is their total wall-clock cost, replay included.
+	Recoveries     int
+	RecoveryWallNs int64
 	// GatewayAddrs are the per-shard live gateway addresses ("" for
 	// shards without one) and Edge the merged gateway counters, when the
 	// run carried a gateway lease.
@@ -231,17 +294,19 @@ type Report struct {
 // -profile-out artifact shape.
 func (r *Report) RunProfile() obs.RunProfile {
 	p := obs.RunProfile{
-		Mode:         "fednet",
-		Cores:        r.Cores,
-		WallMS:       r.WallMS,
-		Windows:      r.Sync.Windows,
-		SerialRounds: r.Sync.SerialRounds,
-		Messages:     r.Sync.Messages,
-		SyncMode:     r.SyncMode.String(),
-		GrantMinMS:   r.Sync.GrantMin().Seconds() * 1000,
-		GrantMeanMS:  r.Sync.GrantMean().Seconds() * 1000,
-		GrantMaxMS:   r.Sync.GrantMax().Seconds() * 1000,
-		Drive:        r.Sync.Profile,
+		Mode:           "fednet",
+		Cores:          r.Cores,
+		WallMS:         r.WallMS,
+		Windows:        r.Sync.Windows,
+		SerialRounds:   r.Sync.SerialRounds,
+		Messages:       r.Sync.Messages,
+		SyncMode:       r.SyncMode.String(),
+		GrantMinMS:     r.Sync.GrantMin().Seconds() * 1000,
+		GrantMeanMS:    r.Sync.GrantMean().Seconds() * 1000,
+		GrantMaxMS:     r.Sync.GrantMax().Seconds() * 1000,
+		Drive:          r.Sync.Profile,
+		Recoveries:     r.Recoveries,
+		RecoveryWallMS: float64(r.RecoveryWallNs) / 1e6,
 	}
 	for _, w := range r.Workers {
 		p.Shards = append(p.Shards, w.Profile)
@@ -325,6 +390,22 @@ func Run(opts Options) (*Report, error) {
 			addrs[i] = h.TCPAddr
 		}
 	}
+	// Shard indices follow join order, not launch order: permute the spawned
+	// slice (in place — deferred cleanup shares it) so spawned[i] is shard
+	// i's process, which is what fault injection and recovery must target.
+	if len(spawned) > 0 {
+		byPid := make(map[int]*spawnedWorker, len(spawned))
+		for _, w := range spawned {
+			byPid[w.cmd.Process.Pid] = w
+		}
+		for i, h := range hellos {
+			w, ok := byPid[h.Pid]
+			if !ok {
+				return nil, fmt.Errorf("fednet: shard %d joined with unknown pid %d", i, h.Pid)
+			}
+			spawned[i] = w
+		}
+	}
 	if err := opts.Dynamics.Validate(dist.Graph.NumLinks()); err != nil {
 		return nil, fmt.Errorf("fednet: %w", err)
 	}
@@ -365,6 +446,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	var oracle *bind.SummaryOracle
 	var summaries [][]topology.NodeID
+	// cfgFor closes over the mutable addrs slice: a respawned worker's
+	// regenerated setup carries the fleet's *current* endpoints (DataAddrs
+	// only feed openDataPlane, never the deterministic emulation state, so a
+	// replayed setup differing there is sound).
 	cfgFor := func(i int) ([]byte, error) {
 		return json.Marshal(setup{
 			Shard: i, Cores: opts.Cores, Seed: opts.Seed, Profile: prof,
@@ -374,8 +459,13 @@ func Run(opts Options) (*Report, error) {
 			Scenario: opts.Scenario, Params: params, CollectDeliveries: opts.CollectDeliveries,
 			Edge: opts.Edge, Trace: opts.Trace, Metrics: opts.MetricsListen != "",
 			Sync: opts.Sync.String(), Sharded: sharded, RunForNs: int64(opts.RunFor),
+			Recoverable: opts.Recover,
 		})
 	}
+	// sendSetup distributes one shard's setup over its control conn; Run
+	// uses it for the initial boot, recovery reuses it verbatim to rebuild a
+	// respawned worker (the blobs are precomputed once, outside the closure).
+	var sendSetup func(i int, c net.Conn) error
 	if sharded {
 		views, err := bind.BuildShardViews(dist.Graph, asn.Owner, asn.NodeOwner, asn.Cores)
 		if err != nil {
@@ -398,25 +488,34 @@ func Run(opts Options) (*Report, error) {
 		}
 		worldBin := wire.EncodeWorld(world)
 		summaries = make([][]topology.NodeID, opts.Cores)
-		for i, c := range conns {
+		viewBins := make([][]byte, opts.Cores)
+		for i := range views {
+			viewBins[i] = wire.EncodeShardView(views[i])
+			summaries[i] = views[i].Summary
+		}
+		sendSetup = func(i int, c net.Conn) error {
 			cfgJSON, err := cfgFor(i)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			viewBin := wire.EncodeShardView(views[i])
-			summaries[i] = views[i].Summary
 			for _, sec := range []struct {
 				id   uint8
 				blob []byte
 			}{
-				{wire.SecConfig, cfgJSON}, {wire.SecView, viewBin},
+				{wire.SecConfig, cfgJSON}, {wire.SecView, viewBins[i]},
 				{wire.SecWorld, worldBin}, {wire.SecDynamics, dynBin},
 			} {
 				for _, ch := range wire.Chunks(sec.id, sec.blob) {
 					if err := wire.WriteFrame(c, wire.TSetupChunk, ch.Encode()); err != nil {
-						return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+						return fmt.Errorf("fednet: setup shard %d: %w", i, err)
 					}
 				}
+			}
+			return nil
+		}
+		for i, c := range conns {
+			if err := sendSetup(i, c); err != nil {
+				return nil, err
 			}
 			opts.Log("fednet: shard %d view: %d of %d links, %d frontier nodes, %d summary nodes",
 				i, len(views[i].Links), dist.Graph.NumLinks(), len(views[i].Frontier), len(views[i].Summary))
@@ -424,10 +523,10 @@ func Run(opts Options) (*Report, error) {
 	} else {
 		topoBin := wire.EncodeTopology(dist.Graph)
 		asnBin := wire.EncodeAssignment(asn.Owner, asn.Cores)
-		for i, c := range conns {
+		sendSetup = func(i int, c net.Conn) error {
 			cfgJSON, err := cfgFor(i)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var e wire.Enc
 			e.Blob(cfgJSON)
@@ -435,7 +534,13 @@ func Run(opts Options) (*Report, error) {
 			e.Blob(asnBin)
 			e.Blob(dynBin) // empty = no dynamics
 			if err := wire.WriteFrame(c, wire.TSetup, e.Bytes()); err != nil {
-				return nil, fmt.Errorf("fednet: setup shard %d: %w", i, err)
+				return fmt.Errorf("fednet: setup shard %d: %w", i, err)
+			}
+			return nil
+		}
+		for i, c := range conns {
+			if err := sendSetup(i, c); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -453,9 +558,27 @@ func Run(opts Options) (*Report, error) {
 	}
 	tr := &coordTransport{
 		conns: conns, timeout: opts.Timeout, metrics: metrics, piggy: piggy, chain: chain,
-		oracle: oracle, summaries: summaries,
+		oracle: oracle, summaries: summaries, spawned: spawned,
 	}
 	tr.init(opts.Cores)
+	if opts.Recover {
+		if opts.CkptDir != "" {
+			if err := os.MkdirAll(opts.CkptDir, 0o755); err != nil {
+				return nil, fmt.Errorf("fednet: checkpoint dir: %w", err)
+			}
+		}
+		tr.rec = &recoveryState{
+			ln: ln, join: ln.Addr().String(), timeout: opts.Timeout,
+			spawned: spawned, addrs: addrs, dataPlane: opts.DataPlane,
+			sendSetup: sendSetup, log: opts.Log,
+			ckptEvery: opts.CkptEvery, ckptDir: opts.CkptDir,
+			maxRecoveries: opts.MaxRecoveries,
+			ckpts:         make([][]byte, opts.Cores), ckptRound: -1,
+		}
+	}
+	if fs := opts.FailSpec; fs != nil && fs.Mode == FailSigkill {
+		tr.killRound, tr.killShard = fs.Round, fs.Shard
+	}
 	gatewayAddrs := make([]string, opts.Cores)
 	workerMetrics := make([]string, opts.Cores)
 	for i := range conns {
@@ -476,6 +599,15 @@ func Run(opts Options) (*Report, error) {
 			if ack.MetricsAddr != "" {
 				opts.Log("fednet: shard %d metrics on http://%s/metrics", i, ack.MetricsAddr)
 			}
+		}
+	}
+	if fs := opts.FailSpec; fs != nil && (fs.Mode == "" || fs.Mode == FailExit) {
+		// Arm exit-mode fault injection once, on the first boot only: the
+		// directive is deliberately outside the logged rounds, so recovery
+		// never replays the crash it is recovering from.
+		body := wire.Fail{Round: uint32(fs.Round)}.Encode()
+		if err := wire.WriteFrame(conns[fs.Shard], wire.TFail, body); err != nil {
+			return nil, err
 		}
 	}
 	opts.Log("fednet: all %d shards up, running", opts.Cores)
@@ -531,6 +663,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	rep.WallMS = float64(time.Since(begin).Microseconds()) / 1000
 	rep.Sync.Messages = tr.messages
+	if tr.rec != nil {
+		rep.Recoveries = tr.rec.recoveries
+		rep.RecoveryWallNs = tr.rec.recoveryWallNs
+	}
 
 	for i := range conns {
 		if err := wire.WriteFrame(conns[i], wire.TFinish, nil); err != nil {
@@ -615,32 +751,42 @@ func acceptWorkers(ln net.Listener, opts Options) ([]net.Conn, []hello, error) {
 		return nil, nil, err
 	}
 	for len(conns) < opts.Cores {
-		if dl, ok := ln.(*net.TCPListener); ok {
-			_ = dl.SetDeadline(time.Now().Add(opts.Timeout))
-		}
-		c, err := ln.Accept()
+		c, h, err := acceptOne(ln, opts.Timeout)
 		if err != nil {
 			return fail(fmt.Errorf("fednet: waiting for workers (%d of %d joined): %w", len(conns), opts.Cores, err))
-		}
-		if tc, ok := c.(*net.TCPConn); ok {
-			_ = tc.SetNoDelay(true)
-		}
-		_ = c.SetReadDeadline(time.Now().Add(opts.Timeout))
-		typ, body, err := wire.ReadFrame(c)
-		if err != nil || typ != wire.THello {
-			c.Close()
-			return fail(fmt.Errorf("fednet: bad join (frame type %d): %v", typ, err))
-		}
-		var h hello
-		if err := json.Unmarshal(body, &h); err != nil {
-			c.Close()
-			return fail(fmt.Errorf("fednet: bad hello: %w", err))
 		}
 		conns = append(conns, c)
 		hellos = append(hellos, h)
 		opts.Log("fednet: shard %d joined from %s", len(conns)-1, c.RemoteAddr())
 	}
 	return conns, hellos, nil
+}
+
+// acceptOne admits one worker: accept its control connection and read its
+// hello frame, both under the timeout.
+func acceptOne(ln net.Listener, timeout time.Duration) (net.Conn, hello, error) {
+	if dl, ok := ln.(*net.TCPListener); ok {
+		_ = dl.SetDeadline(time.Now().Add(timeout))
+	}
+	c, err := ln.Accept()
+	if err != nil {
+		return nil, hello{}, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(timeout))
+	typ, body, err := wire.ReadFrame(c)
+	if err != nil || typ != wire.THello {
+		c.Close()
+		return nil, hello{}, fmt.Errorf("fednet: bad join (frame type %d): %v", typ, err)
+	}
+	var h hello
+	if err := json.Unmarshal(body, &h); err != nil {
+		c.Close()
+		return nil, hello{}, fmt.Errorf("fednet: bad hello: %w", err)
+	}
+	return c, h, nil
 }
 
 // coordTransport is the socket-backed parcore.Transport: each call is one
@@ -690,6 +836,19 @@ type coordTransport struct {
 	// protocol reply (a worker only pages routes while running its window).
 	oracle    *bind.SummaryOracle
 	summaries [][]topology.NodeID
+
+	// rec, when non-nil, is the checkpoint/restart engine (Options.Recover):
+	// it logs every barrier round, stores checkpoint digests, and replays a
+	// respawned worker back to the crash point. stepIdx numbers step rounds
+	// 1-based — the checkpoint cadence and fault injection count in it.
+	rec     *recoveryState
+	stepIdx int
+	// killRound/killShard arm sigkill-mode fault injection: at the start of
+	// step round killRound, the coordinator SIGKILLs killShard's process.
+	// Zero killRound = disarmed (also after firing).
+	killRound int
+	killShard int
+	spawned   []*spawnedWorker
 
 	sent     [][]uint64 // [worker][peer] cumulative sends, last reported
 	messages uint64
@@ -770,7 +929,10 @@ func (t *coordTransport) read(i int) (uint8, []byte, error) {
 		}
 		typ, body, err := wire.ReadFrame(c)
 		if err != nil {
-			return 0, nil, fmt.Errorf("fednet: shard %d: %w", i, err)
+			// A conn-level failure is the liveness signal for a dead worker:
+			// typed so the recovery machinery (when armed) can catch it and
+			// respawn instead of failing the run.
+			return 0, nil, &shardDeadError{shard: i, cause: err}
 		}
 		switch typ {
 		case wire.TError:
@@ -919,29 +1081,34 @@ func boundsOf(next, safe int64, safeTo []int64, k int) parcore.Bounds {
 // bounds, which land in saved.
 func (t *coordTransport) stepRound(grants []vtime.Time) error {
 	k := len(t.conns)
+	t.stepIdx++
+	if t.killRound > 0 && t.stepIdx == t.killRound {
+		// Sigkill-mode fault injection: a real, unannounced process death at
+		// the round's edge, racing the round's own frames.
+		t.killRound = 0
+		if w := t.spawned[t.killShard]; w != nil && w.cmd.Process != nil {
+			_ = w.cmd.Process.Kill()
+		}
+	}
+	ckpt := t.rec != nil && t.stepIdx%t.rec.ckptEvery == 0
+	bodies := make([][]byte, k)
 	for i := 0; i < k; i++ {
 		g := int64(-1)
 		if grants != nil {
 			g = int64(grants[i])
 		}
 		expect := t.expectFor(i)
-		body := wire.Step{Floor: int64(t.floor), Grant: g, Expect: expect}.Encode()
-		if err := wire.WriteFrame(t.conns[i], wire.TStep, body); err != nil {
-			return err
-		}
+		bodies[i] = wire.Step{Floor: int64(t.floor), Grant: g, Expect: expect, Ckpt: ckpt}.Encode()
 		t.acked[i] = sumCounts(expect)
+	}
+	replies, err := t.round(wire.TStep, wire.TStepDone, bodies, ckpt)
+	if err != nil {
+		return err
 	}
 	if t.saved == nil {
 		t.saved = make([]parcore.Bounds, k)
 	}
-	for i := 0; i < k; i++ {
-		typ, body, err := t.read(i)
-		if err != nil {
-			return err
-		}
-		if typ != wire.TStepDone {
-			return fmt.Errorf("fednet: shard %d: expected step-done, got frame type %d", i, typ)
-		}
+	for i, body := range replies {
 		m, err := wire.DecodeStepDone(body)
 		if err != nil {
 			return err
@@ -955,6 +1122,97 @@ func (t *coordTransport) stepRound(grants []vtime.Time) error {
 		t.saved[i] = boundsOf(m.Next, m.Safe, m.SafeTo, k)
 	}
 	return nil
+}
+
+// round runs one logged barrier round: write bodies[i] to every worker,
+// read one doneTyp reply (plus a TCheckpoint digest when ckpt) from each,
+// and — when recovery is armed — respawn and replay any worker whose
+// connection died, then log the round for future replays. The returned
+// replies are by shard.
+func (t *coordTransport) round(reqTyp, doneTyp uint8, bodies [][]byte, ckpt bool) ([][]byte, error) {
+	k := len(t.conns)
+	var failed []int
+	for i := 0; i < k; i++ {
+		if err := wire.WriteFrame(t.conns[i], reqTyp, bodies[i]); err != nil {
+			if t.rec == nil {
+				return nil, fmt.Errorf("fednet: shard %d: %w", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	replies := make([][]byte, k)
+	ckpts := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		if hasInt(failed, i) {
+			continue // already marked dead at write time
+		}
+		body, ck, err := t.readDone(i, doneTyp, ckpt)
+		if err != nil {
+			var dead *shardDeadError
+			if t.rec != nil && errors.As(err, &dead) {
+				failed = append(failed, i)
+				continue
+			}
+			return nil, err
+		}
+		replies[i], ckpts[i] = body, ck
+	}
+	// Every live worker has finished the round (its barrier wait only needed
+	// the previous round's flush data, which predates any death this round);
+	// the dead ones are respawned, replayed through the logged prefix, and
+	// then served this round's body afresh.
+	for _, i := range failed {
+		if err := t.rec.recover(t, i); err != nil {
+			return nil, err
+		}
+		if err := wire.WriteFrame(t.conns[i], reqTyp, bodies[i]); err != nil {
+			return nil, fmt.Errorf("fednet: shard %d: respawn write: %w", i, err)
+		}
+		body, ck, err := t.readDone(i, doneTyp, ckpt)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: shard %d: after recovery: %w", i, err)
+		}
+		replies[i], ckpts[i] = body, ck
+	}
+	if t.rec != nil {
+		t.rec.logRound(reqTyp, bodies, replies, ckpt, ckpts)
+	}
+	return replies, nil
+}
+
+// readDone reads worker i's round reply, and its checkpoint digest when the
+// round asked for one.
+func (t *coordTransport) readDone(i int, doneTyp uint8, ckpt bool) (reply, ckptBlob []byte, err error) {
+	typ, body, err := t.read(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	if typ != doneTyp {
+		return nil, nil, fmt.Errorf("fednet: shard %d: expected frame type %d, got %d", i, doneTyp, typ)
+	}
+	if ckpt {
+		typ2, blob, err := t.read(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		if typ2 != wire.TCheckpoint {
+			return nil, nil, fmt.Errorf("fednet: shard %d: expected checkpoint, got frame type %d", i, typ2)
+		}
+		if _, err := wire.DecodeCheckpoint(blob); err != nil {
+			return nil, nil, fmt.Errorf("fednet: shard %d checkpoint: %w", i, err)
+		}
+		ckptBlob = blob
+	}
+	return body, ckptBlob, nil
+}
+
+func hasInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // compensated returns the saved bounds adjusted for in-flight messages. A
@@ -1059,23 +1317,18 @@ func (t *coordTransport) Window(grants []vtime.Time) error {
 // concurrently here too; the expectation counters carry messages from the
 // previous pass only, exactly like the in-process transport.
 func (t *coordTransport) DrainPass(tt vtime.Time) (bool, error) {
+	bodies := make([][]byte, len(t.conns))
 	for i := range t.conns {
 		expect := t.expectFor(i)
-		body := wire.Drain{T: int64(tt), Expect: expect}.Encode()
-		if err := wire.WriteFrame(t.conns[i], wire.TDrain, body); err != nil {
-			return false, err
-		}
+		bodies[i] = wire.Drain{T: int64(tt), Expect: expect}.Encode()
 		t.acked[i] = sumCounts(expect)
 	}
+	replies, err := t.round(wire.TDrain, wire.TDrainDone, bodies, false)
+	if err != nil {
+		return false, err
+	}
 	progressed := false
-	for i := range t.conns {
-		typ, body, err := t.read(i)
-		if err != nil {
-			return false, err
-		}
-		if typ != wire.TDrainDone {
-			return false, fmt.Errorf("fednet: shard %d: expected drain-done, got frame type %d", i, typ)
-		}
+	for i, body := range replies {
 		m, err := wire.DecodeDrainDone(body)
 		if err != nil {
 			return false, err

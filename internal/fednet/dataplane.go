@@ -41,7 +41,14 @@ type collector struct {
 	// expectation but whose contiguous prefix does not has lost a datagram
 	// in transit, and the error can say so.
 	closed []uint64
-	err    error
+	// lenient[j] marks a channel that went through a recovery reset:
+	// duplicates of already-buffered or already-delivered sequences are
+	// expected there (the respawned peer's replay and any of the dead
+	// process's still-in-flight datagrams carry byte-identical messages,
+	// by the determinism contract) and are dropped instead of failing the
+	// run. Ordinary channels keep the duplicate tripwire.
+	lenient []bool
+	err     error
 }
 
 // channelBuf is one sender→me channel. Sequences are dense and 1-based,
@@ -55,7 +62,7 @@ type channelBuf struct {
 }
 
 func newCollector(k int) *collector {
-	c := &collector{channels: make([]channelBuf, k), closed: make([]uint64, k)}
+	c := &collector{channels: make([]channelBuf, k), closed: make([]uint64, k), lenient: make([]bool, k)}
 	for j := range c.channels {
 		c.channels[j].buffered = map[uint64]parcore.Msg{}
 	}
@@ -77,7 +84,7 @@ func (c *collector) add(m parcore.Msg, tseq uint64) {
 	default:
 		ch := &c.channels[m.Sender]
 		if _, dup := ch.buffered[tseq]; dup || tseq <= ch.delivered {
-			if c.err == nil {
+			if !c.lenient[m.Sender] && c.err == nil {
 				c.err = fmt.Errorf("fednet: data plane: duplicate message %d from shard %d", tseq, m.Sender)
 			}
 			break
@@ -101,6 +108,36 @@ func (c *collector) noteClose(sender int, close uint64) {
 		c.closed[sender] = close
 	}
 	c.mu.Unlock()
+}
+
+// reset drops sender's buffered-but-undelivered messages (in-flight frames
+// from rounds a recovery rewound) and marks the channel lenient: the
+// respawned peer will resend its whole log, re-covering the dropped suffix
+// and overlapping the delivered prefix. delivered/contig stay at the
+// consumed prefix — the coordinator's retried expectations resume there.
+func (c *collector) reset(sender int) {
+	c.mu.Lock()
+	if sender >= 0 && sender < len(c.channels) {
+		ch := &c.channels[sender]
+		for tseq := range ch.buffered {
+			delete(ch.buffered, tseq)
+		}
+		ch.contig = ch.delivered
+		c.lenient[sender] = true
+	}
+	c.mu.Unlock()
+}
+
+// deliveredVec snapshots the per-channel delivered prefixes (the inbox
+// cursor a checkpoint records).
+func (c *collector) deliveredVec() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := make([]uint64, len(c.channels))
+	for j := range c.channels {
+		v[j] = c.channels[j].delivered
+	}
+	return v
 }
 
 func (c *collector) fail(err error) {
@@ -136,17 +173,22 @@ func (c *collector) wait(expect []uint64, timeout time.Duration) ([]parcore.Msg,
 	deadline := time.AfterFunc(timeout, func() {
 		c.mu.Lock()
 		if !done && c.err == nil {
-			// The close markers turn a silent stall into a diagnosis: a
-			// sender whose last flush covered the expectation but whose
-			// contiguous prefix fell short lost a datagram in transit.
-			detail := ""
+			// Name every channel still short of its expectation, so an
+			// unrecovered stall is diagnosable: the shard IDs point at the
+			// dead (or slow) peers, and the close markers distinguish a
+			// sender that never flushed from one whose datagram was lost
+			// in transit.
+			missing := ""
 			for j, want := range expect {
-				if ch := &c.channels[j]; ch.contig < want && c.closed[j] >= want {
-					detail = fmt.Sprintf("; shard %d closed its flush at %d but only %d arrived contiguously — datagram lost in transit (use the tcp data plane)", j, c.closed[j], ch.contig)
-					break
+				if ch := &c.channels[j]; ch.contig < want {
+					missing += fmt.Sprintf("; shard %d (have %d of %d", j, ch.contig, want)
+					if c.closed[j] >= want {
+						missing += fmt.Sprintf("; its flush closed at %d — datagram lost in transit, use the tcp data plane", c.closed[j])
+					}
+					missing += ")"
 				}
 			}
-			c.err = fmt.Errorf("fednet: data plane: timed out after %v awaiting peer messages%s", timeout, detail)
+			c.err = fmt.Errorf("fednet: data plane: timed out after %v awaiting peer messages%s", timeout, missing)
 		}
 		c.mu.Unlock()
 		c.cond.Broadcast()
@@ -195,6 +237,25 @@ type dataPlane struct {
 	col    *collector
 	closed chan struct{}
 	wg     sync.WaitGroup
+
+	// Recoverable mode: peers may die and be respawned at new addresses
+	// mid-run. The plane then (a) survives peer connection errors instead of
+	// poisoning the collector, (b) keeps accepting replacement TCP
+	// connections for the run's lifetime, and (c) can rewire a peer slot to
+	// a respawned worker's endpoints. endMu guards the endpoint tables
+	// (udpPeers entries, tcp entries) shared between the control goroutine
+	// and the replacement-accept goroutine.
+	recoverable bool
+	timeout     time.Duration
+	tcpLn       net.Listener
+	endMu       sync.Mutex
+	// wmu serializes frame writes: recovery resends run on reader
+	// goroutines, concurrently with the control goroutine's own sends.
+	wmu sync.Mutex
+	// onRecover handles a peer's data-plane recovery request (TResend):
+	// update the peer's endpoints and retransmit this worker's send log.
+	// Runs on a reader goroutine.
+	onRecover func(peer int, src *net.UDPAddr) error
 
 	// Wire-cost counters, maintained by the sending (control) goroutine.
 	frames uint64 // data-plane frames written (= syscalls on the UDP plane)
@@ -281,12 +342,15 @@ func encodeMsg(m parcore.Msg, tseq uint64) ([]byte, error) {
 // bound socket; peers are just addresses. TCP: workers form a full mesh —
 // shard i dials every j < i (identifying itself with a hello frame) and
 // accepts a connection from every j > i.
-func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tcpLn net.Listener, col *collector, timeout time.Duration, maxDatagram int) (*dataPlane, error) {
+func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tcpLn net.Listener, col *collector, timeout time.Duration, maxDatagram int, recoverable, resume bool) (*dataPlane, error) {
 	k := len(addrs)
 	if maxDatagram <= 0 {
 		maxDatagram = DefaultMaxDatagram
 	}
-	dp := &dataPlane{plane: plane, shard: shard, maxDatagram: maxDatagram, col: col, closed: make(chan struct{})}
+	dp := &dataPlane{
+		plane: plane, shard: shard, maxDatagram: maxDatagram, col: col,
+		closed: make(chan struct{}), recoverable: recoverable, timeout: timeout,
+	}
 	switch plane {
 	case DataUDP:
 		dp.udp = udp
@@ -305,10 +369,34 @@ func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tc
 		// kernel never sheds a counted datagram before the reader drains it.
 		_ = udp.SetReadBuffer(8 << 20)
 		_ = udp.SetWriteBuffer(8 << 20)
-		dp.wg.Add(1)
-		go dp.readUDP()
 	case DataTCP:
 		dp.tcp = make([]net.Conn, k)
+		if resume {
+			// A respawned worker cannot rely on the mesh's dial direction —
+			// the live peers formed their mesh long ago and will not redial.
+			// It dials everyone; each peer's replacement-accept loop swaps
+			// the new connection into this shard's slot.
+			for j := 0; j < k; j++ {
+				if j == shard {
+					continue
+				}
+				conn, err := net.DialTimeout("tcp", addrs[j], timeout)
+				if err != nil {
+					return nil, fmt.Errorf("fednet: redial peer %d at %s: %w", j, addrs[j], err)
+				}
+				var e wire.Enc
+				e.U16(uint16(shard))
+				if err := wire.WriteFrame(conn, wire.THello, e.Bytes()); err != nil {
+					return nil, err
+				}
+				if tc, ok := conn.(*net.TCPConn); ok {
+					_ = tc.SetNoDelay(true)
+				}
+				dp.tcp[j] = conn
+			}
+			dp.tcpLn = tcpLn
+			break
+		}
 		errc := make(chan error, 2)
 		go func() { // accept from higher shards
 			for j := shard + 1; j < k; j++ {
@@ -360,8 +448,13 @@ func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tc
 			if tc, ok := conn.(*net.TCPConn); ok {
 				_ = tc.SetNoDelay(true)
 			}
-			dp.wg.Add(1)
-			go dp.readTCP(conn)
+		}
+		if recoverable {
+			// Respawned higher shards re-dial this worker (the mesh keeps
+			// its dial direction: i dials every j < i), so the listener
+			// stays open and replacement connections are accepted for the
+			// run's lifetime.
+			dp.tcpLn = tcpLn
 		}
 	default:
 		return nil, fmt.Errorf("fednet: unknown data plane %q", plane)
@@ -369,10 +462,36 @@ func openDataPlane(plane string, shard int, addrs []string, udp *net.UDPConn, tc
 	return dp, nil
 }
 
+// start launches the plane's reader goroutines (and the replacement-accept
+// loop, when the listener stayed open). Split from openDataPlane so the
+// caller can finish wiring — the recovery hook in particular — before any
+// inbound frame can race it.
+func (dp *dataPlane) start() {
+	switch dp.plane {
+	case DataUDP:
+		dp.wg.Add(1)
+		go dp.readUDP()
+	case DataTCP:
+		for j, conn := range dp.tcp {
+			if j == dp.shard || conn == nil {
+				continue
+			}
+			dp.wg.Add(1)
+			go dp.readTCP(conn)
+		}
+		if dp.tcpLn != nil {
+			dp.wg.Add(1)
+			go dp.acceptReplacements()
+		}
+	}
+}
+
 // deliverFrame feeds one received data-plane frame into the collector.
 // Both planes accept single-message (TData) and batched (TDataBatch)
-// frames, so a `-batch=0` sender interoperates with any receiver.
-func (dp *dataPlane) deliverFrame(typ uint8, body []byte) error {
+// frames, so a `-batch=0` sender interoperates with any receiver. src is
+// the datagram's source address on the UDP plane (nil on TCP): a recovery
+// request's source IS the respawned peer's new endpoint.
+func (dp *dataPlane) deliverFrame(typ uint8, body []byte, src *net.UDPAddr) error {
 	switch typ {
 	case wire.TData:
 		m, tseq, err := decodeMsg(body)
@@ -397,6 +516,19 @@ func (dp *dataPlane) deliverFrame(typ uint8, body []byte) error {
 			dp.col.noteClose(int(b.Sender), b.Close)
 		}
 		return nil
+	case wire.TResend:
+		// A respawned peer announces itself and asks for this worker's send
+		// log. Handled here — on the reader goroutine — because the control
+		// loop may be blocked in a barrier wait for the very messages the
+		// recovery reconstructs.
+		m, err := wire.DecodeResend(body)
+		if err != nil {
+			return err
+		}
+		if dp.onRecover == nil {
+			return fmt.Errorf("fednet: recovery request from shard %d on a non-recoverable data plane", m.Peer)
+		}
+		return dp.onRecover(int(m.Peer), src)
 	default:
 		return fmt.Errorf("fednet: unexpected data-plane frame type %d", typ)
 	}
@@ -410,7 +542,7 @@ func (dp *dataPlane) readUDP() {
 	}
 	buf := make([]byte, n)
 	for {
-		n, _, err := dp.udp.ReadFromUDP(buf)
+		n, src, err := dp.udp.ReadFromUDP(buf)
 		if err != nil {
 			select {
 			case <-dp.closed:
@@ -424,7 +556,7 @@ func (dp *dataPlane) readUDP() {
 			dp.col.fail(fmt.Errorf("fednet: bad data datagram (%d bytes): %v", n, err))
 			return
 		}
-		if err := dp.deliverFrame(typ, body); err != nil {
+		if err := dp.deliverFrame(typ, body, src); err != nil {
 			dp.col.fail(err)
 			return
 		}
@@ -439,14 +571,60 @@ func (dp *dataPlane) readTCP(conn net.Conn) {
 			select {
 			case <-dp.closed:
 			default:
-				dp.col.fail(fmt.Errorf("fednet: tcp data read: %w", err))
+				// In recoverable mode a broken peer connection is expected
+				// (the peer died, or this conn was replaced by a rewire);
+				// liveness is the coordinator's job, so the reader just
+				// drains out instead of poisoning the collector.
+				if !dp.recoverable {
+					dp.col.fail(fmt.Errorf("fednet: tcp data read: %w", err))
+				}
 			}
 			return
 		}
-		if err := dp.deliverFrame(typ, body); err != nil {
+		if err := dp.deliverFrame(typ, body, nil); err != nil {
 			dp.col.fail(err)
 			return
 		}
+	}
+}
+
+// acceptReplacements accepts TCP connections from respawned higher shards
+// for the run's lifetime, swapping each into the peer's slot and starting a
+// fresh reader. The old connection's reader drains out on its own (its read
+// error is non-fatal in recoverable mode).
+func (dp *dataPlane) acceptReplacements() {
+	defer dp.wg.Done()
+	for {
+		conn, err := dp.tcpLn.Accept()
+		if err != nil {
+			return // listener closed at teardown
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(dp.timeout))
+		typ, body, err := wire.ReadFrame(conn)
+		_ = conn.SetReadDeadline(time.Time{})
+		if err != nil || typ != wire.THello || len(body) < 2 {
+			conn.Close()
+			continue
+		}
+		// Any peer but self: a respawned worker redials every peer
+		// regardless of the initial mesh's dial direction.
+		peer := int(wire.NewDec(body).U16())
+		if peer == dp.shard || peer < 0 || peer >= len(dp.tcp) {
+			conn.Close()
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetNoDelay(true)
+		}
+		dp.endMu.Lock()
+		old := dp.tcp[peer]
+		dp.tcp[peer] = conn
+		dp.endMu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		dp.wg.Add(1)
+		go dp.readTCP(conn)
 	}
 }
 
@@ -462,21 +640,42 @@ const maxTCPChunk = 1 << 20
 // write puts one complete frame on the wire to peer j — a single syscall on
 // the UDP plane — and maintains the frame/byte counters.
 func (dp *dataPlane) write(j int, frame []byte) error {
+	// Frame writes serialize: recovery resends run on reader goroutines,
+	// concurrently with the control goroutine's sends.
+	dp.wmu.Lock()
+	defer dp.wmu.Unlock()
 	dp.frames++
 	dp.bytes += uint64(len(frame))
 	if dp.plane == DataUDP {
+		dp.endMu.Lock()
+		peer := dp.udpPeers[j]
+		dp.endMu.Unlock()
 		// Barrier flushes burst; some kernels (macOS loopback notably)
 		// answer a burst with transient ENOBUFS rather than blocking.
 		// Back off briefly instead of failing the federation.
 		for attempt := 0; ; attempt++ {
-			_, err := dp.udp.WriteToUDP(frame, dp.udpPeers[j])
+			_, err := dp.udp.WriteToUDP(frame, peer)
 			if err == nil || !errors.Is(err, syscall.ENOBUFS) || attempt >= 50 {
-				return err
+				return dp.sendErr(err)
 			}
 			time.Sleep(time.Duration(attempt+1) * 100 * time.Microsecond)
 		}
 	}
-	_, err := dp.tcp[j].Write(frame)
+	dp.endMu.Lock()
+	conn := dp.tcp[j]
+	dp.endMu.Unlock()
+	_, err := conn.Write(frame)
+	return dp.sendErr(err)
+}
+
+// sendErr maps a peer write error: fatal normally, swallowed in recoverable
+// mode — the peer is presumed dead and the coordinator's liveness machinery
+// (control-connection EOF, barrier timeouts) owns the diagnosis; messages
+// the dead peer missed are replayed from the send log after its respawn.
+func (dp *dataPlane) sendErr(err error) error {
+	if err != nil && dp.recoverable {
+		return nil
+	}
 	return err
 }
 
@@ -536,6 +735,13 @@ func (dp *dataPlane) sendBatch(j int, msgs []parcore.Msg, tseq0 uint64) error {
 		}
 		elems[i] = d.Encode()
 	}
+	return dp.sendElems(j, elems, tseq0, tseq0+uint64(len(elems))-1)
+}
+
+// sendElems transmits pre-encoded batch elements carrying dense channel
+// sequences tseq0, tseq0+1, ...; the final chunk carries closeMark as the
+// flush close marker (the cumulative channel count this flush reached).
+func (dp *dataPlane) sendElems(j int, elems [][]byte, tseq0, closeMark uint64) error {
 	limit, strict := maxTCPChunk, false
 	if dp.plane == DataUDP {
 		limit, strict = dp.maxDatagram, true
@@ -545,11 +751,9 @@ func (dp *dataPlane) sendBatch(j int, msgs []parcore.Msg, tseq0 uint64) error {
 		return err
 	}
 	for ri, r := range ranges {
-		// The final chunk carries the flush close marker: the cumulative
-		// channel count this flush reached.
 		close := uint64(0)
 		if ri == len(ranges)-1 {
-			close = tseq0 + uint64(len(msgs)) - 1
+			close = closeMark
 		}
 		body := wire.EncodeDataBatch(uint16(dp.shard), tseq0+uint64(r[0]), close, elems[r[0]:r[1]])
 		if err := dp.write(j, wire.AppendFrame(nil, wire.TDataBatch, body)); err != nil {
@@ -559,9 +763,47 @@ func (dp *dataPlane) sendBatch(j int, msgs []parcore.Msg, tseq0 uint64) error {
 	return nil
 }
 
+// resend retransmits this worker's entire send log for the this-shard→j
+// channel from sequence 1 — the respawned peer's collector is lenient, so
+// the prefix it already consumed is dropped on arrival and the lost suffix
+// fills in. Always batched: the log's elements are already encoded.
+func (dp *dataPlane) resend(j int, log [][]byte) error {
+	if len(log) == 0 {
+		return nil
+	}
+	return dp.sendElems(j, log, 1, uint64(len(log)))
+}
+
+// counters snapshots the wire-cost counters under the write lock.
+func (dp *dataPlane) counters() (frames, bytes uint64) {
+	dp.wmu.Lock()
+	defer dp.wmu.Unlock()
+	return dp.frames, dp.bytes
+}
+
+// recoverBroadcast announces this respawned worker to every peer: one
+// TResend frame per peer, asking for its full send log. On the UDP plane
+// the frame's source address doubles as the endpoint announcement; on TCP
+// the redial already swapped the connections.
+func (dp *dataPlane) recoverBroadcast() error {
+	body := wire.Resend{Peer: uint32(dp.shard)}.Encode()
+	for j := range dp.col.channels {
+		if j == dp.shard {
+			continue
+		}
+		if err := dp.write(j, wire.AppendFrame(nil, wire.TResend, body)); err != nil {
+			return fmt.Errorf("fednet: recovery announce to shard %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
 // close tears the plane down; reader goroutines drain out.
 func (dp *dataPlane) close() {
 	close(dp.closed)
+	if dp.tcpLn != nil {
+		dp.tcpLn.Close()
+	}
 	if dp.udp != nil {
 		dp.udp.Close()
 	}

@@ -92,15 +92,17 @@ func openUDPPair(t *testing.T, maxDatagram int) (*dataPlane, *dataPlane, *collec
 		addrs[i] = c.LocalAddr().String()
 	}
 	col0, col1 := newCollector(2), newCollector(2)
-	dp0, err := openDataPlane(DataUDP, 0, addrs, socks[0], nil, col0, time.Second, maxDatagram)
+	dp0, err := openDataPlane(DataUDP, 0, addrs, socks[0], nil, col0, time.Second, maxDatagram, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
+	dp0.start()
 	t.Cleanup(dp0.close)
-	dp1, err := openDataPlane(DataUDP, 1, addrs, socks[1], nil, col1, time.Second, maxDatagram)
+	dp1, err := openDataPlane(DataUDP, 1, addrs, socks[1], nil, col1, time.Second, maxDatagram, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
+	dp1.start()
 	t.Cleanup(dp1.close)
 	return dp0, dp1, col1
 }

@@ -171,6 +171,12 @@ type setup struct {
 	// address it bound in its setup ack. Nil = no live edge.
 	Edge *edge.GatewayConfig `json:"edge,omitempty"`
 
+	// Recoverable arms the failure/recovery protocol: the worker keeps its
+	// per-peer send logs for the run's lifetime, tolerates peer connection
+	// errors, keeps its TCP data-plane listener open for respawned peers,
+	// and answers the TRecover/TRewire/TResend directives.
+	Recoverable bool `json:"recoverable,omitempty"`
+
 	// Trace has the worker record a virtual-time packet trace and stream
 	// it to the coordinator (wire.TTrace) before its final report.
 	Trace bool `json:"trace,omitempty"`
@@ -192,6 +198,10 @@ type setupAck struct {
 type hello struct {
 	TCPAddr string `json:"tcp_addr"`
 	UDPAddr string `json:"udp_addr"`
+	// Pid maps the joining connection back to the spawned process: shard
+	// indices follow join order, not launch order, and fault injection and
+	// recovery must target the right process.
+	Pid int `json:"pid"`
 }
 
 // WorkerReport is one worker's final accounting.

@@ -160,8 +160,12 @@ func DecodeReady(b []byte) (Ready, error) {
 // its outbox, and replies with TStepDone. Floor plays TFlush's role for any
 // live gateway. One control round trip per window instead of three.
 type Step struct {
-	Floor  int64
-	Grant  int64 // the shard's window grant; < 0 = report bounds, do not run
+	Floor int64
+	Grant int64 // the shard's window grant; < 0 = report bounds, do not run
+	// Ckpt asks the worker to push a TCheckpoint digest after this step's
+	// TStepDone. The flag is coordinator-driven — a worker counting rounds
+	// itself would desynchronize when recovery retries a round.
+	Ckpt   bool
 	Expect []uint64
 }
 
@@ -170,6 +174,7 @@ func (m Step) Encode() []byte {
 	var e Enc
 	e.I64(m.Floor)
 	e.I64(m.Grant)
+	e.Bool(m.Ckpt)
 	e.U32(uint32(len(m.Expect)))
 	for _, x := range m.Expect {
 		e.U64(x)
@@ -181,6 +186,11 @@ func (m Step) Encode() []byte {
 func DecodeStep(b []byte) (Step, error) {
 	d := NewDec(b)
 	m := Step{Floor: d.I64(), Grant: d.I64()}
+	ck, err := d.StrictBool()
+	if err != nil {
+		return Step{}, err
+	}
+	m.Ckpt = ck
 	n := d.Len(8)
 	for i := 0; i < n; i++ {
 		m.Expect = append(m.Expect, d.U64())

@@ -45,7 +45,12 @@ import (
 // world), PacketWire carries the injection-time reroute epoch, and the
 // TRouteReq/TRouteResp pair demand-pages frontier route summaries from the
 // coordinator's oracle.
-const Version = 7
+// Version 8 is the failure/recovery protocol: Step carries a checkpoint
+// flag, workers push canonical TCheckpoint state digests at flagged
+// barriers, and the TFail/TRecover/TRewire/TResend/TAck frames drive
+// fault injection, worker respawn, data-plane rewiring, and per-channel
+// message-log retransmission.
+const Version = 8
 
 // MaxFrame bounds a frame's length field: anything larger is treated as
 // corruption rather than an allocation request.
@@ -76,6 +81,12 @@ const (
 	TSetupChunk uint8 = 20 // coordinator -> worker: one chunk of a sharded setup section
 	TRouteReq   uint8 = 21 // worker -> coordinator: demand-page one route summary (epoch, target)
 	TRouteResp  uint8 = 22 // coordinator -> worker: the requested summary distances
+	TCheckpoint uint8 = 23 // worker -> coordinator: canonical shard state digest at a flagged barrier
+	TFail       uint8 = 24 // coordinator -> worker: fault injection: die at barrier N (first boot only)
+	TRecover    uint8 = 25 // coordinator -> worker: respawn notice: suppress data-plane sends below these watermarks
+	TRewire     uint8 = 26 // coordinator -> worker: a peer respawned; swap its data-plane endpoints
+	TResend     uint8 = 27 // coordinator -> worker: retransmit your whole send log to the respawned peer
+	TAck        uint8 = 28 // worker -> coordinator: a TRewire/TResend directive completed
 )
 
 const headerBytes = 6 // u32 length + u8 version + u8 type

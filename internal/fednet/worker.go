@@ -11,6 +11,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"modelnet/internal/bind"
@@ -101,6 +102,40 @@ type workerState struct {
 	metrics      *obs.Metrics     // non-nil when the setup asked for live metrics
 	metricsAddr  string
 	closeMetrics func() error
+
+	// Recovery state (Recoverable runs): eng is the dynamics engine whose
+	// cursor the barrier checkpoints record; rec keeps the per-peer send
+	// logs a respawned peer's recovery replays; resume marks this process
+	// as a respawned replacement replaying a logged prefix. failAt arms the
+	// fault-injection directive: die on receipt of the failAt-th TStep.
+	eng       *dynamics.Engine
+	rec       *workerRecovery
+	resume    bool
+	failAt    int
+	stepsSeen int
+}
+
+// workerRecovery is the worker's send log: every batch element it ever put
+// on the data plane, per peer, pre-encoded in channel-sequence order. A
+// respawned peer rebuilds its collector from scratch, so recovery
+// retransmits the whole log; the determinism contract keeps a replayed
+// worker's log byte-identical to the original's. Guarded by mu: the control
+// goroutine appends, reader goroutines snapshot for resends.
+type workerRecovery struct {
+	mu  sync.Mutex
+	log [][][]byte // [peer][tseq-1] = encoded batch element
+}
+
+func (r *workerRecovery) append(j int, elems [][]byte) {
+	r.mu.Lock()
+	r.log[j] = append(r.log[j], elems...)
+	r.mu.Unlock()
+}
+
+func (r *workerRecovery) snapshot(j int) [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]byte(nil), r.log[j]...)
 }
 
 // readControl reads one control frame under the liveness timeout,
@@ -140,7 +175,7 @@ func (w *workerState) run() error {
 	}
 	defer udp.Close()
 
-	hb, _ := json.Marshal(hello{TCPAddr: tcpLn.Addr().String(), UDPAddr: udp.LocalAddr().String()})
+	hb, _ := json.Marshal(hello{TCPAddr: tcpLn.Addr().String(), UDPAddr: udp.LocalAddr().String(), Pid: os.Getpid()})
 	if err := w.send(wire.THello, hb); err != nil {
 		return err
 	}
@@ -148,6 +183,18 @@ func (w *workerState) run() error {
 	typ, body, err := w.readControl()
 	if err != nil {
 		return err
+	}
+	if typ == wire.TRecover {
+		// This process is a respawned replacement: the setup that follows is
+		// a replay, and the data plane must announce itself to the live
+		// peers' meshes instead of forming a fresh one.
+		if _, err := wire.DecodeRecover(body); err != nil {
+			return fmt.Errorf("fednet: recover frame: %w", err)
+		}
+		w.resume = true
+		if typ, body, err = w.readControl(); err != nil {
+			return err
+		}
 	}
 	start := time.Now()
 	switch typ {
@@ -186,7 +233,12 @@ func (w *workerState) run() error {
 		return fmt.Errorf("fednet: expected setup, got frame type %d", typ)
 	}
 	w.startupWallNs = int64(time.Since(start))
-	tcpLn.Close() // mesh is up; no further data-plane joins
+	if !(w.cfg.Recoverable && w.cfg.DataPlane == DataTCP) {
+		// Mesh is up; no further data-plane joins. Recoverable TCP runs keep
+		// the listener open for respawned peers (the data plane owns and
+		// closes it at teardown).
+		tcpLn.Close()
+	}
 	w.opts.Log("fednet worker: shard %d/%d up (%s data plane, %d VNs homed)",
 		w.cfg.Shard, w.cfg.Cores, w.cfg.DataPlane, w.homedVNs())
 	defer w.dp.close()
@@ -456,6 +508,7 @@ func (w *workerState) build(g *topology.Graph, b *bind.Binding, pod *bind.POD, h
 	if err != nil {
 		return fmt.Errorf("fednet: dynamics: %w", err)
 	}
+	w.eng = eng
 	if eng != nil && w.table != nil {
 		// Sharded workers have no global matrix to rebuild; a reroute just
 		// advances the table to the next preloaded epoch.
@@ -468,11 +521,33 @@ func (w *workerState) build(g *topology.Graph, b *bind.Binding, pod *bind.POD, h
 	}
 
 	w.col = newCollector(cores)
-	w.dp, err = openDataPlane(cfg.DataPlane, cfg.Shard, cfg.DataAddrs, udp, tcpLn, w.col, w.opts.Timeout, cfg.MaxDatagram)
+	w.dp, err = openDataPlane(cfg.DataPlane, cfg.Shard, cfg.DataAddrs, udp, tcpLn, w.col, w.opts.Timeout, cfg.MaxDatagram, cfg.Recoverable, w.resume)
 	if err != nil {
 		return err
 	}
 	w.sent = make([]uint64, cores)
+	if cfg.Recoverable {
+		w.rec = &workerRecovery{log: make([][][]byte, cores)}
+		w.dp.onRecover = w.handleRecoverReq
+	}
+	// Readers start only now, with the recovery hook wired: an inbound frame
+	// must never race the wiring above.
+	w.dp.start()
+	if w.resume {
+		// Everything the fleet already exchanged this run must be
+		// re-delivered here: mark every inbound channel lenient (the resent
+		// logs overlap whatever stale datagrams are still in flight) and ask
+		// each live peer for its full send log. On the UDP plane the request
+		// frames' source address doubles as this worker's new endpoint.
+		for j := 0; j < cores; j++ {
+			if j != cfg.Shard {
+				w.col.reset(j)
+			}
+		}
+		if err := w.dp.recoverBroadcast(); err != nil {
+			return err
+		}
+	}
 
 	w.env = &WorkerEnv{
 		Shard: cfg.Shard, Cores: cores,
@@ -511,7 +586,26 @@ type dataSender struct{ w *workerState }
 func (s dataSender) Send(j int, msgs []parcore.Msg) error {
 	w := s.w
 	tseq0 := w.sent[j] + 1
-	if w.cfg.NoBatch {
+	if w.rec != nil {
+		// Recoverable runs always batch and keep the encoded elements: the
+		// send log is what a peer's respawn replays. Append before sending —
+		// a concurrent recovery resend then either includes the element or
+		// the element's own send goes to the already-updated endpoint, so
+		// the respawned peer misses nothing (duplicates are dropped by its
+		// lenient collector).
+		elems := make([][]byte, len(msgs))
+		for i, m := range msgs {
+			d, err := wireMsg(m)
+			if err != nil {
+				return err
+			}
+			elems[i] = d.Encode()
+		}
+		w.rec.append(j, elems)
+		if err := w.dp.sendElems(j, elems, tseq0, tseq0+uint64(len(elems))-1); err != nil {
+			return err
+		}
+	} else if w.cfg.NoBatch {
 		for i, m := range msgs {
 			if err := w.dp.send(j, m, tseq0+uint64(i)); err != nil {
 				return err
@@ -636,9 +730,23 @@ func (w *workerState) serve() error {
 				return err
 			}
 		case wire.TStep:
+			w.stepsSeen++
+			if w.failAt > 0 && w.stepsSeen == w.failAt {
+				// Injected fault: die the way a crashed process would — no
+				// error frame, no teardown, a distinctive exit status.
+				os.Exit(FaultExitCode)
+			}
 			if err := w.step(body); err != nil {
 				return err
 			}
+		case wire.TFail:
+			// Arm the fault injection; no reply — the directive rides
+			// between protocol rounds.
+			m, err := wire.DecodeFail(body)
+			if err != nil {
+				return err
+			}
+			w.failAt = int(m.Round)
 		case wire.TDrain:
 			m, err := wire.DecodeDrain(body)
 			if err != nil {
@@ -733,7 +841,20 @@ func (w *workerState) step(body []byte) error {
 		Safe:   int64(b.Safe),
 		SafeTo: timesToI64(b.SafeTo),
 	}
-	return w.send(wire.TStepDone, sd.Encode())
+	if err := w.send(wire.TStepDone, sd.Encode()); err != nil {
+		return err
+	}
+	if m.Ckpt {
+		// Checkpoint barrier: push the canonical state digest right after
+		// the step reply. The coordinator stores the blob and byte-compares
+		// it against a recovering replay's.
+		ck, err := w.buildCheckpoint()
+		if err != nil {
+			return err
+		}
+		return w.send(wire.TCheckpoint, ck.Encode())
+	}
+	return nil
 }
 
 // timesToI64 converts a SafeTo vector to its wire form (nil stays nil).
@@ -757,7 +878,7 @@ func (w *workerState) updateMetrics() {
 		return
 	}
 	w.metrics.SetVTime(int64(w.sched.Now()))
-	w.metrics.SetPlane(w.dp.frames, w.dp.bytes)
+	w.metrics.SetPlane(w.dp.counters())
 	if w.gw != nil {
 		st := w.gw.Stats()
 		w.metrics.SetGateway(st.IngressPkts, st.IngressBytes, st.EgressPkts, st.EgressBytes,
@@ -768,13 +889,14 @@ func (w *workerState) updateMetrics() {
 // finish builds and sends the worker's final report, preceded by any
 // recorded trace events streamed as TTrace chunks.
 func (w *workerState) finish() error {
+	frames, bytes := w.dp.counters()
 	rep := WorkerReport{
 		Shard:             w.cfg.Shard,
 		Totals:            w.emu.Totals(),
 		Accuracy:          w.emu.Accuracy,
 		NowNs:             int64(w.sched.Now()),
-		Frames:            w.dp.frames,
-		BytesOnWire:       w.dp.bytes,
+		Frames:            frames,
+		BytesOnWire:       bytes,
 		SetupBytes:        w.setupBytes,
 		StartupWallNs:     w.startupWallNs,
 		PeakRSSBytes:      peakRSSBytes(),

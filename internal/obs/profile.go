@@ -97,12 +97,17 @@ type RunProfile struct {
 	// per-window grant spans the algebra handed out — under the fixed
 	// algebra they degenerate to the static lookahead, under the adaptive
 	// one they show how far past it the queue horizon let shards run.
-	SyncMode    string         `json:"sync_mode,omitempty"`
-	GrantMinMS  float64        `json:"grant_min_ms,omitempty"`
-	GrantMeanMS float64        `json:"grant_mean_ms,omitempty"`
-	GrantMaxMS  float64        `json:"grant_max_ms,omitempty"`
-	Drive       DriveProfile   `json:"drive"`
-	Shards      []ShardProfile `json:"shards,omitempty"`
+	SyncMode    string  `json:"sync_mode,omitempty"`
+	GrantMinMS  float64 `json:"grant_min_ms,omitempty"`
+	GrantMeanMS float64 `json:"grant_mean_ms,omitempty"`
+	GrantMaxMS  float64 `json:"grant_max_ms,omitempty"`
+	// Recoveries counts mid-run worker respawns under the federated
+	// checkpoint/restart machinery; RecoveryWallMS is their total
+	// wall-clock cost, round replay included.
+	Recoveries     int            `json:"recoveries,omitempty"`
+	RecoveryWallMS float64        `json:"recovery_wall_ms,omitempty"`
+	Drive          DriveProfile   `json:"drive"`
+	Shards         []ShardProfile `json:"shards,omitempty"`
 }
 
 // SyncLine renders the one-line synchronization summary every parallel and

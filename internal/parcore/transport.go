@@ -1058,6 +1058,12 @@ func (o *Outbox) Handoff(target int, pkt *pipes.Packet, pid pipes.ID, at vtime.T
 	})
 }
 
+// Seq reports the last canonical sequence number this outbox stamped; it
+// and the scheduler clock are the outbox's whole serializable state once
+// the pending batches are flushed (checkpoints are cut at barriers, after
+// the flush, so pending is empty by construction).
+func (o *Outbox) Seq() uint64 { return o.seq }
+
 // Sender moves one peer's whole pending batch at a barrier. The data path
 // is batch-first: transports carry the slice as a unit — a slice append
 // in-process, one (or a few MTU-bounded) wire frames over sockets — so the
@@ -1135,6 +1141,20 @@ func (a *Applier) ScanPending(visit func(m Msg)) {
 		for _, m := range bucket {
 			visit(m)
 		}
+	}
+}
+
+// ScanBuckets visits the applier's pending fire-time buckets in ascending
+// fire order with each bucket's message count — the canonical shape probe
+// checkpoint fingerprints use (bucket contents are visited by ScanPending).
+func (a *Applier) ScanBuckets(visit func(fire vtime.Time, count int)) {
+	fires := make([]vtime.Time, 0, len(a.buckets))
+	for fire := range a.buckets {
+		fires = append(fires, fire)
+	}
+	sort.Slice(fires, func(i, j int) bool { return fires[i] < fires[j] })
+	for _, fire := range fires {
+		visit(fire, len(a.buckets[fire]))
 	}
 }
 

@@ -63,6 +63,7 @@ type Pipe struct {
 	lastExit   vtime.Time // latest exit handed out; keeps the delay line FIFO
 	seed       int64
 	rng        *rand.Rand // built on first draw: ~5 KB of generator state
+	draws      uint64     // Float64 draws taken; positions the rng in a snapshot
 	red        redState
 
 	// Stats.
@@ -92,6 +93,14 @@ func (p *Pipe) random() *rand.Rand {
 		p.rng = rand.New(rand.NewSource(p.seed ^ int64(p.id)*0x1e3779b97f4a7c15))
 	}
 	return p.rng
+}
+
+// roll takes one draw from the pipe's generator. All random decisions (loss,
+// RED) go through roll so the draw count positions the generator exactly:
+// a restored pipe replays draws discarded draws and continues the sequence.
+func (p *Pipe) roll() float64 {
+	p.draws++
+	return p.random().Float64()
 }
 
 // ID returns the pipe's identity.
@@ -134,14 +143,14 @@ func (p *Pipe) Enqueue(pkt *Packet, now vtime.Time) (DropReason, vtime.Time) {
 	}
 
 	// Random loss first: it models lossy media, independent of queueing.
-	if p.params.LossRate > 0 && p.random().Float64() < p.params.LossRate {
+	if p.params.LossRate > 0 && p.roll() < p.params.LossRate {
 		p.Drops[DropRandomLoss]++
 		return DropRandomLoss, 0
 	}
 
 	qlen := p.QueueLen(now)
 	if p.params.RED != nil {
-		if p.red.shouldDrop(p.params.RED, qlen, now, p.random()) {
+		if p.red.shouldDrop(p.params.RED, qlen, now, p.roll) {
 			p.Drops[DropRED]++
 			return DropRED, 0
 		}

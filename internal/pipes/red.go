@@ -2,7 +2,6 @@ package pipes
 
 import (
 	"math"
-	"math/rand"
 
 	"modelnet/internal/vtime"
 )
@@ -55,7 +54,8 @@ func (r *redState) markIdle(now vtime.Time) {
 }
 
 // shouldDrop runs the gentle-less classic RED algorithm on one arrival.
-func (r *redState) shouldDrop(p *REDParams, qlen int, now vtime.Time, rng *rand.Rand) bool {
+// roll supplies uniform draws (the pipe's counted generator).
+func (r *redState) shouldDrop(p *REDParams, qlen int, now vtime.Time, roll func() float64) bool {
 	w := p.Weight
 	if w <= 0 {
 		w = 0.002
@@ -88,7 +88,7 @@ func (r *redState) shouldDrop(p *REDParams, qlen int, now vtime.Time, rng *rand.
 		r.count++
 		pb := p.MaxP * (r.avg - p.MinThresh) / (p.MaxThresh - p.MinThresh)
 		pa := pb / math.Max(1-float64(r.count)*pb, 1e-9)
-		if rng.Float64() < pa {
+		if roll() < pa {
 			r.count = 0
 			return true
 		}

@@ -1,0 +1,125 @@
+package pipes
+
+// Pipe snapshot/restore: the full serializable state of one emulated link —
+// parameters, every in-flight entry with its transmit/exit schedule, the
+// FIFO delay-line clamps (lastTxDone/lastExit), the RED bookkeeping, the
+// lazy generator's draw position, and the statistics counters. A restored
+// pipe is behaviorally indistinguishable from one that was never
+// snapshotted: federated checkpoints (internal/fednet) ride on this.
+
+import (
+	"fmt"
+
+	"modelnet/internal/vtime"
+)
+
+// EntryState is one in-flight packet with its assigned schedule.
+type EntryState struct {
+	Pkt    *Packet
+	TxDone vtime.Time
+	Exit   vtime.Time
+}
+
+// REDState mirrors the unexported RED bookkeeping.
+type REDState struct {
+	Avg       float64
+	Count     int
+	IdleSince vtime.Time
+	Idle      bool
+}
+
+// State is a pipe's complete serializable state. Packet payloads travel by
+// reference; cross-process serialization converts them with the wire codec.
+type State struct {
+	Params     Params // RED deep-copied on restore
+	Entries    []EntryState
+	LastTxDone vtime.Time
+	LastExit   vtime.Time
+	Draws      uint64
+	RED        REDState
+
+	Accepted  uint64
+	Drops     [numDropReasons]uint64
+	BytesIn   uint64
+	BytesOut  uint64
+	Delivered uint64
+}
+
+// Snapshot captures the pipe's state. The returned entries alias the pipe's
+// packets; callers that keep the snapshot past the next emulation event must
+// copy them.
+func (p *Pipe) Snapshot() State {
+	st := State{
+		Params:     p.params,
+		LastTxDone: p.lastTxDone,
+		LastExit:   p.lastExit,
+		Draws:      p.draws,
+		RED:        REDState{Avg: p.red.avg, Count: p.red.count, IdleSince: p.red.idleSince, Idle: p.red.idle},
+		Accepted:   p.Accepted,
+		Drops:      p.Drops,
+		BytesIn:    p.BytesIn,
+		BytesOut:   p.BytesOut,
+		Delivered:  p.Delivered,
+	}
+	if p.params.RED != nil {
+		red := *p.params.RED
+		st.Params.RED = &red
+	}
+	if n := len(p.q) - p.head; n > 0 {
+		st.Entries = make([]EntryState, 0, n)
+		for i := p.head; i < len(p.q); i++ {
+			e := p.q[i]
+			st.Entries = append(st.Entries, EntryState{Pkt: e.pkt, TxDone: e.txDone, Exit: e.exit})
+		}
+	}
+	return st
+}
+
+// Restore rebuilds a snapshotted pipe. The receiver must be freshly
+// constructed with the same (id, seed) the snapshotted pipe had; the
+// generator is repositioned by replaying the recorded number of draws, so
+// loss and RED decisions continue the exact sequence the original would
+// have produced.
+func (p *Pipe) Restore(st State) error {
+	if len(p.q) != 0 || p.Accepted != 0 || p.draws != 0 || p.Delivered != 0 {
+		return fmt.Errorf("pipes: Restore needs a fresh pipe (id %d)", p.id)
+	}
+	p.params = st.Params
+	if st.Params.RED != nil {
+		red := *st.Params.RED
+		p.params.RED = &red
+	}
+	if st.Draws > 0 {
+		r := p.random()
+		for i := uint64(0); i < st.Draws; i++ {
+			r.Float64()
+		}
+		p.draws = st.Draws
+	}
+	p.lastTxDone = st.LastTxDone
+	p.lastExit = st.LastExit
+	p.red.avg = st.RED.Avg
+	p.red.count = st.RED.Count
+	p.red.idleSince = st.RED.IdleSince
+	p.red.idle = st.RED.Idle
+	p.Accepted = st.Accepted
+	p.Drops = st.Drops
+	p.BytesIn = st.BytesIn
+	p.BytesOut = st.BytesOut
+	p.Delivered = st.Delivered
+	if len(st.Entries) > 0 {
+		p.q = make([]entry, 0, len(st.Entries))
+		prevExit := vtime.Time(0)
+		for _, e := range st.Entries {
+			if e.Pkt == nil {
+				return fmt.Errorf("pipes: restore pipe %d: entry without packet", p.id)
+			}
+			if e.Exit < prevExit {
+				return fmt.Errorf("pipes: restore pipe %d: exits not FIFO (%v after %v)", p.id, e.Exit, prevExit)
+			}
+			prevExit = e.Exit
+			p.q = append(p.q, entry{pkt: e.Pkt, txDone: e.TxDone, exit: e.Exit})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// logEvents schedules n events with random times (deliberately colliding so
+// same-time tie-breaks matter) and random tags; each appends an identifying
+// record to *log when it fires. Returns the re-arm table keyed by seq.
+func logEvents(s *Scheduler, rng *rand.Rand, n int, log *[]string) {
+	for i := 0; i < n; i++ {
+		at := Time(rng.Intn(40)) // dense: many ties
+		tag := int32(rng.Intn(4))
+		id := i
+		s.AtTagged(at, tag, func() {
+			*log = append(*log, fmt.Sprintf("%d@%v tag%d", id, s.Now(), tag))
+		})
+	}
+}
+
+// TestSnapshotRestoreEquivalence is the satellite property test: run a
+// schedule partway, snapshot, restore into a fresh scheduler, continue both,
+// and demand identical fired logs — heap order and same-time ties included.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		ref := NewScheduler()
+		var refLog []string
+		logEvents(ref, rng, 30, &refLog)
+
+		// Reference run partway; snapshot; then an independent scheduler
+		// continues from the snapshot while the reference continues live.
+		mid := Time(rng.Intn(40))
+		ref.RunUntil(mid)
+		st := ref.Snapshot()
+
+		// The snapshot must be self-consistent and in firing order.
+		for i := 1; i < len(st.Events); i++ {
+			a, b := st.Events[i-1], st.Events[i]
+			if b.At < a.At || (b.At == a.At && b.Seq <= a.Seq) {
+				t.Fatalf("trial %d: snapshot events out of order: %+v before %+v", trial, a, b)
+			}
+		}
+
+		// Re-arm by replaying the same construction on a shadow scheduler:
+		// rebuild closures keyed by original seq (seqs are allocated in
+		// construction order, so seq == construction index here).
+		restored := NewScheduler()
+		var gotLog []string
+		arm := func(es EventState) func() {
+			id := int(es.Seq)
+			tag := es.Tag
+			return func() {
+				gotLog = append(gotLog, fmt.Sprintf("%d@%v tag%d", id, restored.Now(), tag))
+			}
+		}
+		if err := restored.Restore(st, arm); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if restored.Now() != ref.Now() || restored.Fired() != ref.Fired() || restored.Pending() != ref.Pending() {
+			t.Fatalf("trial %d: restored clock/counters diverge", trial)
+		}
+
+		// Both continue; new events scheduled post-restore must interleave
+		// identically too (they allocate seqs above every restored one).
+		extraAt := mid + Time(rng.Intn(10))
+		ref.At(extraAt, func() { refLog = append(refLog, fmt.Sprintf("extra@%v", ref.Now())) })
+		restored.At(extraAt, func() { gotLog = append(gotLog, fmt.Sprintf("extra@%v", restored.Now())) })
+
+		preFired := len(refLog)
+		ref.Run()
+		restored.Run()
+		if !reflect.DeepEqual(refLog[preFired:], gotLog) {
+			t.Fatalf("trial %d: fired logs diverge after restore:\nref: %v\ngot: %v",
+				trial, refLog[preFired:], gotLog)
+		}
+		if ref.Now() != restored.Now() || ref.Fired() != restored.Fired() {
+			t.Fatalf("trial %d: final clock/fired diverge", trial)
+		}
+	}
+}
+
+func TestSnapshotRoundTripState(t *testing.T) {
+	s := NewScheduler()
+	s.AtTagged(5, 7, func() {})
+	s.AtTagged(5, 7, func() {}) // same (at, tag): distinguished by seq
+	s.At(2, func() {})
+	s.RunUntil(1)
+	st := s.Snapshot()
+	if st.Now != 1 || st.Seq != 3 || st.Fired != 0 || len(st.Events) != 3 {
+		t.Fatalf("unexpected snapshot: %+v", st)
+	}
+	if st.Events[0].At != 2 || st.Events[1].Seq == st.Events[2].Seq {
+		t.Fatalf("snapshot ordering wrong: %+v", st.Events)
+	}
+}
+
+func TestRestoreRejectsDirtyScheduler(t *testing.T) {
+	s := NewScheduler()
+	s.At(1, func() {})
+	if err := s.Restore(SchedulerState{}, func(EventState) func() { return func() {} }); err == nil {
+		t.Fatal("restore on a dirty scheduler should fail")
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	arm := func(EventState) func() { return func() {} }
+	cases := []struct {
+		name string
+		st   SchedulerState
+	}{
+		{"event before clock", SchedulerState{Now: 10, Seq: 5, Events: []EventState{{At: 3, Seq: 0}}}},
+		{"seq not allocated", SchedulerState{Now: 0, Seq: 1, Events: []EventState{{At: 3, Seq: 1}}}},
+	}
+	for _, c := range cases {
+		if err := NewScheduler().Restore(c.st, arm); err == nil {
+			t.Fatalf("%s: want error", c.name)
+		}
+	}
+	// nil callback from arm
+	st := SchedulerState{Now: 0, Seq: 1, Events: []EventState{{At: 3, Seq: 0}}}
+	if err := NewScheduler().Restore(st, func(EventState) func() { return nil }); err == nil {
+		t.Fatal("nil re-armed callback: want error")
+	}
+}

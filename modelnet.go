@@ -230,7 +230,27 @@ type FederateOptions struct {
 	// coordinator at this address; each worker additionally binds a
 	// loopback endpoint and reports it in FederationReport.
 	MetricsListen string
+	// Recover enables checkpoint/restart fault tolerance (requires
+	// Spawn): the coordinator takes per-shard state digests at
+	// checkpoint barriers, and when a worker process dies mid-run it is
+	// respawned and caught up by deterministic round replay. The
+	// recovered run's counters, deliveries, and canonical trace are
+	// byte-identical to a never-crashed run. See DESIGN.md §8.
+	Recover bool
+	// CkptEvery is the checkpoint period in step rounds (0 =
+	// fednet.DefaultCkptEvery).
+	CkptEvery int
+	// CkptDir, when non-empty, persists each checkpoint's per-shard
+	// digests under this directory (shard-N.ckpt, canonical wire bytes).
+	CkptDir string
+	// Fail plants one fault for the crash-sweep harness: the chosen
+	// worker dies at the chosen step round (by clean exit or SIGKILL),
+	// exercising the Recover path on demand. CLI: -fail SHARD@ROUND[:MODE].
+	Fail *FailSpec
 }
+
+// FailSpec is a planted worker fault (see FederateOptions.Fail).
+type FailSpec = fednet.FailSpec
 
 // FederationReport is a federated run's aggregated outcome.
 type FederationReport = fednet.Report
@@ -273,6 +293,10 @@ func Federate(scenario string, params any, runFor Duration, opts Options) (*Fede
 		RealTime:          fo.RealTime,
 		Pace:              fo.Pace,
 		OnLive:            fo.OnLive,
+		Recover:           fo.Recover,
+		CkptEvery:         fo.CkptEvery,
+		CkptDir:           fo.CkptDir,
+		FailSpec:          fo.Fail,
 	})
 }
 
